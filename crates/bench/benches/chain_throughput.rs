@@ -1,0 +1,101 @@
+//! Chain-level benchmarks: block commitment with re-execution
+//! verification (the paper's consensus cost) at different cohort sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use fl_chain::consensus::engine::{ConsensusEngine, EngineConfig};
+use fl_chain::consensus::leader::LeaderSchedule;
+use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
+use fl_chain::gas::Gas;
+use fl_chain::hash::Hash32;
+use fl_chain::merkle::MerkleTree;
+use fl_chain::tx::Transaction;
+
+/// A storage-bound contract standing in for the FL contract's submission
+/// path: it accumulates vectors, like masked updates, and digests state.
+#[derive(Debug, Clone, Default)]
+struct VectorStore {
+    sum: Vec<u64>,
+    count: u64,
+}
+
+impl SmartContract for VectorStore {
+    type Call = Vec<u64>;
+    type Error = String;
+
+    fn execute(
+        &mut self,
+        _ctx: &TxContext,
+        call: &Vec<u64>,
+    ) -> Result<ExecutionOutcome, String> {
+        if self.sum.is_empty() {
+            self.sum = vec![0u64; call.len()];
+        }
+        for (a, &x) in self.sum.iter_mut().zip(call) {
+            *a = a.wrapping_add(x);
+        }
+        self.count += 1;
+        Ok(ExecutionOutcome {
+            events: vec![],
+            gas_used: Gas(call.len() as u64),
+        })
+    }
+
+    fn state_digest(&self) -> Hash32 {
+        Hash32::of("vector-store", &(self.sum.clone(), self.count))
+    }
+}
+
+fn submissions(n: usize, dim: usize) -> Vec<Transaction<Vec<u64>>> {
+    (0..n)
+        .map(|i| Transaction::new(i as u32, 0, vec![i as u64; dim]))
+        .collect()
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_block");
+    group.sample_size(20);
+    for miners in [3usize, 9, 21] {
+        group.bench_with_input(
+            BenchmarkId::new("miners", miners),
+            &miners,
+            |b, &miners| {
+                b.iter(|| {
+                    let schedule =
+                        LeaderSchedule::round_robin((0..miners as u32).collect());
+                    let mut engine = ConsensusEngine::new(
+                        VectorStore::default(),
+                        schedule,
+                        &BTreeMap::new(),
+                        EngineConfig::default(),
+                    )
+                    .expect("non-empty miner set");
+                    engine
+                        .commit_transactions(black_box(submissions(miners, 650)))
+                        .expect("honest commit")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    for leaves in [10usize, 100, 1000] {
+        let digests: Vec<Hash32> = (0..leaves)
+            .map(|i| Hash32::of_bytes(&(i as u64).to_le_bytes()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &digests,
+            |b, digests| b.iter(|| MerkleTree::build(black_box(digests)).root()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks for the cryptographic substrate — the per-round cost
+//! drivers of the secure-aggregation layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fl_crypto::dh::DhGroup;
+use fl_crypto::masking::PairwiseMasker;
+use fl_crypto::sha256::sha256;
+use fl_crypto::ChaChaPrg;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chacha_keystream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chacha20");
+    for words in [650usize, 65_000] {
+        group.throughput(Throughput::Bytes(words as u64 * 8));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(words),
+            &words,
+            |b, &words| {
+                b.iter(|| {
+                    let mut prg = ChaChaPrg::from_seed(&[7u8; 32]);
+                    prg.gen_u64_vec(black_box(words))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dh_exchange(c: &mut Criterion) {
+    let group256 = DhGroup::simulation_256();
+    let alice = group256.keypair_from_seed(&[1u8; 32]);
+    let bob = group256.keypair_from_seed(&[2u8; 32]);
+    c.bench_function("dh_shared_key_256", |b| {
+        b.iter(|| group256.shared_key(black_box(&alice.private), black_box(&bob.public)))
+    });
+}
+
+fn bench_mask_round(c: &mut Criterion) {
+    // Masking one model update (dim = 650, the digits model) against 8
+    // peers — one owner's per-round masking work in the paper's setting.
+    let masker = PairwiseMasker::new([9u8; 32]);
+    c.bench_function("mask_650dim_8peers", |b| {
+        b.iter(|| {
+            let mut update = vec![0u64; 650];
+            for peer in 1..=8u32 {
+                masker.apply(0, peer, black_box(3), &mut update);
+            }
+            update
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_chacha_keystream,
+    bench_dh_exchange,
+    bench_mask_round
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! ML-substrate benchmarks: the local-training and utility-evaluation
+//! costs that dominate both columns of Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fl_ml::dataset::SyntheticDigits;
+use fl_ml::logreg::{train_model, LogisticModel, TrainConfig};
+use fl_ml::metrics::model_accuracy;
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        learning_rate: 0.5,
+        epochs: 10,
+        l2: 1e-4,
+    }
+}
+
+fn bench_local_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_training");
+    group.sample_size(10);
+    for instances in [500usize, 2000] {
+        let ds = SyntheticDigits {
+            instances,
+            ..SyntheticDigits::default()
+        }
+        .generate(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(instances),
+            &ds,
+            |b, ds| b.iter(|| train_model(black_box(ds), &config())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_utility_evaluation(c: &mut Criterion) {
+    // One u(W) call: accuracy of a flat model on the test set. GroupSV
+    // performs 2^m of these per round.
+    let ds = SyntheticDigits {
+        instances: 1124, // the paper's 20% test split of 5620
+        ..SyntheticDigits::default()
+    }
+    .generate(2);
+    let model = train_model(&ds, &config());
+    let flat = model.to_flat();
+    c.bench_function("utility_accuracy_eval", |b| {
+        b.iter(|| {
+            let m = LogisticModel::from_flat(black_box(&flat), 64, 10);
+            model_accuracy(&m, &ds)
+        })
+    });
+}
+
+criterion_group!(benches, bench_local_training, bench_utility_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion bench behind Table I: GroupSV (per m) vs NativeSV.
+//!
+//! Uses a reduced dataset so a full Criterion sampling run stays in
+//! minutes; the `experiments table1` binary measures the paper-scale
+//! wall-clock once instead of statistically.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fedchain::config::FlConfig;
+use fedchain::contract_fl::AccuracyUtility;
+use fedchain::ground_truth::RetrainUtility;
+use fedchain::world::World;
+use fl_ml::dataset::SyntheticDigits;
+use fl_ml::TrainConfig;
+use shapley::exact_shapley;
+use shapley::group::{group_shapley, GroupSvConfig};
+use shapley::utility::CachedUtility;
+
+fn bench_config() -> FlConfig {
+    let mut config = FlConfig::paper_setting();
+    config.sigma = 1.0;
+    config.data = SyntheticDigits {
+        instances: 600,
+        ..SyntheticDigits::default()
+    };
+    config.train = TrainConfig {
+        learning_rate: 0.5,
+        epochs: 5,
+        l2: 1e-4,
+    };
+    config
+}
+
+fn bench_group_sv(c: &mut Criterion) {
+    let config = bench_config();
+    let world = World::generate(&config).expect("valid config");
+    let updates = world.local_updates(&config);
+    let utility =
+        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+
+    let mut group = c.benchmark_group("group_sv");
+    group.sample_size(10);
+    for m in [2usize, 3, 5, 7, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                group_shapley(
+                    black_box(&updates),
+                    &utility,
+                    &GroupSvConfig {
+                        num_groups: m,
+                        seed: config.permutation_seed,
+                        round: 0,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_native_sv(c: &mut Criterion) {
+    // Native SV retrains 2^n models; keep n small for a samplable bench.
+    let mut config = bench_config();
+    config.num_owners = 6;
+    let world = World::generate(&config).expect("valid config");
+
+    let mut group = c.benchmark_group("native_sv");
+    group.sample_size(10);
+    group.bench_function("retrain_n6", |b| {
+        b.iter(|| {
+            let utility =
+                RetrainUtility::new(&world.shards, &world.test, config.train);
+            let cached = CachedUtility::new(&utility);
+            exact_shapley(black_box(&cached))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_sv, bench_native_sv);
+criterion_main!(benches);

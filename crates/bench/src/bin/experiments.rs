@@ -1,0 +1,105 @@
+//! CLI regenerating every table and figure of the paper.
+//!
+//! ```text
+//! experiments <fig1|fig2|table1|ext-throughput|ext-adversary|ext-privacy|all> [fast|paper]
+//! ```
+//!
+//! Results print as aligned tables and are archived as JSON under
+//! `target/experiments/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fl_bench::experiments::{
+    ext_adversary, ext_privacy, ext_rounds, ext_throughput, fig1, fig2, table1, Scale,
+};
+use fl_bench::report::Table;
+
+fn artefact_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+fn emit(table: &Table, name: &str) {
+    println!("{}", table.render());
+    if let Err(e) = table.write_json(&artefact_dir(), name) {
+        eprintln!("warning: could not archive {name}.json: {e}");
+    }
+}
+
+fn run_one(which: &str, scale: Scale) -> Result<(), String> {
+    let started = Instant::now();
+    match which {
+        "fig1" => {
+            let rows = fig1::run(scale);
+            emit(&fig1::render(&rows), "fig1");
+        }
+        "fig2" => {
+            let points = fig2::run(scale);
+            emit(&fig2::render(&points), "fig2");
+        }
+        "table1" => {
+            let result = table1::run(scale);
+            emit(&table1::render(&result), "table1");
+        }
+        "ext-throughput" => {
+            let rows = ext_throughput::run(scale);
+            emit(&ext_throughput::render(&rows), "ext_throughput");
+        }
+        "ext-adversary" => {
+            let rows = ext_adversary::run(scale);
+            emit(&ext_adversary::render(&rows), "ext_adversary");
+        }
+        "ext-privacy" => {
+            let rows = ext_privacy::run(scale);
+            emit(&ext_privacy::render(&rows), "ext_privacy");
+        }
+        "ext-rounds" => {
+            let rows = ext_rounds::run(scale);
+            emit(&ext_rounds::render(&rows), "ext_rounds");
+        }
+        other => return Err(format!("unknown experiment {other:?}")),
+    }
+    eprintln!("[{which} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+const ALL: [&str; 7] = [
+    "fig1",
+    "fig2",
+    "table1",
+    "ext-throughput",
+    "ext-adversary",
+    "ext-privacy",
+    "ext-rounds",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        None => Scale::Fast,
+        Some(s) => match Scale::parse(s) {
+            Some(scale) => scale,
+            None => {
+                eprintln!("unknown scale {s:?}; use `fast` or `paper`");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    eprintln!("scale: {scale:?} (use `experiments <name> paper` for the full-size runs)\n");
+    let result = if which == "all" {
+        ALL.iter().try_for_each(|name| run_one(name, scale))
+    } else {
+        run_one(which, scale)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: experiments <{}|all> [fast|paper]", ALL.join("|"));
+            ExitCode::FAILURE
+        }
+    }
+}

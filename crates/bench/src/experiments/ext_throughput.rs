@@ -1,0 +1,125 @@
+//! Ext A — transaction-throughput bottleneck analysis (future work §VI-1).
+//!
+//! "We will pinpoint the potential bottlenecks (such as transaction
+//! throughput) of implementing secure federated learning with the
+//! blockchain." The experiment runs the real protocol for one round at
+//! several cohort sizes, collects gas and on-chain byte volume, and
+//! replays the round's communication pattern through the discrete-event
+//! network to estimate makespan and tx/s on a WAN (cross-silo) topology.
+
+use fedchain::protocol::FlProtocol;
+use fl_chain::net::{LatencyModel, SimNetwork};
+use fl_ml::dataset::SyntheticDigits;
+
+use crate::report::{f2, Table};
+
+use super::Scale;
+
+/// One cohort-size measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Number of owners (= miners).
+    pub num_owners: usize,
+    /// Flat model dimension (bytes on the wire = 8·dim per update).
+    pub model_dim: usize,
+    /// Transactions in the round block (n updates + 1 evaluate).
+    pub txs: u64,
+    /// Gas consumed by the round block.
+    pub gas: u64,
+    /// Simulated WAN makespan of the round (seconds).
+    pub makespan_secs: f64,
+    /// Effective throughput (committed tx / makespan).
+    pub tx_per_sec: f64,
+    /// Total bytes moved on the network.
+    pub bytes: u64,
+}
+
+/// Runs the sweep over cohort sizes.
+pub fn run(scale: Scale) -> Vec<ThroughputRow> {
+    let owner_counts: Vec<usize> = match scale {
+        Scale::Fast => vec![3, 5, 7, 9],
+        Scale::Paper => vec![3, 5, 7, 9, 12, 15],
+    };
+    owner_counts
+        .into_iter()
+        .map(|n| measure_cohort(scale, n))
+        .collect()
+}
+
+fn measure_cohort(scale: Scale, n: usize) -> ThroughputRow {
+    // Small data: throughput depends on model dim and cohort size, not on
+    // training quality, so keep the ML part cheap.
+    let mut config = scale.config();
+    config.num_owners = n;
+    config.num_groups = (n / 3).max(1);
+    config.rounds = 1;
+    config.data = SyntheticDigits {
+        instances: (n * 40).max(200),
+        ..config.data
+    };
+    config.train.epochs = 3;
+    let mut protocol = FlProtocol::new(config.clone()).expect("valid config");
+    let report = protocol.run().expect("honest run commits");
+    // The round block is the second commit (after the key block).
+    let round_commit = &report.commits[1];
+    let model_dim = (config.data.features + 1) * config.data.classes;
+    let update_bytes = model_dim * 8;
+
+    // Replay the communication pattern on a WAN:
+    //  1. every owner sends its masked update to the leader;
+    //  2. the leader broadcasts the block (n updates) to all miners;
+    //  3. every miner returns a vote (small);
+    //  4. the leader broadcasts the commit certificate (small).
+    let mut net = SimNetwork::new(LatencyModel::wan(), 42).with_bandwidth(10_000_000);
+    let nodes: Vec<u32> = (0..n as u32).collect();
+    let leader = round_commit.leader;
+    for &node in &nodes {
+        if node != leader {
+            net.send(node, leader, update_bytes, "masked-update");
+        }
+    }
+    let block_bytes = update_bytes * n + 256;
+    net.broadcast(leader, &nodes, block_bytes, "block-proposal");
+    for &node in &nodes {
+        if node != leader {
+            net.send(node, leader, 64, "vote");
+        }
+    }
+    net.broadcast(leader, &nodes, 128, "commit-cert");
+    net.drain();
+    let stats = net.stats();
+    let makespan_secs = stats.makespan_micros as f64 / 1e6;
+    let txs = (n + 1) as u64;
+
+    ThroughputRow {
+        num_owners: n,
+        model_dim,
+        txs,
+        gas: round_commit.gas_used.0,
+        makespan_secs,
+        tx_per_sec: txs as f64 / makespan_secs.max(1e-9),
+        bytes: stats.bytes,
+    }
+}
+
+/// Renders the sweep.
+pub fn render(rows: &[ThroughputRow]) -> Table {
+    let mut table = Table::new(
+        "Ext A — throughput vs cohort size (1 round, WAN 40ms ± 10ms, 10 MB/s links)",
+        &[
+            "owners", "model dim", "txs", "gas", "bytes", "makespan", "tx/s",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.num_owners.to_string(),
+            row.model_dim.to_string(),
+            row.txs.to_string(),
+            row.gas.to_string(),
+            row.bytes.to_string(),
+            format!("{:.3}s", row.makespan_secs),
+            f2(row.tx_per_sec),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,116 @@
+//! Fig. 2 — approximation accuracy of GroupSV vs the native ground truth.
+//!
+//! Cosine similarity between the GroupSV per-user vector and the
+//! ground-truth SV, as the number of groups `m` sweeps `2..=n`, one curve
+//! per σ. Expected shape (paper Sect. V-B2): the σ = 0 curve *decreases*
+//! with `m` (uniform ground truth is matched best by coarse uniform
+//! groups); σ > 0 curves *increase* with `m` (finer groups approach the
+//! native method) and larger σ lifts the whole curve.
+
+use fedchain::contract_fl::AccuracyUtility;
+use fedchain::world::World;
+use numeric::stats::cosine_similarity;
+use shapley::group::{group_shapley, GroupSvConfig};
+
+use crate::report::{f4, Table};
+
+use super::fig1::ground_truth_for_sigma;
+use super::Scale;
+
+/// One (σ, m) cell of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig2Point {
+    /// Noise scale σ.
+    pub sigma: f64,
+    /// Number of groups m.
+    pub num_groups: usize,
+    /// Cosine similarity against the ground truth (`None` when a zero
+    /// vector makes the angle undefined, which the σ=0 setting can
+    /// produce).
+    pub cosine: Option<f64>,
+    /// Mean-centred cosine (Pearson correlation). SV vectors are positive
+    /// and near-uniform, which compresses raw cosine towards 1; centring
+    /// exposes whether the per-owner *structure* is matched.
+    pub centered_cosine: Option<f64>,
+}
+
+/// Cosine similarity after subtracting each vector's mean.
+fn centered_cosine(a: &[f64], b: &[f64]) -> Option<f64> {
+    let ma = a.iter().sum::<f64>() / a.len() as f64;
+    let mb = b.iter().sum::<f64>() / b.len() as f64;
+    let ca: Vec<f64> = a.iter().map(|x| x - ma).collect();
+    let cb: Vec<f64> = b.iter().map(|x| x - mb).collect();
+    cosine_similarity(&ca, &cb)
+}
+
+/// Runs the sweep. Returns `(points, ground_truths)` so callers can reuse
+/// the expensive ground-truth computation.
+pub fn run(scale: Scale) -> Vec<Fig2Point> {
+    let mut points = Vec::new();
+    for sigma in scale.sigmas() {
+        let truth = ground_truth_for_sigma(scale, sigma);
+
+        let mut config = scale.config();
+        config.sigma = sigma;
+        let world = World::generate(&config).expect("valid config");
+        let updates = world.local_updates(&config);
+        let utility = AccuracyUtility::new(
+            &world.test,
+            config.data.features,
+            config.data.classes,
+        );
+
+        for m in 2..=config.num_owners {
+            let result = group_shapley(
+                &updates,
+                &utility,
+                &GroupSvConfig {
+                    num_groups: m,
+                    seed: config.permutation_seed,
+                    round: 0,
+                },
+            );
+            points.push(Fig2Point {
+                sigma,
+                num_groups: m,
+                cosine: cosine_similarity(&result.per_user, &truth.sv),
+                centered_cosine: centered_cosine(&result.per_user, &truth.sv),
+            });
+        }
+    }
+    points
+}
+
+/// Renders the sweep (rows = σ, columns = m).
+pub fn render(points: &[Fig2Point]) -> Table {
+    let mut ms: Vec<usize> = points.iter().map(|p| p.num_groups).collect();
+    ms.sort_unstable();
+    ms.dedup();
+    let mut sigmas: Vec<f64> = points.iter().map(|p| p.sigma).collect();
+    sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite sigmas"));
+    sigmas.dedup();
+
+    let mut headers: Vec<String> = vec!["sigma \\ m".into()];
+    headers.extend(ms.iter().map(|m| format!("m={m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Fig. 2 — cosine similarity: GroupSV vs native ground truth",
+        &header_refs,
+    );
+    for &sigma in &sigmas {
+        let mut cells = vec![format!("{sigma:.1}")];
+        for &m in &ms {
+            let cell = points
+                .iter()
+                .find(|p| p.sigma == sigma && p.num_groups == m)
+                .map_or("-".to_owned(), |p| {
+                    let raw = p.cosine.map_or("undef".to_owned(), f4);
+                    let centered = p.centered_cosine.map_or("undef".to_owned(), f4);
+                    format!("{raw} ({centered})")
+                });
+            cells.push(cell);
+        }
+        table.push_row(cells);
+    }
+    table
+}

@@ -1,0 +1,102 @@
+//! Table I — wall-clock comparison of GroupSV vs NativeSV.
+//!
+//! Paper numbers (Python/NumPy, i7-6700K): GroupSV 2,3,4,7,11,20,39,77 s
+//! for m = 2..9; NativeSV 316 s. The absolute values are not expected to
+//! transfer to Rust; the *shape* is: GroupSV time grows with m (2^m
+//! coalition evaluations) and NativeSV at n = 9 is an order of magnitude
+//! above GroupSV at the same resolution (m = 9) because it trains 2^n
+//! coalition models instead of training n and averaging.
+
+use std::time::Instant;
+
+use fedchain::contract_fl::AccuracyUtility;
+use fedchain::ground_truth::RetrainUtility;
+use fedchain::world::World;
+use shapley::exact_shapley;
+use shapley::group::{group_shapley, GroupSvConfig};
+use shapley::utility::CachedUtility;
+
+use crate::report::{secs, Table};
+
+use super::Scale;
+
+/// Timing results.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// `(m, seconds)` for GroupSV at each group count (includes the n
+    /// local trainings, matching the paper's accounting).
+    pub group_sv: Vec<(usize, f64)>,
+    /// NativeSV seconds (2^n retrained coalition models).
+    pub native_sv: f64,
+    /// Owner count n.
+    pub num_owners: usize,
+}
+
+/// Runs the timing comparison at σ = 1.0 (a representative noisy
+/// setting; timing is insensitive to σ).
+pub fn run(scale: Scale) -> Table1Result {
+    let mut config = scale.config();
+    config.sigma = 1.0;
+    let world = World::generate(&config).expect("valid config");
+    let n = config.num_owners;
+
+    // GroupSV at m = 2..n. Each measurement includes the n local
+    // trainings — in the protocol they happen every round before SV.
+    let utility =
+        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+    let mut group_sv = Vec::new();
+    for m in 2..=n {
+        let start = Instant::now();
+        let updates = world.local_updates(&config);
+        let _ = group_shapley(
+            &updates,
+            &utility,
+            &GroupSvConfig {
+                num_groups: m,
+                seed: config.permutation_seed,
+                round: 0,
+            },
+        );
+        group_sv.push((m, start.elapsed().as_secs_f64()));
+    }
+
+    // NativeSV: 2^n coalition retrainings.
+    let start = Instant::now();
+    let retrain = RetrainUtility::new(&world.shards, &world.test, config.train);
+    let cached = CachedUtility::new(&retrain);
+    let _ = exact_shapley(&cached);
+    let native_sv = start.elapsed().as_secs_f64();
+
+    Table1Result {
+        group_sv,
+        native_sv,
+        num_owners: n,
+    }
+}
+
+/// Renders in the paper's layout.
+pub fn render(result: &Table1Result) -> Table {
+    let mut headers: Vec<String> = vec!["method".into()];
+    headers.extend(result.group_sv.iter().map(|(m, _)| format!("m={m}")));
+    headers.push(format!("native (n={})", result.num_owners));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table I — time comparison: GroupSV (m=2..n) vs NativeSV",
+        &header_refs,
+    );
+    let mut cells = vec!["time".to_owned()];
+    cells.extend(result.group_sv.iter().map(|(_, t)| secs(*t)));
+    cells.push(secs(result.native_sv));
+    table.push_row(cells);
+
+    let mut speedup = vec!["native/group".to_owned()];
+    speedup.extend(
+        result
+            .group_sv
+            .iter()
+            .map(|(_, t)| format!("{:.1}x", result.native_sv / t)),
+    );
+    speedup.push("1.0x".to_owned());
+    table.push_row(speedup);
+    table
+}

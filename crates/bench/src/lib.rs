@@ -1,0 +1,27 @@
+//! Experiment harness for the paper's evaluation section.
+//!
+//! Every table and figure has a regeneration target (see DESIGN.md §4):
+//!
+//! | Paper artefact | Module | CLI |
+//! |---|---|---|
+//! | Fig. 1 — ground-truth SV vs σ | [`experiments::fig1`] | `experiments fig1` |
+//! | Fig. 2 — GroupSV/native cosine similarity | [`experiments::fig2`] | `experiments fig2` |
+//! | Table I — GroupSV vs NativeSV runtime | [`experiments::table1`] | `experiments table1` |
+//! | Ext A — chain throughput (future work §VI-1) | [`experiments::ext_throughput`] | `experiments ext-throughput` |
+//! | Ext B — adversarial participants (§VI-2) | [`experiments::ext_adversary`] | `experiments ext-adversary` |
+//! | Ext C — privacy/resolution trade-off (§IV-B) | [`experiments::ext_privacy`] | `experiments ext-privacy` |
+//!
+//! Two scales are supported: `fast` (reduced instances/epochs, seconds to
+//! minutes, same qualitative shape) and `paper` (the paper's 5620×64
+//! dataset and n = 9 owners). Absolute runtimes differ from the paper's
+//! Python/NumPy numbers by construction; the comparisons of interest are
+//! *within-table shapes* (who wins, by what factor, where the curves
+//! cross), which the harness asserts in its smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::Scale;

@@ -1,0 +1,146 @@
+//! Rendering experiment results as aligned ASCII tables and JSON.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 1 — ground truth SV"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {cell:>w$} |", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as JSON next to other experiment artefacts.
+    pub fn write_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(self)
+            .expect("table serialization cannot fail");
+        fs::write(path, json)
+    }
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(secs(0.5), "500.0ms");
+        assert_eq!(secs(2.0), "2.00s");
+        assert_eq!(secs(0.0000005), "0.5µs");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut t = Table::new("demo", &["x"]);
+        t.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("transparent-fl-test");
+        t.write_json(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(content.contains("\"title\": \"demo\""));
+    }
+}

@@ -1,0 +1,146 @@
+//! Blocks: a header committing to parent, transactions, and post-state.
+//!
+//! The `state_root` is the pivot of the paper's verification protocol: a
+//! proposer publishes the digest of the contract state *after* executing
+//! the block's transactions, and verifiers accept only if their own
+//! re-execution lands on the same digest.
+
+use crate::codec::Encode;
+use crate::hash::Hash32;
+use crate::merkle::MerkleTree;
+use crate::tx::{AccountId, Transaction};
+
+/// Immutable block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height in the chain; genesis is 0.
+    pub height: u64,
+    /// Digest of the parent block header.
+    pub parent: Hash32,
+    /// Merkle root of the transaction digests.
+    pub tx_root: Hash32,
+    /// Digest of the contract state after executing this block.
+    pub state_root: Hash32,
+    /// The miner that proposed the block.
+    pub proposer: AccountId,
+    /// Consensus view number in which the block was accepted (counts
+    /// failed leaders, so `view >= height` when leaders were skipped).
+    pub view: u64,
+}
+
+impl Encode for BlockHeader {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.height.encode_to(out);
+        self.parent.encode_to(out);
+        self.tx_root.encode_to(out);
+        self.state_root.encode_to(out);
+        self.proposer.encode_to(out);
+        self.view.encode_to(out);
+    }
+}
+
+impl BlockHeader {
+    /// Canonical digest of the header ("the block hash").
+    pub fn digest(&self) -> Hash32 {
+        Hash32::of("transparent-fl/block", self)
+    }
+}
+
+/// A block: header plus the full transaction list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block<C> {
+    /// The header.
+    pub header: BlockHeader,
+    /// Transactions in execution order.
+    pub txs: Vec<Transaction<C>>,
+}
+
+impl<C: Encode> Block<C> {
+    /// Assembles a block, computing the transaction Merkle root.
+    pub fn assemble(
+        height: u64,
+        parent: Hash32,
+        state_root: Hash32,
+        proposer: AccountId,
+        view: u64,
+        txs: Vec<Transaction<C>>,
+    ) -> Self {
+        let tx_root = Self::tx_root_of(&txs);
+        Self {
+            header: BlockHeader {
+                height,
+                parent,
+                tx_root,
+                state_root,
+                proposer,
+                view,
+            },
+            txs,
+        }
+    }
+
+    /// Merkle root over a transaction list.
+    pub fn tx_root_of(txs: &[Transaction<C>]) -> Hash32 {
+        let leaves: Vec<Hash32> = txs.iter().map(Transaction::digest).collect();
+        MerkleTree::build(&leaves).root()
+    }
+
+    /// Validates internal consistency (tx root matches the body).
+    pub fn tx_root_consistent(&self) -> bool {
+        Self::tx_root_of(&self.txs) == self.header.tx_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block<u64> {
+        Block::assemble(
+            1,
+            Hash32::of_bytes(b"parent"),
+            Hash32::of_bytes(b"state"),
+            3,
+            1,
+            vec![Transaction::new(0, 0, 10u64), Transaction::new(1, 0, 20u64)],
+        )
+    }
+
+    #[test]
+    fn assemble_sets_consistent_root() {
+        assert!(sample_block().tx_root_consistent());
+    }
+
+    #[test]
+    fn tampered_body_breaks_root() {
+        let mut b = sample_block();
+        b.txs[0].call = 99;
+        assert!(!b.tx_root_consistent());
+    }
+
+    #[test]
+    fn header_digest_covers_state_root() {
+        let a = sample_block();
+        let mut b = sample_block();
+        b.header.state_root = Hash32::of_bytes(b"forged state");
+        assert_ne!(a.header.digest(), b.header.digest());
+    }
+
+    #[test]
+    fn header_digest_covers_proposer_and_view() {
+        let a = sample_block();
+        let mut b = sample_block();
+        b.header.proposer = 9;
+        assert_ne!(a.header.digest(), b.header.digest());
+        let mut c = sample_block();
+        c.header.view = 42;
+        assert_ne!(a.header.digest(), c.header.digest());
+    }
+
+    #[test]
+    fn empty_block_zero_tx_root() {
+        let b: Block<u64> = Block::assemble(0, Hash32::ZERO, Hash32::ZERO, 0, 0, vec![]);
+        assert_eq!(b.header.tx_root, Hash32::ZERO);
+        assert!(b.tx_root_consistent());
+    }
+}

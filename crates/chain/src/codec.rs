@@ -1,0 +1,199 @@
+//! Canonical byte encoding for hashing.
+//!
+//! Transaction and block digests must be identical on every miner, so the
+//! encoding must be fully specified: little-endian fixed-width integers,
+//! `u64` length prefixes for sequences, and a tag byte for options. This
+//! is *not* a general-purpose serialization format (no versioning, no
+//! schema evolution) — it exists solely to give [`crate::hash`] a
+//! deterministic pre-image.
+
+/// Types with a canonical byte encoding.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode_to(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_to(&mut out);
+        out
+    }
+}
+
+macro_rules! impl_encode_int {
+    ($($t:ty),*) => {
+        $(impl Encode for $t {
+            fn encode_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        })*
+    };
+}
+
+impl_encode_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Encode for usize {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_to(out);
+    }
+}
+
+impl Encode for bool {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Encode for f64 {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        // Bit pattern, not value: -0.0 and 0.0 encode differently, NaN
+        // payloads are preserved. Determinism beats numeric equivalence.
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.as_str().encode_to(out);
+    }
+}
+
+impl Encode for &str {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.as_slice().encode_to(out);
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode_to(out);
+        for item in self {
+            item.encode_to(out);
+        }
+    }
+}
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        // Fixed length: no prefix needed; the type pins the size.
+        for item in self {
+            item.encode_to(out);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_to(out);
+            }
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+        self.1.encode_to(out);
+        self.2.encode_to(out);
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        (*self).encode_to(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_little_endian() {
+        assert_eq!(0x0102u16.encode(), vec![0x02, 0x01]);
+        assert_eq!(1u64.encode(), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!((-1i8).encode(), vec![0xff]);
+    }
+
+    #[test]
+    fn usize_encodes_as_u64() {
+        assert_eq!(5usize.encode(), 5u64.encode());
+    }
+
+    #[test]
+    fn strings_length_prefixed() {
+        let enc = "ab".encode();
+        assert_eq!(&enc[..8], &2u64.to_le_bytes());
+        assert_eq!(&enc[8..], b"ab");
+        assert_eq!(String::from("ab").encode(), enc);
+    }
+
+    #[test]
+    fn vec_length_prefixed() {
+        let enc = vec![1u8, 2, 3].encode();
+        assert_eq!(enc.len(), 8 + 3);
+        assert_eq!(&enc[8..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_vec_still_prefixed() {
+        assert_eq!(Vec::<u64>::new().encode(), 0u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn arrays_not_prefixed() {
+        assert_eq!([1u8, 2, 3].encode(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn option_tagged() {
+        assert_eq!(Option::<u8>::None.encode(), vec![0]);
+        assert_eq!(Some(7u8).encode(), vec![1, 7]);
+    }
+
+    #[test]
+    fn f64_uses_bit_pattern() {
+        assert_ne!(0.0f64.encode(), (-0.0f64).encode());
+        assert_eq!(1.5f64.encode(), 1.5f64.to_bits().to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn tuples_concatenate() {
+        assert_eq!((1u8, 2u8).encode(), vec![1, 2]);
+        assert_eq!((1u8, 2u8, 3u8).encode(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v: Vec<Vec<u8>> = vec![vec![1], vec![2, 3]];
+        let enc = v.encode();
+        // outer prefix 2, inner prefix 1 + [1], inner prefix 2 + [2,3]
+        assert_eq!(enc.len(), 8 + (8 + 1) + (8 + 2));
+    }
+
+    #[test]
+    fn injective_for_adjacent_values() {
+        // Length prefixes prevent ambiguity between ["ab"] and ["a","b"].
+        let one: Vec<&str> = vec!["ab"];
+        let two: Vec<&str> = vec!["a", "b"];
+        assert_ne!(one.encode(), two.encode());
+    }
+}

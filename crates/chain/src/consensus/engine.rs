@@ -1,0 +1,608 @@
+//! The propose → re-execute → vote → commit engine.
+//!
+//! Models the paper's blockchain as a deterministic simulation over `n`
+//! miner replicas, each holding its own copy of the smart-contract state
+//! and the chain:
+//!
+//! 1. The [`LeaderSchedule`] names a proposer for the current view.
+//! 2. The proposer executes the transactions on a scratch copy of its
+//!    replica and publishes a block whose `state_root` commits to the
+//!    result. Byzantine proposers can publish a *corrupted* root — this is
+//!    the paper's fraudulent leader "proposing incorrect evaluation
+//!    results" (Sect. III-A).
+//! 3. Every other miner re-executes the same transactions on a scratch
+//!    copy of *its* replica and votes to accept iff its root matches the
+//!    proposal.
+//! 4. On a strict majority, every miner applies the transactions to its
+//!    replica and appends the block; otherwise the view advances and the
+//!    next leader proposes the same transactions.
+//!
+//! The engine guarantees: **with an honest majority, only blocks whose
+//! state root equals honest re-execution are ever committed** — the
+//! machine-checked form of the paper's trust claim.
+
+use std::collections::BTreeMap;
+
+use crate::block::Block;
+use crate::contract::{ExecutionOutcome, SmartContract, TxContext};
+use crate::gas::{Gas, GasMeter};
+use crate::hash::Hash32;
+use crate::store::ChainStore;
+use crate::tx::{AccountId, Transaction};
+
+use super::leader::LeaderSchedule;
+
+/// How a miner behaves in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinerBehavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// As leader, publishes a corrupted state root (models a fraudulent
+    /// leader inflating its own contribution — the re-execution of honest
+    /// miners won't match). Behaves honestly as a verifier.
+    CorruptProposals,
+    /// As verifier, accepts every proposal without re-executing (lazy
+    /// validator).
+    AcceptAll,
+    /// As verifier, rejects every proposal (griefing).
+    RejectAll,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Abort after this many consecutive failed views for one commit.
+    pub max_view_changes: u64,
+    /// Optional per-block gas limit.
+    pub block_gas_limit: Option<Gas>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_view_changes: 64,
+            block_gas_limit: None,
+        }
+    }
+}
+
+/// Errors from the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No proposal reached a majority within `max_view_changes` views.
+    NoQuorum {
+        /// Views attempted.
+        attempts: u64,
+    },
+    /// Transaction execution failed on the leader's replica.
+    ExecutionFailed {
+        /// Index of the failing transaction.
+        tx_index: usize,
+        /// Debug rendering of the contract error.
+        reason: String,
+    },
+    /// The block exceeded its gas limit.
+    OutOfGas {
+        /// Gas used when the limit tripped.
+        used: Gas,
+        /// Limit in force.
+        limit: Gas,
+    },
+    /// Engine constructed with no miners.
+    NoMiners,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoQuorum { attempts } => {
+                write!(f, "no proposal reached quorum after {attempts} views")
+            }
+            Self::ExecutionFailed { tx_index, reason } => {
+                write!(f, "transaction {tx_index} failed: {reason}")
+            }
+            Self::OutOfGas { used, limit } => {
+                write!(f, "block out of gas: used {used}, limit {limit}")
+            }
+            Self::NoMiners => write!(f, "engine has no miners"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Outcome of a successful commit.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// Digest of the committed block header.
+    pub block_digest: Hash32,
+    /// Height of the committed block.
+    pub height: u64,
+    /// The leader whose proposal was accepted.
+    pub leader: AccountId,
+    /// View in which the accepted proposal was made.
+    pub view: u64,
+    /// Total views consumed (1 = first leader succeeded).
+    pub attempts: u64,
+    /// Accept votes for the winning proposal (including the leader).
+    pub votes_for: usize,
+    /// Total miners.
+    pub votes_total: usize,
+    /// Gas consumed by the block.
+    pub gas_used: Gas,
+    /// Events emitted by the contract, in transaction order.
+    pub events: Vec<String>,
+    /// State root committed.
+    pub state_root: Hash32,
+    /// Leaders that were skipped because their proposal failed
+    /// verification.
+    pub rejected_leaders: Vec<AccountId>,
+}
+
+/// One miner replica.
+#[derive(Debug, Clone)]
+struct Miner<S: SmartContract> {
+    id: AccountId,
+    behavior: MinerBehavior,
+    contract: S,
+    store: ChainStore<S::Call>,
+}
+
+/// Aggregate engine statistics across all commits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Transactions committed.
+    pub txs: u64,
+    /// Views that ended in rejection.
+    pub failed_views: u64,
+    /// Total gas across committed blocks.
+    pub gas: Gas,
+}
+
+/// The consensus engine over a contract type `S`.
+pub struct ConsensusEngine<S: SmartContract + Clone> {
+    miners: Vec<Miner<S>>,
+    schedule: LeaderSchedule,
+    view: u64,
+    config: EngineConfig,
+    stats: EngineStats,
+}
+
+impl<S: SmartContract + Clone> ConsensusEngine<S> {
+    /// Builds an engine: every miner starts from an identical copy of
+    /// `genesis_contract` and an empty chain.
+    ///
+    /// `behaviors` maps miner ids to non-default behaviours; unlisted
+    /// miners are honest.
+    pub fn new(
+        genesis_contract: S,
+        schedule: LeaderSchedule,
+        behaviors: &BTreeMap<AccountId, MinerBehavior>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let ids = schedule.miners().to_vec();
+        if ids.is_empty() {
+            return Err(EngineError::NoMiners);
+        }
+        let miners = ids
+            .into_iter()
+            .map(|id| Miner {
+                id,
+                behavior: behaviors.get(&id).copied().unwrap_or_default(),
+                contract: genesis_contract.clone(),
+                store: ChainStore::new(),
+            })
+            .collect();
+        Ok(Self {
+            miners,
+            schedule,
+            view: 0,
+            config,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Number of miners.
+    pub fn miner_count(&self) -> usize {
+        self.miners.len()
+    }
+
+    /// Current view number.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Read access to a miner's contract replica.
+    pub fn contract_of(&self, id: AccountId) -> Option<&S> {
+        self.miners.iter().find(|m| m.id == id).map(|m| &m.contract)
+    }
+
+    /// Read access to the first honest miner's replica — the canonical
+    /// "truth" in tests and experiments.
+    pub fn honest_contract(&self) -> &S {
+        self.miners
+            .iter()
+            .find(|m| m.behavior == MinerBehavior::Honest)
+            .map(|m| &m.contract)
+            .expect("engine requires at least one honest miner to be useful")
+    }
+
+    /// Read access to a miner's chain store.
+    pub fn store_of(&self, id: AccountId) -> Option<&ChainStore<S::Call>> {
+        self.miners.iter().find(|m| m.id == id).map(|m| &m.store)
+    }
+
+    /// Chain height (of the first miner — all replicas commit together).
+    pub fn height(&self) -> u64 {
+        self.miners[0].store.height()
+    }
+
+    /// Runs the full protocol to commit `txs` as one block.
+    pub fn commit_transactions(
+        &mut self,
+        txs: Vec<Transaction<S::Call>>,
+    ) -> Result<CommitReport, EngineError> {
+        let total = self.miners.len();
+        let mut attempts = 0u64;
+        let mut rejected_leaders = Vec::new();
+
+        loop {
+            if attempts >= self.config.max_view_changes {
+                return Err(EngineError::NoQuorum { attempts });
+            }
+            let view = self.view;
+            self.view += 1;
+            attempts += 1;
+
+            let leader_id = self.schedule.leader(view);
+            let leader = self
+                .miners
+                .iter()
+                .find(|m| m.id == leader_id)
+                .expect("schedule only names known miners");
+
+            // Leader executes on a scratch replica.
+            let height = leader.store.height();
+            let (honest_root, outcomes) =
+                self.execute_on_clone(&leader.contract, height, view, &txs)?;
+
+            // A fraudulent leader publishes a different root.
+            let proposed_root = match leader.behavior {
+                MinerBehavior::CorruptProposals => {
+                    Hash32::of("corrupted-proposal", &(honest_root, view))
+                }
+                _ => honest_root,
+            };
+
+            // Verification: every other miner re-executes and votes.
+            let mut votes_for = 1usize; // the leader endorses its proposal
+            for verifier in &self.miners {
+                if verifier.id == leader_id {
+                    continue;
+                }
+                let accept = match verifier.behavior {
+                    MinerBehavior::AcceptAll => true,
+                    MinerBehavior::RejectAll => false,
+                    MinerBehavior::Honest | MinerBehavior::CorruptProposals => {
+                        let (their_root, _) = self.execute_on_clone(
+                            &verifier.contract,
+                            verifier.store.height(),
+                            view,
+                            &txs,
+                        )?;
+                        their_root == proposed_root
+                    }
+                };
+                if accept {
+                    votes_for += 1;
+                }
+            }
+
+            if votes_for * 2 <= total {
+                // Proposal failed; next leader retries the same txs.
+                self.stats.failed_views += 1;
+                rejected_leaders.push(leader_id);
+                continue;
+            }
+
+            // Commit: every miner applies the txs to its replica and
+            // appends the block. Execution is deterministic, so replicas
+            // remain identical.
+            let gas_used: Gas = outcomes.iter().map(|o| o.gas_used).sum();
+            let events: Vec<String> =
+                outcomes.into_iter().flat_map(|o| o.events).collect();
+            let mut block_digest = Hash32::ZERO;
+            for miner in &mut self.miners {
+                let height = miner.store.height();
+                for (tx_index, tx) in txs.iter().enumerate() {
+                    let ctx = TxContext {
+                        block_height: height,
+                        view,
+                        sender: tx.sender,
+                        tx_index,
+                    };
+                    miner
+                        .contract
+                        .execute(&ctx, &tx.call)
+                        .map_err(|e| EngineError::ExecutionFailed {
+                            tx_index,
+                            reason: format!("{e:?}"),
+                        })?;
+                }
+                let block = Block::assemble(
+                    height,
+                    miner.store.tip_digest(),
+                    // The *honest* root is what goes on-chain: a corrupt
+                    // proposal that somehow won quorum would still commit
+                    // its lying root — tests pin that this cannot happen
+                    // with an honest majority.
+                    proposed_root,
+                    leader_id,
+                    view,
+                    txs.clone(),
+                );
+                block_digest = block.header.digest();
+                miner
+                    .store
+                    .append(block)
+                    .expect("replicas advance in lockstep");
+            }
+
+            self.stats.blocks += 1;
+            self.stats.txs += txs.len() as u64;
+            self.stats.gas += gas_used;
+
+            return Ok(CommitReport {
+                block_digest,
+                height: self.height() - 1,
+                leader: leader_id,
+                view,
+                attempts,
+                votes_for,
+                votes_total: total,
+                gas_used,
+                events,
+                state_root: proposed_root,
+                rejected_leaders,
+            });
+        }
+    }
+
+    /// Executes `txs` on a scratch clone, returning the resulting state
+    /// root and per-tx outcomes.
+    fn execute_on_clone(
+        &self,
+        contract: &S,
+        block_height: u64,
+        view: u64,
+        txs: &[Transaction<S::Call>],
+    ) -> Result<(Hash32, Vec<ExecutionOutcome>), EngineError> {
+        let mut scratch = contract.clone();
+        let mut meter = match self.config.block_gas_limit {
+            Some(limit) => GasMeter::with_limit(limit),
+            None => GasMeter::unlimited(),
+        };
+        let mut outcomes = Vec::with_capacity(txs.len());
+        for (tx_index, tx) in txs.iter().enumerate() {
+            let ctx = TxContext {
+                block_height,
+                view,
+                sender: tx.sender,
+                tx_index,
+            };
+            let outcome = scratch.execute(&ctx, &tx.call).map_err(|e| {
+                EngineError::ExecutionFailed {
+                    tx_index,
+                    reason: format!("{e:?}"),
+                }
+            })?;
+            meter.charge(outcome.gas_used).map_err(|e| EngineError::OutOfGas {
+                used: e.used,
+                limit: e.limit,
+            })?;
+            outcomes.push(outcome);
+        }
+        Ok((scratch.state_digest(), outcomes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::testing::{CounterCall, CounterContract};
+
+    fn engine_with(
+        n: u32,
+        behaviors: &[(AccountId, MinerBehavior)],
+    ) -> ConsensusEngine<CounterContract> {
+        let schedule = LeaderSchedule::round_robin((0..n).collect());
+        let map: BTreeMap<AccountId, MinerBehavior> =
+            behaviors.iter().copied().collect();
+        ConsensusEngine::new(
+            CounterContract::default(),
+            schedule,
+            &map,
+            EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn add_txs(values: &[u64]) -> Vec<Transaction<CounterCall>> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Transaction::new(0, i as u64, CounterCall::Add(v)))
+            .collect()
+    }
+
+    #[test]
+    fn honest_commit_first_view() {
+        let mut engine = engine_with(4, &[]);
+        let report = engine.commit_transactions(add_txs(&[1, 2, 3])).unwrap();
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.votes_for, 4);
+        assert_eq!(report.leader, 0);
+        assert_eq!(engine.honest_contract().value, 6);
+        assert_eq!(engine.height(), 1);
+        assert!(report.rejected_leaders.is_empty());
+    }
+
+    #[test]
+    fn all_replicas_converge() {
+        let mut engine = engine_with(5, &[]);
+        engine.commit_transactions(add_txs(&[10])).unwrap();
+        engine.commit_transactions(add_txs(&[5])).unwrap();
+        let roots: Vec<Hash32> = (0..5)
+            .map(|id| engine.contract_of(id).unwrap().state_digest())
+            .collect();
+        assert!(roots.windows(2).all(|w| w[0] == w[1]));
+        for id in 0..5 {
+            assert!(engine.store_of(id).unwrap().verify_chain());
+            assert_eq!(engine.store_of(id).unwrap().height(), 2);
+        }
+    }
+
+    #[test]
+    fn fraudulent_leader_is_skipped() {
+        // Miner 0 (first leader) corrupts proposals; honest majority
+        // rejects and miner 1 commits instead.
+        let mut engine = engine_with(4, &[(0, MinerBehavior::CorruptProposals)]);
+        let report = engine.commit_transactions(add_txs(&[7])).unwrap();
+        assert_eq!(report.attempts, 2, "view change after corrupt proposal");
+        assert_eq!(report.leader, 1);
+        assert_eq!(report.rejected_leaders, vec![0]);
+        // State is the honest result, not the corrupted root.
+        assert_eq!(engine.honest_contract().value, 7);
+        assert_eq!(
+            report.state_root,
+            engine.honest_contract().state_digest()
+        );
+        assert_eq!(engine.stats().failed_views, 1);
+    }
+
+    #[test]
+    fn corrupt_leader_still_commits_as_follower() {
+        // After being skipped as leader, the Byzantine miner's replica
+        // still applies the honest block (it follows the chain).
+        let mut engine = engine_with(4, &[(0, MinerBehavior::CorruptProposals)]);
+        engine.commit_transactions(add_txs(&[7])).unwrap();
+        assert_eq!(engine.contract_of(0).unwrap().value, 7);
+    }
+
+    #[test]
+    fn reject_all_minority_cannot_block() {
+        let mut engine = engine_with(5, &[(3, MinerBehavior::RejectAll)]);
+        let report = engine.commit_transactions(add_txs(&[1])).unwrap();
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.votes_for, 4);
+    }
+
+    #[test]
+    fn reject_all_majority_stalls() {
+        let mut engine = engine_with(
+            4,
+            &[
+                (1, MinerBehavior::RejectAll),
+                (2, MinerBehavior::RejectAll),
+                (3, MinerBehavior::RejectAll),
+            ],
+        );
+        let err = engine.commit_transactions(add_txs(&[1])).unwrap_err();
+        assert!(matches!(err, EngineError::NoQuorum { .. }));
+        assert_eq!(engine.height(), 0, "nothing committed without quorum");
+    }
+
+    #[test]
+    fn accept_all_does_not_break_honest_outcome() {
+        // Lazy validators vote yes on a corrupted proposal, but the
+        // honest majority still rejects it.
+        let mut engine = engine_with(
+            5,
+            &[
+                (0, MinerBehavior::CorruptProposals),
+                (1, MinerBehavior::AcceptAll),
+            ],
+        );
+        let report = engine.commit_transactions(add_txs(&[9])).unwrap();
+        // Corrupt leader (1 self-vote) + AcceptAll (1) = 2 of 5: rejected.
+        assert_eq!(report.leader, 1, "next leader after fraud is AcceptAll miner 1");
+        assert_eq!(engine.honest_contract().value, 9);
+    }
+
+    #[test]
+    fn corrupt_majority_commits_lies_documenting_the_trust_assumption() {
+        // The paper's guarantee needs an honest majority; with a lazy
+        // (AcceptAll) majority a fraudulent proposal *does* commit. Pin
+        // that boundary so the threat model is explicit in code.
+        let mut engine = engine_with(
+            4,
+            &[
+                (0, MinerBehavior::CorruptProposals),
+                (1, MinerBehavior::AcceptAll),
+                (2, MinerBehavior::AcceptAll),
+            ],
+        );
+        let report = engine.commit_transactions(add_txs(&[3])).unwrap();
+        assert_eq!(report.attempts, 1, "fraud wins with a lazy majority");
+        assert_ne!(
+            report.state_root,
+            engine.honest_contract().state_digest(),
+            "committed root is the corrupted one — trust assumption violated"
+        );
+    }
+
+    #[test]
+    fn failing_tx_aborts() {
+        let mut engine = engine_with(3, &[]);
+        let txs = vec![Transaction::new(0, 0, CounterCall::Fail)];
+        let err = engine.commit_transactions(txs).unwrap_err();
+        assert!(matches!(err, EngineError::ExecutionFailed { tx_index: 0, .. }));
+        assert_eq!(engine.height(), 0);
+    }
+
+    #[test]
+    fn gas_limit_enforced() {
+        let schedule = LeaderSchedule::round_robin(vec![0, 1, 2]);
+        let mut engine = ConsensusEngine::new(
+            CounterContract::default(),
+            schedule,
+            &BTreeMap::new(),
+            EngineConfig {
+                block_gas_limit: Some(Gas(1)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Two txs at 1 gas each exceed the 1-gas block limit.
+        let err = engine.commit_transactions(add_txs(&[1, 2])).unwrap_err();
+        assert!(matches!(err, EngineError::OutOfGas { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut engine = engine_with(3, &[]);
+        engine.commit_transactions(add_txs(&[1, 2])).unwrap();
+        engine.commit_transactions(add_txs(&[3])).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.blocks, 2);
+        assert_eq!(stats.txs, 3);
+        assert_eq!(stats.gas, Gas(3));
+        assert_eq!(stats.failed_views, 0);
+    }
+
+    #[test]
+    fn empty_block_commits() {
+        let mut engine = engine_with(3, &[]);
+        let report = engine.commit_transactions(vec![]).unwrap();
+        assert_eq!(report.gas_used, Gas(0));
+        assert_eq!(engine.height(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Consensus: leader selection plus verification by re-execution.
+//!
+//! The paper's protocol has two parts (Sect. III): "1) The leader
+//! selection protocol periodically selects a leader to propose a set of
+//! transactions. 2) A verification protocol requires all other miners to
+//! re-execute the proposed transactions. If the re-execution results are
+//! the same as the proposed, the miners accept them; otherwise, they wait
+//! for another leader to propose."
+
+pub mod engine;
+pub mod leader;
+
+pub use engine::{CommitReport, ConsensusEngine, EngineConfig, EngineError, MinerBehavior};
+pub use leader::LeaderSchedule;

@@ -1,0 +1,193 @@
+//! The smart-contract abstraction.
+//!
+//! Paper Sect. III: "Smart contract is a transaction protocol that runs in
+//! the blockchain to execute program logic. Indeed, in our setting, Smart
+//! contract builds the FL model and evaluates the contribution."
+//!
+//! A contract here is a *deterministic state machine*:
+//!
+//! * it consumes calls (`Self::Call`) inside a [`TxContext`];
+//! * it produces an [`ExecutionOutcome`] with events and a gas charge;
+//! * its entire state can be digested ([`SmartContract::state_digest`]),
+//!   which is what verification-by-re-execution compares.
+//!
+//! Determinism is a contract (pun intended): implementations must not
+//! read clocks, OS randomness, thread ids, or iteration order of
+//! unordered maps. The test suite in `fedchain` re-executes contracts on
+//! independent replicas and asserts digest equality.
+
+use crate::codec::Encode;
+use crate::gas::Gas;
+use crate::hash::Hash32;
+use crate::tx::AccountId;
+
+/// Execution context handed to the contract per transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxContext {
+    /// Height of the block being built.
+    pub block_height: u64,
+    /// Consensus view (leader attempt number).
+    pub view: u64,
+    /// Authenticated sender of the transaction.
+    pub sender: AccountId,
+    /// Index of the transaction inside the block.
+    pub tx_index: usize,
+}
+
+/// Result of executing a single call.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecutionOutcome {
+    /// Human-auditable events emitted by the call (part of the
+    /// transparency story: everything the contract decides is logged).
+    pub events: Vec<String>,
+    /// Gas consumed by the call.
+    pub gas_used: Gas,
+}
+
+impl ExecutionOutcome {
+    /// Outcome with a single event.
+    pub fn event(message: impl Into<String>, gas_used: Gas) -> Self {
+        Self {
+            events: vec![message.into()],
+            gas_used,
+        }
+    }
+}
+
+/// A deterministic on-chain state machine.
+pub trait SmartContract {
+    /// The call payload type.
+    type Call: Encode + Clone;
+    /// Contract-specific error type. An erroring call aborts the whole
+    /// block proposal (the simulation has no partial-failure semantics —
+    /// the FL workflow needs all-or-nothing rounds).
+    type Error: std::fmt::Debug;
+
+    /// Executes one call, mutating state.
+    fn execute(
+        &mut self,
+        ctx: &TxContext,
+        call: &Self::Call,
+    ) -> Result<ExecutionOutcome, Self::Error>;
+
+    /// Digest of the full contract state. Two replicas that processed the
+    /// same calls in the same order must return identical digests.
+    fn state_digest(&self) -> Hash32;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    //! A tiny counter contract shared by the chain-level tests.
+
+    use super::*;
+
+    /// Calls understood by [`CounterContract`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum CounterCall {
+        /// Adds the amount to the counter.
+        Add(u64),
+        /// Sets the counter to a value.
+        Set(u64),
+        /// Always fails (for abort-path tests).
+        Fail,
+    }
+
+    impl Encode for CounterCall {
+        fn encode_to(&self, out: &mut Vec<u8>) {
+            match self {
+                CounterCall::Add(v) => {
+                    out.push(0);
+                    v.encode_to(out);
+                }
+                CounterCall::Set(v) => {
+                    out.push(1);
+                    v.encode_to(out);
+                }
+                CounterCall::Fail => out.push(2),
+            }
+        }
+    }
+
+    /// Trivial contract: a single integer.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct CounterContract {
+        /// Current value.
+        pub value: u64,
+    }
+
+    impl SmartContract for CounterContract {
+        type Call = CounterCall;
+        type Error = String;
+
+        fn execute(
+            &mut self,
+            _ctx: &TxContext,
+            call: &Self::Call,
+        ) -> Result<ExecutionOutcome, Self::Error> {
+            match call {
+                CounterCall::Add(v) => {
+                    self.value = self.value.wrapping_add(*v);
+                    Ok(ExecutionOutcome::event(format!("add {v}"), Gas(1)))
+                }
+                CounterCall::Set(v) => {
+                    self.value = *v;
+                    Ok(ExecutionOutcome::event(format!("set {v}"), Gas(1)))
+                }
+                CounterCall::Fail => Err("intentional failure".to_owned()),
+            }
+        }
+
+        fn state_digest(&self) -> Hash32 {
+            Hash32::of("counter", &self.value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::{CounterCall, CounterContract};
+    use super::*;
+
+    fn ctx() -> TxContext {
+        TxContext {
+            block_height: 1,
+            view: 0,
+            sender: 0,
+            tx_index: 0,
+        }
+    }
+
+    #[test]
+    fn counter_executes_and_digests() {
+        let mut c = CounterContract::default();
+        let out = c.execute(&ctx(), &CounterCall::Add(5)).unwrap();
+        assert_eq!(out.events, vec!["add 5".to_owned()]);
+        assert_eq!(c.value, 5);
+    }
+
+    #[test]
+    fn replicas_agree_on_digest() {
+        let mut a = CounterContract::default();
+        let mut b = CounterContract::default();
+        for call in [CounterCall::Add(3), CounterCall::Set(7), CounterCall::Add(1)] {
+            a.execute(&ctx(), &call).unwrap();
+            b.execute(&ctx(), &call).unwrap();
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn divergent_state_divergent_digest() {
+        let mut a = CounterContract::default();
+        let mut b = CounterContract::default();
+        a.execute(&ctx(), &CounterCall::Add(1)).unwrap();
+        b.execute(&ctx(), &CounterCall::Add(2)).unwrap();
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn failing_call_leaves_error() {
+        let mut c = CounterContract::default();
+        assert!(c.execute(&ctx(), &CounterCall::Fail).is_err());
+    }
+}

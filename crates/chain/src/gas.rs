@@ -1,0 +1,204 @@
+//! Execution metering.
+//!
+//! The paper's future work asks to "pinpoint the potential bottlenecks
+//! (such as transaction throughput) of implementing secure federated
+//! learning with the blockchain". Gas makes that measurable: contracts
+//! charge for the work a call performs (dominated, for the FL contract,
+//! by the size of the weight vectors being aggregated), and the bench
+//! harness converts per-block gas into tx/s and bytes/s figures.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+use crate::codec::Encode;
+
+/// A gas quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct Gas(pub u64);
+
+impl Add for Gas {
+    type Output = Gas;
+
+    fn add(self, rhs: Gas) -> Gas {
+        Gas(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Gas {
+    fn add_assign(&mut self, rhs: Gas) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Gas {
+    fn sum<I: Iterator<Item = Gas>>(iter: I) -> Gas {
+        iter.fold(Gas(0), Add::add)
+    }
+}
+
+impl fmt::Display for Gas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gas", self.0)
+    }
+}
+
+impl Encode for Gas {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.0.encode_to(out);
+    }
+}
+
+/// Cost schedule, roughly modelled on storage-dominated contracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GasSchedule {
+    /// Flat cost per call.
+    pub base_call: u64,
+    /// Cost per 8-byte word written to contract storage.
+    pub per_word_store: u64,
+    /// Cost per 8-byte word of computation (e.g. aggregation adds).
+    pub per_word_compute: u64,
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        Self {
+            base_call: 1_000,
+            per_word_store: 20,
+            per_word_compute: 1,
+        }
+    }
+}
+
+impl GasSchedule {
+    /// Gas for a call that stores `stored_words` and computes over
+    /// `compute_words`.
+    pub fn charge(&self, stored_words: usize, compute_words: usize) -> Gas {
+        let stored = (stored_words as u64).saturating_mul(self.per_word_store);
+        let compute = (compute_words as u64).saturating_mul(self.per_word_compute);
+        Gas(self.base_call.saturating_add(stored).saturating_add(compute))
+    }
+}
+
+/// Accumulates gas during block execution and enforces a block limit.
+#[derive(Debug, Clone)]
+pub struct GasMeter {
+    used: Gas,
+    limit: Option<Gas>,
+}
+
+/// Raised when a block exceeds its gas limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfGas {
+    /// Gas already consumed.
+    pub used: Gas,
+    /// Gas requested by the failing charge.
+    pub requested: Gas,
+    /// The limit that was exceeded.
+    pub limit: Gas,
+}
+
+impl fmt::Display for OutOfGas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of gas: used {}, requested {}, limit {}",
+            self.used, self.requested, self.limit
+        )
+    }
+}
+
+impl std::error::Error for OutOfGas {}
+
+impl GasMeter {
+    /// Unlimited meter (pure accounting).
+    pub fn unlimited() -> Self {
+        Self {
+            used: Gas(0),
+            limit: None,
+        }
+    }
+
+    /// Meter enforcing a block gas limit.
+    pub fn with_limit(limit: Gas) -> Self {
+        Self {
+            used: Gas(0),
+            limit: Some(limit),
+        }
+    }
+
+    /// Consumed so far.
+    pub fn used(&self) -> Gas {
+        self.used
+    }
+
+    /// Records a charge, failing if it would exceed the limit.
+    pub fn charge(&mut self, amount: Gas) -> Result<(), OutOfGas> {
+        if let Some(limit) = self.limit {
+            if self.used + amount > limit {
+                return Err(OutOfGas {
+                    used: self.used,
+                    requested: amount,
+                    limit,
+                });
+            }
+        }
+        self.used += amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gas_arithmetic_saturates() {
+        assert_eq!(Gas(u64::MAX) + Gas(1), Gas(u64::MAX));
+        let mut g = Gas(5);
+        g += Gas(7);
+        assert_eq!(g, Gas(12));
+        let total: Gas = [Gas(1), Gas(2), Gas(3)].into_iter().sum();
+        assert_eq!(total, Gas(6));
+    }
+
+    #[test]
+    fn schedule_charges_components() {
+        let s = GasSchedule::default();
+        let g = s.charge(10, 100);
+        assert_eq!(g, Gas(1_000 + 10 * 20 + 100));
+    }
+
+    #[test]
+    fn unlimited_meter_never_fails() {
+        let mut m = GasMeter::unlimited();
+        m.charge(Gas(u64::MAX)).unwrap();
+        m.charge(Gas(u64::MAX)).unwrap();
+        assert_eq!(m.used(), Gas(u64::MAX));
+    }
+
+    #[test]
+    fn limited_meter_enforces() {
+        let mut m = GasMeter::with_limit(Gas(100));
+        m.charge(Gas(60)).unwrap();
+        let err = m.charge(Gas(50)).unwrap_err();
+        assert_eq!(err.used, Gas(60));
+        assert_eq!(err.requested, Gas(50));
+        assert_eq!(err.limit, Gas(100));
+        // Failed charge does not consume.
+        assert_eq!(m.used(), Gas(60));
+        m.charge(Gas(40)).unwrap();
+        assert_eq!(m.used(), Gas(100));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gas(42).to_string(), "42 gas");
+        let err = OutOfGas {
+            used: Gas(1),
+            requested: Gas(2),
+            limit: Gas(3),
+        };
+        assert!(err.to_string().contains("out of gas"));
+    }
+}

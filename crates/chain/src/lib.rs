@@ -1,0 +1,51 @@
+//! Blockchain substrate for transparent-fl.
+//!
+//! The paper (Sect. III) replaces federated learning's semi-trusted server
+//! with a blockchain: data owners double as miners, a leader-selection
+//! protocol periodically picks a proposer, and a *verification protocol*
+//! has every other miner re-execute the proposed transactions, accepting
+//! them only when the re-execution matches. This crate builds that whole
+//! machine:
+//!
+//! * [`codec`] — deterministic byte encoding (hashing needs a canonical
+//!   serialization).
+//! * [`hash`] / [`merkle`] — SHA-256 digests and Merkle commitments over
+//!   transaction sets.
+//! * [`tx`] / [`block`] / [`store`] — transactions, blocks, and the
+//!   append-only validated chain store.
+//! * [`contract`] — the smart-contract trait: deterministic state
+//!   machines with digestible state, executed identically by every miner.
+//! * [`gas`] — execution metering, powering the paper's future-work
+//!   throughput analysis (Ext A in DESIGN.md).
+//! * [`mempool`] — pending-transaction pool with per-sender nonce order.
+//! * [`consensus`] — leader schedule plus the propose → re-execute →
+//!   vote → commit engine, including Byzantine miner behaviours.
+//! * [`net`] — a discrete-event message network with latency models, for
+//!   the throughput experiments.
+//!
+//! The engine is deliberately synchronous and deterministic: determinism
+//! is not a simplification here but a *requirement* — verification by
+//! re-execution only works if every honest miner computes bit-identical
+//! results (see `fl-crypto`'s fixed-point ring for the same theme).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod codec;
+pub mod consensus;
+pub mod contract;
+pub mod gas;
+pub mod hash;
+pub mod light;
+pub mod mempool;
+pub mod merkle;
+pub mod net;
+pub mod store;
+pub mod tx;
+
+pub use block::{Block, BlockHeader};
+pub use consensus::engine::{ConsensusEngine, EngineConfig, MinerBehavior};
+pub use contract::{ExecutionOutcome, SmartContract, TxContext};
+pub use hash::Hash32;
+pub use tx::Transaction;

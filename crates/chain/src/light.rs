@@ -1,0 +1,217 @@
+//! Light-client (SPV-style) verification.
+//!
+//! A data owner auditing its own treatment should not need to store the
+//! full chain. A [`HeaderChain`] keeps only block headers (a few hundred
+//! bytes each), validates their hash linkage, and can verify — given a
+//! Merkle proof produced by any full node — that a specific transaction
+//! was committed at a given height. Combined with the state roots in the
+//! headers, this gives the paper's transparency guarantee to clients that
+//! hold ~0.01% of the chain's bytes.
+
+use crate::block::BlockHeader;
+use crate::hash::Hash32;
+use crate::merkle::MerkleProof;
+
+/// Errors from header-chain maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LightClientError {
+    /// The appended header does not link to the current tip.
+    ParentMismatch {
+        /// Digest the client expected (its tip).
+        expected: Hash32,
+        /// Parent digest the header carries.
+        got: Hash32,
+    },
+    /// The appended header skips or repeats a height.
+    HeightMismatch {
+        /// Height the client expected.
+        expected: u64,
+        /// Height the header carries.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for LightClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParentMismatch { expected, got } => {
+                write!(f, "header parent {got:?} does not link to tip {expected:?}")
+            }
+            Self::HeightMismatch { expected, got } => {
+                write!(f, "header height {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LightClientError {}
+
+/// A headers-only view of the chain.
+#[derive(Debug, Clone, Default)]
+pub struct HeaderChain {
+    headers: Vec<BlockHeader>,
+}
+
+impl HeaderChain {
+    /// An empty client (genesis parent is [`Hash32::ZERO`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of accepted headers.
+    pub fn height(&self) -> u64 {
+        self.headers.len() as u64
+    }
+
+    /// Digest of the current tip header.
+    pub fn tip_digest(&self) -> Hash32 {
+        self.headers
+            .last()
+            .map_or(Hash32::ZERO, BlockHeader::digest)
+    }
+
+    /// Header at `height`, if synced that far.
+    pub fn header_at(&self, height: u64) -> Option<&BlockHeader> {
+        self.headers.get(height as usize)
+    }
+
+    /// Accepts the next header after validating linkage.
+    pub fn accept(&mut self, header: BlockHeader) -> Result<(), LightClientError> {
+        let expected_parent = self.tip_digest();
+        if header.parent != expected_parent {
+            return Err(LightClientError::ParentMismatch {
+                expected: expected_parent,
+                got: header.parent,
+            });
+        }
+        let expected_height = self.height();
+        if header.height != expected_height {
+            return Err(LightClientError::HeightMismatch {
+                expected: expected_height,
+                got: header.height,
+            });
+        }
+        self.headers.push(header);
+        Ok(())
+    }
+
+    /// Verifies that a transaction with digest `tx_digest` was included
+    /// in the block at `height`, using a full node's Merkle `proof`.
+    pub fn verify_inclusion(
+        &self,
+        height: u64,
+        tx_digest: &Hash32,
+        proof: &MerkleProof,
+    ) -> bool {
+        let Some(header) = self.header_at(height) else {
+            return false;
+        };
+        proof.verify(tx_digest, &header.tx_root)
+    }
+
+    /// The audit trail of state roots, as visible to this light client.
+    pub fn state_roots(&self) -> Vec<Hash32> {
+        self.headers.iter().map(|h| h.state_root).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::merkle::MerkleTree;
+    use crate::store::ChainStore;
+    use crate::tx::Transaction;
+
+    /// Builds a 3-block chain in a full node and syncs a light client.
+    fn full_chain() -> ChainStore<u64> {
+        let store: ChainStore<u64> = ChainStore::new();
+        for b in 0..3u64 {
+            let txs: Vec<Transaction<u64>> = (0..4)
+                .map(|i| Transaction::new(i as u32, b, b * 100 + i))
+                .collect();
+            let block = Block::assemble(
+                store.height(),
+                store.tip_digest(),
+                Hash32::of("state", &b),
+                0,
+                b,
+                txs,
+            );
+            store.append(block).expect("valid block");
+        }
+        store
+    }
+
+    fn synced_client(store: &ChainStore<u64>) -> HeaderChain {
+        let mut client = HeaderChain::new();
+        for h in 0..store.height() {
+            client
+                .accept(store.block_at(h).expect("present").header)
+                .expect("links");
+        }
+        client
+    }
+
+    #[test]
+    fn sync_and_verify_inclusion() {
+        let store = full_chain();
+        let client = synced_client(&store);
+        assert_eq!(client.height(), 3);
+        assert_eq!(client.tip_digest(), store.tip_digest());
+
+        // Full node produces a proof for tx #2 of block 1.
+        let block = store.block_at(1).expect("present");
+        let leaves: Vec<Hash32> = block.txs.iter().map(Transaction::digest).collect();
+        let tree = MerkleTree::build(&leaves);
+        let proof = tree.prove(2).expect("index in range");
+
+        assert!(client.verify_inclusion(1, &block.txs[2].digest(), &proof));
+        // Wrong transaction, wrong height: rejected.
+        assert!(!client.verify_inclusion(1, &block.txs[0].digest(), &proof));
+        assert!(!client.verify_inclusion(2, &block.txs[2].digest(), &proof));
+        assert!(!client.verify_inclusion(99, &block.txs[2].digest(), &proof));
+    }
+
+    #[test]
+    fn broken_linkage_rejected() {
+        let store = full_chain();
+        let mut client = HeaderChain::new();
+        client
+            .accept(store.block_at(0).expect("present").header)
+            .unwrap();
+        // Skip block 1: block 2's parent does not match.
+        let err = client
+            .accept(store.block_at(2).expect("present").header)
+            .unwrap_err();
+        assert!(matches!(err, LightClientError::ParentMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let store = full_chain();
+        let mut client = HeaderChain::new();
+        let mut header = store.block_at(0).expect("present").header;
+        header.height = 5;
+        let err = client.accept(header).unwrap_err();
+        assert!(matches!(err, LightClientError::HeightMismatch { .. }));
+    }
+
+    #[test]
+    fn state_roots_exposed() {
+        let store = full_chain();
+        let client = synced_client(&store);
+        assert_eq!(client.state_roots(), store.state_roots());
+    }
+
+    #[test]
+    fn forged_header_cannot_replace_tip() {
+        let store = full_chain();
+        let mut client = synced_client(&store);
+        // An attacker re-issues block 2 with a different state root; its
+        // parent field still names block 1, but the client is at tip 2.
+        let mut forged = store.block_at(2).expect("present").header;
+        forged.state_root = Hash32::of_bytes(b"lies");
+        assert!(client.accept(forged).is_err());
+    }
+}

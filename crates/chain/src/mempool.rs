@@ -1,0 +1,194 @@
+//! Pending-transaction pool.
+//!
+//! FIFO within a sender, nonce-gap detection across submissions. Leaders
+//! drain the pool when proposing a block; if the proposal is rejected the
+//! transactions return to the pool so the next leader can retry — this is
+//! exactly the paper's "wait for another leader to propose" behaviour.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::codec::Encode;
+use crate::tx::{AccountId, Transaction};
+
+/// Errors from submitting to the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Nonce is not the next expected for this sender.
+    NonceGap {
+        /// The sender.
+        sender: AccountId,
+        /// Nonce the pool expected next.
+        expected: u64,
+        /// Nonce received.
+        got: u64,
+    },
+    /// The pool is at capacity.
+    Full {
+        /// Maximum size.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonceGap {
+                sender,
+                expected,
+                got,
+            } => write!(f, "sender {sender}: expected nonce {expected}, got {got}"),
+            Self::Full { capacity } => write!(f, "mempool full (capacity {capacity})"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// The pool.
+#[derive(Debug, Clone)]
+pub struct Mempool<C> {
+    queue: VecDeque<Transaction<C>>,
+    next_nonce: BTreeMap<AccountId, u64>,
+    capacity: usize,
+}
+
+impl<C: Encode + Clone> Mempool<C> {
+    /// Creates a pool with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool capacity must be positive");
+        Self {
+            queue: VecDeque::new(),
+            next_nonce: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Submits a transaction, enforcing contiguous nonces per sender.
+    pub fn submit(&mut self, tx: Transaction<C>) -> Result<(), MempoolError> {
+        if self.queue.len() >= self.capacity {
+            return Err(MempoolError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let expected = self.next_nonce.get(&tx.sender).copied().unwrap_or(0);
+        if tx.nonce != expected {
+            return Err(MempoolError::NonceGap {
+                sender: tx.sender,
+                expected,
+                got: tx.nonce,
+            });
+        }
+        self.next_nonce.insert(tx.sender, expected + 1);
+        self.queue.push_back(tx);
+        Ok(())
+    }
+
+    /// Takes up to `max` transactions for a block proposal.
+    pub fn drain(&mut self, max: usize) -> Vec<Transaction<C>> {
+        let take = max.min(self.queue.len());
+        self.queue.drain(..take).collect()
+    }
+
+    /// Returns transactions to the *front* of the pool after a rejected
+    /// proposal, preserving their original order.
+    pub fn requeue(&mut self, txs: Vec<Transaction<C>>) {
+        for tx in txs.into_iter().rev() {
+            self.queue.push_front(tx);
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Next expected nonce for a sender.
+    pub fn expected_nonce(&self, sender: AccountId) -> u64 {
+        self.next_nonce.get(&sender).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(sender: AccountId, nonce: u64) -> Transaction<u64> {
+        Transaction::new(sender, nonce, nonce * 10)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pool = Mempool::new(10);
+        pool.submit(tx(0, 0)).unwrap();
+        pool.submit(tx(1, 0)).unwrap();
+        pool.submit(tx(0, 1)).unwrap();
+        let drained = pool.drain(10);
+        assert_eq!(
+            drained.iter().map(|t| (t.sender, t.nonce)).collect::<Vec<_>>(),
+            vec![(0, 0), (1, 0), (0, 1)]
+        );
+    }
+
+    #[test]
+    fn nonce_gap_rejected() {
+        let mut pool = Mempool::new(10);
+        assert_eq!(
+            pool.submit(tx(0, 5)).unwrap_err(),
+            MempoolError::NonceGap {
+                sender: 0,
+                expected: 0,
+                got: 5
+            }
+        );
+        pool.submit(tx(0, 0)).unwrap();
+        assert!(pool.submit(tx(0, 0)).is_err(), "replay rejected");
+        assert_eq!(pool.expected_nonce(0), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut pool = Mempool::new(2);
+        pool.submit(tx(0, 0)).unwrap();
+        pool.submit(tx(0, 1)).unwrap();
+        assert_eq!(
+            pool.submit(tx(0, 2)).unwrap_err(),
+            MempoolError::Full { capacity: 2 }
+        );
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let mut pool = Mempool::new(10);
+        for n in 0..5 {
+            pool.submit(tx(0, n)).unwrap();
+        }
+        assert_eq!(pool.drain(2).len(), 2);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.drain(100).len(), 3);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn requeue_restores_order() {
+        let mut pool = Mempool::new(10);
+        for n in 0..4 {
+            pool.submit(tx(0, n)).unwrap();
+        }
+        let taken = pool.drain(2);
+        pool.requeue(taken);
+        let all = pool.drain(10);
+        let nonces: Vec<u64> = all.iter().map(|t| t.nonce).collect();
+        assert_eq!(nonces, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: Mempool<u64> = Mempool::new(0);
+    }
+}

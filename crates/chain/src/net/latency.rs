@@ -1,0 +1,167 @@
+//! Link-latency models.
+
+use fl_crypto::ChaChaPrg;
+
+/// Samples one-way message latency in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Fixed latency.
+    Constant {
+        /// One-way latency in microseconds.
+        micros: u64,
+    },
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (µs).
+        lo: u64,
+        /// Upper bound (µs), inclusive.
+        hi: u64,
+    },
+    /// Approximately normal via the Irwin–Hall sum of 12 uniforms
+    /// (mean-centred), truncated at zero. Avoids floating point in the
+    /// hot path, keeping the simulation integer-deterministic.
+    Normal {
+        /// Mean latency (µs).
+        mean: u64,
+        /// Standard deviation (µs).
+        std_dev: u64,
+    },
+}
+
+impl LatencyModel {
+    /// A LAN-ish default: 200µs ± 50µs.
+    pub fn lan() -> Self {
+        Self::Normal {
+            mean: 200,
+            std_dev: 50,
+        }
+    }
+
+    /// A WAN-ish default: 40ms ± 10ms — the cross-silo setting where
+    /// banks run geographically distributed nodes.
+    pub fn wan() -> Self {
+        Self::Normal {
+            mean: 40_000,
+            std_dev: 10_000,
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, prg: &mut ChaChaPrg) -> u64 {
+        match *self {
+            Self::Constant { micros } => micros,
+            Self::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency bounds inverted");
+                lo + prg.next_u64_below(hi - lo + 1)
+            }
+            Self::Normal { mean, std_dev } => {
+                // Irwin–Hall: sum of 12 U(0,1) has mean 6, variance 1.
+                // Work in integer space: sum 12 draws from [0, 2s], giving
+                // mean 12s and std ≈ 2s·sqrt(12)/sqrt(12) = 2s... we use
+                // the standard trick: sum12 - 6 ~ N(0,1).
+                let s = std_dev;
+                if s == 0 {
+                    return mean;
+                }
+                let mut acc: i64 = 0;
+                for _ in 0..12 {
+                    acc += prg.next_u64_below(2 * s + 1) as i64;
+                }
+                // acc has mean 12s and std ≈ s·sqrt(12·(1/3)) = 2s; rescale
+                // to std s by halving the centred value.
+                let centred = (acc - 12 * s as i64) / 2;
+                (mean as i64 + centred).max(0) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prg() -> ChaChaPrg {
+        ChaChaPrg::from_seed(&[11u8; 32])
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut p = prg();
+        let m = LatencyModel::Constant { micros: 123 };
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut p), 123);
+        }
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut p = prg();
+        let m = LatencyModel::Uniform { lo: 10, hi: 20 };
+        for _ in 0..200 {
+            let v = m.sample(&mut p);
+            assert!((10..=20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_single_point() {
+        let mut p = prg();
+        let m = LatencyModel::Uniform { lo: 5, hi: 5 };
+        assert_eq!(m.sample(&mut p), 5);
+    }
+
+    #[test]
+    fn normal_statistics_roughly_right() {
+        let mut p = prg();
+        let m = LatencyModel::Normal {
+            mean: 1000,
+            std_dev: 100,
+        };
+        let n = 5000;
+        let samples: Vec<u64> = (0..n).map(|_| m.sample(&mut p)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!(
+            (mean - 1000.0).abs() < 25.0,
+            "mean {mean} too far from 1000"
+        );
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        let std = var.sqrt();
+        assert!((std - 100.0).abs() < 25.0, "std {std} too far from 100");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut p = prg();
+        let m = LatencyModel::Normal {
+            mean: 777,
+            std_dev: 0,
+        };
+        assert_eq!(m.sample(&mut p), 777);
+    }
+
+    #[test]
+    fn normal_never_negative() {
+        let mut p = prg();
+        let m = LatencyModel::Normal {
+            mean: 10,
+            std_dev: 1000,
+        };
+        for _ in 0..500 {
+            let _ = m.sample(&mut p); // must not underflow/panic
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = LatencyModel::Uniform { lo: 0, hi: 1000 };
+        let mut a = prg();
+        let mut b = prg();
+        for _ in 0..50 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Discrete-event network simulation.
+//!
+//! The paper's evaluation runs on "a simulated blockchain" and its future
+//! work asks for transaction-throughput analysis. This module provides
+//! the measurement substrate: a deterministic discrete-event message
+//! network with pluggable latency models and byte accounting, driven by
+//! the throughput experiment (Ext A in DESIGN.md) to estimate round
+//! makespans and chain tx/s under different cohort sizes and model
+//! dimensions.
+
+pub mod latency;
+pub mod sim;
+
+pub use latency::LatencyModel;
+pub use sim::{Delivered, NetStats, NodeId, SimNetwork};

@@ -1,0 +1,223 @@
+//! Append-only validated chain store.
+//!
+//! Every miner keeps a full copy of the chain. Appending validates the
+//! parent link, height continuity, and transaction-root consistency —
+//! the structural half of the paper's truthfulness guarantee (the
+//! semantic half is verification by re-execution in
+//! [`crate::consensus::engine`]).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::block::Block;
+use crate::codec::Encode;
+use crate::hash::Hash32;
+
+/// Errors from appending to the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Parent digest does not match the current tip.
+    ParentMismatch {
+        /// Expected parent (current tip digest).
+        expected: Hash32,
+        /// Parent named by the block.
+        got: Hash32,
+    },
+    /// Height is not `tip_height + 1`.
+    HeightMismatch {
+        /// Expected height.
+        expected: u64,
+        /// Height named by the block.
+        got: u64,
+    },
+    /// Transaction root does not match the block body.
+    TxRootMismatch,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ParentMismatch { expected, got } => {
+                write!(f, "parent mismatch: expected {expected:?}, got {got:?}")
+            }
+            Self::HeightMismatch { expected, got } => {
+                write!(f, "height mismatch: expected {expected}, got {got}")
+            }
+            Self::TxRootMismatch => write!(f, "transaction root mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A thread-safe, append-only block store.
+///
+/// Cloning shares the underlying chain (all replicas of one *miner* see
+/// the same store; different miners hold different stores).
+#[derive(Debug, Clone, Default)]
+pub struct ChainStore<C> {
+    inner: Arc<RwLock<Vec<Block<C>>>>,
+}
+
+impl<C: Encode + Clone> ChainStore<C> {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn height(&self) -> u64 {
+        self.inner.read().len() as u64
+    }
+
+    /// Digest of the tip header, or [`Hash32::ZERO`] for an empty chain.
+    pub fn tip_digest(&self) -> Hash32 {
+        self.inner
+            .read()
+            .last()
+            .map_or(Hash32::ZERO, |b| b.header.digest())
+    }
+
+    /// Clone of the block at `height` (0-based), if present.
+    pub fn block_at(&self, height: u64) -> Option<Block<C>> {
+        self.inner.read().get(height as usize).cloned()
+    }
+
+    /// Clone of the tip block.
+    pub fn tip(&self) -> Option<Block<C>> {
+        self.inner.read().last().cloned()
+    }
+
+    /// Validates and appends a block.
+    pub fn append(&self, block: Block<C>) -> Result<(), StoreError> {
+        let mut chain = self.inner.write();
+        let expected_parent = chain
+            .last()
+            .map_or(Hash32::ZERO, |b| b.header.digest());
+        if block.header.parent != expected_parent {
+            return Err(StoreError::ParentMismatch {
+                expected: expected_parent,
+                got: block.header.parent,
+            });
+        }
+        let expected_height = chain.len() as u64;
+        if block.header.height != expected_height {
+            return Err(StoreError::HeightMismatch {
+                expected: expected_height,
+                got: block.header.height,
+            });
+        }
+        if !block.tx_root_consistent() {
+            return Err(StoreError::TxRootMismatch);
+        }
+        chain.push(block);
+        Ok(())
+    }
+
+    /// Verifies the hash chain from genesis to tip.
+    pub fn verify_chain(&self) -> bool {
+        let chain = self.inner.read();
+        let mut parent = Hash32::ZERO;
+        for (i, block) in chain.iter().enumerate() {
+            if block.header.parent != parent
+                || block.header.height != i as u64
+                || !block.tx_root_consistent()
+            {
+                return false;
+            }
+            parent = block.header.digest();
+        }
+        true
+    }
+
+    /// All state roots in order (the audit trail of contract states).
+    pub fn state_roots(&self) -> Vec<Hash32> {
+        self.inner
+            .read()
+            .iter()
+            .map(|b| b.header.state_root)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+
+    fn next_block(store: &ChainStore<u64>, calls: &[u64]) -> Block<u64> {
+        let txs: Vec<Transaction<u64>> = calls
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Transaction::new(0, store.height() * 10 + i as u64, c))
+            .collect();
+        Block::assemble(
+            store.height(),
+            store.tip_digest(),
+            Hash32::of_bytes(b"state"),
+            0,
+            store.height(),
+            txs,
+        )
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let store: ChainStore<u64> = ChainStore::new();
+        store.append(next_block(&store, &[1, 2])).unwrap();
+        store.append(next_block(&store, &[3])).unwrap();
+        assert_eq!(store.height(), 2);
+        assert!(store.verify_chain());
+        assert_eq!(store.block_at(0).unwrap().txs.len(), 2);
+        assert!(store.block_at(5).is_none());
+    }
+
+    #[test]
+    fn wrong_parent_rejected() {
+        let store: ChainStore<u64> = ChainStore::new();
+        store.append(next_block(&store, &[1])).unwrap();
+        let mut bad = next_block(&store, &[2]);
+        bad.header.parent = Hash32::of_bytes(b"bogus");
+        assert!(matches!(
+            store.append(bad),
+            Err(StoreError::ParentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let store: ChainStore<u64> = ChainStore::new();
+        let mut bad = next_block(&store, &[1]);
+        bad.header.height = 7;
+        assert!(matches!(
+            store.append(bad),
+            Err(StoreError::HeightMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_txs_rejected() {
+        let store: ChainStore<u64> = ChainStore::new();
+        let mut bad = next_block(&store, &[1]);
+        bad.txs[0].call = 999;
+        assert_eq!(store.append(bad), Err(StoreError::TxRootMismatch));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store: ChainStore<u64> = ChainStore::new();
+        let alias = store.clone();
+        store.append(next_block(&store, &[1])).unwrap();
+        assert_eq!(alias.height(), 1);
+    }
+
+    #[test]
+    fn empty_chain_is_valid() {
+        let store: ChainStore<u64> = ChainStore::new();
+        assert!(store.verify_chain());
+        assert_eq!(store.tip_digest(), Hash32::ZERO);
+        assert!(store.tip().is_none());
+    }
+}

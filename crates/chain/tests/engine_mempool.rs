@@ -1,0 +1,137 @@
+//! Integration between the mempool and the consensus engine: the paper's
+//! "wait for another leader to propose" loop, driven the way a real node
+//! would drive it.
+
+use std::collections::BTreeMap;
+
+use fl_chain::consensus::engine::{ConsensusEngine, EngineConfig, MinerBehavior};
+use fl_chain::consensus::leader::LeaderSchedule;
+use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
+use fl_chain::gas::Gas;
+use fl_chain::hash::Hash32;
+use fl_chain::mempool::Mempool;
+use fl_chain::tx::Transaction;
+
+/// Accumulator contract used as a minimal deterministic state machine.
+#[derive(Debug, Clone, Default)]
+struct Accumulator {
+    total: u64,
+}
+
+impl SmartContract for Accumulator {
+    type Call = u64;
+    type Error = String;
+
+    fn execute(
+        &mut self,
+        _ctx: &TxContext,
+        call: &u64,
+    ) -> Result<ExecutionOutcome, String> {
+        self.total = self.total.wrapping_add(*call);
+        Ok(ExecutionOutcome::event(format!("+{call}"), Gas(1)))
+    }
+
+    fn state_digest(&self) -> Hash32 {
+        Hash32::of("accumulator", &self.total)
+    }
+}
+
+fn engine(
+    miners: u32,
+    behaviors: &[(u32, MinerBehavior)],
+) -> ConsensusEngine<Accumulator> {
+    let schedule = LeaderSchedule::round_robin((0..miners).collect());
+    ConsensusEngine::new(
+        Accumulator::default(),
+        schedule,
+        &behaviors.iter().copied().collect::<BTreeMap<_, _>>(),
+        EngineConfig::default(),
+    )
+    .expect("non-empty miner set")
+}
+
+#[test]
+fn mempool_drained_into_blocks_until_empty() {
+    let mut pool: Mempool<u64> = Mempool::new(100);
+    for n in 0..10u64 {
+        pool.submit(Transaction::new(0, n, n + 1)).unwrap();
+    }
+    let mut engine = engine(4, &[]);
+    let mut blocks = 0;
+    while !pool.is_empty() {
+        let txs = pool.drain(4);
+        engine.commit_transactions(txs).expect("honest commit");
+        blocks += 1;
+    }
+    assert_eq!(blocks, 3, "10 txs at 4/block = 3 blocks");
+    assert_eq!(engine.honest_contract().total, (1..=10).sum::<u64>());
+}
+
+#[test]
+fn rejected_proposal_requeues_and_retries() {
+    // A fraudulent first leader forces a view change; the transactions
+    // still commit exactly once, in order.
+    let mut pool: Mempool<u64> = Mempool::new(100);
+    for n in 0..6u64 {
+        pool.submit(Transaction::new(0, n, 10 + n)).unwrap();
+    }
+    let mut engine = engine(4, &[(0, MinerBehavior::CorruptProposals)]);
+
+    let txs = pool.drain(6);
+    // Simulate the node behaviour: requeue on error, retry. (The engine
+    // itself retries leaders internally; this exercises the node-level
+    // loop for the case where the engine gives up.)
+    match engine.commit_transactions(txs.clone()) {
+        Ok(report) => {
+            assert!(report.attempts > 1, "fraud must cost at least one view");
+        }
+        Err(_) => {
+            pool.requeue(txs);
+            let retry = pool.drain(6);
+            engine.commit_transactions(retry).expect("retry succeeds");
+        }
+    }
+    assert_eq!(engine.honest_contract().total, (10..16).sum::<u64>());
+    assert_eq!(engine.stats().failed_views, 1);
+}
+
+#[test]
+fn interleaved_senders_keep_nonce_order() {
+    let mut pool: Mempool<u64> = Mempool::new(100);
+    // Two senders interleaved.
+    pool.submit(Transaction::new(0, 0, 1)).unwrap();
+    pool.submit(Transaction::new(1, 0, 2)).unwrap();
+    pool.submit(Transaction::new(0, 1, 3)).unwrap();
+    pool.submit(Transaction::new(1, 1, 4)).unwrap();
+    let mut engine = engine(3, &[]);
+    let report = engine
+        .commit_transactions(pool.drain(10))
+        .expect("honest commit");
+    assert_eq!(report.events, vec!["+1", "+2", "+3", "+4"]);
+}
+
+#[test]
+fn seeded_schedule_commits_identically() {
+    // The same transactions through a seeded (pseudorandom) leader
+    // schedule: different leaders, same state.
+    let txs: Vec<Transaction<u64>> =
+        (0..5).map(|n| Transaction::new(0, n, n * n)).collect();
+
+    let mut round_robin = engine(5, &[]);
+    round_robin.commit_transactions(txs.clone()).unwrap();
+
+    let schedule = LeaderSchedule::seeded((0..5).collect(), [3u8; 32]);
+    let mut seeded = ConsensusEngine::new(
+        Accumulator::default(),
+        schedule,
+        &BTreeMap::new(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    seeded.commit_transactions(txs).unwrap();
+
+    assert_eq!(
+        round_robin.honest_contract().total,
+        seeded.honest_contract().total
+    );
+}

@@ -1,0 +1,236 @@
+//! Deterministic ChaCha20 keystream generator (RFC 8439 block function).
+//!
+//! This is the `PRNG(·)` of the paper's Sect. IV-A1: given a seed derived
+//! from a Diffie–Hellman pair key and a round number, it expands into the
+//! mask vector added to (or subtracted from) a user's model update. It must
+//! be *deterministic across machines* — every miner re-derives the same
+//! masks when re-executing the contract — which is why the workspace does
+//! not use `rand`'s unspecified `StdRng` algorithm here.
+
+/// Deterministic ChaCha20-based pseudorandom generator.
+#[derive(Clone)]
+pub struct ChaChaPrg {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    block: [u8; 64],
+    offset: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+impl ChaChaPrg {
+    /// Creates a generator from a 32-byte key and a 12-byte nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key: k,
+            nonce: n,
+            counter: 0,
+            block: [0u8; 64],
+            offset: 64, // force a refill on first use
+        }
+    }
+
+    /// Creates a generator from a 32-byte seed with a zero nonce.
+    pub fn from_seed(seed: &[u8; 32]) -> Self {
+        Self::new(seed, &[0u8; 12])
+    }
+
+    /// Produces the next pseudorandom `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.fill_bytes(&mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Produces the next pseudorandom `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut bytes = [0u8; 4];
+        self.fill_bytes(&mut bytes);
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Fills `out` with keystream bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut written = 0;
+        while written < out.len() {
+            if self.offset == 64 {
+                self.refill();
+            }
+            let take = (64 - self.offset).min(out.len() - written);
+            out[written..written + take]
+                .copy_from_slice(&self.block[self.offset..self.offset + take]);
+            self.offset += take;
+            written += take;
+        }
+    }
+
+    /// Produces `n` pseudorandom `u64` values.
+    pub fn gen_u64_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// Uniform `u64` below `bound` via rejection sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(&state) {
+            *w = w.wrapping_add(*s);
+        }
+        for (i, word) in working.iter().enumerate() {
+            self.block[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaCha20 keystream exhausted (2^38 bytes)");
+        self.offset = 0;
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector: key 00..1f, nonce 000000090000004a00000000,
+    /// counter 1 — first block keystream.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut prg = ChaChaPrg::new(&key, &nonce);
+        prg.counter = 1; // the RFC vector starts at block counter 1
+        let mut out = [0u8; 64];
+        prg.fill_bytes(&mut out);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f,
+            0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03,
+            0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46,
+            0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2,
+            0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8,
+            0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let seed = [7u8; 32];
+        let mut a = ChaChaPrg::from_seed(&seed);
+        let mut b = ChaChaPrg::from_seed(&seed);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaChaPrg::from_seed(&[1u8; 32]);
+        let mut b = ChaChaPrg::from_seed(&[2u8; 32]);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fill_bytes_chunking_invariant() {
+        let seed = [9u8; 32];
+        let mut whole = ChaChaPrg::from_seed(&seed);
+        let mut buf_whole = [0u8; 200];
+        whole.fill_bytes(&mut buf_whole);
+
+        let mut pieces = ChaChaPrg::from_seed(&seed);
+        let mut buf_pieces = [0u8; 200];
+        let mut written = 0;
+        for chunk in [1usize, 5, 63, 64, 67] {
+            pieces.fill_bytes(&mut buf_pieces[written..written + chunk]);
+            written += chunk;
+        }
+        assert_eq!(buf_whole, buf_pieces);
+    }
+
+    #[test]
+    fn bounded_sampling_in_range() {
+        let mut prg = ChaChaPrg::from_seed(&[3u8; 32]);
+        for bound in [1u64, 2, 7, 100, 1 << 33] {
+            for _ in 0..50 {
+                assert!(prg.next_u64_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_panics() {
+        ChaChaPrg::from_seed(&[0u8; 32]).next_u64_below(0);
+    }
+
+    #[test]
+    fn bounded_sampling_roughly_uniform() {
+        let mut prg = ChaChaPrg::from_seed(&[5u8; 32]);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[prg.next_u64_below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} outside [800,1200]");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Finite-field Diffie–Hellman key agreement.
+//!
+//! Paper Sect. IV-A1: every data owner generates a private key `a` and
+//! broadcasts `g^a` to the blockchain; each pair of owners then derives
+//! the shared key `g^ab` from which per-round masks are generated.
+//!
+//! Two named groups ship with the crate:
+//!
+//! * [`DhGroup::simulation_256`] — a 256-bit prime group (the secp256k1
+//!   field prime with generator 5). Fast enough to run thousands of
+//!   exchanges in tests. **Simulation-grade only.**
+//! * [`DhGroup2048::modp_2048`] — RFC 3526 group 14, the real-world MODP
+//!   group. Exercised by a slower test to show the protocol is agnostic
+//!   to group width, exactly as the paper is agnostic to the blockchain.
+
+use crate::chacha::ChaChaPrg;
+use crate::hkdf;
+use numeric::uint::Uint;
+use numeric::{U2048, U256};
+
+/// A multiplicative prime group `(p, g)` for Diffie–Hellman, generic over
+/// limb width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhGroupW<const LIMBS: usize> {
+    /// Prime modulus.
+    pub p: Uint<LIMBS>,
+    /// Group generator.
+    pub g: Uint<LIMBS>,
+}
+
+/// The 256-bit simulation group used throughout the workspace.
+pub type DhGroup = DhGroupW<4>;
+/// The 2048-bit MODP group (slow path).
+pub type DhGroup2048 = DhGroupW<32>;
+
+/// RFC 3526 group 14 modulus (2048-bit MODP).
+const MODP_2048_HEX: &str = "\
+FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+impl DhGroup {
+    /// The 256-bit simulation group: secp256k1's field prime, generator 5.
+    ///
+    /// Correct-by-construction for protocol tests (`g^ab == g^ba` holds in
+    /// any group); not intended to resist cryptanalysis.
+    pub fn simulation_256() -> Self {
+        let p = U256::from_hex(
+            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F",
+        )
+        .expect("static prime parses");
+        Self {
+            p,
+            g: U256::from_u64(5),
+        }
+    }
+}
+
+impl DhGroup2048 {
+    /// RFC 3526 group 14 (2048-bit MODP, generator 2).
+    pub fn modp_2048() -> Self {
+        Self {
+            p: U2048::from_hex(MODP_2048_HEX).expect("static prime parses"),
+            g: U2048::from_u64(2),
+        }
+    }
+}
+
+impl<const LIMBS: usize> DhGroupW<LIMBS> {
+    /// Samples a private key uniformly in `[2, p-2]` from `prg` and
+    /// derives the public key `g^x mod p`.
+    pub fn generate_keypair(&self, prg: &mut ChaChaPrg) -> DhKeyPairW<LIMBS> {
+        // Rejection-sample a uniform value below p-3, then shift to [2, p-2].
+        let upper = self
+            .p
+            .checked_sub(&Uint::from_u64(3))
+            .expect("p is a large prime");
+        let private = loop {
+            let mut bytes = vec![0u8; LIMBS * 8];
+            prg.fill_bytes(&mut bytes);
+            let candidate = Uint::<LIMBS>::from_be_bytes(&bytes);
+            if candidate < upper {
+                break candidate.wrapping_add(&Uint::from_u64(2));
+            }
+        };
+        let public = self.g.mod_pow(&private, &self.p);
+        DhKeyPairW { private, public }
+    }
+
+    /// Deterministic keypair from a 32-byte seed (used to make whole
+    /// protocol runs reproducible from one experiment seed).
+    pub fn keypair_from_seed(&self, seed: &[u8; 32]) -> DhKeyPairW<LIMBS> {
+        let mut prg = ChaChaPrg::from_seed(seed);
+        self.generate_keypair(&mut prg)
+    }
+
+    /// Computes the raw shared group element `other_pub^my_priv mod p`.
+    pub fn shared_element(
+        &self,
+        my_private: &Uint<LIMBS>,
+        other_public: &Uint<LIMBS>,
+    ) -> Uint<LIMBS> {
+        other_public.mod_pow(my_private, &self.p)
+    }
+
+    /// Derives a uniform 32-byte pair key from the shared group element
+    /// via HKDF (group elements are not uniform bytes).
+    pub fn shared_key(
+        &self,
+        my_private: &Uint<LIMBS>,
+        other_public: &Uint<LIMBS>,
+    ) -> [u8; 32] {
+        let element = self.shared_element(my_private, other_public);
+        let okm = hkdf::derive(b"transparent-fl/dh-pair-key", &element.to_be_bytes(), b"", 32);
+        okm.try_into().expect("HKDF returned 32 bytes")
+    }
+}
+
+/// A Diffie–Hellman keypair, generic over limb width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhKeyPairW<const LIMBS: usize> {
+    /// Secret exponent. Kept local to the data owner in the protocol.
+    pub private: Uint<LIMBS>,
+    /// Public group element `g^private mod p`, broadcast on-chain.
+    pub public: Uint<LIMBS>,
+}
+
+/// Keypair over the default 256-bit simulation group.
+pub type DhKeyPair = DhKeyPairW<4>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prg(tag: u8) -> ChaChaPrg {
+        ChaChaPrg::from_seed(&[tag; 32])
+    }
+
+    #[test]
+    fn key_agreement_symmetric() {
+        let group = DhGroup::simulation_256();
+        let alice = group.generate_keypair(&mut prg(1));
+        let bob = group.generate_keypair(&mut prg(2));
+        let k_ab = group.shared_key(&alice.private, &bob.public);
+        let k_ba = group.shared_key(&bob.private, &alice.public);
+        assert_eq!(k_ab, k_ba, "g^ab must equal g^ba");
+    }
+
+    #[test]
+    fn three_party_pairwise_keys_distinct() {
+        let group = DhGroup::simulation_256();
+        let a = group.generate_keypair(&mut prg(1));
+        let b = group.generate_keypair(&mut prg(2));
+        let c = group.generate_keypair(&mut prg(3));
+        let k_ab = group.shared_key(&a.private, &b.public);
+        let k_ac = group.shared_key(&a.private, &c.public);
+        let k_bc = group.shared_key(&b.private, &c.public);
+        assert_ne!(k_ab, k_ac);
+        assert_ne!(k_ab, k_bc);
+        assert_ne!(k_ac, k_bc);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let group = DhGroup::simulation_256();
+        let k1 = group.keypair_from_seed(&[42u8; 32]);
+        let k2 = group.keypair_from_seed(&[42u8; 32]);
+        assert_eq!(k1, k2);
+        let k3 = group.keypair_from_seed(&[43u8; 32]);
+        assert_ne!(k1.public, k3.public);
+    }
+
+    #[test]
+    fn private_key_in_range() {
+        let group = DhGroup::simulation_256();
+        for tag in 0..10u8 {
+            let kp = group.generate_keypair(&mut prg(tag));
+            assert!(kp.private >= U256::from_u64(2));
+            assert!(kp.private < group.p);
+        }
+    }
+
+    #[test]
+    fn public_key_is_group_element() {
+        let group = DhGroup::simulation_256();
+        let kp = group.generate_keypair(&mut prg(9));
+        assert!(kp.public < group.p);
+        assert!(!kp.public.is_zero());
+    }
+
+    #[test]
+    fn shared_key_uniformized_by_hkdf() {
+        // The HKDF output must differ from the raw element bytes.
+        let group = DhGroup::simulation_256();
+        let a = group.generate_keypair(&mut prg(1));
+        let b = group.generate_keypair(&mut prg(2));
+        let element = group.shared_element(&a.private, &b.public);
+        let key = group.shared_key(&a.private, &b.public);
+        assert_ne!(key.to_vec(), element.to_be_bytes()[..32].to_vec());
+    }
+
+    #[test]
+    fn modp_2048_agreement() {
+        // One slow-path check that the wide group behaves identically.
+        let group = DhGroup2048::modp_2048();
+        let a = group.generate_keypair(&mut prg(1));
+        let b = group.generate_keypair(&mut prg(2));
+        assert_eq!(
+            group.shared_key(&a.private, &b.public),
+            group.shared_key(&b.private, &a.public)
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Dropout recovery — the full-Bonawitz extension.
+//!
+//! The paper assumes every owner participates in every round (Sect. III),
+//! so it never needs this machinery. The original secure-aggregation
+//! protocol (Bonawitz et al. CCS'17), however, survives parties dropping
+//! mid-round: every party Shamir-shares its DH private key across the
+//! cohort at setup; if a party vanishes after the others already masked
+//! against it, any `t` survivors reconstruct the dropped key, re-derive
+//! the dropped party's pairwise masks, and cancel them out of the
+//! aggregate.
+//!
+//! We implement the simplified single-mask variant (no double-masking /
+//! self-mask): sufficient for the semi-honest model the paper works in,
+//! and exactly the code path a dropout exercises.
+//!
+//! ```text
+//! setup:    party i  →  shamir.split(a_i, t, n)  →  share_j to party j
+//! round r:  survivors submit masked updates; party d drops
+//! recover:  t survivors pool shares of a_d → a_d
+//!           for each survivor s: m_{sd} = PRG(KDF(pub_s^a_d), r)
+//!           corrected = Σ submissions − Σ_s orient(s,d)·m_{sd}
+//! ```
+
+use numeric::U256;
+
+use crate::dh::{DhGroup, DhKeyPair};
+use crate::masking::{PairwiseMasker, PartyId};
+use crate::shamir::{Shamir, ShamirError, Share};
+use crate::ChaChaPrg;
+
+/// Errors from dropout recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropoutError {
+    /// Underlying secret-sharing failure.
+    Shamir(ShamirError),
+    /// The reconstructed key does not reproduce the advertised public key
+    /// (wrong shares, or shares of a different party).
+    KeyMismatch,
+}
+
+impl From<ShamirError> for DropoutError {
+    fn from(e: ShamirError) -> Self {
+        Self::Shamir(e)
+    }
+}
+
+impl std::fmt::Display for DropoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Shamir(e) => write!(f, "secret sharing: {e}"),
+            Self::KeyMismatch => {
+                write!(f, "reconstructed key does not match the advertised public key")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DropoutError {}
+
+/// Key-escrow side of the protocol: splits a party's DH private key into
+/// shares for the cohort.
+pub fn escrow_private_key(
+    shamir: &Shamir,
+    keypair: &DhKeyPair,
+    threshold: usize,
+    cohort_size: usize,
+    prg: &mut ChaChaPrg,
+) -> Result<Vec<Share>, DropoutError> {
+    Ok(shamir.split(&keypair.private, threshold, cohort_size, prg)?)
+}
+
+/// Reconstructs a dropped party's private key from shares and verifies it
+/// against the advertised public key.
+pub fn reconstruct_private_key(
+    shamir: &Shamir,
+    group: &DhGroup,
+    shares: &[Share],
+    threshold: usize,
+    advertised_public: &U256,
+) -> Result<U256, DropoutError> {
+    let private = shamir.reconstruct(shares, threshold)?;
+    let public = group.g.mod_pow(&private, &group.p);
+    if &public != advertised_public {
+        return Err(DropoutError::KeyMismatch);
+    }
+    Ok(private)
+}
+
+/// Removes a dropped party's residual masks from a partial ring sum.
+///
+/// `partial_sum` is `Σ` of the *survivors'* masked submissions; each
+/// survivor `s` still carries an uncancelled `±m_{sd}` against the
+/// dropped party `d`. Given `d`'s reconstructed private key, this derives
+/// each pair mask and strips it, leaving `Σ encode(w_s)` exactly.
+pub fn strip_dropped_masks(
+    group: &DhGroup,
+    partial_sum: &mut [u64],
+    dropped: PartyId,
+    dropped_private: &U256,
+    survivors: &[(PartyId, U256)],
+    round: u64,
+) {
+    for (survivor, survivor_public) in survivors {
+        assert_ne!(*survivor, dropped, "dropped party cannot survive");
+        let pair_key = group.shared_key(dropped_private, survivor_public);
+        let masker = PairwiseMasker::new(pair_key);
+        let mask = masker.mask_for_round(round, partial_sum.len());
+        // Orientation convention (see `masking`): the smaller id *adds*
+        // the pair mask. The survivor applied its side; remove it.
+        if *survivor < dropped {
+            // survivor added m_{sd} → subtract it.
+            for (acc, m) in partial_sum.iter_mut().zip(&mask) {
+                *acc = acc.wrapping_sub(*m);
+            }
+        } else {
+            // survivor subtracted m_{sd} → add it back.
+            for (acc, m) in partial_sum.iter_mut().zip(&mask) {
+                *acc = acc.wrapping_add(*m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secure_agg::{KeyDirectory, PartyState};
+    use numeric::FixedCodec;
+
+    fn prg(tag: u8) -> ChaChaPrg {
+        ChaChaPrg::from_seed(&[tag; 32])
+    }
+
+    /// The full dropout story: 4 parties escrow keys, party 3 drops after
+    /// the others masked against it, 3 survivors recover the mean.
+    #[test]
+    fn dropout_recovery_end_to_end() {
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let codec = FixedCodec::default();
+        let n = 4usize;
+        let threshold = 3usize;
+        let round = 5u64;
+        let dim = 8usize;
+
+        let keypairs: Vec<DhKeyPair> = (0..n as u8)
+            .map(|i| group.keypair_from_seed(&[i + 1; 32]))
+            .collect();
+        let mut directory = KeyDirectory::new();
+        for (i, kp) in keypairs.iter().enumerate() {
+            directory.advertise(i as PartyId, kp.public).unwrap();
+        }
+
+        // Setup: everyone escrows its private key.
+        let escrowed: Vec<Vec<Share>> = keypairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                escrow_private_key(&shamir, kp, threshold, n, &mut prg(i as u8 + 40))
+                    .unwrap()
+            })
+            .collect();
+
+        // Round: all four mask, but party 3's submission never arrives.
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..dim).map(|d| (i * dim + d) as f64 * 0.5).collect())
+            .collect();
+        let submissions: Vec<Vec<u64>> = (0..n)
+            .map(|i| {
+                let party =
+                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory)
+                        .unwrap();
+                party.masked_update(&codec, round, &weights[i])
+            })
+            .collect();
+
+        // Partial sum over survivors 0..=2 only.
+        let mut partial = vec![0u64; dim];
+        for sub in &submissions[..3] {
+            FixedCodec::ring_add_assign(&mut partial, sub);
+        }
+
+        // Survivors pool their shares of party 3's key (threshold = 3).
+        let pooled: Vec<Share> = (0..3).map(|s| escrowed[3][s].clone()).collect();
+        let recovered = reconstruct_private_key(
+            &shamir,
+            &group,
+            &pooled,
+            threshold,
+            &keypairs[3].public,
+        )
+        .unwrap();
+        assert_eq!(recovered, keypairs[3].private);
+
+        // Strip party 3's residual masks and decode the survivor mean.
+        let survivors: Vec<(PartyId, U256)> = (0..3)
+            .map(|s| (s as PartyId, keypairs[s].public))
+            .collect();
+        strip_dropped_masks(&group, &mut partial, 3, &recovered, &survivors, round);
+
+        for (d, &ring) in partial.iter().enumerate() {
+            let expect: f64 = (0..3).map(|i| weights[i][d]).sum();
+            let got = codec.decode(ring);
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "dim {d}: recovered {got}, want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_shares_fail() {
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let kp = group.keypair_from_seed(&[9u8; 32]);
+        let shares = escrow_private_key(&shamir, &kp, 3, 5, &mut prg(1)).unwrap();
+        let err = reconstruct_private_key(&shamir, &group, &shares[..2], 3, &kp.public)
+            .unwrap_err();
+        assert!(matches!(err, DropoutError::Shamir(_)));
+    }
+
+    #[test]
+    fn wrong_shares_detected_by_public_key_check() {
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let kp_a = group.keypair_from_seed(&[1u8; 32]);
+        let kp_b = group.keypair_from_seed(&[2u8; 32]);
+        // Shares of A's key, verified against B's public key.
+        let shares = escrow_private_key(&shamir, &kp_a, 2, 3, &mut prg(3)).unwrap();
+        let err = reconstruct_private_key(&shamir, &group, &shares[..2], 2, &kp_b.public)
+            .unwrap_err();
+        assert_eq!(err, DropoutError::KeyMismatch);
+    }
+
+    #[test]
+    fn recovery_without_stripping_leaves_garbage() {
+        // Negative control: skipping the strip leaves masked noise.
+        let group = DhGroup::simulation_256();
+        let codec = FixedCodec::default();
+        let n = 3usize;
+        let keypairs: Vec<DhKeyPair> = (0..n as u8)
+            .map(|i| group.keypair_from_seed(&[i + 7; 32]))
+            .collect();
+        let mut directory = KeyDirectory::new();
+        for (i, kp) in keypairs.iter().enumerate() {
+            directory.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let submissions: Vec<Vec<u64>> = (0..n)
+            .map(|i| {
+                let party =
+                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory)
+                        .unwrap();
+                party.masked_update(&codec, 0, &[1.0])
+            })
+            .collect();
+        let mut partial = vec![0u64; 1];
+        for sub in &submissions[..2] {
+            FixedCodec::ring_add_assign(&mut partial, sub);
+        }
+        let sloppy = codec.decode(partial[0]);
+        assert!(
+            (sloppy - 2.0).abs() > 1.0,
+            "partial sum without stripping must be garbage, got {sloppy}"
+        );
+    }
+}

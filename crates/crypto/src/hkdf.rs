@@ -1,0 +1,109 @@
+//! HKDF-SHA256 (RFC 5869) — extract-then-expand key derivation.
+//!
+//! Turns a Diffie–Hellman shared secret (a group element, *not* a uniform
+//! byte string) into uniformly pseudorandom key material, and lets the
+//! masking layer derive an independent seed per `(pair, round)` via the
+//! `info` parameter.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// `HKDF-Extract(salt, ikm)` → pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// `HKDF-Expand(prk, info, len)` → output key material.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (RFC 5869 limit).
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long: {len}");
+    let mut okm = Vec::with_capacity(len);
+    let mut prev: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut msg = prev.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        prev = block.to_vec();
+        okm.extend_from_slice(&block);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    okm.truncate(len);
+    okm
+}
+
+/// One-shot `HKDF(salt, ikm, info, len)`.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 Appendix A test vectors.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn info_separates_outputs() {
+        let prk = extract(b"salt", b"secret");
+        assert_ne!(expand(&prk, b"round-1", 32), expand(&prk, b"round-2", 32));
+    }
+
+    #[test]
+    fn requested_length_honoured() {
+        let prk = extract(b"s", b"k");
+        for len in [0, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(expand(&prk, b"i", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn expand_prefix_property() {
+        // Shorter outputs are prefixes of longer ones (RFC 5869 structure).
+        let prk = extract(b"s", b"k");
+        let long = expand(&prk, b"i", 96);
+        let short = expand(&prk, b"i", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn overlong_output_panics() {
+        let prk = extract(b"s", b"k");
+        let _ = expand(&prk, b"i", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,500 @@
+//! The secure-aggregation session (Bonawitz et al., adapted to the paper).
+//!
+//! Orchestrates the three protocol phases for a *fixed* cohort of parties
+//! (the paper's cross-silo setting assumes every owner participates in
+//! every round, Sect. III):
+//!
+//! 1. **Advertise** — each party registers its DH public key.
+//! 2. **Mask** — a party turns its fixed-point update into a masked
+//!    submission by applying the pairwise mask against every other party.
+//! 3. **Aggregate** — the ring sum of all submissions; the masks
+//!    telescope away and only the *sum of the cohort's updates* remains.
+//!
+//! The session object is deliberately symmetric: the same type drives the
+//! data-owner side (produce a masked update) and the contract side
+//! (aggregate submissions). The contract never holds pair keys, so it can
+//! only ever see masked vectors and their cohort-level sum — this is the
+//! privacy property the paper's Sect. III threat model requires.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use numeric::FixedCodec;
+
+use crate::dh::{DhGroup, DhKeyPair};
+use crate::masking::{PairwiseMasker, PartyId};
+
+/// Errors from driving a [`SecureAggSession`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecureAggError {
+    /// A party id was registered twice.
+    DuplicateParty(PartyId),
+    /// An operation referenced a party that never advertised a key.
+    UnknownParty(PartyId),
+    /// Fewer than two parties: masking would be a no-op and the single
+    /// update would be exposed.
+    CohortTooSmall(usize),
+    /// A masked submission had the wrong dimension.
+    DimensionMismatch {
+        /// Expected vector length.
+        expected: usize,
+        /// Received vector length.
+        got: usize,
+    },
+    /// Aggregation was requested before every party submitted.
+    MissingSubmissions(Vec<PartyId>),
+    /// The same party submitted twice in one round.
+    DuplicateSubmission(PartyId),
+}
+
+impl fmt::Display for SecureAggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateParty(id) => write!(f, "party {id} already registered"),
+            Self::UnknownParty(id) => write!(f, "party {id} is not registered"),
+            Self::CohortTooSmall(n) => {
+                write!(f, "secure aggregation needs >= 2 parties, got {n}")
+            }
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "update dimension {got} != expected {expected}")
+            }
+            Self::MissingSubmissions(ids) => {
+                write!(f, "missing submissions from parties {ids:?}")
+            }
+            Self::DuplicateSubmission(id) => {
+                write!(f, "party {id} already submitted this round")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecureAggError {}
+
+/// Public session state: the advertised keys, visible to everyone
+/// (including the blockchain).
+#[derive(Debug, Clone, Default)]
+pub struct KeyDirectory {
+    keys: BTreeMap<PartyId, numeric::U256>,
+}
+
+impl KeyDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a party's public key.
+    pub fn advertise(
+        &mut self,
+        party: PartyId,
+        public: numeric::U256,
+    ) -> Result<(), SecureAggError> {
+        if self.keys.contains_key(&party) {
+            return Err(SecureAggError::DuplicateParty(party));
+        }
+        self.keys.insert(party, public);
+        Ok(())
+    }
+
+    /// Public key of `party`.
+    pub fn public_key(&self, party: PartyId) -> Option<&numeric::U256> {
+        self.keys.get(&party)
+    }
+
+    /// All registered party ids, ascending.
+    pub fn parties(&self) -> Vec<PartyId> {
+        self.keys.keys().copied().collect()
+    }
+
+    /// Number of registered parties.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if nobody registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// One party's private view of a secure-aggregation cohort.
+///
+/// Owns the party's DH keypair and the pair keys derived against every
+/// other cohort member. Produces masked submissions.
+pub struct PartyState {
+    id: PartyId,
+    maskers: BTreeMap<PartyId, PairwiseMasker>,
+}
+
+impl PartyState {
+    /// Derives pair keys for `me` against every other party in the
+    /// directory.
+    pub fn derive(
+        group: &DhGroup,
+        me: PartyId,
+        keypair: &DhKeyPair,
+        directory: &KeyDirectory,
+    ) -> Result<Self, SecureAggError> {
+        if directory.len() < 2 {
+            return Err(SecureAggError::CohortTooSmall(directory.len()));
+        }
+        if directory.public_key(me).is_none() {
+            return Err(SecureAggError::UnknownParty(me));
+        }
+        let mut maskers = BTreeMap::new();
+        for other in directory.parties() {
+            if other == me {
+                continue;
+            }
+            let other_pub = directory
+                .public_key(other)
+                .expect("listed party has a key");
+            let pair_key = group.shared_key(&keypair.private, other_pub);
+            maskers.insert(other, PairwiseMasker::new(pair_key));
+        }
+        Ok(Self { id: me, maskers })
+    }
+
+    /// Party id.
+    pub fn id(&self) -> PartyId {
+        self.id
+    }
+
+    /// Produces the masked fixed-point submission for `round`.
+    ///
+    /// `weights` are the party's raw model update (plaintext, local only).
+    pub fn masked_update(
+        &self,
+        codec: &FixedCodec,
+        round: u64,
+        weights: &[f64],
+    ) -> Vec<u64> {
+        let mut update = codec.encode_vec(weights);
+        for (&other, masker) in &self.maskers {
+            masker.apply(self.id, other, round, &mut update);
+        }
+        update
+    }
+
+    /// Masks an already-encoded ring vector (used by group-restricted
+    /// aggregation where encoding happens upstream).
+    pub fn mask_ring_vector(&self, round: u64, mut update: Vec<u64>) -> Vec<u64> {
+        for (&other, masker) in &self.maskers {
+            masker.apply(self.id, other, round, &mut update);
+        }
+        update
+    }
+}
+
+/// The aggregator side: collects masked submissions for one round and
+/// produces the unmasked *sum* once the cohort is complete.
+///
+/// Holds no key material — this is what runs inside the smart contract.
+#[derive(Debug, Clone)]
+pub struct SecureAggSession {
+    expected: Vec<PartyId>,
+    dim: usize,
+    submissions: BTreeMap<PartyId, Vec<u64>>,
+}
+
+impl SecureAggSession {
+    /// Starts a round for the given cohort and update dimension.
+    pub fn new(cohort: &[PartyId], dim: usize) -> Result<Self, SecureAggError> {
+        if cohort.len() < 2 {
+            return Err(SecureAggError::CohortTooSmall(cohort.len()));
+        }
+        let mut expected = cohort.to_vec();
+        expected.sort_unstable();
+        expected.dedup();
+        if expected.len() != cohort.len() {
+            // Find the duplicate for a useful error.
+            let mut seen = std::collections::BTreeSet::new();
+            for &id in cohort {
+                if !seen.insert(id) {
+                    return Err(SecureAggError::DuplicateParty(id));
+                }
+            }
+        }
+        Ok(Self {
+            expected,
+            dim,
+            submissions: BTreeMap::new(),
+        })
+    }
+
+    /// Records a masked submission.
+    pub fn submit(
+        &mut self,
+        party: PartyId,
+        masked: Vec<u64>,
+    ) -> Result<(), SecureAggError> {
+        if !self.expected.contains(&party) {
+            return Err(SecureAggError::UnknownParty(party));
+        }
+        if masked.len() != self.dim {
+            return Err(SecureAggError::DimensionMismatch {
+                expected: self.dim,
+                got: masked.len(),
+            });
+        }
+        if self.submissions.contains_key(&party) {
+            return Err(SecureAggError::DuplicateSubmission(party));
+        }
+        self.submissions.insert(party, masked);
+        Ok(())
+    }
+
+    /// Parties that have not submitted yet.
+    pub fn pending(&self) -> Vec<PartyId> {
+        self.expected
+            .iter()
+            .copied()
+            .filter(|id| !self.submissions.contains_key(id))
+            .collect()
+    }
+
+    /// True when every expected party has submitted.
+    pub fn is_complete(&self) -> bool {
+        self.submissions.len() == self.expected.len()
+    }
+
+    /// Ring sum of all submissions. The pairwise masks cancel, leaving
+    /// `Σ encode(w_i)`.
+    pub fn aggregate(&self) -> Result<Vec<u64>, SecureAggError> {
+        let missing = self.pending();
+        if !missing.is_empty() {
+            return Err(SecureAggError::MissingSubmissions(missing));
+        }
+        let mut acc = vec![0u64; self.dim];
+        for masked in self.submissions.values() {
+            FixedCodec::ring_add_assign(&mut acc, masked);
+        }
+        Ok(acc)
+    }
+
+    /// Aggregates and decodes to the cohort *average* in `f64`.
+    pub fn aggregate_mean(
+        &self,
+        codec: &FixedCodec,
+    ) -> Result<Vec<f64>, SecureAggError> {
+        let ring = self.aggregate()?;
+        let n = self.expected.len();
+        Ok(ring.iter().map(|&r| codec.decode_avg(r, n)).collect())
+    }
+
+    /// The masked submission of one party, exactly as an on-chain
+    /// observer would see it.
+    pub fn observed_submission(&self, party: PartyId) -> Option<&[u64]> {
+        self.submissions.get(&party).map(Vec::as_slice)
+    }
+}
+
+/// Convenience: runs one complete secure-aggregation round for a cohort of
+/// plaintext weight vectors and returns the decoded mean. Used pervasively
+/// by the FL layer and tests.
+///
+/// `seeds[i]` deterministically generates party `i`'s DH keypair.
+pub fn secure_mean(
+    group: &DhGroup,
+    codec: &FixedCodec,
+    round: u64,
+    weights: &[Vec<f64>],
+    seeds: &[[u8; 32]],
+) -> Result<Vec<f64>, SecureAggError> {
+    assert_eq!(weights.len(), seeds.len(), "one seed per party");
+    let n = weights.len();
+    if n < 2 {
+        return Err(SecureAggError::CohortTooSmall(n));
+    }
+    let dim = weights[0].len();
+
+    let keypairs: Vec<DhKeyPair> = seeds
+        .iter()
+        .map(|seed| group.keypair_from_seed(seed))
+        .collect();
+
+    let mut directory = KeyDirectory::new();
+    for (i, kp) in keypairs.iter().enumerate() {
+        directory.advertise(i as PartyId, kp.public)?;
+    }
+
+    let cohort: Vec<PartyId> = (0..n as PartyId).collect();
+    let mut session = SecureAggSession::new(&cohort, dim)?;
+    for (i, (w, kp)) in weights.iter().zip(&keypairs).enumerate() {
+        let party = PartyState::derive(group, i as PartyId, kp, &directory)?;
+        session.submit(i as PartyId, party.masked_update(codec, round, w))?;
+    }
+    session.aggregate_mean(codec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn group() -> DhGroup {
+        DhGroup::simulation_256()
+    }
+
+    fn seeds(n: usize) -> Vec<[u8; 32]> {
+        (0..n).map(|i| [i as u8 + 1; 32]).collect()
+    }
+
+    #[test]
+    fn three_party_mean_matches_plaintext() {
+        let codec = FixedCodec::default();
+        let weights = vec![
+            vec![1.0, -2.0, 3.5],
+            vec![0.5, 0.5, 0.5],
+            vec![-1.5, 1.5, 2.0],
+        ];
+        let mean = secure_mean(&group(), &codec, 0, &weights, &seeds(3)).unwrap();
+        let expect = [0.0, 0.0, 2.0];
+        for (m, e) in mean.iter().zip(expect) {
+            assert!((m - e).abs() < 1e-6, "got {m}, want {e}");
+        }
+    }
+
+    #[test]
+    fn two_party_minimum_cohort() {
+        let codec = FixedCodec::default();
+        let weights = vec![vec![4.0], vec![2.0]];
+        let mean = secure_mean(&group(), &codec, 1, &weights, &seeds(2)).unwrap();
+        assert!((mean[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_party_rejected() {
+        let codec = FixedCodec::default();
+        let err = secure_mean(&group(), &codec, 0, &[vec![1.0]], &seeds(1));
+        assert_eq!(err.unwrap_err(), SecureAggError::CohortTooSmall(1));
+    }
+
+    #[test]
+    fn masked_submission_differs_from_plaintext() {
+        let codec = FixedCodec::default();
+        let g = group();
+        let kps: Vec<DhKeyPair> =
+            seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        dir.advertise(0, kps[0].public).unwrap();
+        dir.advertise(1, kps[1].public).unwrap();
+        let party = PartyState::derive(&g, 0, &kps[0], &dir).unwrap();
+        let raw = codec.encode_vec(&[1.0, 2.0, 3.0]);
+        let masked = party.masked_update(&codec, 0, &[1.0, 2.0, 3.0]);
+        assert_ne!(raw, masked, "submission must be masked");
+    }
+
+    #[test]
+    fn per_round_masks_differ() {
+        let codec = FixedCodec::default();
+        let g = group();
+        let kps: Vec<DhKeyPair> =
+            seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        dir.advertise(0, kps[0].public).unwrap();
+        dir.advertise(1, kps[1].public).unwrap();
+        let party = PartyState::derive(&g, 0, &kps[0], &dir).unwrap();
+        let r0 = party.masked_update(&codec, 0, &[1.0]);
+        let r1 = party.masked_update(&codec, 1, &[1.0]);
+        assert_ne!(r0, r1, "round must refresh masks");
+    }
+
+    #[test]
+    fn session_errors() {
+        let mut s = SecureAggSession::new(&[0, 1, 2], 2).unwrap();
+        assert_eq!(
+            s.submit(9, vec![0, 0]),
+            Err(SecureAggError::UnknownParty(9))
+        );
+        assert_eq!(
+            s.submit(0, vec![0]),
+            Err(SecureAggError::DimensionMismatch { expected: 2, got: 1 })
+        );
+        s.submit(0, vec![1, 2]).unwrap();
+        assert_eq!(
+            s.submit(0, vec![1, 2]),
+            Err(SecureAggError::DuplicateSubmission(0))
+        );
+        assert_eq!(
+            s.aggregate(),
+            Err(SecureAggError::MissingSubmissions(vec![1, 2]))
+        );
+        assert_eq!(s.pending(), vec![1, 2]);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn duplicate_cohort_rejected() {
+        assert_eq!(
+            SecureAggSession::new(&[0, 1, 1], 1).unwrap_err(),
+            SecureAggError::DuplicateParty(1)
+        );
+    }
+
+    #[test]
+    fn directory_duplicate_advertise() {
+        let mut dir = KeyDirectory::new();
+        dir.advertise(0, numeric::U256::from_u64(1)).unwrap();
+        assert_eq!(
+            dir.advertise(0, numeric::U256::from_u64(2)),
+            Err(SecureAggError::DuplicateParty(0))
+        );
+    }
+
+    #[test]
+    fn observer_sees_only_masked_data() {
+        // Reconstruct the observer's view: per-party submissions plus the
+        // final sum. No submission equals the plaintext encoding.
+        let codec = FixedCodec::default();
+        let g = group();
+        let n = 4;
+        let weights: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let kps: Vec<DhKeyPair> =
+            seeds(n).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        for (i, kp) in kps.iter().enumerate() {
+            dir.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let cohort: Vec<PartyId> = (0..n as PartyId).collect();
+        let mut session = SecureAggSession::new(&cohort, 2).unwrap();
+        for (i, kp) in kps.iter().enumerate() {
+            let party = PartyState::derive(&g, i as PartyId, kp, &dir).unwrap();
+            session
+                .submit(i as PartyId, party.masked_update(&codec, 7, &weights[i]))
+                .unwrap();
+        }
+        for (i, w) in weights.iter().enumerate() {
+            let observed = session.observed_submission(i as PartyId).unwrap();
+            assert_ne!(observed, codec.encode_vec(w).as_slice());
+        }
+        // But the aggregate is exact.
+        let mean = session.aggregate_mean(&codec).unwrap();
+        assert!((mean[0] - 1.5).abs() < 1e-6);
+        assert!((mean[1] + 1.5).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_secure_mean_matches_plain_mean(
+            n in 2usize..6,
+            dim in 1usize..8,
+            round in 0u64..100,
+            base in -100.0f64..100.0,
+        ) {
+            let codec = FixedCodec::default();
+            let weights: Vec<Vec<f64>> = (0..n)
+                .map(|i| (0..dim).map(|d| base + (i * dim + d) as f64 * 0.25).collect())
+                .collect();
+            let mean =
+                secure_mean(&group(), &codec, round, &weights, &seeds(n)).unwrap();
+            for d in 0..dim {
+                let plain: f64 =
+                    weights.iter().map(|w| w[d]).sum::<f64>() / n as f64;
+                prop_assert!((mean[d] - plain).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Adversarial data owners.
+//!
+//! The paper's future work (Sect. VI): "we will study the effects of
+//! adversarial participants on the Shapley value calculation". These
+//! behaviours cover the standard attack surface of FL contribution
+//! systems; the Ext-B experiment sweeps them against GroupSV.
+//!
+//! Note the distinction from *miner* misbehaviour (`fl-chain`'s
+//! [`MinerBehavior`](fl_chain::consensus::engine::MinerBehavior)): an
+//! adversarial data owner submits a well-formed but *harmful* update,
+//! which consensus cannot reject — only the contribution evaluation can
+//! (and should) price it at zero or negative SV.
+
+use fl_ml::dataset::Dataset;
+use fl_ml::rng::Xoshiro256;
+
+/// Ways a data owner can deviate while staying protocol-conformant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdversaryKind {
+    /// Flips a fraction of training labels to a random other class
+    /// (data poisoning).
+    LabelFlip {
+        /// Fraction of labels to flip, `0..=1`.
+        fraction: f64,
+    },
+    /// Adds Gaussian noise to the trained update (low-effort
+    /// obfuscation / stale hardware).
+    NoisyUpdate {
+        /// Noise standard deviation.
+        sigma: f64,
+    },
+    /// Scales the update (model-poisoning amplification; negative values
+    /// invert the gradient direction).
+    ScaledUpdate {
+        /// Multiplicative factor.
+        factor: f64,
+    },
+    /// Submits an all-zero update while still collecting rewards
+    /// (free-rider).
+    FreeRider,
+}
+
+/// Applies data poisoning to a training shard (before local training).
+///
+/// Only [`AdversaryKind::LabelFlip`] touches the data; other kinds act on
+/// the update via [`corrupt_update`].
+pub fn corrupt_shard(kind: &AdversaryKind, shard: &mut Dataset, rng: &mut Xoshiro256) {
+    if let AdversaryKind::LabelFlip { fraction } = kind {
+        assert!(
+            (0.0..=1.0).contains(fraction),
+            "flip fraction must be in [0,1], got {fraction}"
+        );
+        let classes = shard.num_classes;
+        assert!(classes >= 2, "label flipping needs >= 2 classes");
+        for label in &mut shard.labels {
+            if rng.next_f64() < *fraction {
+                // Pick a different class uniformly.
+                let shift = 1 + rng.next_below(classes as u64 - 1) as usize;
+                *label = (*label + shift) % classes;
+            }
+        }
+    }
+}
+
+/// Applies update-level corruption (after local training).
+pub fn corrupt_update(kind: &AdversaryKind, update: &mut [f64], rng: &mut Xoshiro256) {
+    match kind {
+        AdversaryKind::LabelFlip { .. } => {} // acted at data level
+        AdversaryKind::NoisyUpdate { sigma } => {
+            assert!(*sigma >= 0.0, "sigma must be non-negative");
+            for w in update.iter_mut() {
+                *w += rng.next_gaussian_with(0.0, *sigma);
+            }
+        }
+        AdversaryKind::ScaledUpdate { factor } => {
+            for w in update.iter_mut() {
+                *w *= factor;
+            }
+        }
+        AdversaryKind::FreeRider => update.fill(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ml::dataset::SyntheticDigits;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(1)
+    }
+
+    #[test]
+    fn label_flip_changes_requested_fraction() {
+        let mut shard = SyntheticDigits::small().generate(1);
+        let before = shard.labels.clone();
+        corrupt_shard(
+            &AdversaryKind::LabelFlip { fraction: 0.5 },
+            &mut shard,
+            &mut rng(),
+        );
+        let flipped = shard
+            .labels
+            .iter()
+            .zip(&before)
+            .filter(|(a, b)| a != b)
+            .count();
+        let fraction = flipped as f64 / before.len() as f64;
+        assert!(
+            (0.4..0.6).contains(&fraction),
+            "flip fraction {fraction} outside expectation"
+        );
+        // Labels stay in range.
+        assert!(shard.labels.iter().all(|&l| l < shard.num_classes));
+    }
+
+    #[test]
+    fn label_flip_zero_fraction_is_identity() {
+        let mut shard = SyntheticDigits::small().generate(2);
+        let before = shard.labels.clone();
+        corrupt_shard(
+            &AdversaryKind::LabelFlip { fraction: 0.0 },
+            &mut shard,
+            &mut rng(),
+        );
+        assert_eq!(shard.labels, before);
+    }
+
+    #[test]
+    fn flipped_labels_always_differ() {
+        // With fraction 1.0 every label must change.
+        let mut shard = SyntheticDigits::small().generate(3);
+        let before = shard.labels.clone();
+        corrupt_shard(
+            &AdversaryKind::LabelFlip { fraction: 1.0 },
+            &mut shard,
+            &mut rng(),
+        );
+        for (a, b) in shard.labels.iter().zip(&before) {
+            assert_ne!(a, b, "a flipped label must change class");
+        }
+    }
+
+    #[test]
+    fn noisy_update_perturbs() {
+        let mut update = vec![1.0; 100];
+        corrupt_update(
+            &AdversaryKind::NoisyUpdate { sigma: 0.5 },
+            &mut update,
+            &mut rng(),
+        );
+        assert!(update.iter().any(|&w| (w - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn scaled_update_scales() {
+        let mut update = vec![2.0, -4.0];
+        corrupt_update(
+            &AdversaryKind::ScaledUpdate { factor: -0.5 },
+            &mut update,
+            &mut rng(),
+        );
+        assert_eq!(update, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn free_rider_zeroes() {
+        let mut update = vec![1.0, 2.0, 3.0];
+        corrupt_update(&AdversaryKind::FreeRider, &mut update, &mut rng());
+        assert_eq!(update, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn data_level_kind_leaves_update_alone() {
+        let mut update = vec![1.0, 2.0];
+        corrupt_update(
+            &AdversaryKind::LabelFlip { fraction: 1.0 },
+            &mut update,
+            &mut rng(),
+        );
+        assert_eq!(update, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip fraction")]
+    fn bad_fraction_panics() {
+        let mut shard = SyntheticDigits::small().generate(1);
+        corrupt_shard(
+            &AdversaryKind::LabelFlip { fraction: 1.5 },
+            &mut shard,
+            &mut rng(),
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Protocol configuration — the paper's "off-chain setup stage".
+//!
+//! Sect. IV-B: "users reach a consensus on FL parameters (e.g., FL
+//! algorithm), secure aggregation parameters (e.g., generator g), and
+//! contribution evaluation parameters (e.g., permutation seed e, group
+//! size m, utility function u) and submit them to the blockchain."
+
+use fl_ml::dataset::SyntheticDigits;
+use fl_ml::TrainConfig;
+
+/// Full configuration of one protocol run.
+#[derive(Debug, Clone)]
+pub struct FlConfig {
+    /// Number of data owners `n` (the paper uses 9).
+    pub num_owners: usize,
+    /// Number of SV groups `m` (resolution/privacy knob, `1..=n`).
+    pub num_groups: usize,
+    /// Public permutation seed `e`.
+    pub permutation_seed: u64,
+    /// Total federated rounds `R`.
+    pub rounds: u64,
+    /// Local-trainer hyper-parameters.
+    pub train: TrainConfig,
+    /// Dataset generator settings.
+    pub data: SyntheticDigits,
+    /// Data-quality noise schedule `σ` (owner `i` gets `N(0, σ·i)`).
+    pub sigma: f64,
+    /// Train fraction of the train/test split (paper: 0.8).
+    pub train_fraction: f64,
+    /// Master seed: derives the dataset, the split, the shards, the
+    /// noise, and every DH keypair. One seed ⇒ one reproducible world.
+    pub world_seed: u64,
+    /// Fixed-point fractional bits for the secure-aggregation ring.
+    pub frac_bits: u32,
+}
+
+/// Errors from validating a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Fewer than two owners: secure aggregation cannot hide anything.
+    TooFewOwners(usize),
+    /// Group count outside `1..=num_owners`.
+    BadGroupCount {
+        /// Requested groups.
+        groups: usize,
+        /// Owner count.
+        owners: usize,
+    },
+    /// Zero rounds requested.
+    NoRounds,
+    /// Train fraction outside `(0, 1)`.
+    BadTrainFraction(f64),
+    /// Negative sigma.
+    NegativeSigma(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewOwners(n) => write!(f, "need >= 2 owners, got {n}"),
+            Self::BadGroupCount { groups, owners } => {
+                write!(f, "num_groups {groups} outside 1..={owners}")
+            }
+            Self::NoRounds => write!(f, "need at least one round"),
+            Self::BadTrainFraction(v) => write!(f, "train fraction {v} outside (0,1)"),
+            Self::NegativeSigma(v) => write!(f, "sigma {v} must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FlConfig {
+    /// The paper's experimental setting: 9 owners on the digits layout,
+    /// 8:2 split. `num_groups` defaults to 3; experiments sweep it.
+    pub fn paper_setting() -> Self {
+        Self {
+            num_owners: 9,
+            num_groups: 3,
+            permutation_seed: 0x5eed,
+            rounds: 1,
+            train: TrainConfig {
+                learning_rate: 0.5,
+                epochs: 30,
+                l2: 1e-4,
+            },
+            data: SyntheticDigits::default(),
+            sigma: 0.0,
+            train_fraction: 0.8,
+            world_seed: 20210424, // arXiv v2 date of the paper
+            frac_bits: 24,
+        }
+    }
+
+    /// A small, fast configuration for doc-tests and examples: 4 owners,
+    /// 600 instances, 2 groups, 1 round.
+    pub fn quick_demo() -> Self {
+        Self {
+            num_owners: 4,
+            num_groups: 2,
+            data: SyntheticDigits::small(),
+            train: TrainConfig {
+                learning_rate: 0.5,
+                epochs: 10,
+                l2: 1e-4,
+            },
+            ..Self::paper_setting()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_owners < 2 {
+            return Err(ConfigError::TooFewOwners(self.num_owners));
+        }
+        if self.num_groups == 0 || self.num_groups > self.num_owners {
+            return Err(ConfigError::BadGroupCount {
+                groups: self.num_groups,
+                owners: self.num_owners,
+            });
+        }
+        if self.rounds == 0 {
+            return Err(ConfigError::NoRounds);
+        }
+        if !(self.train_fraction > 0.0 && self.train_fraction < 1.0) {
+            return Err(ConfigError::BadTrainFraction(self.train_fraction));
+        }
+        if self.sigma < 0.0 {
+            return Err(ConfigError::NegativeSigma(self.sigma));
+        }
+        Ok(())
+    }
+
+    /// Derived sub-seed for a named purpose, so the world seed fans out
+    /// into independent streams.
+    pub fn sub_seed(&self, purpose: &str) -> u64 {
+        let mut acc: u64 = self.world_seed;
+        for b in purpose.bytes() {
+            acc = acc.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setting_is_valid_and_matches_paper() {
+        let c = FlConfig::paper_setting();
+        c.validate().unwrap();
+        assert_eq!(c.num_owners, 9);
+        assert_eq!(c.data.instances, 5620);
+        assert!((c.train_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quick_demo_is_valid() {
+        FlConfig::quick_demo().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let base = FlConfig::quick_demo;
+        let mut c = base();
+        c.num_owners = 1;
+        assert_eq!(c.validate(), Err(ConfigError::TooFewOwners(1)));
+
+        let mut c = base();
+        c.num_groups = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::BadGroupCount { .. })));
+
+        let mut c = base();
+        c.num_groups = c.num_owners + 1;
+        assert!(matches!(c.validate(), Err(ConfigError::BadGroupCount { .. })));
+
+        let mut c = base();
+        c.rounds = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoRounds));
+
+        let mut c = base();
+        c.train_fraction = 1.0;
+        assert!(matches!(c.validate(), Err(ConfigError::BadTrainFraction(_))));
+
+        let mut c = base();
+        c.sigma = -0.1;
+        assert!(matches!(c.validate(), Err(ConfigError::NegativeSigma(_))));
+    }
+
+    #[test]
+    fn sub_seeds_differ_by_purpose_and_world() {
+        let c = FlConfig::quick_demo();
+        assert_ne!(c.sub_seed("data"), c.sub_seed("keys"));
+        let mut c2 = FlConfig::quick_demo();
+        c2.world_seed += 1;
+        assert_ne!(c.sub_seed("data"), c2.sub_seed("data"));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(ConfigError::TooFewOwners(1).to_string().contains("2"));
+        assert!(ConfigError::NoRounds.to_string().contains("round"));
+    }
+}

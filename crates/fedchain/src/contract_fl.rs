@@ -1,0 +1,850 @@
+//! The federated-learning smart contract.
+//!
+//! Paper Sect. III: "in our setting, Smart contract builds the FL model
+//! and evaluates the contribution." The contract is a deterministic state
+//! machine executed identically by every miner:
+//!
+//! * **AdvertiseKey** — a data owner registers its DH public key (round 0
+//!   of secure aggregation).
+//! * **SubmitMaskedUpdate** — a data owner submits its masked local
+//!   weights for the current round. The contract can *never* unmask an
+//!   individual submission: masks only cancel in the within-group sum.
+//! * **EvaluateRound** — once every owner has submitted, anyone may
+//!   trigger evaluation: the contract forms per-group secure aggregates,
+//!   decodes the group models, runs GroupSV (Algorithm 1) with the
+//!   test-set-accuracy utility, credits each owner's contribution, and
+//!   publishes the new global model.
+//!
+//! Everything the contract decides is emitted as events and captured in
+//! the state digest, so a fraudulent leader cannot tamper with the
+//! evaluation without every honest miner's re-execution diverging.
+
+use std::collections::BTreeMap;
+
+use fl_chain::codec::Encode;
+use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
+use fl_chain::gas::GasSchedule;
+use fl_chain::hash::Hash32;
+use fl_chain::tx::AccountId;
+use fl_ml::dataset::Dataset;
+use fl_ml::metrics::model_accuracy;
+use fl_ml::LogisticModel;
+use numeric::FixedCodec;
+use shapley::group::{grouping, permutation, shapley_over_group_models};
+use shapley::utility::ModelUtility;
+
+/// Static protocol parameters agreed at the off-chain setup stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlParams {
+    /// Participating data owners (also the miner set).
+    pub owners: Vec<AccountId>,
+    /// Number of SV groups `m`.
+    pub num_groups: usize,
+    /// Public permutation seed `e`.
+    pub permutation_seed: u64,
+    /// Total rounds `R`.
+    pub total_rounds: u64,
+    /// Flat model dimension (`(features+1) × classes`).
+    pub model_dim: usize,
+    /// Feature count of the model.
+    pub num_features: usize,
+    /// Class count of the model.
+    pub num_classes: usize,
+    /// Fixed-point fractional bits of the aggregation ring.
+    pub frac_bits: u32,
+}
+
+impl Encode for FlParams {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.owners.encode_to(out);
+        self.num_groups.encode_to(out);
+        self.permutation_seed.encode_to(out);
+        self.total_rounds.encode_to(out);
+        self.model_dim.encode_to(out);
+        self.num_features.encode_to(out);
+        self.num_classes.encode_to(out);
+        (self.frac_bits as u64).encode_to(out);
+    }
+}
+
+/// Contract calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlCall {
+    /// Register the sender's DH public key (big-endian bytes).
+    AdvertiseKey {
+        /// Public key bytes.
+        public_key: Vec<u8>,
+    },
+    /// Submit the sender's masked fixed-point update for `round`.
+    SubmitMaskedUpdate {
+        /// Target round.
+        round: u64,
+        /// Masked ring vector of length `model_dim`.
+        masked: Vec<u64>,
+    },
+    /// Trigger evaluation of `round` once all submissions are in.
+    EvaluateRound {
+        /// Round to evaluate.
+        round: u64,
+    },
+}
+
+impl Encode for FlCall {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            FlCall::AdvertiseKey { public_key } => {
+                out.push(0);
+                public_key.encode_to(out);
+            }
+            FlCall::SubmitMaskedUpdate { round, masked } => {
+                out.push(1);
+                round.encode_to(out);
+                masked.encode_to(out);
+            }
+            FlCall::EvaluateRound { round } => {
+                out.push(2);
+                round.encode_to(out);
+            }
+        }
+    }
+}
+
+/// Contract-level errors (abort the block proposal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// Sender is not a registered data owner.
+    NotAnOwner(AccountId),
+    /// Sender advertised a key twice.
+    KeyAlreadyAdvertised(AccountId),
+    /// An update arrived before all keys were advertised.
+    KeysIncomplete {
+        /// Keys registered so far.
+        have: usize,
+        /// Keys required.
+        need: usize,
+    },
+    /// Call targeted the wrong round.
+    WrongRound {
+        /// Current round of the contract.
+        expected: u64,
+        /// Round named by the call.
+        got: u64,
+    },
+    /// Sender already submitted this round.
+    DuplicateSubmission(AccountId),
+    /// Update has the wrong dimension.
+    DimMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+    /// Evaluation requested before every owner submitted.
+    SubmissionsIncomplete {
+        /// Owners that have not submitted.
+        missing: Vec<AccountId>,
+    },
+    /// All `total_rounds` rounds already evaluated.
+    ProtocolFinished,
+}
+
+impl std::fmt::Display for FlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotAnOwner(id) => write!(f, "account {id} is not a data owner"),
+            Self::KeyAlreadyAdvertised(id) => {
+                write!(f, "account {id} already advertised a key")
+            }
+            Self::KeysIncomplete { have, need } => {
+                write!(f, "key exchange incomplete: {have}/{need}")
+            }
+            Self::WrongRound { expected, got } => {
+                write!(f, "wrong round: contract at {expected}, call names {got}")
+            }
+            Self::DuplicateSubmission(id) => {
+                write!(f, "account {id} already submitted this round")
+            }
+            Self::DimMismatch { expected, got } => {
+                write!(f, "update dimension {got} != {expected}")
+            }
+            Self::SubmissionsIncomplete { missing } => {
+                write!(f, "missing submissions from {missing:?}")
+            }
+            Self::ProtocolFinished => write!(f, "all rounds already evaluated"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+/// Immutable record of one evaluated round — the public audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round number.
+    pub round: u64,
+    /// Group memberships used (owner *indices*, not account ids).
+    pub groups: Vec<Vec<usize>>,
+    /// Per-group Shapley values `V_j`.
+    pub per_group_sv: Vec<f64>,
+    /// Per-owner Shapley values `v_i^r` (indexed by owner position).
+    pub per_owner_sv: Vec<f64>,
+    /// Test accuracy of the round's global model.
+    pub global_accuracy: f64,
+    /// Utility evaluations performed (`2^m`).
+    pub utility_evaluations: usize,
+}
+
+impl Encode for RoundRecord {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.round.encode_to(out);
+        self.groups.encode_to(out);
+        self.per_group_sv.encode_to(out);
+        self.per_owner_sv.encode_to(out);
+        self.global_accuracy.encode_to(out);
+        self.utility_evaluations.encode_to(out);
+    }
+}
+
+/// Test-set-accuracy utility `u(W)` shared by the contract and the
+/// off-chain analysis (Fig. 1/2 ground truth uses the same function).
+pub struct AccuracyUtility<'a> {
+    test_set: &'a Dataset,
+    num_features: usize,
+    num_classes: usize,
+}
+
+impl<'a> AccuracyUtility<'a> {
+    /// Builds the utility over a held-out test set.
+    pub fn new(test_set: &'a Dataset, num_features: usize, num_classes: usize) -> Self {
+        Self {
+            test_set,
+            num_features,
+            num_classes,
+        }
+    }
+}
+
+impl ModelUtility for AccuracyUtility<'_> {
+    fn of_model(&self, weights: &[f64]) -> f64 {
+        let model = LogisticModel::from_flat(weights, self.num_features, self.num_classes);
+        model_accuracy(&model, self.test_set)
+    }
+
+    fn of_empty(&self) -> f64 {
+        // The zero model: uniform logits, argmax picks class 0 — exactly
+        // what an untrained participant would deploy.
+        let zero = LogisticModel::zeros(self.num_features, self.num_classes);
+        model_accuracy(&zero, self.test_set)
+    }
+}
+
+/// The contract state. `Clone` gives each miner an independent replica.
+#[derive(Debug, Clone)]
+pub struct FlContract {
+    params: FlParams,
+    /// Public test set for the utility function (agreed at setup; the
+    /// *training* shards never leave their owners).
+    test_set: Dataset,
+    gas: GasSchedule,
+    keys: BTreeMap<AccountId, Vec<u8>>,
+    current_round: u64,
+    submissions: BTreeMap<AccountId, Vec<u64>>,
+    contributions: BTreeMap<AccountId, f64>,
+    global_model: Vec<f64>,
+    history: Vec<RoundRecord>,
+}
+
+impl FlContract {
+    /// Creates the genesis contract state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are internally inconsistent.
+    pub fn genesis(params: FlParams, test_set: Dataset) -> Self {
+        assert!(params.owners.len() >= 2, "need >= 2 owners");
+        assert!(
+            (1..=params.owners.len()).contains(&params.num_groups),
+            "num_groups out of range"
+        );
+        assert_eq!(
+            params.model_dim,
+            (params.num_features + 1) * params.num_classes,
+            "model_dim must equal (features+1)*classes"
+        );
+        assert_eq!(
+            test_set.num_features(),
+            params.num_features,
+            "test set feature mismatch"
+        );
+        let global_model = vec![0.0; params.model_dim];
+        let contributions =
+            params.owners.iter().map(|&o| (o, 0.0)).collect();
+        Self {
+            params,
+            test_set,
+            gas: GasSchedule::default(),
+            keys: BTreeMap::new(),
+            current_round: 0,
+            submissions: BTreeMap::new(),
+            contributions,
+            global_model,
+            history: Vec::new(),
+        }
+    }
+
+    /// Static parameters.
+    pub fn params(&self) -> &FlParams {
+        &self.params
+    }
+
+    /// Current (unevaluated) round.
+    pub fn current_round(&self) -> u64 {
+        self.current_round
+    }
+
+    /// True once all rounds are evaluated.
+    pub fn finished(&self) -> bool {
+        self.current_round >= self.params.total_rounds
+    }
+
+    /// Cumulative contribution (total SV `v_i = Σ_r v_i^r`) per owner.
+    pub fn contributions(&self) -> &BTreeMap<AccountId, f64> {
+        &self.contributions
+    }
+
+    /// The current global model (flat weights).
+    pub fn global_model(&self) -> &[f64] {
+        &self.global_model
+    }
+
+    /// The audit trail of evaluated rounds.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Advertised public key of an owner.
+    pub fn public_key_of(&self, owner: AccountId) -> Option<&[u8]> {
+        self.keys.get(&owner).map(Vec::as_slice)
+    }
+
+    /// What a chain observer sees for `owner` this round: the masked
+    /// submission (used by the privacy analysis).
+    pub fn observed_submission(&self, owner: AccountId) -> Option<&[u64]> {
+        self.submissions.get(&owner).map(Vec::as_slice)
+    }
+
+    fn owner_index(&self, id: AccountId) -> Result<usize, FlError> {
+        self.params
+            .owners
+            .iter()
+            .position(|&o| o == id)
+            .ok_or(FlError::NotAnOwner(id))
+    }
+
+    fn advertise_key(
+        &mut self,
+        sender: AccountId,
+        public_key: &[u8],
+    ) -> Result<ExecutionOutcome, FlError> {
+        self.owner_index(sender)?;
+        if self.keys.contains_key(&sender) {
+            return Err(FlError::KeyAlreadyAdvertised(sender));
+        }
+        self.keys.insert(sender, public_key.to_vec());
+        let gas = self.gas.charge(public_key.len().div_ceil(8), 0);
+        Ok(ExecutionOutcome::event(
+            format!("key: owner {sender} advertised ({}/{})", self.keys.len(),
+                self.params.owners.len()),
+            gas,
+        ))
+    }
+
+    fn submit_update(
+        &mut self,
+        sender: AccountId,
+        round: u64,
+        masked: &[u64],
+    ) -> Result<ExecutionOutcome, FlError> {
+        self.owner_index(sender)?;
+        if self.finished() {
+            return Err(FlError::ProtocolFinished);
+        }
+        if self.keys.len() != self.params.owners.len() {
+            return Err(FlError::KeysIncomplete {
+                have: self.keys.len(),
+                need: self.params.owners.len(),
+            });
+        }
+        if round != self.current_round {
+            return Err(FlError::WrongRound {
+                expected: self.current_round,
+                got: round,
+            });
+        }
+        if self.submissions.contains_key(&sender) {
+            return Err(FlError::DuplicateSubmission(sender));
+        }
+        if masked.len() != self.params.model_dim {
+            return Err(FlError::DimMismatch {
+                expected: self.params.model_dim,
+                got: masked.len(),
+            });
+        }
+        self.submissions.insert(sender, masked.to_vec());
+        let gas = self.gas.charge(masked.len(), masked.len());
+        Ok(ExecutionOutcome::event(
+            format!(
+                "submit: owner {sender} round {round} ({}/{})",
+                self.submissions.len(),
+                self.params.owners.len()
+            ),
+            gas,
+        ))
+    }
+
+    fn evaluate_round(&mut self, round: u64) -> Result<ExecutionOutcome, FlError> {
+        if self.finished() {
+            return Err(FlError::ProtocolFinished);
+        }
+        if round != self.current_round {
+            return Err(FlError::WrongRound {
+                expected: self.current_round,
+                got: round,
+            });
+        }
+        let missing: Vec<AccountId> = self
+            .params
+            .owners
+            .iter()
+            .copied()
+            .filter(|o| !self.submissions.contains_key(o))
+            .collect();
+        if !missing.is_empty() {
+            return Err(FlError::SubmissionsIncomplete { missing });
+        }
+
+        let n = self.params.owners.len();
+        let m = self.params.num_groups;
+        let codec = FixedCodec::new(self.params.frac_bits);
+
+        // Lines 1–2 of Algorithm 1: the public grouping for this round.
+        let pi = permutation(self.params.permutation_seed, round, n);
+        let groups = grouping(&pi, m);
+
+        // Line 3: per-group secure aggregates. Summing the group's masked
+        // submissions cancels the within-group pairwise masks; dividing
+        // by the group size yields the group model W_j.
+        let group_models: Vec<Vec<f64>> = groups
+            .iter()
+            .map(|g| {
+                let mut acc = vec![0u64; self.params.model_dim];
+                for &idx in g {
+                    let owner = self.params.owners[idx];
+                    let masked = self
+                        .submissions
+                        .get(&owner)
+                        .expect("completeness checked above");
+                    FixedCodec::ring_add_assign(&mut acc, masked);
+                }
+                acc.iter()
+                    .map(|&r| codec.decode_avg(r, g.len()))
+                    .collect()
+            })
+            .collect();
+
+        // Lines 4–6: SV over group coalition models.
+        let utility = AccuracyUtility::new(
+            &self.test_set,
+            self.params.num_features,
+            self.params.num_classes,
+        );
+        let (per_group_sv, utility_evaluations) =
+            shapley_over_group_models(&group_models, &utility);
+
+        // Line 7: uniform split within groups.
+        let mut per_owner_sv = vec![0.0f64; n];
+        for (j, group) in groups.iter().enumerate() {
+            let share = per_group_sv[j] / group.len() as f64;
+            for &idx in group {
+                per_owner_sv[idx] = share;
+                let owner = self.params.owners[idx];
+                *self
+                    .contributions
+                    .get_mut(&owner)
+                    .expect("initialized at genesis") += share;
+            }
+        }
+
+        // New global model: the average of all group models.
+        self.global_model = numeric::linalg::mean_vectors(&group_models);
+        let global_accuracy = utility.of_model(&self.global_model);
+
+        self.history.push(RoundRecord {
+            round,
+            groups: groups.clone(),
+            per_group_sv: per_group_sv.clone(),
+            per_owner_sv,
+            global_accuracy,
+            utility_evaluations,
+        });
+        self.submissions.clear();
+        self.current_round += 1;
+
+        let gas = self.gas.charge(
+            self.params.model_dim,
+            utility_evaluations * self.params.model_dim,
+        );
+        Ok(ExecutionOutcome::event(
+            format!(
+                "evaluate: round {round}, m={m}, global acc {global_accuracy:.4}, \
+                 group SVs {per_group_sv:?}"
+            ),
+            gas,
+        ))
+    }
+}
+
+impl SmartContract for FlContract {
+    type Call = FlCall;
+    type Error = FlError;
+
+    fn execute(
+        &mut self,
+        ctx: &TxContext,
+        call: &FlCall,
+    ) -> Result<ExecutionOutcome, FlError> {
+        match call {
+            FlCall::AdvertiseKey { public_key } => {
+                self.advertise_key(ctx.sender, public_key)
+            }
+            FlCall::SubmitMaskedUpdate { round, masked } => {
+                self.submit_update(ctx.sender, *round, masked)
+            }
+            FlCall::EvaluateRound { round } => self.evaluate_round(*round),
+        }
+    }
+
+    fn state_digest(&self) -> Hash32 {
+        let mut buf = Vec::new();
+        self.params.encode_to(&mut buf);
+        self.current_round.encode_to(&mut buf);
+        (self.keys.len() as u64).encode_to(&mut buf);
+        for (id, key) in &self.keys {
+            id.encode_to(&mut buf);
+            key.encode_to(&mut buf);
+        }
+        (self.submissions.len() as u64).encode_to(&mut buf);
+        for (id, update) in &self.submissions {
+            id.encode_to(&mut buf);
+            update.encode_to(&mut buf);
+        }
+        for (id, value) in &self.contributions {
+            id.encode_to(&mut buf);
+            value.encode_to(&mut buf);
+        }
+        self.global_model.encode_to(&mut buf);
+        self.history.encode_to(&mut buf);
+        Hash32::of("transparent-fl/state", &buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ml::dataset::SyntheticDigits;
+
+    fn test_params(n: usize, m: usize) -> FlParams {
+        FlParams {
+            owners: (0..n as u32).collect(),
+            num_groups: m,
+            permutation_seed: 7,
+            total_rounds: 2,
+            model_dim: (64 + 1) * 10,
+            num_features: 64,
+            num_classes: 10,
+            frac_bits: 24,
+        }
+    }
+
+    fn contract(n: usize, m: usize) -> FlContract {
+        let test_set = SyntheticDigits::small().generate(99);
+        FlContract::genesis(test_params(n, m), test_set)
+    }
+
+    fn ctx(sender: AccountId) -> TxContext {
+        TxContext {
+            block_height: 0,
+            view: 0,
+            sender,
+            tx_index: 0,
+        }
+    }
+
+    fn advertise_all(c: &mut FlContract, n: usize) {
+        for i in 0..n as u32 {
+            c.execute(
+                &ctx(i),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![i as u8 + 1; 32],
+                },
+            )
+            .unwrap();
+        }
+    }
+
+    /// Unmasked "masked" updates: with no pairwise masks (sum of zero
+    /// masks), the ring math still holds — the contract cannot tell.
+    fn plain_update(c: &FlContract, value: f64) -> Vec<u64> {
+        let codec = FixedCodec::new(c.params.frac_bits);
+        codec.encode_vec(&vec![value; c.params.model_dim])
+    }
+
+    #[test]
+    fn key_exchange_rules() {
+        let mut c = contract(3, 2);
+        assert!(matches!(
+            c.execute(&ctx(9), &FlCall::AdvertiseKey { public_key: vec![1] }),
+            Err(FlError::NotAnOwner(9))
+        ));
+        c.execute(&ctx(0), &FlCall::AdvertiseKey { public_key: vec![1] })
+            .unwrap();
+        assert!(matches!(
+            c.execute(&ctx(0), &FlCall::AdvertiseKey { public_key: vec![2] }),
+            Err(FlError::KeyAlreadyAdvertised(0))
+        ));
+        assert_eq!(c.public_key_of(0), Some(&[1u8][..]));
+        assert_eq!(c.public_key_of(1), None);
+    }
+
+    #[test]
+    fn submissions_require_complete_keys() {
+        let mut c = contract(3, 2);
+        let update = plain_update(&c, 0.1);
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update
+                }
+            ),
+            Err(FlError::KeysIncomplete { have: 0, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn submission_validation() {
+        let mut c = contract(3, 2);
+        advertise_all(&mut c, 3);
+        let update = plain_update(&c, 0.1);
+        // Wrong round.
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 5,
+                    masked: update.clone()
+                }
+            ),
+            Err(FlError::WrongRound { expected: 0, got: 5 })
+        ));
+        // Wrong dimension.
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: vec![0u64; 3]
+                }
+            ),
+            Err(FlError::DimMismatch { .. })
+        ));
+        // Valid, then duplicate.
+        c.execute(
+            &ctx(0),
+            &FlCall::SubmitMaskedUpdate {
+                round: 0,
+                masked: update.clone(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update
+                }
+            ),
+            Err(FlError::DuplicateSubmission(0))
+        ));
+    }
+
+    #[test]
+    fn evaluation_requires_all_submissions() {
+        let mut c = contract(3, 2);
+        advertise_all(&mut c, 3);
+        let update = plain_update(&c, 0.1);
+        c.execute(
+            &ctx(0),
+            &FlCall::SubmitMaskedUpdate {
+                round: 0,
+                masked: update,
+            },
+        )
+        .unwrap();
+        match c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }) {
+            Err(FlError::SubmissionsIncomplete { missing }) => {
+                assert_eq!(missing, vec![1, 2]);
+            }
+            other => panic!("expected SubmissionsIncomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_round_evaluates_and_advances() {
+        let mut c = contract(4, 2);
+        advertise_all(&mut c, 4);
+        for i in 0..4u32 {
+            let update = plain_update(&c, 0.01 * (i as f64 + 1.0));
+            c.execute(
+                &ctx(i),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update,
+                },
+            )
+            .unwrap();
+        }
+        let out = c
+            .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
+        assert!(out.events[0].contains("evaluate: round 0"));
+        assert_eq!(c.current_round(), 1);
+        assert_eq!(c.history().len(), 1);
+        let record = &c.history()[0];
+        assert_eq!(record.per_owner_sv.len(), 4);
+        assert_eq!(record.utility_evaluations, 4); // 2^m, m=2
+        // Groups partition all 4 owners.
+        let total: usize = record.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        // Submissions cleared for the next round.
+        assert!(c.observed_submission(0).is_none());
+    }
+
+    #[test]
+    fn contributions_accumulate_across_rounds() {
+        let mut c = contract(3, 3);
+        advertise_all(&mut c, 3);
+        for round in 0..2u64 {
+            for i in 0..3u32 {
+                let update = plain_update(&c, 0.01 * (i as f64 + 1.0));
+                c.execute(
+                    &ctx(i),
+                    &FlCall::SubmitMaskedUpdate {
+                        round,
+                        masked: update,
+                    },
+                )
+                .unwrap();
+            }
+            c.execute(&ctx(0), &FlCall::EvaluateRound { round }).unwrap();
+        }
+        assert!(c.finished());
+        // Cumulative SV equals the sum over round records.
+        for (pos, owner) in (0..3u32).enumerate() {
+            let total: f64 = c
+                .history()
+                .iter()
+                .map(|r| r.per_owner_sv[pos])
+                .sum();
+            let ledger = c.contributions()[&owner];
+            assert!((ledger - total).abs() < 1e-12);
+        }
+        // Further activity is rejected.
+        assert!(matches!(
+            c.execute(&ctx(0), &FlCall::EvaluateRound { round: 2 }),
+            Err(FlError::ProtocolFinished)
+        ));
+    }
+
+    #[test]
+    fn replicas_stay_digest_identical() {
+        let mut a = contract(3, 2);
+        let mut b = contract(3, 2);
+        assert_eq!(a.state_digest(), b.state_digest());
+        advertise_all(&mut a, 3);
+        advertise_all(&mut b, 3);
+        assert_eq!(a.state_digest(), b.state_digest());
+        let update = plain_update(&a, 0.2);
+        for c in [&mut a, &mut b] {
+            c.execute(
+                &ctx(1),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update.clone(),
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut c = contract(3, 2);
+        let before = c.state_digest();
+        advertise_all(&mut c, 3);
+        assert_ne!(c.state_digest(), before);
+    }
+
+    #[test]
+    fn masked_aggregation_cancels_for_real_masks() {
+        // End-to-end through the contract: three owners in ONE group mask
+        // pairwise; the group model must equal the mean of the plaintext.
+        use fl_crypto::dh::DhGroup;
+        use fl_crypto::secure_agg::{KeyDirectory, PartyState};
+
+        let mut c = contract(3, 1); // single group: all three cancel
+        let dh = DhGroup::simulation_256();
+        let codec = FixedCodec::new(c.params.frac_bits);
+        let dim = c.params.model_dim;
+
+        let keypairs: Vec<_> = (0..3u8)
+            .map(|i| dh.keypair_from_seed(&[i + 1; 32]))
+            .collect();
+        let mut dir = KeyDirectory::new();
+        for (i, kp) in keypairs.iter().enumerate() {
+            dir.advertise(i as u32, kp.public).unwrap();
+        }
+        for (i, kp) in keypairs.iter().enumerate() {
+            c.execute(
+                &ctx(i as u32),
+                &FlCall::AdvertiseKey {
+                    public_key: kp.public.to_be_bytes(),
+                },
+            )
+            .unwrap();
+        }
+        let plain: Vec<Vec<f64>> = (0..3)
+            .map(|i| vec![0.1 * (i as f64 + 1.0); dim])
+            .collect();
+        for (i, kp) in keypairs.iter().enumerate() {
+            let party = PartyState::derive(&dh, i as u32, kp, &dir).unwrap();
+            let masked = party.masked_update(&codec, 0, &plain[i]);
+            c.execute(
+                &ctx(i as u32),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked,
+                },
+            )
+            .unwrap();
+        }
+        c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }).unwrap();
+        // Global model = the single group model = mean of plaintexts = 0.2.
+        for w in c.global_model() {
+            assert!((w - 0.2).abs() < 1e-6, "got {w}");
+        }
+    }
+}

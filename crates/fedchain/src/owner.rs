@@ -1,0 +1,232 @@
+//! Data owners: the client side of the protocol.
+//!
+//! Each owner holds a private training shard and a DH keypair. Per round
+//! it (1) downloads the global model from the chain, (2) trains locally,
+//! (3) masks its update against the *other members of its group* (the
+//! grouping is public, derived from the on-chain seed), and (4) submits
+//! the masked vector as a transaction. The raw shard and the plaintext
+//! update never leave this struct — the privacy tests grep the chain for
+//! them.
+
+use fl_chain::tx::AccountId;
+use fl_crypto::dh::{DhGroup, DhKeyPair};
+use fl_crypto::secure_agg::{KeyDirectory, PartyState, SecureAggError};
+use fl_ml::dataset::Dataset;
+use fl_ml::logreg::{LogisticModel, TrainConfig};
+use fl_ml::rng::Xoshiro256;
+use numeric::{FixedCodec, U256};
+
+use crate::adversary::{corrupt_shard, corrupt_update, AdversaryKind};
+
+/// A data owner (client + miner in the paper's model).
+pub struct DataOwner {
+    id: AccountId,
+    shard: Dataset,
+    keypair: DhKeyPair,
+    group: DhGroup,
+    train: TrainConfig,
+    codec: FixedCodec,
+    adversary: Option<AdversaryKind>,
+    adversary_rng: Xoshiro256,
+}
+
+impl DataOwner {
+    /// Creates an owner with a deterministic keypair derived from `seed`.
+    pub fn new(
+        id: AccountId,
+        shard: Dataset,
+        train: TrainConfig,
+        frac_bits: u32,
+        seed: u64,
+    ) -> Self {
+        let group = DhGroup::simulation_256();
+        let mut seed_bytes = [0u8; 32];
+        seed_bytes[..8].copy_from_slice(&seed.to_le_bytes());
+        seed_bytes[8..16].copy_from_slice(&u64::from(id).to_le_bytes());
+        let keypair = group.keypair_from_seed(&seed_bytes);
+        Self {
+            id,
+            shard,
+            keypair,
+            group,
+            train,
+            codec: FixedCodec::new(frac_bits),
+            adversary: None,
+            adversary_rng: Xoshiro256::seed_from_u64(seed ^ u64::from(id)),
+        }
+    }
+
+    /// Account id.
+    pub fn id(&self) -> AccountId {
+        self.id
+    }
+
+    /// Number of local training examples.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Public key bytes to advertise on-chain.
+    pub fn public_key_bytes(&self) -> Vec<u8> {
+        self.keypair.public.to_be_bytes()
+    }
+
+    /// Installs an adversarial behaviour. Label-flip corrupts the shard
+    /// immediately (data poisoning happens before training); update-level
+    /// attacks apply at each [`DataOwner::local_update`].
+    pub fn set_adversary(&mut self, kind: AdversaryKind) {
+        if matches!(kind, AdversaryKind::LabelFlip { .. }) {
+            corrupt_shard(&kind, &mut self.shard, &mut self.adversary_rng);
+        }
+        self.adversary = Some(kind);
+    }
+
+    /// Trains locally from the current global model and returns the new
+    /// local weights (the paper's `w_i`: owners submit trained weights,
+    /// FedAvg averages them).
+    pub fn local_update(
+        &mut self,
+        global_model: &[f64],
+        num_features: usize,
+        num_classes: usize,
+    ) -> Vec<f64> {
+        let mut model = LogisticModel::from_flat(global_model, num_features, num_classes);
+        model.train(&self.shard, &self.train);
+        let mut update = model.to_flat();
+        if let Some(kind) = &self.adversary {
+            corrupt_update(kind, &mut update, &mut self.adversary_rng);
+        }
+        update
+    }
+
+    /// Masks `update` for submission, using the advertised keys of the
+    /// owner's *group members* this round.
+    ///
+    /// `group_directory` maps every member of the owner's group
+    /// (including itself) to its public key, exactly as read from the
+    /// chain. A singleton group has nobody to pair with, so the encoding
+    /// goes out unmasked — this is the paper's `m = n` resolution
+    /// extreme, which it explicitly notes "reveals the model parameters".
+    pub fn mask_update(
+        &self,
+        update: &[f64],
+        round: u64,
+        group_directory: &[(AccountId, U256)],
+    ) -> Result<Vec<u64>, SecureAggError> {
+        assert!(
+            group_directory.iter().any(|(id, _)| *id == self.id),
+            "owner {} missing from its own group directory",
+            self.id
+        );
+        if group_directory.len() == 1 {
+            return Ok(self.codec.encode_vec(update));
+        }
+        let mut directory = KeyDirectory::new();
+        for (id, key) in group_directory {
+            directory.advertise(*id, *key)?;
+        }
+        let party = PartyState::derive(&self.group, self.id, &self.keypair, &directory)?;
+        Ok(party.masked_update(&self.codec, round, update))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_ml::dataset::SyntheticDigits;
+    use numeric::FixedCodec;
+
+    fn owner(id: AccountId) -> DataOwner {
+        let shard = SyntheticDigits::small().generate(10 + u64::from(id));
+        DataOwner::new(
+            id,
+            shard,
+            TrainConfig {
+                learning_rate: 0.5,
+                epochs: 5,
+                l2: 1e-4,
+            },
+            24,
+            777,
+        )
+    }
+
+    #[test]
+    fn keypairs_deterministic_and_distinct() {
+        let a1 = owner(0);
+        let a2 = owner(0);
+        assert_eq!(a1.public_key_bytes(), a2.public_key_bytes());
+        let b = owner(1);
+        assert_ne!(a1.public_key_bytes(), b.public_key_bytes());
+    }
+
+    #[test]
+    fn local_update_changes_weights_and_is_deterministic() {
+        let mut o = owner(0);
+        let zeros = vec![0.0; 65 * 10];
+        let u1 = o.local_update(&zeros, 64, 10);
+        assert_ne!(u1, zeros, "training must move the weights");
+        let mut o2 = owner(0);
+        let u2 = o2.local_update(&zeros, 64, 10);
+        assert_eq!(u1, u2, "same shard + seed => same update");
+    }
+
+    #[test]
+    fn pairwise_masks_cancel_between_two_owners() {
+        let mut a = owner(0);
+        let mut b = owner(1);
+        let zeros = vec![0.0; 65 * 10];
+        let ua = a.local_update(&zeros, 64, 10);
+        let ub = b.local_update(&zeros, 64, 10);
+        let dir = vec![
+            (0u32, a.keypair.public),
+            (1u32, b.keypair.public),
+        ];
+        let ma = a.mask_update(&ua, 3, &dir).unwrap();
+        let mb = b.mask_update(&ub, 3, &dir).unwrap();
+        let codec = FixedCodec::new(24);
+        // Individually masked…
+        assert_ne!(ma, codec.encode_vec(&ua));
+        // …but the sum is the plaintext sum.
+        let sum = FixedCodec::ring_sum(&[ma, mb]);
+        for (i, &r) in sum.iter().enumerate() {
+            let expect = ua[i] + ub[i];
+            assert!((codec.decode(r) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn singleton_group_submits_plain_encoding() {
+        let mut a = owner(0);
+        let zeros = vec![0.0; 65 * 10];
+        let u = a.local_update(&zeros, 64, 10);
+        let dir = vec![(0u32, a.keypair.public)];
+        let masked = a.mask_update(&u, 0, &dir).unwrap();
+        assert_eq!(masked, FixedCodec::new(24).encode_vec(&u));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from its own group")]
+    fn masking_requires_self_in_directory() {
+        let a = owner(0);
+        let b = owner(1);
+        let dir = vec![(1u32, b.keypair.public)];
+        let _ = a.mask_update(&[0.0; 650], 0, &dir);
+    }
+
+    #[test]
+    fn free_rider_update_is_zero() {
+        let mut o = owner(2);
+        o.set_adversary(AdversaryKind::FreeRider);
+        let update = o.local_update(&vec![0.0; 650], 64, 10);
+        assert!(update.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn label_flip_applies_once_at_install() {
+        let mut o = owner(3);
+        let before = o.shard.labels.clone();
+        o.set_adversary(AdversaryKind::LabelFlip { fraction: 1.0 });
+        assert_ne!(o.shard.labels, before);
+    }
+}

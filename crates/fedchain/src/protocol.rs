@@ -1,0 +1,449 @@
+//! End-to-end protocol orchestration.
+//!
+//! [`FlProtocol`] wires the whole paper together: it builds the world
+//! (dataset → split → shards → quality noise), instantiates the data
+//! owners and the consensus engine (every owner is also a miner,
+//! Sect. III), and drives the rounds:
+//!
+//! * **block 0** — every owner advertises its DH public key;
+//! * **block r+1** — all owners' masked updates for round `r` plus the
+//!   `EvaluateRound` call, committed through the full propose /
+//!   re-execute / vote cycle.
+//!
+//! After `R` rounds the contract holds each owner's cumulative
+//! contribution `v_i = Σ_r v_i^r` and the final global model `W_G`.
+
+use std::collections::BTreeMap;
+
+use fl_chain::consensus::engine::{
+    CommitReport, ConsensusEngine, EngineConfig, EngineError, MinerBehavior,
+};
+use fl_chain::consensus::leader::LeaderSchedule;
+use fl_chain::gas::Gas;
+use fl_chain::tx::{AccountId, Transaction};
+use fl_ml::dataset::Dataset;
+use numeric::U256;
+use shapley::group::{grouping, permutation};
+
+use crate::adversary::AdversaryKind;
+use crate::config::{ConfigError, FlConfig};
+use crate::contract_fl::{FlCall, FlContract, FlParams, RoundRecord};
+use crate::owner::DataOwner;
+use crate::world::World;
+
+/// Errors from building or running the protocol.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Invalid configuration.
+    Config(ConfigError),
+    /// Consensus failed (e.g. Byzantine majority).
+    Consensus(EngineError),
+    /// Secure aggregation failed (should not happen with valid config).
+    SecureAgg(fl_crypto::secure_agg::SecureAggError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "configuration: {e}"),
+            Self::Consensus(e) => write!(f, "consensus: {e}"),
+            Self::SecureAgg(e) => write!(f, "secure aggregation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ConfigError> for ProtocolError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<EngineError> for ProtocolError {
+    fn from(e: EngineError) -> Self {
+        Self::Consensus(e)
+    }
+}
+
+impl From<fl_crypto::secure_agg::SecureAggError> for ProtocolError {
+    fn from(e: fl_crypto::secure_agg::SecureAggError) -> Self {
+        Self::SecureAgg(e)
+    }
+}
+
+/// Summary of a full protocol run.
+#[derive(Debug, Clone)]
+pub struct FlRunReport {
+    /// Cumulative Shapley value per owner (indexed by owner position).
+    pub per_owner_sv: Vec<f64>,
+    /// Global-model test accuracy after each round.
+    pub accuracy_history: Vec<f64>,
+    /// Per-round evaluation records (the on-chain audit trail).
+    pub round_records: Vec<RoundRecord>,
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Failed leader views (fraud attempts rejected).
+    pub failed_views: u64,
+    /// Total gas burned.
+    pub total_gas: Gas,
+    /// Commit reports per block, for deeper inspection.
+    pub commits: Vec<CommitReport>,
+}
+
+/// The protocol driver.
+pub struct FlProtocol {
+    config: FlConfig,
+    owners: Vec<DataOwner>,
+    engine: ConsensusEngine<FlContract>,
+    test_set: Dataset,
+    nonces: BTreeMap<AccountId, u64>,
+}
+
+impl FlProtocol {
+    /// Builds the world with every miner honest.
+    pub fn new(config: FlConfig) -> Result<Self, ProtocolError> {
+        Self::with_behaviors(config, &BTreeMap::new())
+    }
+
+    /// Builds the world with specified miner behaviours (for fraud
+    /// experiments).
+    pub fn with_behaviors(
+        config: FlConfig,
+        behaviors: &BTreeMap<AccountId, MinerBehavior>,
+    ) -> Result<Self, ProtocolError> {
+        // World generation: dataset → 8:2 split → owner shards → noise.
+        let world = World::generate(&config)?;
+
+        let owner_ids: Vec<AccountId> = (0..config.num_owners as u32).collect();
+        let owners: Vec<DataOwner> = owner_ids
+            .iter()
+            .zip(world.shards)
+            .map(|(&id, shard)| {
+                DataOwner::new(
+                    id,
+                    shard,
+                    config.train,
+                    config.frac_bits,
+                    config.sub_seed("dh-keys"),
+                )
+            })
+            .collect();
+
+        let params = FlParams {
+            owners: owner_ids.clone(),
+            num_groups: config.num_groups,
+            permutation_seed: config.permutation_seed,
+            total_rounds: config.rounds,
+            model_dim: (config.data.features + 1) * config.data.classes,
+            num_features: config.data.features,
+            num_classes: config.data.classes,
+            frac_bits: config.frac_bits,
+        };
+        let contract = FlContract::genesis(params, world.test.clone());
+        let schedule = LeaderSchedule::round_robin(owner_ids);
+        let engine =
+            ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
+
+        Ok(Self {
+            config,
+            owners,
+            engine,
+            test_set: world.test,
+            nonces: BTreeMap::new(),
+        })
+    }
+
+    /// Installs an adversarial behaviour on one owner (by position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner_index` is out of range.
+    pub fn set_adversary(&mut self, owner_index: usize, kind: AdversaryKind) {
+        self.owners[owner_index].set_adversary(kind);
+    }
+
+    /// The configuration this protocol was built with.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// The held-out test set (the public utility data).
+    pub fn test_set(&self) -> &Dataset {
+        &self.test_set
+    }
+
+    /// The honest replica of the contract.
+    pub fn contract(&self) -> &FlContract {
+        self.engine.honest_contract()
+    }
+
+    /// The consensus engine (chain stores, stats).
+    pub fn engine(&self) -> &ConsensusEngine<FlContract> {
+        &self.engine
+    }
+
+    fn next_nonce(&mut self, sender: AccountId) -> u64 {
+        let n = self.nonces.entry(sender).or_insert(0);
+        let current = *n;
+        *n += 1;
+        current
+    }
+
+    /// Commits the key-advertisement block (phase 0).
+    fn advertise_keys(&mut self) -> Result<CommitReport, ProtocolError> {
+        let txs: Vec<Transaction<FlCall>> = (0..self.owners.len())
+            .map(|i| {
+                let id = self.owners[i].id();
+                let nonce = self.next_nonce(id);
+                Transaction::new(
+                    id,
+                    nonce,
+                    FlCall::AdvertiseKey {
+                        public_key: self.owners[i].public_key_bytes(),
+                    },
+                )
+            })
+            .collect();
+        Ok(self.engine.commit_transactions(txs)?)
+    }
+
+    /// Runs one federated round: local training, masking, submission,
+    /// evaluation — committed as a single block.
+    fn run_round(&mut self, round: u64) -> Result<CommitReport, ProtocolError> {
+        let n = self.owners.len();
+        let contract = self.engine.honest_contract();
+        let global_model = contract.global_model().to_vec();
+        let num_features = contract.params().num_features;
+        let num_classes = contract.params().num_classes;
+
+        // Public grouping for the round (identical to the contract's).
+        let pi = permutation(self.config.permutation_seed, round, n);
+        let groups = grouping(&pi, self.config.num_groups);
+
+        // Every owner reads its group's keys from the chain.
+        let key_of = |idx: usize, contract: &FlContract| -> U256 {
+            let id = idx as u32;
+            let bytes = contract
+                .public_key_of(id)
+                .expect("keys advertised in phase 0");
+            U256::from_be_bytes(bytes)
+        };
+        let mut group_directories: Vec<Vec<(AccountId, U256)>> = Vec::new();
+        for group in &groups {
+            group_directories.push(
+                group
+                    .iter()
+                    .map(|&idx| (idx as u32, key_of(idx, contract)))
+                    .collect(),
+            );
+        }
+
+        // Local training + masking, off-chain per owner.
+        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
+        for (group, directory) in groups.iter().zip(&group_directories) {
+            for &idx in group {
+                let update =
+                    self.owners[idx].local_update(&global_model, num_features, num_classes);
+                let masked = self.owners[idx].mask_update(&update, round, directory)?;
+                let id = self.owners[idx].id();
+                let nonce = self.next_nonce(id);
+                txs.push(Transaction::new(
+                    id,
+                    nonce,
+                    FlCall::SubmitMaskedUpdate { round, masked },
+                ));
+            }
+        }
+
+        // Anyone may trigger evaluation; owner 0 does.
+        let trigger = self.owners[0].id();
+        let nonce = self.next_nonce(trigger);
+        txs.push(Transaction::new(trigger, nonce, FlCall::EvaluateRound { round }));
+
+        Ok(self.engine.commit_transactions(txs)?)
+    }
+
+    /// Runs the complete protocol: key exchange plus all `R` rounds.
+    pub fn run(&mut self) -> Result<FlRunReport, ProtocolError> {
+        let mut commits = Vec::new();
+        commits.push(self.advertise_keys()?);
+        for round in 0..self.config.rounds {
+            commits.push(self.run_round(round)?);
+        }
+
+        let contract = self.engine.honest_contract();
+        let per_owner_sv: Vec<f64> = contract
+            .params()
+            .owners
+            .iter()
+            .map(|id| contract.contributions()[id])
+            .collect();
+        let accuracy_history: Vec<f64> = contract
+            .history()
+            .iter()
+            .map(|r| r.global_accuracy)
+            .collect();
+        let round_records = contract.history().to_vec();
+        let stats = self.engine.stats();
+
+        Ok(FlRunReport {
+            per_owner_sv,
+            accuracy_history,
+            round_records,
+            blocks: stats.blocks,
+            failed_views: stats.failed_views,
+            total_gas: stats.gas,
+            commits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fl_chain::consensus::engine::MinerBehavior;
+    use fl_chain::contract::SmartContract;
+
+    fn quick() -> FlConfig {
+        FlConfig::quick_demo()
+    }
+
+    #[test]
+    fn full_run_commits_and_learns() {
+        let mut protocol = FlProtocol::new(quick()).unwrap();
+        let report = protocol.run().unwrap();
+        // 1 key block + 1 round block.
+        assert_eq!(report.blocks, 2);
+        assert_eq!(report.per_owner_sv.len(), 4);
+        assert_eq!(report.accuracy_history.len(), 1);
+        // The global model must beat random guessing (10 classes).
+        assert!(
+            report.accuracy_history[0] > 0.5,
+            "accuracy {} too low",
+            report.accuracy_history[0]
+        );
+        assert_eq!(report.failed_views, 0);
+        assert!(report.total_gas > Gas(0));
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let run = || {
+            let mut p = FlProtocol::new(quick()).unwrap();
+            p.run().unwrap().per_owner_sv
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn multi_round_accumulates() {
+        let mut config = quick();
+        config.rounds = 2;
+        let mut protocol = FlProtocol::new(config).unwrap();
+        let report = protocol.run().unwrap();
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.round_records.len(), 2);
+        // Cumulative SV = sum of per-round SVs.
+        for (i, &total) in report.per_owner_sv.iter().enumerate() {
+            let sum: f64 = report
+                .round_records
+                .iter()
+                .map(|r| r.per_owner_sv[i])
+                .sum();
+            assert!((total - sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fraudulent_leader_rejected_and_result_unchanged() {
+        // Owner 0 (first leader) proposes corrupted evaluation results;
+        // the honest majority skips it. The contributions must equal the
+        // all-honest run exactly.
+        let honest = {
+            let mut p = FlProtocol::new(quick()).unwrap();
+            p.run().unwrap()
+        };
+        let behaviors: BTreeMap<AccountId, MinerBehavior> =
+            [(0u32, MinerBehavior::CorruptProposals)].into();
+        let mut p = FlProtocol::with_behaviors(quick(), &behaviors).unwrap();
+        let fraud = p.run().unwrap();
+
+        assert!(fraud.failed_views > 0, "fraud must cost views");
+        assert_eq!(honest.per_owner_sv, fraud.per_owner_sv);
+        assert_eq!(honest.accuracy_history, fraud.accuracy_history);
+        // Fraudulent leader never successfully led a block, and its first
+        // attempt is on record as rejected.
+        for commit in &fraud.commits {
+            assert_ne!(commit.leader, 0);
+        }
+        assert!(fraud.commits[0].rejected_leaders.contains(&0));
+    }
+
+    #[test]
+    fn byzantine_majority_stalls_the_protocol() {
+        let behaviors: BTreeMap<AccountId, MinerBehavior> = [
+            (1u32, MinerBehavior::RejectAll),
+            (2u32, MinerBehavior::RejectAll),
+            (3u32, MinerBehavior::RejectAll),
+        ]
+        .into();
+        let mut p = FlProtocol::with_behaviors(quick(), &behaviors).unwrap();
+        match p.run() {
+            Err(ProtocolError::Consensus(EngineError::NoQuorum { .. })) => {}
+            other => panic!("expected NoQuorum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_rider_scores_below_honest_owners() {
+        let mut config = quick();
+        config.train.epochs = 20;
+        let mut p = FlProtocol::new(config).unwrap();
+        p.set_adversary(3, AdversaryKind::FreeRider);
+        let report = p.run().unwrap();
+        let honest_min = report.per_owner_sv[..3]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        // Free rider contributes a zero model; in expectation its group
+        // is dragged down. With m=2 and 4 owners it shares a group, so we
+        // only assert it does not come out on top.
+        let max = report
+            .per_owner_sv
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            report.per_owner_sv[3] < max || honest_min == report.per_owner_sv[3],
+            "free rider must not uniquely lead: {:?}",
+            report.per_owner_sv
+        );
+    }
+
+    #[test]
+    fn chain_is_auditable_after_run() {
+        let mut p = FlProtocol::new(quick()).unwrap();
+        p.run().unwrap();
+        for id in 0..4u32 {
+            let store = p.engine().store_of(id).unwrap();
+            assert!(store.verify_chain());
+            assert_eq!(store.height(), 2);
+        }
+        // All replicas ended at the same state root.
+        let roots: Vec<_> = (0..4u32)
+            .map(|id| p.engine().contract_of(id).unwrap().state_digest())
+            .collect();
+        assert!(roots.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut c = quick();
+        c.num_owners = 1;
+        assert!(matches!(
+            FlProtocol::new(c),
+            Err(ProtocolError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Reward allocation from contribution scores.
+//!
+//! The paper's motivation is incentive: "a fair reward based on their
+//! contributions". This module converts cumulative Shapley values into
+//! payouts from a budget. SVs from accuracy utilities can be negative
+//! (a harmful owner), so two policies are offered for mapping them onto
+//! a non-negative payout simplex.
+
+/// How negative Shapley values are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegativePolicy {
+    /// Clamp negatives to zero, then share proportionally (harmful owners
+    /// get nothing; they do not eat into others' shares).
+    ClampZero,
+    /// Shift all values by the minimum so the worst owner gets zero and
+    /// relative gaps are preserved.
+    ShiftMin,
+}
+
+/// Allocates `budget` proportionally to `shapley_values`.
+///
+/// Returns one payout per owner summing to `budget` (to within floating
+/// point). When every transformed value is zero (e.g. all owners equally
+/// useless), the budget is split equally — the natural reading of the
+/// symmetry axiom.
+///
+/// # Panics
+///
+/// Panics if `budget` is negative, `shapley_values` is empty, or any
+/// value is non-finite.
+pub fn allocate(budget: f64, shapley_values: &[f64], policy: NegativePolicy) -> Vec<f64> {
+    assert!(budget >= 0.0, "budget must be non-negative, got {budget}");
+    assert!(!shapley_values.is_empty(), "no owners to reward");
+    assert!(
+        shapley_values.iter().all(|v| v.is_finite()),
+        "Shapley values must be finite"
+    );
+
+    let transformed: Vec<f64> = match policy {
+        NegativePolicy::ClampZero => shapley_values.iter().map(|&v| v.max(0.0)).collect(),
+        NegativePolicy::ShiftMin => {
+            let min = shapley_values
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            let shift = if min < 0.0 { -min } else { 0.0 };
+            shapley_values.iter().map(|&v| v + shift).collect()
+        }
+    };
+
+    let total: f64 = transformed.iter().sum();
+    let n = transformed.len() as f64;
+    if total <= 0.0 {
+        return vec![budget / n; transformed.len()];
+    }
+    transformed.iter().map(|&v| budget * v / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn proportional_for_positive_values() {
+        let payouts = allocate(100.0, &[1.0, 3.0], NegativePolicy::ClampZero);
+        assert!((payouts[0] - 25.0).abs() < 1e-12);
+        assert!((payouts[1] - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_zero_excludes_harmful_owner() {
+        let payouts = allocate(100.0, &[2.0, -1.0, 2.0], NegativePolicy::ClampZero);
+        assert_eq!(payouts[1], 0.0);
+        assert!((payouts[0] - 50.0).abs() < 1e-12);
+        assert!((payouts[2] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_min_gives_worst_owner_zero() {
+        let payouts = allocate(90.0, &[1.0, -2.0, 4.0], NegativePolicy::ShiftMin);
+        assert_eq!(payouts[1], 0.0);
+        // Shifted values: 3, 0, 6 → payouts 30, 0, 60.
+        assert!((payouts[0] - 30.0).abs() < 1e-12);
+        assert!((payouts[2] - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_splits_equally() {
+        let payouts = allocate(30.0, &[0.0, 0.0, 0.0], NegativePolicy::ClampZero);
+        assert_eq!(payouts, vec![10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn all_negative_clamp_splits_equally() {
+        let payouts = allocate(30.0, &[-1.0, -2.0], NegativePolicy::ClampZero);
+        assert_eq!(payouts, vec![15.0, 15.0]);
+    }
+
+    #[test]
+    fn zero_budget_zero_payouts() {
+        let payouts = allocate(0.0, &[1.0, 2.0], NegativePolicy::ClampZero);
+        assert_eq!(payouts, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_budget_panics() {
+        let _ = allocate(-1.0, &[1.0], NegativePolicy::ClampZero);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_value_panics() {
+        let _ = allocate(1.0, &[f64::NAN], NegativePolicy::ClampZero);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_payouts_sum_to_budget(
+            budget in 0.0f64..1e6,
+            values in proptest::collection::vec(-100.0f64..100.0, 1..10),
+        ) {
+            for policy in [NegativePolicy::ClampZero, NegativePolicy::ShiftMin] {
+                let payouts = allocate(budget, &values, policy);
+                let total: f64 = payouts.iter().sum();
+                prop_assert!((total - budget).abs() < 1e-6 * budget.max(1.0));
+                prop_assert!(payouts.iter().all(|&p| p >= 0.0));
+            }
+        }
+
+        #[test]
+        fn prop_order_preserved(
+            budget in 1.0f64..1000.0,
+            values in proptest::collection::vec(-10.0f64..10.0, 2..8),
+        ) {
+            // Higher SV never receives less payout.
+            for policy in [NegativePolicy::ClampZero, NegativePolicy::ShiftMin] {
+                let payouts = allocate(budget, &values, policy);
+                for i in 0..values.len() {
+                    for j in 0..values.len() {
+                        if values[i] > values[j] {
+                            prop_assert!(payouts[i] >= payouts[j] - 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

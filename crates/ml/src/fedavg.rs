@@ -1,0 +1,120 @@
+//! FedAvg aggregation over flat weight vectors.
+//!
+//! McMahan et al.'s federated averaging, the paper's global train epoch.
+//! The paper's Algorithm 1 aggregates *uniformly* within groups
+//! (`W_j = (1/|G_j|) Σ w_i`) and across coalitions
+//! (`W_S = (1/|S|) Σ W_j`), so uniform averaging is the default;
+//! sample-count weighting is provided for the classic FedAvg variant.
+
+use numeric::linalg::mean_vectors;
+
+/// Uniform average of flat weight vectors (the paper's aggregation).
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn fedavg_uniform(updates: &[Vec<f64>]) -> Vec<f64> {
+    mean_vectors(updates)
+}
+
+/// Sample-count-weighted FedAvg: `Σ n_i·w_i / Σ n_i`.
+///
+/// # Panics
+///
+/// Panics if inputs are empty, lengths mismatch, or all weights are zero.
+pub fn fedavg_weighted(updates: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
+    assert!(!updates.is_empty(), "fedavg of zero updates");
+    assert_eq!(
+        updates.len(),
+        sample_counts.len(),
+        "one sample count per update"
+    );
+    let total: usize = sample_counts.iter().sum();
+    assert!(total > 0, "total sample count must be positive");
+    let dim = updates[0].len();
+    let mut acc = vec![0.0; dim];
+    for (u, &n) in updates.iter().zip(sample_counts) {
+        assert_eq!(u.len(), dim, "update length mismatch");
+        let w = n as f64 / total as f64;
+        for (a, &x) in acc.iter_mut().zip(u) {
+            *a += w * x;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_average() {
+        let avg = fedavg_uniform(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(avg, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn weighted_reduces_to_uniform_for_equal_counts() {
+        let updates = vec![vec![1.0, 0.0], vec![3.0, 2.0]];
+        assert_eq!(
+            fedavg_weighted(&updates, &[5, 5]),
+            fedavg_uniform(&updates)
+        );
+    }
+
+    #[test]
+    fn weighted_respects_counts() {
+        let avg = fedavg_weighted(&[vec![0.0], vec![10.0]], &[9, 1]);
+        assert!((avg[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_update_identity() {
+        assert_eq!(fedavg_uniform(&[vec![7.0, 8.0]]), vec![7.0, 8.0]);
+        assert_eq!(fedavg_weighted(&[vec![7.0]], &[3]), vec![7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero updates")]
+    fn empty_weighted_panics() {
+        let _ = fedavg_weighted(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_counts_panic() {
+        let _ = fedavg_weighted(&[vec![1.0]], &[0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uniform_average_bounded_by_extremes(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..8),
+            b in proptest::collection::vec(-100.0f64..100.0, 1..8),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (a[..n].to_vec(), b[..n].to_vec());
+            let avg = fedavg_uniform(&[a.clone(), b.clone()]);
+            for i in 0..n {
+                let lo = a[i].min(b[i]);
+                let hi = a[i].max(b[i]);
+                prop_assert!(avg[i] >= lo - 1e-12 && avg[i] <= hi + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_weighted_is_convex_combination(
+            u in proptest::collection::vec(-10.0f64..10.0, 3),
+            v in proptest::collection::vec(-10.0f64..10.0, 3),
+            n1 in 1usize..100, n2 in 1usize..100,
+        ) {
+            let avg = fedavg_weighted(&[u.clone(), v.clone()], &[n1, n2]);
+            let w = n1 as f64 / (n1 + n2) as f64;
+            for i in 0..3 {
+                let expect = w * u[i] + (1.0 - w) * v[i];
+                prop_assert!((avg[i] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Multinomial (softmax) logistic regression with gradient descent.
+//!
+//! The paper's local trainer (Sect. V-A2): "We use logistic regression
+//! with gradient descent in local train epoch and FedAvg in global train
+//! epoch." The model is a single linear layer with bias trained on
+//! full-batch cross-entropy; `to_flat`/`from_flat` convert between the
+//! matrix form and the flat weight vector that travels through secure
+//! aggregation.
+
+use numeric::stats::argmax;
+use numeric::Matrix;
+
+use crate::dataset::Dataset;
+
+/// Hyper-parameters for local training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Full-batch epochs per local training call.
+    pub epochs: usize,
+    /// L2 regularization strength (0 disables).
+    pub l2: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 10,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A trained softmax-regression model.
+///
+/// Weight layout: `(features + 1) × classes`, the final row being the
+/// bias. Features are standardized by the caller if desired; the digits
+/// data is already range-bounded so the trainer uses a fixed 1/16 input
+/// scale for conditioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    weights: Matrix,
+    num_features: usize,
+    num_classes: usize,
+}
+
+impl LogisticModel {
+    /// A zero-initialized model.
+    pub fn zeros(num_features: usize, num_classes: usize) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        Self {
+            weights: Matrix::zeros(num_features + 1, num_classes),
+            num_features,
+            num_classes,
+        }
+    }
+
+    /// Number of input features.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Immutable weight matrix view (rows = features + bias).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Length of the flat parameter vector.
+    pub fn flat_len(&self) -> usize {
+        (self.num_features + 1) * self.num_classes
+    }
+
+    /// Serializes parameters row-major into a flat vector.
+    pub fn to_flat(&self) -> Vec<f64> {
+        self.weights.as_slice().to_vec()
+    }
+
+    /// Rebuilds a model from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `(features+1) * classes`.
+    pub fn from_flat(flat: &[f64], num_features: usize, num_classes: usize) -> Self {
+        assert_eq!(
+            flat.len(),
+            (num_features + 1) * num_classes,
+            "flat vector length {} does not match ({num_features}+1)x{num_classes}",
+            flat.len()
+        );
+        Self {
+            weights: Matrix::from_vec(num_features + 1, num_classes, flat.to_vec()),
+            num_features,
+            num_classes,
+        }
+    }
+
+    /// Class-probability matrix for `features` (one row per example).
+    pub fn predict_proba(&self, features: &Matrix) -> Matrix {
+        assert_eq!(
+            features.cols(),
+            self.num_features,
+            "feature count mismatch: model {}, input {}",
+            self.num_features,
+            features.cols()
+        );
+        let x = scaled_with_bias(features);
+        let logits = x.matmul(&self.weights);
+        softmax_rows(&logits)
+    }
+
+    /// Hard label predictions.
+    pub fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let proba = self.predict_proba(features);
+        (0..proba.rows())
+            .map(|r| argmax(proba.row(r)).expect("non-empty probability row"))
+            .collect()
+    }
+
+    /// Trains in place on `data` for `config.epochs` full-batch steps.
+    pub fn train(&mut self, data: &Dataset, config: &TrainConfig) {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(data.num_classes, self.num_classes, "class count mismatch");
+        let x = scaled_with_bias(&data.features);
+        let n = data.len() as f64;
+
+        // One-hot label matrix.
+        let mut y = Matrix::zeros(data.len(), self.num_classes);
+        for (i, &label) in data.labels.iter().enumerate() {
+            y[(i, label)] = 1.0;
+        }
+
+        for _ in 0..config.epochs {
+            let logits = x.matmul(&self.weights);
+            let mut residual = softmax_rows(&logits);
+            residual.axpy(-1.0, &y); // P − Y
+            let mut grad = x.t_matmul(&residual);
+            grad.scale(1.0 / n);
+            if config.l2 > 0.0 {
+                grad.axpy(config.l2, &self.weights);
+            }
+            self.weights.axpy(-config.learning_rate, &grad);
+        }
+    }
+
+    /// Cross-entropy loss on `data` (mean negative log-likelihood).
+    pub fn log_loss(&self, data: &Dataset) -> f64 {
+        let proba = self.predict_proba(&data.features);
+        let eps = 1e-12;
+        let total: f64 = data
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| -(proba[(i, l)].max(eps)).ln())
+            .sum();
+        total / data.len() as f64
+    }
+}
+
+/// Trains a fresh model on `data`.
+pub fn train_model(data: &Dataset, config: &TrainConfig) -> LogisticModel {
+    let mut model = LogisticModel::zeros(data.num_features(), data.num_classes);
+    model.train(data, config);
+    model
+}
+
+/// Input conditioning: scale bitmap counts (0–16) towards unit range and
+/// append the bias column. A fixed constant keeps the transformation
+/// identical on every owner without sharing statistics.
+fn scaled_with_bias(features: &Matrix) -> Matrix {
+    features.map(|v| v / 16.0).with_bias_column()
+}
+
+/// Row-wise numerically-stable softmax.
+fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exp: Vec<f64> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f64 = exp.iter().sum();
+        let out_row = out.row_mut(r);
+        for (o, e) in out_row.iter_mut().zip(&exp) {
+            *o = e / sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDigits;
+    use crate::metrics::accuracy;
+    use crate::split::train_test_split;
+
+    fn quick_config() -> TrainConfig {
+        TrainConfig {
+            learning_rate: 0.5,
+            epochs: 60,
+            l2: 1e-4,
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, 999.0]);
+        let p = softmax_rows(&logits);
+        assert!(p[(0, 0)].is_finite() && p[(0, 1)].is_finite());
+        assert!(p[(0, 0)] > p[(0, 1)]);
+    }
+
+    #[test]
+    fn zero_model_predicts_uniform() {
+        let model = LogisticModel::zeros(4, 5);
+        let x = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let p = model.predict_proba(&x);
+        for c in 0..5 {
+            assert!((p[(0, c)] - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let mut model = LogisticModel::zeros(3, 4);
+        model.weights[(0, 0)] = 1.5;
+        model.weights[(3, 3)] = -2.5;
+        let flat = model.to_flat();
+        assert_eq!(flat.len(), 16);
+        let back = LogisticModel::from_flat(&flat, 3, 4);
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_flat_bad_length_panics() {
+        let _ = LogisticModel::from_flat(&[0.0; 5], 3, 4);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = SyntheticDigits::small().generate(1);
+        let mut model = LogisticModel::zeros(ds.num_features(), ds.num_classes);
+        let before = model.log_loss(&ds);
+        model.train(&ds, &quick_config());
+        let after = model.log_loss(&ds);
+        assert!(
+            after < before * 0.8,
+            "loss should drop substantially: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn learns_separable_digits() {
+        let ds = SyntheticDigits::small().generate(2);
+        let split = train_test_split(&ds, 0.8, 3);
+        let model = train_model(&split.train, &quick_config());
+        let preds = model.predict(&split.test.features);
+        let acc = accuracy(&preds, &split.test.labels);
+        assert!(acc > 0.9, "synthetic digits should be learnable, got {acc}");
+    }
+
+    #[test]
+    fn training_deterministic() {
+        let ds = SyntheticDigits::small().generate(4);
+        let a = train_model(&ds, &quick_config());
+        let b = train_model(&ds, &quick_config());
+        assert_eq!(a, b, "full-batch GD from zeros is deterministic");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_training_panics() {
+        let ds = SyntheticDigits::small().generate(1);
+        let empty = ds.subset(&[]);
+        let mut model = LogisticModel::zeros(64, 10);
+        model.train(&empty, &quick_config());
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let ds = SyntheticDigits::small().generate(5);
+        let no_reg = train_model(
+            &ds,
+            &TrainConfig {
+                l2: 0.0,
+                ..quick_config()
+            },
+        );
+        let reg = train_model(
+            &ds,
+            &TrainConfig {
+                l2: 0.5,
+                ..quick_config()
+            },
+        );
+        assert!(
+            reg.weights().frobenius_norm() < no_reg.weights().frobenius_norm(),
+            "L2 must shrink the weight norm"
+        );
+    }
+
+    #[test]
+    fn continued_training_from_flat_improves() {
+        // Simulates the FL pattern: download global weights, train locally.
+        let ds = SyntheticDigits::small().generate(6);
+        let mut global = LogisticModel::zeros(ds.num_features(), ds.num_classes);
+        global.train(
+            &ds,
+            &TrainConfig {
+                epochs: 5,
+                ..quick_config()
+            },
+        );
+        let mut local =
+            LogisticModel::from_flat(&global.to_flat(), ds.num_features(), ds.num_classes);
+        let before = local.log_loss(&ds);
+        local.train(
+            &ds,
+            &TrainConfig {
+                epochs: 20,
+                ..quick_config()
+            },
+        );
+        assert!(local.log_loss(&ds) < before);
+    }
+}

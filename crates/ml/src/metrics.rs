@@ -1,0 +1,117 @@
+//! Evaluation metrics.
+//!
+//! The paper's utility function `u(W)` is the accuracy of the model with
+//! weights `W` on the held-out test set; [`accuracy`] is therefore the
+//! hinge on which every Shapley value in the system turns.
+
+use crate::dataset::Dataset;
+use crate::logreg::LogisticModel;
+
+/// Fraction of predictions matching the labels.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty inputs.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
+    assert!(!labels.is_empty(), "accuracy of zero examples is undefined");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Accuracy of `model` on `data` — the paper's `u(·)`.
+pub fn model_accuracy(model: &LogisticModel, data: &Dataset) -> f64 {
+    accuracy(&model.predict(&data.features), &data.labels)
+}
+
+/// Row-normalized confusion matrix counts: `counts[actual][predicted]`.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut counts = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < num_classes && l < num_classes, "class out of range");
+        counts[l][p] += 1;
+    }
+    counts
+}
+
+/// Per-class recall (diagonal over row sums); `None` for absent classes.
+pub fn per_class_recall(confusion: &[Vec<usize>]) -> Vec<Option<f64>> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let total: usize = row.iter().sum();
+            (total > 0).then(|| row[i] as f64 / total as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDigits;
+    use crate::logreg::{train_model, TrainConfig};
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 1, 1]), 0.0);
+        assert_eq!(accuracy(&[0, 1], &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_accuracy_panics() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_accuracy_panics() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let cm = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(cm[0], vec![1, 0, 0]);
+        assert_eq!(cm[1], vec![0, 1, 0]);
+        assert_eq!(cm[2], vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn recall_handles_absent_class() {
+        let cm = confusion_matrix(&[0, 0], &[0, 0], 2);
+        let recall = per_class_recall(&cm);
+        assert_eq!(recall[0], Some(1.0));
+        assert_eq!(recall[1], None);
+    }
+
+    #[test]
+    fn model_accuracy_on_trained_model() {
+        let ds = SyntheticDigits::small().generate(1);
+        let model = train_model(
+            &ds,
+            &TrainConfig {
+                learning_rate: 0.5,
+                epochs: 60,
+                l2: 1e-4,
+            },
+        );
+        let acc = model_accuracy(&model, &ds);
+        assert!(acc > 0.9, "training accuracy {acc} too low");
+    }
+}

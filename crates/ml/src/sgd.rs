@@ -1,0 +1,251 @@
+//! Mini-batch stochastic gradient descent.
+//!
+//! The paper's experiments use full-batch gradient descent, which the
+//! [`crate::logreg`] trainer implements. Real cross-silo deployments at
+//! larger scale use mini-batches; this module provides that variant with
+//! *deterministic* batch shuffling (seeded xoshiro), preserving the
+//! re-execution property the blockchain layer depends on: two miners
+//! replaying the same seed train bit-identical models.
+
+use numeric::Matrix;
+
+use crate::dataset::Dataset;
+use crate::logreg::LogisticModel;
+use crate::rng::Xoshiro256;
+
+/// Mini-batch SGD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Examples per batch (clamped to the dataset size).
+    pub batch_size: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Shuffle seed — part of the protocol agreement, not an
+    /// implementation detail.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 5,
+            batch_size: 32,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains `model` in place with mini-batch SGD.
+///
+/// # Panics
+///
+/// Panics on an empty dataset, zero batch size, or class mismatch.
+pub fn train_sgd(model: &mut LogisticModel, data: &Dataset, config: &SgdConfig) {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert_eq!(
+        data.num_classes,
+        model.num_classes(),
+        "class count mismatch"
+    );
+
+    let n = data.len();
+    let batch = config.batch_size.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = Xoshiro256::seed_from_u64(config.seed);
+
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(batch) {
+            let minibatch = data.subset(chunk);
+            // One full-batch step *on the mini-batch* re-uses the
+            // well-tested gradient path of the base trainer.
+            model.train(
+                &minibatch,
+                &crate::logreg::TrainConfig {
+                    learning_rate: config.learning_rate,
+                    epochs: 1,
+                    l2: config.l2,
+                },
+            );
+        }
+    }
+}
+
+/// Trains a fresh model with mini-batch SGD.
+pub fn train_model_sgd(data: &Dataset, config: &SgdConfig) -> LogisticModel {
+    let mut model = LogisticModel::zeros(data.num_features(), data.num_classes);
+    train_sgd(&mut model, data, config);
+    model
+}
+
+/// Accuracy-matched comparison helper: trains both the full-batch and the
+/// SGD trainer on the same data and returns `(full_batch_acc, sgd_acc)`
+/// on `test`. Used by the ablation tests and the optimizer bench.
+pub fn compare_trainers(
+    train: &Dataset,
+    test: &Dataset,
+    full_batch: &crate::logreg::TrainConfig,
+    sgd: &SgdConfig,
+) -> (f64, f64) {
+    let fb_model = crate::logreg::train_model(train, full_batch);
+    let sgd_model = train_model_sgd(train, sgd);
+    (
+        crate::metrics::model_accuracy(&fb_model, test),
+        crate::metrics::model_accuracy(&sgd_model, test),
+    )
+}
+
+/// Convenience: flattens a matrix — exposed for tests that need to peek
+/// at weight movement between optimizers.
+pub fn weight_delta(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDigits;
+    use crate::logreg::TrainConfig;
+    use crate::metrics::model_accuracy;
+    use crate::split::train_test_split;
+
+    fn data() -> Dataset {
+        SyntheticDigits::small().generate(3)
+    }
+
+    #[test]
+    fn sgd_learns_the_task() {
+        let ds = data();
+        let split = train_test_split(&ds, 0.8, 1);
+        let model = train_model_sgd(
+            &split.train,
+            &SgdConfig {
+                learning_rate: 0.3,
+                epochs: 8,
+                batch_size: 32,
+                l2: 1e-4,
+                seed: 9,
+            },
+        );
+        let acc = model_accuracy(&model, &split.test);
+        assert!(acc > 0.9, "SGD should learn separable digits, got {acc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = data();
+        let config = SgdConfig {
+            seed: 5,
+            ..Default::default()
+        };
+        let a = train_model_sgd(&ds, &config);
+        let b = train_model_sgd(&ds, &config);
+        assert_eq!(a, b, "same seed must reproduce bit-identical weights");
+        let c = train_model_sgd(
+            &ds,
+            &SgdConfig {
+                seed: 6,
+                ..config
+            },
+        );
+        assert_ne!(a, c, "different seed must reorder batches");
+    }
+
+    #[test]
+    fn batch_size_larger_than_data_is_full_batch() {
+        let ds = data().subset(&(0..50).collect::<Vec<_>>());
+        let sgd = train_model_sgd(
+            &ds,
+            &SgdConfig {
+                learning_rate: 0.2,
+                epochs: 3,
+                batch_size: 10_000,
+                l2: 0.0,
+                seed: 1,
+            },
+        );
+        // One chunk per epoch == full-batch GD with the same step count;
+        // the shuffled row order only permutes float summation, so the
+        // weights agree to numerical noise.
+        let mut fb = LogisticModel::zeros(ds.num_features(), ds.num_classes);
+        fb.train(
+            &ds,
+            &TrainConfig {
+                learning_rate: 0.2,
+                epochs: 3,
+                l2: 0.0,
+            },
+        );
+        let delta = weight_delta(sgd.weights(), fb.weights());
+        assert!(delta < 1e-9, "weight delta {delta} too large");
+    }
+
+    #[test]
+    fn comparable_accuracy_to_full_batch() {
+        let ds = data();
+        let split = train_test_split(&ds, 0.8, 2);
+        let (fb, sgd) = compare_trainers(
+            &split.train,
+            &split.test,
+            &TrainConfig {
+                learning_rate: 0.5,
+                epochs: 40,
+                l2: 1e-4,
+            },
+            &SgdConfig {
+                learning_rate: 0.3,
+                epochs: 8,
+                batch_size: 32,
+                l2: 1e-4,
+                seed: 3,
+            },
+        );
+        assert!(
+            (fb - sgd).abs() < 0.1,
+            "optimizers should land in the same accuracy band: fb={fb}, sgd={sgd}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        let ds = data();
+        let mut model = LogisticModel::zeros(ds.num_features(), ds.num_classes);
+        train_sgd(
+            &mut model,
+            &ds,
+            &SgdConfig {
+                batch_size: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_data_panics() {
+        let ds = data();
+        let empty = ds.subset(&[]);
+        let mut model = LogisticModel::zeros(64, 10);
+        train_sgd(&mut model, &empty, &SgdConfig::default());
+    }
+
+    #[test]
+    fn weight_delta_zero_for_identical() {
+        let ds = data();
+        let m = train_model_sgd(&ds, &SgdConfig::default());
+        assert_eq!(weight_delta(m.weights(), m.weights()), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Numeric foundations for the transparent-fl workspace.
+//!
+//! This crate provides the three numeric substrates the paper's system is
+//! built on:
+//!
+//! * [`uint`] — fixed-width unsigned big integers with modular arithmetic,
+//!   used by the Diffie–Hellman key agreement in `fl-crypto`.
+//! * [`fixed`] — a fixed-point codec mapping `f64` model weights into the
+//!   wrapping `u64` ring. Secure aggregation masks live in this ring, so
+//!   mask cancellation is *exact* (bit-for-bit), which a floating-point
+//!   encoding cannot guarantee.
+//! * [`linalg`] — dense row-major matrices and vector kernels backing the
+//!   logistic-regression trainer in `fl-ml`.
+//! * [`stats`] — the statistical helpers the evaluation needs (cosine
+//!   similarity for Fig. 2, summaries for the reports).
+//!
+//! Everything here is deterministic and dependency-free by design: the
+//! blockchain's verification-by-re-execution protocol (paper Sect. III)
+//! only works if every miner computes identical results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixed;
+pub mod linalg;
+pub mod stats;
+pub mod uint;
+
+pub use fixed::FixedCodec;
+pub use linalg::{Matrix, Vector};
+pub use uint::{U2048, U256};

@@ -1,0 +1,469 @@
+//! Dense row-major linear algebra.
+//!
+//! The logistic-regression trainer in `fl-ml` needs a small set of matrix
+//! kernels: matrix–matrix product, transpose-product, row-wise softmax
+//! support, AXPY updates and flattening to/from the weight vectors that
+//! travel through secure aggregation. There is no BLAS in the offline
+//! dependency set, and the paper's workload (5620×64 inputs, 64×10 weight
+//! matrices) is tiny, so a cache-friendly but straightforward
+//! implementation is the right tool.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// A convenience alias: a vector is an owned `f64` buffer.
+pub type Vector = Vec<f64>;
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows: expected {c}, got {}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of `rhs` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Product of the transpose of `self` with `rhs`: `selfᵀ * rhs`.
+    ///
+    /// Used for the gradient `Xᵀ·(P − Y)` without materializing `Xᵀ`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let left = &self.data[r * self.cols..(r + 1) * self.cols];
+            let right = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
+            for (i, &a) in left.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(right) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// `self += alpha * rhs` (element-wise AXPY).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Element-wise sum of the matrix.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maps every element through `f`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Appends a constant `1.0` column (bias feature).
+    pub fn with_bias_column(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            out.data[r * (self.cols + 1)..r * (self.cols + 1) + self.cols]
+                .copy_from_slice(self.row(r));
+            out.data[r * (self.cols + 1) + self.cols] = 1.0;
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6;
+        for r in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4}", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, " …")?;
+            }
+            writeln!(f, " ]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over slices.
+pub fn axpy_slice(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Element-wise mean of several equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or lengths mismatch.
+pub fn mean_vectors(vectors: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!vectors.is_empty(), "mean of zero vectors");
+    let len = vectors[0].len();
+    let mut acc = vec![0.0; len];
+    for v in vectors {
+        assert_eq!(v.len(), len, "mean_vectors length mismatch");
+        axpy_slice(&mut acc, 1.0, v);
+    }
+    let inv = 1.0 / vectors.len() as f64;
+    for a in &mut acc {
+        *a *= inv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice().len(), 6);
+        let m2 = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m2[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn bad_buffer_length_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn identity_matmul_is_identity_map() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.0, 1.0, 3.0]);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.as_slice(), &[3.0, 4.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn bias_column_appended() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = a.with_bias_column();
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b.row(0), &[1.0, 2.0, 1.0]);
+        assert_eq!(b.row(1), &[3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn norms_and_sum() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(a.sum(), 7.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dot_and_axpy_slice() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy_slice(&mut y, 3.0, &[1.0, 2.0]);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_vectors_averages() {
+        let m = mean_vectors(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vectors")]
+    fn mean_of_nothing_panics() {
+        let _ = mean_vectors(&[]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        let b = a.map(f64::abs);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn debug_render_is_bounded() {
+        let a = Matrix::zeros(100, 100);
+        let s = format!("{a:?}");
+        assert!(s.len() < 2000, "debug output must stay bounded");
+    }
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_associative(
+            a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)
+        ) {
+            let lhs = a.matmul(&b).matmul(&c);
+            let rhs = a.matmul(&b.matmul(&c));
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_matmul_law(
+            a in arb_matrix(3, 4), b in arb_matrix(4, 2)
+        ) {
+            // (AB)ᵀ = BᵀAᵀ
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_dot_symmetric(
+            v in proptest::collection::vec(-10.0f64..10.0, 1..32)
+        ) {
+            let w: Vec<f64> = v.iter().rev().cloned().collect();
+            prop_assert!((dot(&v, &w) - dot(&w, &v)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,887 @@
+//! Fixed-width unsigned big integers.
+//!
+//! The Diffie–Hellman key agreement in `fl-crypto` needs modular
+//! exponentiation over primes larger than 128 bits. The offline dependency
+//! set carries no bigint crate, so this module implements a small,
+//! well-tested fixed-width integer: [`Uint<LIMBS>`] with 64-bit limbs in
+//! little-endian order, plus the modular kernels ([`Uint::mod_mul`],
+//! [`Uint::mod_pow`]) that DH requires.
+//!
+//! Design notes:
+//!
+//! * Widths are const-generic; [`U256`] (the simulation-grade DH group) and
+//!   [`U2048`] (RFC 3526 MODP-2048 for a faithful slow path) are the two
+//!   instantiations the workspace uses.
+//! * Multiplication is schoolbook into a double-width accumulator;
+//!   reduction is binary shift-subtract long division. Both are O(w²) in
+//!   the word count — entirely adequate for a 256-bit group and usable for
+//!   occasional 2048-bit operations.
+//! * Arithmetic is *not* constant time. This is a research simulation of
+//!   the paper's protocol, not a hardened TLS stack; the crate-level docs
+//!   of `fl-crypto` repeat this warning.
+
+// Limb-level arithmetic is written with explicit indices throughout: the
+// canonical big-integer algorithms (CIOS, shift-subtract division) are
+// specified over index windows, and iterator adaptors obscure the carry
+// chains that reviews need to check.
+#![allow(clippy::needless_range_loop)]
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A fixed-width unsigned integer with `LIMBS` 64-bit little-endian limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uint<const LIMBS: usize> {
+    limbs: [u64; LIMBS],
+}
+
+/// 256-bit unsigned integer (4 limbs).
+pub type U256 = Uint<4>;
+/// 2048-bit unsigned integer (32 limbs).
+pub type U2048 = Uint<32>;
+
+impl<const LIMBS: usize> Default for Uint<LIMBS> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const LIMBS: usize> Uint<LIMBS> {
+    /// The additive identity.
+    pub const ZERO: Self = Self { limbs: [0; LIMBS] };
+
+    /// The multiplicative identity.
+    pub const ONE: Self = {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = 1;
+        Self { limbs }
+    };
+
+    /// The largest representable value (all bits set).
+    pub const MAX: Self = Self {
+        limbs: [u64::MAX; LIMBS],
+    };
+
+    /// Total width in bits.
+    pub const BITS: u32 = 64 * LIMBS as u32;
+
+    /// Builds a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        Self { limbs }
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Builds a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        assert!(LIMBS >= 2, "u128 needs at least two limbs");
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = v as u64;
+        limbs[1] = (v >> 64) as u64;
+        Self { limbs }
+    }
+
+    /// Interprets `bytes` as a big-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is longer than the width of the integer.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= LIMBS * 8,
+            "{} bytes do not fit in {} limbs",
+            bytes.len(),
+            LIMBS
+        );
+        let mut limbs = [0u64; LIMBS];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= (b as u64) << (8 * (i % 8));
+        }
+        Self { limbs }
+    }
+
+    /// Serializes to big-endian bytes (full width).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(LIMBS * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix required, case
+    /// insensitive, whitespace ignored).
+    pub fn from_hex(s: &str) -> Result<Self, UintError> {
+        let cleaned: String = s
+            .trim()
+            .trim_start_matches("0x")
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if cleaned.is_empty() {
+            return Err(UintError::Empty);
+        }
+        if cleaned.len() > LIMBS * 16 {
+            return Err(UintError::Overflow);
+        }
+        let mut out = Self::ZERO;
+        for c in cleaned.chars() {
+            let d = c.to_digit(16).ok_or(UintError::InvalidDigit(c))? as u64;
+            let (shifted, ov) = out.overflowing_shl(4);
+            if ov {
+                return Err(UintError::Overflow);
+            }
+            out = shifted;
+            out.limbs[0] |= d;
+        }
+        Ok(out)
+    }
+
+    /// Lowercase hexadecimal rendering without leading zeros.
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut s = String::new();
+        let mut seen = false;
+        for limb in self.limbs.iter().rev() {
+            if seen {
+                s.push_str(&format!("{limb:016x}"));
+            } else if *limb != 0 {
+                s.push_str(&format!("{limb:x}"));
+                seen = true;
+            }
+        }
+        s
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// True if the lowest bit is zero.
+    pub fn is_even(&self) -> bool {
+        self.limbs[0] & 1 == 0
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<u32> {
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if limb != 0 {
+                return Some(i as u32 * 64 + 63 - limb.leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// Value of bit `i` (little-endian bit order).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= Self::BITS {
+            return false;
+        }
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Wrapping addition with carry-out flag.
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut carry = false;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (Self { limbs: out }, carry)
+    }
+
+    /// Wrapping subtraction with borrow-out flag.
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut borrow = false;
+        for i in 0..LIMBS {
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (Self { limbs: out }, borrow)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        let (v, ov) = self.overflowing_add(rhs);
+        (!ov).then_some(v)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        let (v, ov) = self.overflowing_sub(rhs);
+        (!ov).then_some(v)
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Left shift with overflow flag (true if any set bit fell off).
+    pub fn overflowing_shl(&self, n: u32) -> (Self, bool) {
+        if n == 0 {
+            return (*self, false);
+        }
+        if n >= Self::BITS {
+            return (Self::ZERO, !self.is_zero());
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        let mut overflow = false;
+        for i in (0..LIMBS).rev() {
+            let src = i as isize - limb_shift as isize;
+            let mut v = 0u64;
+            if src >= 0 {
+                v = self.limbs[src as usize] << bit_shift;
+                if bit_shift > 0 && src >= 1 {
+                    v |= self.limbs[src as usize - 1] >> (64 - bit_shift);
+                }
+            }
+            out[i] = v;
+        }
+        // Detect lost high bits.
+        for i in (LIMBS - limb_shift.min(LIMBS))..LIMBS {
+            if self.limbs[i] != 0 && (i + limb_shift >= LIMBS) {
+                overflow = true;
+            }
+        }
+        if bit_shift > 0 && limb_shift < LIMBS {
+            let top = self.limbs[LIMBS - 1 - limb_shift];
+            if top >> (64 - bit_shift) != 0 {
+                overflow = true;
+            }
+        }
+        (Self { limbs: out }, overflow)
+    }
+
+    /// Logical right shift.
+    pub fn shr(&self, n: u32) -> Self {
+        if n == 0 {
+            return *self;
+        }
+        if n >= Self::BITS {
+            return Self::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            let src = i + limb_shift;
+            if src < LIMBS {
+                out[i] = self.limbs[src] >> bit_shift;
+                if bit_shift > 0 && src + 1 < LIMBS {
+                    out[i] |= self.limbs[src + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        Self { limbs: out }
+    }
+
+    /// Schoolbook multiplication into a double-width little-endian limb
+    /// vector of length `2 * LIMBS`.
+    fn widening_mul(&self, rhs: &Self) -> Vec<u64> {
+        let mut acc = vec![0u64; 2 * LIMBS];
+        for i in 0..LIMBS {
+            if self.limbs[i] == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for j in 0..LIMBS {
+                let idx = i + j;
+                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128
+                    + acc[idx] as u128
+                    + carry;
+                acc[idx] = prod as u64;
+                carry = prod >> 64;
+            }
+            let mut idx = i + LIMBS;
+            while carry > 0 {
+                let sum = acc[idx] as u128 + carry;
+                acc[idx] = sum as u64;
+                carry = sum >> 64;
+                idx += 1;
+            }
+        }
+        acc
+    }
+
+    /// Checked multiplication (None on overflow).
+    pub fn checked_mul(&self, rhs: &Self) -> Option<Self> {
+        let wide = self.widening_mul(rhs);
+        if wide[LIMBS..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let mut limbs = [0u64; LIMBS];
+        limbs.copy_from_slice(&wide[..LIMBS]);
+        Some(Self { limbs })
+    }
+
+    /// `self mod modulus` via binary long division on the limb slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn reduce(&self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "division by zero modulus");
+        reduce_slice(&self.limbs, modulus)
+    }
+
+    /// Modular addition: `(self + rhs) mod modulus`.
+    ///
+    /// Inputs must already be reduced (`< modulus`).
+    pub fn mod_add(&self, rhs: &Self, modulus: &Self) -> Self {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || &sum >= modulus {
+            sum.wrapping_sub(modulus)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod modulus`.
+    ///
+    /// Inputs must already be reduced (`< modulus`).
+    pub fn mod_sub(&self, rhs: &Self, modulus: &Self) -> Self {
+        debug_assert!(self < modulus && rhs < modulus);
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.wrapping_add(modulus)
+        } else {
+            diff
+        }
+    }
+
+    /// Modular multiplication: `(self * rhs) mod modulus`.
+    pub fn mod_mul(&self, rhs: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "division by zero modulus");
+        let wide = self.widening_mul(rhs);
+        reduce_slice(&wide, modulus)
+    }
+
+    /// Modular exponentiation: `self^exp mod modulus` by left-to-right
+    /// square and multiply.
+    ///
+    /// Odd moduli (every prime the crate ships) take the Montgomery (CIOS)
+    /// fast path; even moduli fall back to binary reduction.
+    pub fn mod_pow(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "division by zero modulus");
+        if modulus == &Self::ONE {
+            return Self::ZERO;
+        }
+        if let Some(ctx) = MontgomeryCtx::new(modulus) {
+            return ctx.mod_pow(self, exp);
+        }
+        let base = self.reduce(modulus);
+        let mut result = Self::ONE;
+        let Some(top) = exp.highest_bit() else {
+            return result; // exp == 0
+        };
+        for i in (0..=top).rev() {
+            result = result.mod_mul(&result, modulus);
+            if exp.bit(i) {
+                result = result.mod_mul(&base, modulus);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat's little theorem (`modulus` must be
+    /// prime and `self` nonzero mod it).
+    pub fn mod_inv_prime(&self, modulus: &Self) -> Option<Self> {
+        let reduced = self.reduce(modulus);
+        if reduced.is_zero() {
+            return None;
+        }
+        let exp = modulus.wrapping_sub(&Self::from_u64(2));
+        Some(reduced.mod_pow(&exp, modulus))
+    }
+}
+
+/// Reduces an arbitrary-length little-endian limb slice modulo `modulus`.
+fn reduce_slice<const LIMBS: usize>(value: &[u64], modulus: &Uint<LIMBS>) -> Uint<LIMBS> {
+    // Find the highest set bit of the value.
+    let mut top_bit: Option<usize> = None;
+    for (i, &limb) in value.iter().enumerate().rev() {
+        if limb != 0 {
+            top_bit = Some(i * 64 + 63 - limb.leading_zeros() as usize);
+            break;
+        }
+    }
+    let Some(top_bit) = top_bit else {
+        return Uint::ZERO;
+    };
+
+    let mod_bits = modulus
+        .highest_bit()
+        .expect("modulus checked nonzero by callers") as usize;
+
+    // Remainder accumulator, built bit by bit from the most significant
+    // bit downwards: r = r*2 + bit; if r >= m { r -= m }.
+    let mut rem = Uint::<LIMBS>::ZERO;
+    for i in (0..=top_bit).rev() {
+        // rem <<= 1 (rem < m <= 2^BITS - 1; after shift it may reach 2m,
+        // but because m's top bit is mod_bits, rem < m means rem's top bit
+        // <= mod_bits, so the shift can only overflow if mod_bits is the
+        // very top bit — handle with the carry from overflowing_shl).
+        let (shifted, carry) = rem.overflowing_shl(1);
+        rem = shifted;
+        let bit = (value[i / 64] >> (i % 64)) & 1 == 1;
+        if bit {
+            rem.limbs[0] |= 1;
+        }
+        if carry || &rem >= modulus {
+            rem = rem.wrapping_sub(modulus);
+        }
+        debug_assert!(&rem < modulus || mod_bits == 0);
+    }
+    rem
+}
+
+/// Montgomery multiplication context for an odd modulus.
+///
+/// Implements the CIOS (coarsely integrated operand scanning) variant of
+/// Montgomery reduction; `mod_pow` over RFC 3526-sized primes is ~100×
+/// faster than binary reduction, which keeps the 2048-bit DH slow path
+/// testable in debug builds.
+pub struct MontgomeryCtx<const LIMBS: usize> {
+    modulus: Uint<LIMBS>,
+    /// `-modulus^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod modulus` where `R = 2^(64·LIMBS)`.
+    r2: Uint<LIMBS>,
+}
+
+impl<const LIMBS: usize> MontgomeryCtx<LIMBS> {
+    /// Builds a context. Returns `None` for even or zero moduli, for which
+    /// Montgomery reduction is undefined.
+    pub fn new(modulus: &Uint<LIMBS>) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_even() {
+            return None;
+        }
+        // Newton iteration: x_{k+1} = x_k (2 - m0 x_k) doubles the number
+        // of correct low bits each step; 6 steps cover 64 bits.
+        let m0 = modulus.limbs[0];
+        let mut inv = m0; // correct to 3 bits for odd m0
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod m by doubling 1 exactly 2·BITS times.
+        let mut r2 = Uint::<LIMBS>::ONE.reduce(modulus);
+        for _ in 0..(2 * Uint::<LIMBS>::BITS) {
+            r2 = r2.mod_add(&r2, modulus);
+        }
+        Some(Self {
+            modulus: *modulus,
+            n0_inv,
+            r2,
+        })
+    }
+
+    /// Montgomery product: `a · b · R^{-1} mod m` (CIOS).
+    fn mont_mul(&self, a: &Uint<LIMBS>, b: &Uint<LIMBS>) -> Uint<LIMBS> {
+        let m = &self.modulus.limbs;
+        let mut t = vec![0u64; LIMBS + 2];
+        for i in 0..LIMBS {
+            // t += a * b[i]
+            let bi = b.limbs[i] as u128;
+            let mut carry: u128 = 0;
+            for j in 0..LIMBS {
+                let sum = t[j] as u128 + a.limbs[j] as u128 * bi + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[LIMBS] as u128 + carry;
+            t[LIMBS] = sum as u64;
+            t[LIMBS + 1] = (sum >> 64) as u64;
+
+            // reduce: choose q so the low limb of t + q·m vanishes
+            let q = t[0].wrapping_mul(self.n0_inv) as u128;
+            let mut carry: u128 = (t[0] as u128 + q * m[0] as u128) >> 64;
+            for j in 1..LIMBS {
+                let sum = t[j] as u128 + q * m[j] as u128 + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[LIMBS] as u128 + carry;
+            t[LIMBS - 1] = sum as u64;
+            t[LIMBS] = t[LIMBS + 1].wrapping_add((sum >> 64) as u64);
+            t[LIMBS + 1] = 0;
+        }
+        let mut out = [0u64; LIMBS];
+        out.copy_from_slice(&t[..LIMBS]);
+        let mut result = Uint { limbs: out };
+        if t[LIMBS] != 0 || result >= self.modulus {
+            result = result.wrapping_sub(&self.modulus);
+        }
+        result
+    }
+
+    /// `base^exp mod modulus` in Montgomery form.
+    pub fn mod_pow(&self, base: &Uint<LIMBS>, exp: &Uint<LIMBS>) -> Uint<LIMBS> {
+        let base_red = base.reduce(&self.modulus);
+        // To Montgomery form: â = a·R mod m = montmul(a, R²).
+        let base_hat = self.mont_mul(&base_red, &self.r2);
+        // 1 in Montgomery form: R mod m = montmul(1, R²).
+        let mut acc = self.mont_mul(&Uint::ONE, &self.r2);
+        if let Some(top) = exp.highest_bit() {
+            for i in (0..=top).rev() {
+                acc = self.mont_mul(&acc, &acc);
+                if exp.bit(i) {
+                    acc = self.mont_mul(&acc, &base_hat);
+                }
+            }
+        }
+        // Out of Montgomery form: a = â·R^{-1} = montmul(â, 1).
+        self.mont_mul(&acc, &Uint::ONE)
+    }
+}
+
+impl<const LIMBS: usize> PartialOrd for Uint<LIMBS> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const LIMBS: usize> Ord for Uint<LIMBS> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const LIMBS: usize> fmt::Debug for Uint<LIMBS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint<{LIMBS}>(0x{})", self.to_hex())
+    }
+}
+
+impl<const LIMBS: usize> fmt::Display for Uint<LIMBS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl<const LIMBS: usize> From<u64> for Uint<LIMBS> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+/// Errors from parsing or constructing a [`Uint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UintError {
+    /// Input string had no digits.
+    Empty,
+    /// A character was not a hexadecimal digit.
+    InvalidDigit(char),
+    /// The value does not fit in the target width.
+    Overflow,
+}
+
+impl fmt::Display for UintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UintError::Empty => write!(f, "empty integer literal"),
+            UintError::InvalidDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            UintError::Overflow => write!(f, "value does not fit in target width"),
+        }
+    }
+}
+
+impl std::error::Error for UintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u256(v: u128) -> U256 {
+        U256::from_u128(v)
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        assert!(U256::ZERO.is_zero());
+        assert!(!U256::ONE.is_zero());
+        assert_eq!(U256::ZERO.wrapping_add(&U256::ONE), U256::ONE);
+        assert_eq!(U256::ONE.wrapping_sub(&U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn add_sub_carry_chain() {
+        let max = U256::MAX;
+        let (sum, carry) = max.overflowing_add(&U256::ONE);
+        assert!(carry);
+        assert!(sum.is_zero());
+        let (diff, borrow) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(borrow);
+        assert_eq!(diff, U256::MAX);
+    }
+
+    #[test]
+    fn mul_small_values() {
+        let a = u256(0xdead_beef);
+        let b = u256(0x1_0000_0001);
+        let prod = a.checked_mul(&b).unwrap();
+        assert_eq!(prod, u256(0xdead_beef * 0x1_0000_0001u128));
+    }
+
+    #[test]
+    fn mul_overflow_detected() {
+        assert!(U256::MAX.checked_mul(&u256(2)).is_none());
+        assert_eq!(U256::MAX.checked_mul(&U256::ONE), Some(U256::MAX));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let v = U256::from_hex("ffffffff00000000ffffffff00000000f").unwrap();
+        assert_eq!(U256::from_hex(&v.to_hex()).unwrap(), v);
+        assert_eq!(U256::from_hex("0").unwrap(), U256::ZERO);
+        assert!(U256::from_hex("").is_err());
+        assert!(U256::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn hex_overflow_rejected() {
+        let too_long = "f".repeat(65);
+        assert!(U256::from_hex(&too_long).is_err());
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = u256(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        let bytes = v.to_be_bytes();
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(U256::from_be_bytes(&bytes), v);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = u256(1);
+        let (shifted, ov) = v.overflowing_shl(255);
+        assert!(!ov);
+        assert_eq!(shifted.highest_bit(), Some(255));
+        let (_, ov) = shifted.overflowing_shl(1);
+        assert!(ov);
+        assert_eq!(shifted.shr(255), U256::ONE);
+        assert_eq!(v.shr(1), U256::ZERO);
+    }
+
+    #[test]
+    fn reduce_matches_u128() {
+        let a = u256(123_456_789_123_456_789);
+        let m = u256(1_000_000_007);
+        assert_eq!(
+            a.reduce(&m),
+            u256(123_456_789_123_456_789u128 % 1_000_000_007)
+        );
+    }
+
+    #[test]
+    fn mod_pow_small_prime() {
+        // 3^100 mod 1000000007 = 226732710 (checked independently).
+        let base = u256(3);
+        let exp = u256(100);
+        let m = u256(1_000_000_007);
+        let expect = {
+            let mut r: u128 = 1;
+            for _ in 0..100 {
+                r = r * 3 % 1_000_000_007;
+            }
+            u256(r)
+        };
+        assert_eq!(base.mod_pow(&exp, &m), expect);
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = u256(97);
+        assert_eq!(u256(5).mod_pow(&U256::ZERO, &m), U256::ONE);
+        assert_eq!(u256(5).mod_pow(&U256::ONE, &m), u256(5));
+        assert_eq!(u256(5).mod_pow(&u256(10), &U256::ONE), U256::ZERO);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let p = u256(1_000_000_007);
+        let a = u256(123_456);
+        let inv = a.mod_inv_prime(&p).unwrap();
+        assert_eq!(a.mod_mul(&inv, &p), U256::ONE);
+        assert!(U256::ZERO.mod_inv_prime(&p).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(u256(255).to_hex(), "ff");
+        assert_eq!(format!("{}", u256(255)), "0xff");
+        assert_eq!(U256::ZERO.to_hex(), "0");
+    }
+
+    #[test]
+    fn ord_is_lexicographic_on_value() {
+        assert!(u256(1) < u256(2));
+        assert!(U256::MAX > u256(u128::MAX));
+        assert_eq!(u256(7).cmp(&u256(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn u2048_basic_modexp() {
+        // Tiny sanity check in the wide type: 2^10 mod 1000 = 24.
+        let base = U2048::from_u64(2);
+        let exp = U2048::from_u64(10);
+        let m = U2048::from_u64(1000);
+        assert_eq!(base.mod_pow(&exp, &m), U2048::from_u64(24));
+    }
+
+    #[test]
+    fn montgomery_rejects_even_modulus() {
+        assert!(MontgomeryCtx::<4>::new(&u256(10)).is_none());
+        assert!(MontgomeryCtx::<4>::new(&U256::ZERO).is_none());
+        assert!(MontgomeryCtx::<4>::new(&u256(9)).is_some());
+    }
+
+    #[test]
+    fn montgomery_matches_naive_modpow() {
+        // Compare the CIOS path against square-and-multiply with binary
+        // reduction across a spread of odd moduli.
+        for (base, exp, m) in [
+            (3u128, 1000u128, 1_000_000_007u128),
+            (2, 5, 7),
+            (123_456_789, 987_654_321, 0xffff_ffff_ffff_fff1),
+            (5, 0, 97),
+            (0, 5, 97),
+        ] {
+            let ctx = MontgomeryCtx::new(&u256(m)).unwrap();
+            let fast = ctx.mod_pow(&u256(base), &u256(exp));
+            // naive ladder
+            let mut naive = U256::ONE;
+            let b = u256(base).reduce(&u256(m));
+            let e = u256(exp);
+            if let Some(top) = e.highest_bit() {
+                for i in (0..=top).rev() {
+                    naive = naive.mod_mul(&naive, &u256(m));
+                    if e.bit(i) {
+                        naive = naive.mod_mul(&b, &u256(m));
+                    }
+                }
+            }
+            assert_eq!(fast, naive, "base={base} exp={exp} m={m}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_montgomery_matches_naive(
+            base in any::<u64>(), exp in 0u64..10_000, m in any::<u64>()
+        ) {
+            let m = (m | 1).max(3); // odd, >= 3
+            let ctx = MontgomeryCtx::new(&u256(m as u128)).unwrap();
+            let fast = ctx.mod_pow(&u256(base as u128), &u256(exp as u128));
+            // u128 reference implementation
+            let mut r: u128 = 1;
+            let mut b = base as u128 % m as u128;
+            let mut e = exp;
+            while e > 0 {
+                if e & 1 == 1 {
+                    r = r * b % m as u128;
+                }
+                b = b * b % m as u128;
+                e >>= 1;
+            }
+            prop_assert_eq!(fast, u256(r));
+        }
+
+        #[test]
+        fn prop_add_sub_round_trip(a in any::<u128>(), b in any::<u128>()) {
+            let (ua, ub) = (u256(a), u256(b));
+            let sum = ua.wrapping_add(&ub);
+            prop_assert_eq!(sum.wrapping_sub(&ub), ua);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = u256(a as u128).checked_mul(&u256(b as u128)).unwrap();
+            prop_assert_eq!(prod, u256(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_reduce_matches_u128(a in any::<u128>(), m in 1u128..=u64::MAX as u128) {
+            prop_assert_eq!(u256(a).reduce(&u256(m)), u256(a % m));
+        }
+
+        #[test]
+        fn prop_mod_add_sub_inverse(
+            a in any::<u64>(), b in any::<u64>(), m in 2u64..=u64::MAX
+        ) {
+            let m256 = u256(m as u128);
+            let ua = u256(a as u128).reduce(&m256);
+            let ub = u256(b as u128).reduce(&m256);
+            let s = ua.mod_add(&ub, &m256);
+            prop_assert_eq!(s.mod_sub(&ub, &m256), ua);
+        }
+
+        #[test]
+        fn prop_mod_pow_mul_law(
+            base in 1u64..1000, e1 in 0u64..50, e2 in 0u64..50
+        ) {
+            // base^(e1+e2) == base^e1 * base^e2 (mod p)
+            let p = u256(1_000_000_007);
+            let b = u256(base as u128);
+            let lhs = b.mod_pow(&u256((e1 + e2) as u128), &p);
+            let rhs = b
+                .mod_pow(&u256(e1 as u128), &p)
+                .mod_mul(&b.mod_pow(&u256(e2 as u128), &p), &p);
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_shl_shr_round_trip(v in any::<u64>(), n in 0u32..190) {
+            let val = u256(v as u128);
+            let (shifted, ov) = val.overflowing_shl(n);
+            prop_assert!(!ov);
+            prop_assert_eq!(shifted.shr(n), val);
+        }
+
+        #[test]
+        fn prop_be_bytes_round_trip(a in any::<u128>(), b in any::<u128>()) {
+            let v = U256::from_u128(a).wrapping_add(
+                &U256::from_u128(b).overflowing_shl(128).0,
+            );
+            prop_assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Coalitions as bitmasks.
+//!
+//! With the paper's cross-silo scale (n = 9 owners, `2^9 = 512`
+//! coalitions) a `u32` bitmask is the right representation: O(1) member
+//! tests, cheap hashing for the utility cache, and natural enumeration of
+//! the powerset by counting. A hard cap of 25 players keeps accidental
+//! `2^n` blow-ups from compiling into multi-hour runs.
+
+use std::fmt;
+
+/// Maximum supported player count for exact enumeration.
+pub const MAX_PLAYERS: usize = 25;
+
+/// A set of players encoded as a bitmask (player `i` ⇔ bit `i`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coalition(pub u32);
+
+impl Coalition {
+    /// The empty coalition.
+    pub const EMPTY: Self = Self(0);
+
+    /// The grand coalition of `n` players.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PLAYERS`.
+    pub fn grand(n: usize) -> Self {
+        assert!(n <= MAX_PLAYERS, "at most {MAX_PLAYERS} players, got {n}");
+        if n == 0 {
+            Self::EMPTY
+        } else {
+            Self((1u32 << n) - 1)
+        }
+    }
+
+    /// Coalition from a member list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member index exceeds [`MAX_PLAYERS`].
+    pub fn from_members(members: &[usize]) -> Self {
+        let mut mask = 0u32;
+        for &m in members {
+            assert!(m < MAX_PLAYERS, "player index {m} exceeds {MAX_PLAYERS}");
+            mask |= 1 << m;
+        }
+        Self(mask)
+    }
+
+    /// True if player `i` is a member.
+    pub fn contains(&self, i: usize) -> bool {
+        i < 32 && (self.0 >> i) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True for the empty coalition.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Adds a player.
+    #[must_use]
+    pub fn with(&self, i: usize) -> Self {
+        assert!(i < MAX_PLAYERS, "player index {i} exceeds {MAX_PLAYERS}");
+        Self(self.0 | (1 << i))
+    }
+
+    /// Removes a player.
+    #[must_use]
+    pub fn without(&self, i: usize) -> Self {
+        assert!(i < MAX_PLAYERS, "player index {i} exceeds {MAX_PLAYERS}");
+        Self(self.0 & !(1 << i))
+    }
+
+    /// Iterates member indices in ascending order.
+    pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..32usize).filter(move |&i| (self.0 >> i) & 1 == 1)
+    }
+
+    /// Enumerates the full powerset of `n` players (`2^n` coalitions,
+    /// including empty and grand).
+    pub fn powerset(n: usize) -> impl Iterator<Item = Coalition> {
+        assert!(n <= MAX_PLAYERS, "at most {MAX_PLAYERS} players, got {n}");
+        (0u32..(1u32 << n)).map(Coalition)
+    }
+
+    /// Enumerates all subsets of `self` (including empty and `self`).
+    ///
+    /// Uses the standard descending-mask trick; subsets appear in
+    /// descending numeric order, ending with the empty set.
+    pub fn subsets(&self) -> SubsetIter {
+        SubsetIter {
+            universe: self.0,
+            current: self.0,
+            done: false,
+        }
+    }
+}
+
+/// Iterator over the subsets of a coalition.
+pub struct SubsetIter {
+    universe: u32,
+    current: u32,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = Coalition;
+
+    fn next(&mut self) -> Option<Coalition> {
+        if self.done {
+            return None;
+        }
+        let out = Coalition(self.current);
+        if self.current == 0 {
+            self.done = true;
+        } else {
+            self.current = (self.current - 1) & self.universe;
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Debug for Coalition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for m in self.members() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Binomial coefficient `C(n, k)` in `f64` (exact for the small `n` used
+/// in SV weights).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    for i in 0..k {
+        num = num * (n - i) as f64 / (i + 1) as f64;
+    }
+    num.round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let c = Coalition::from_members(&[0, 3, 5]);
+        assert!(c.contains(0) && c.contains(3) && c.contains(5));
+        assert!(!c.contains(1));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.members().collect::<Vec<_>>(), vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn grand_and_empty() {
+        assert_eq!(Coalition::grand(0), Coalition::EMPTY);
+        assert_eq!(Coalition::grand(3).len(), 3);
+        assert!(Coalition::EMPTY.is_empty());
+        assert_eq!(Coalition::grand(MAX_PLAYERS).len(), MAX_PLAYERS);
+    }
+
+    #[test]
+    fn with_without_round_trip() {
+        let c = Coalition::from_members(&[1]);
+        assert_eq!(c.with(2).without(2), c);
+        assert_eq!(c.with(1), c, "idempotent add");
+        assert_eq!(c.without(5), c, "removing absent player is no-op");
+    }
+
+    #[test]
+    fn powerset_size() {
+        assert_eq!(Coalition::powerset(0).count(), 1);
+        assert_eq!(Coalition::powerset(4).count(), 16);
+        assert_eq!(Coalition::powerset(9).count(), 512);
+    }
+
+    #[test]
+    fn subsets_enumerate_exactly() {
+        let c = Coalition::from_members(&[0, 2]);
+        let subs: Vec<Coalition> = c.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&Coalition::EMPTY));
+        assert!(subs.contains(&c));
+        assert!(subs.contains(&Coalition::from_members(&[0])));
+        assert!(subs.contains(&Coalition::from_members(&[2])));
+    }
+
+    #[test]
+    fn subsets_of_empty_is_empty_only() {
+        let subs: Vec<Coalition> = Coalition::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![Coalition::EMPTY]);
+    }
+
+    #[test]
+    fn subsets_count_is_power_of_two_of_len() {
+        let c = Coalition::from_members(&[1, 4, 7, 9]);
+        assert_eq!(c.subsets().count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_players_panics() {
+        let _ = Coalition::grand(26);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(9, 4), 126.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Coalition::from_members(&[0, 2])), "{0,2}");
+        assert_eq!(format!("{:?}", Coalition::EMPTY), "{}");
+    }
+}

@@ -1,0 +1,478 @@
+//! GroupSV — the paper's Algorithm 1.
+//!
+//! The native method cannot run under secure aggregation because the
+//! blockchain never sees individual updates, only sums. GroupSV restores
+//! computability by changing the granularity:
+//!
+//! 1. Partition the `n` users into `m` groups with a seeded permutation
+//!    (`π ← permutation(e, r, I)`, groups are consecutive chunks of π).
+//! 2. Each group's model `W_j` is the *average of its members' updates* —
+//!    obtainable from secure aggregation restricted to the group.
+//! 3. Coalition models over groups are plain averages:
+//!    `W_S = (1/|S|) Σ_{j∈S} W_j`.
+//! 4. Exact SV over the `m` groups (Eq. 1 at group granularity), each
+//!    group's value split uniformly among its members.
+//!
+//! The `m` knob trades resolution for privacy: `m = n` reproduces
+//! per-user SV over local models (no grouping privacy), small `m` hides
+//! individuals inside group averages ((n/m)-anonymity) at the cost of
+//! uniform within-group attribution.
+
+use numeric::linalg::mean_vectors;
+
+use crate::coalition::{binomial, Coalition, MAX_PLAYERS};
+use crate::utility::ModelUtility;
+
+/// Configuration for one GroupSV evaluation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSvConfig {
+    /// Number of groups `m` (the resolution/privacy knob).
+    pub num_groups: usize,
+    /// Public permutation seed `e` agreed at setup.
+    pub seed: u64,
+    /// Round number `r`; combined with `e` so each round re-partitions.
+    pub round: u64,
+}
+
+/// Output of [`group_shapley`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSvResult {
+    /// Per-user Shapley values `v_i` (indexed by user).
+    pub per_user: Vec<f64>,
+    /// Per-group Shapley values `V_j` (indexed by group).
+    pub per_group: Vec<f64>,
+    /// Group memberships: `groups[j]` lists user indices in group `j`.
+    pub groups: Vec<Vec<usize>>,
+    /// The group models `W_j` (averages of member updates).
+    pub group_models: Vec<Vec<f64>>,
+    /// The global model `W_G`: average of all group models (line "users
+    /// download the new global model" in the protocol).
+    pub global_model: Vec<f64>,
+    /// Number of utility evaluations performed (`2^m`, for Table I).
+    pub utility_evaluations: usize,
+}
+
+/// The deterministic permutation `π ← permutation(e, r, I)`.
+///
+/// splitmix64-seeded Fisher–Yates over `0..n`; public and reproducible so
+/// every re-executing miner derives the identical grouping.
+pub fn permutation(seed: u64, round: u64, n: usize) -> Vec<usize> {
+    // Mix e and r into one 64-bit state (splitmix64 finalizer).
+    let mut state = seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        // Rejection-free modulo is fine here: the bias over u64 is
+        // immaterial for grouping, and determinism is what matters.
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// `grouping(π, m)`: chops the permutation into `m` consecutive chunks;
+/// the first `n mod m` groups take one extra member.
+pub fn grouping(pi: &[usize], m: usize) -> Vec<Vec<usize>> {
+    assert!(m > 0, "need at least one group");
+    assert!(
+        m <= pi.len(),
+        "more groups ({m}) than users ({})",
+        pi.len()
+    );
+    let n = pi.len();
+    let base = n / m;
+    let extra = n % m;
+    let mut groups = Vec::with_capacity(m);
+    let mut offset = 0;
+    for j in 0..m {
+        let size = base + usize::from(j < extra);
+        groups.push(pi[offset..offset + size].to_vec());
+        offset += size;
+    }
+    debug_assert_eq!(offset, n);
+    groups
+}
+
+/// Lines 4–6 of Algorithm 1: exact Shapley values over *group models*.
+///
+/// This is the form the smart contract runs on-chain: it receives the
+/// per-group secure aggregates (it can never see individual updates) and
+/// computes each group's SV by enumerating the `2^m` coalition models
+/// built from plain averages of group models.
+///
+/// Returns `(per_group_sv, utility_evaluations)`.
+///
+/// # Panics
+///
+/// Panics on empty/ragged input or more than [`MAX_PLAYERS`] groups.
+pub fn shapley_over_group_models(
+    group_models: &[Vec<f64>],
+    utility: &impl ModelUtility,
+) -> (Vec<f64>, usize) {
+    let m = group_models.len();
+    assert!(m > 0, "no groups");
+    assert!(
+        m <= MAX_PLAYERS,
+        "GroupSV enumerates 2^m coalitions; m={m} exceeds {MAX_PLAYERS}"
+    );
+    let dim = group_models[0].len();
+    assert!(
+        group_models.iter().all(|w| w.len() == dim),
+        "all group models must share a dimension"
+    );
+
+    let mut utility_cache = vec![0.0f64; 1usize << m];
+    let mut evaluations = 0usize;
+    for coalition in Coalition::powerset(m) {
+        let value = if coalition.is_empty() {
+            utility.of_empty()
+        } else {
+            let members: Vec<Vec<f64>> = coalition
+                .members()
+                .map(|j| group_models[j].clone())
+                .collect();
+            let w_s = mean_vectors(&members);
+            utility.of_model(&w_s)
+        };
+        utility_cache[coalition.0 as usize] = value;
+        evaluations += 1;
+    }
+
+    let weights: Vec<f64> = (0..m)
+        .map(|s| 1.0 / (m as f64 * binomial(m - 1, s)))
+        .collect();
+    let mut per_group = vec![0.0f64; m];
+    for (j, vj) in per_group.iter_mut().enumerate() {
+        let others = Coalition::grand(m).without(j);
+        let mut acc = 0.0;
+        for s in others.subsets() {
+            let marginal =
+                utility_cache[s.with(j).0 as usize] - utility_cache[s.0 as usize];
+            acc += weights[s.len()] * marginal;
+        }
+        *vj = acc;
+    }
+    (per_group, evaluations)
+}
+
+/// Runs Algorithm 1 over the users' local weight updates.
+///
+/// `local_weights[i]` is user `i`'s flat update for this round. In the
+/// deployed protocol these arrive as *secure aggregates per group*; this
+/// function accepts the raw updates and performs the same averaging, so
+/// its outputs are bit-comparable with the on-chain contract (which the
+/// integration tests assert).
+///
+/// # Panics
+///
+/// Panics if inputs are empty/mismatched or `num_groups` is out of range
+/// (`1..=n`, and at most [`MAX_PLAYERS`] groups for the `2^m`
+/// enumeration).
+pub fn group_shapley(
+    local_weights: &[Vec<f64>],
+    utility: &impl ModelUtility,
+    config: &GroupSvConfig,
+) -> GroupSvResult {
+    let n = local_weights.len();
+    assert!(n > 0, "no users");
+    let m = config.num_groups;
+    assert!(
+        (1..=n).contains(&m),
+        "num_groups must be in 1..={n}, got {m}"
+    );
+    assert!(
+        m <= MAX_PLAYERS,
+        "GroupSV enumerates 2^m coalitions; m={m} exceeds {MAX_PLAYERS}"
+    );
+    let dim = local_weights[0].len();
+    assert!(
+        local_weights.iter().all(|w| w.len() == dim),
+        "all updates must share a dimension"
+    );
+
+    // Lines 1–2: permutation and grouping.
+    let pi = permutation(config.seed, config.round, n);
+    let groups = grouping(&pi, m);
+
+    // Line 3: group models (secure aggregation computes exactly this).
+    let group_models: Vec<Vec<f64>> = groups
+        .iter()
+        .map(|g| {
+            let members: Vec<Vec<f64>> =
+                g.iter().map(|&i| local_weights[i].clone()).collect();
+            mean_vectors(&members)
+        })
+        .collect();
+
+    // Lines 4–6: coalition models and exact SV over groups.
+    let (per_group, evaluations) = shapley_over_group_models(&group_models, utility);
+
+    // Line 7: split group value uniformly among members.
+    let mut per_user = vec![0.0f64; n];
+    for (j, group) in groups.iter().enumerate() {
+        let share = per_group[j] / group.len() as f64;
+        for &i in group {
+            per_user[i] = share;
+        }
+    }
+
+    // Global model: average of the group models (what users download).
+    let global_model = mean_vectors(&group_models);
+
+    GroupSvResult {
+        per_user,
+        per_group,
+        groups,
+        group_models,
+        global_model,
+        utility_evaluations: evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::exact_shapley;
+    use crate::utility::{model_utility_fn, utility_fn};
+    use proptest::prelude::*;
+
+    fn sum_utility() -> impl ModelUtility {
+        // u(W) = Σ w — linear in the model, so group SV is analytically
+        // tractable.
+        model_utility_fn(|w: &[f64]| w.iter().sum(), 0.0)
+    }
+
+    #[test]
+    fn permutation_is_deterministic_permutation() {
+        let p1 = permutation(42, 0, 9);
+        let p2 = permutation(42, 0, 9);
+        assert_eq!(p1, p2);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..9).collect::<Vec<_>>());
+        assert_ne!(permutation(42, 1, 9), p1, "round changes the permutation");
+        assert_ne!(permutation(43, 0, 9), p1, "seed changes the permutation");
+    }
+
+    #[test]
+    fn grouping_chunks_balanced() {
+        let pi: Vec<usize> = (0..9).collect();
+        let g = grouping(&pi, 3);
+        assert_eq!(g, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]);
+        let g2 = grouping(&pi, 4);
+        let sizes: Vec<usize> = g2.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 2, 2, 2]);
+        let total: usize = g2.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "more groups")]
+    fn too_many_groups_panics() {
+        let pi: Vec<usize> = (0..3).collect();
+        let _ = grouping(&pi, 4);
+    }
+
+    #[test]
+    fn single_group_gives_everyone_equal_share() {
+        let weights = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let result = group_shapley(
+            &weights,
+            &sum_utility(),
+            &GroupSvConfig {
+                num_groups: 1,
+                seed: 7,
+                round: 0,
+            },
+        );
+        // One group: V_1 = u(W_G) − u(∅) = mean(1,2,3) = 2; each of the 3
+        // users gets 2/3.
+        assert_eq!(result.per_group.len(), 1);
+        assert!((result.per_group[0] - 2.0).abs() < 1e-12);
+        for v in &result.per_user {
+            assert!((v - 2.0 / 3.0).abs() < 1e-12);
+        }
+        assert_eq!(result.utility_evaluations, 2);
+    }
+
+    #[test]
+    fn m_equals_n_matches_per_user_native_sv() {
+        // With one user per group, GroupSV must equal the native SV of
+        // the game u(S) = utility(mean of members' models).
+        let weights = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 1.0]];
+        let cfg = GroupSvConfig {
+            num_groups: 3,
+            seed: 5,
+            round: 2,
+        };
+        let result = group_shapley(&weights, &sum_utility(), &cfg);
+
+        // Build the equivalent coalition game over users directly. The
+        // grouping permutes users; map group j -> its single member.
+        let member_of_group: Vec<usize> =
+            result.groups.iter().map(|g| g[0]).collect();
+        let w2 = weights.clone();
+        let game = utility_fn(3, move |c: Coalition| {
+            if c.is_empty() {
+                return 0.0;
+            }
+            let members: Vec<Vec<f64>> = c
+                .members()
+                .map(|j| w2[member_of_group[j]].clone())
+                .collect();
+            mean_vectors(&members).iter().sum()
+        });
+        let native = exact_shapley(&game);
+        for (j, group) in result.groups.iter().enumerate() {
+            let user = group[0];
+            assert!(
+                (result.per_user[user] - native[j]).abs() < 1e-12,
+                "user {user}: group {native:?} vs {:?}",
+                result.per_user
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_over_groups() {
+        // Σ V_j = u(W_G) − u(∅).
+        let weights: Vec<Vec<f64>> =
+            (0..6).map(|i| vec![i as f64, -(i as f64) * 0.5]).collect();
+        for m in 1..=6 {
+            let result = group_shapley(
+                &weights,
+                &sum_utility(),
+                &GroupSvConfig {
+                    num_groups: m,
+                    seed: 1,
+                    round: 1,
+                },
+            );
+            let total: f64 = result.per_group.iter().sum();
+            let u = sum_utility();
+            let grand = u.of_model(&result.global_model) - u.of_empty();
+            assert!(
+                (total - grand).abs() < 1e-9,
+                "m={m}: Σ V_j = {total} vs {grand}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_user_sums_match_per_group() {
+        let weights: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        let result = group_shapley(
+            &weights,
+            &sum_utility(),
+            &GroupSvConfig {
+                num_groups: 4,
+                seed: 9,
+                round: 3,
+            },
+        );
+        let user_total: f64 = result.per_user.iter().sum();
+        let group_total: f64 = result.per_group.iter().sum();
+        assert!((user_total - group_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utility_evaluation_count_is_two_to_the_m() {
+        let weights: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        for m in [2usize, 3, 5, 9] {
+            let result = group_shapley(
+                &weights,
+                &sum_utility(),
+                &GroupSvConfig {
+                    num_groups: m,
+                    seed: 0,
+                    round: 0,
+                },
+            );
+            assert_eq!(result.utility_evaluations, 1 << m);
+        }
+    }
+
+    #[test]
+    fn global_model_is_mean_of_group_models() {
+        let weights = vec![vec![2.0], vec![4.0], vec![6.0], vec![8.0]];
+        let result = group_shapley(
+            &weights,
+            &sum_utility(),
+            &GroupSvConfig {
+                num_groups: 2,
+                seed: 3,
+                round: 0,
+            },
+        );
+        // Both groups have 2 members, so global = overall mean = 5.
+        assert!((result.global_model[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_groups")]
+    fn zero_groups_panics() {
+        let _ = group_shapley(
+            &[vec![1.0]],
+            &sum_utility(),
+            &GroupSvConfig {
+                num_groups: 0,
+                seed: 0,
+                round: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_updates_panic() {
+        let _ = group_shapley(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &sum_utility(),
+            &GroupSvConfig {
+                num_groups: 2,
+                seed: 0,
+                round: 0,
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_group_efficiency_any_m(
+            n in 2usize..8,
+            seed in any::<u64>(),
+            round in 0u64..10,
+        ) {
+            let weights: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i as f64).sin(), (i as f64).cos()])
+                .collect();
+            for m in 1..=n {
+                let result = group_shapley(
+                    &weights,
+                    &sum_utility(),
+                    &GroupSvConfig { num_groups: m, seed, round },
+                );
+                let total: f64 = result.per_group.iter().sum();
+                let u = sum_utility();
+                let grand = u.of_model(&result.global_model) - u.of_empty();
+                prop_assert!((total - grand).abs() < 1e-9);
+                // Every user appears in exactly one group.
+                let mut seen = vec![false; n];
+                for g in &result.groups {
+                    for &i in g {
+                        prop_assert!(!seen[i], "user {i} in two groups");
+                        seen[i] = true;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+}

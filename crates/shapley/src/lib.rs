@@ -1,0 +1,35 @@
+//! Shapley-value contribution evaluation.
+//!
+//! Three engines over a common utility abstraction:
+//!
+//! * [`native`] — the exact Shapley value (the paper's Eq. 1), computed
+//!   over all `2^n` coalitions. This is the ground truth of Fig. 1 and
+//!   the slow baseline of Table I.
+//! * [`group`] — **GroupSV, the paper's Algorithm 1**: partition users
+//!   into `m` groups by a seeded permutation, evaluate group coalitions
+//!   built by *averaging group models*, compute exact SV over the `m`
+//!   groups, and split each group's value uniformly among its members.
+//!   Compatible with secure aggregation because it only ever touches
+//!   group-level aggregates.
+//! * [`monte_carlo`] — permutation-sampling approximation (Ghorbani &
+//!   Zou's TMC-Shapley), the standard scalability baseline from the
+//!   related work.
+//!
+//! Plus [`axioms`], machine-checkable statements of the properties the
+//! paper cites (efficiency/balance, symmetry, null player, additivity),
+//! used by the property-based test-suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axioms;
+pub mod coalition;
+pub mod group;
+pub mod monte_carlo;
+pub mod native;
+pub mod utility;
+
+pub use group::{group_shapley, GroupSvConfig, GroupSvResult};
+pub use monte_carlo::{monte_carlo_shapley, McConfig};
+pub use native::exact_shapley;
+pub use utility::{CachedUtility, CoalitionUtility, ModelUtility};

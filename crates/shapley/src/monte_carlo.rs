@@ -1,0 +1,237 @@
+//! Monte-Carlo Shapley approximation (permutation sampling).
+//!
+//! The related-work baseline (Ghorbani & Zou's TMC-Shapley, Jia et al.):
+//! sample random permutations of the players, walk each permutation
+//! accumulating marginal contributions, and average. Unbiased for any
+//! sample count; the optional truncation cuts a permutation short once
+//! the running coalition's utility is within `tolerance` of the grand
+//! coalition's (late marginals are ~0, so skipping them trades a tiny
+//! bias for large savings when utility evaluation is expensive).
+
+use crate::coalition::Coalition;
+use crate::utility::CoalitionUtility;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Number of permutations to sample.
+    pub permutations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Truncation tolerance (TMC): `None` disables truncation.
+    pub truncation_tolerance: Option<f64>,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            permutations: 200,
+            seed: 0,
+            truncation_tolerance: None,
+        }
+    }
+}
+
+/// Result with diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    /// Estimated Shapley values.
+    pub values: Vec<f64>,
+    /// Utility evaluations performed (the cost driver).
+    pub utility_evaluations: usize,
+    /// Marginals skipped by truncation.
+    pub truncated_marginals: usize,
+}
+
+/// Estimates Shapley values by permutation sampling.
+///
+/// # Panics
+///
+/// Panics if `permutations == 0` or the game is empty.
+pub fn monte_carlo_shapley(
+    utility: &impl CoalitionUtility,
+    config: &McConfig,
+) -> McResult {
+    let n = utility.num_players();
+    assert!(n > 0, "empty game");
+    assert!(config.permutations > 0, "need at least one permutation");
+
+    let grand_value = utility.evaluate(Coalition::grand(n));
+    let empty_value = utility.evaluate(Coalition::EMPTY);
+    let mut evaluations = 2usize;
+    let mut truncated = 0usize;
+
+    let mut acc = vec![0.0f64; n];
+    let mut state = config.seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..config.permutations {
+        // Fisher–Yates with the local splitmix64.
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut coalition = Coalition::EMPTY;
+        let mut prev_value = empty_value;
+        for &player in &order {
+            if let Some(tol) = config.truncation_tolerance {
+                if (grand_value - prev_value).abs() <= tol {
+                    // Remaining marginals treated as zero.
+                    truncated += 1;
+                    continue;
+                }
+            }
+            coalition = coalition.with(player);
+            let value = utility.evaluate(coalition);
+            evaluations += 1;
+            acc[player] += value - prev_value;
+            prev_value = value;
+        }
+    }
+
+    let scale = 1.0 / config.permutations as f64;
+    for v in &mut acc {
+        *v *= scale;
+    }
+    McResult {
+        values: acc,
+        utility_evaluations: evaluations,
+        truncated_marginals: truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::exact_shapley;
+    use crate::utility::games::{AdditiveGame, GloveGame};
+    use crate::utility::CachedUtility;
+
+    #[test]
+    fn additive_game_exact_in_every_sample() {
+        // For additive games every permutation gives the exact marginal,
+        // so even one permutation is exact.
+        let game = AdditiveGame {
+            values: vec![1.0, -2.0, 3.0],
+        };
+        let result = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                permutations: 1,
+                seed: 3,
+                truncation_tolerance: None,
+            },
+        );
+        for (mc, exact) in result.values.iter().zip(&game.values) {
+            assert!((mc - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_exact_on_glove_game() {
+        let game = GloveGame { left: 2, n: 5 };
+        let exact = exact_shapley(&game);
+        let result = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                permutations: 4000,
+                seed: 1,
+                truncation_tolerance: None,
+            },
+        );
+        for (mc, ex) in result.values.iter().zip(&exact) {
+            assert!(
+                (mc - ex).abs() < 0.05,
+                "MC {mc} too far from exact {ex}"
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_holds_per_sample_family() {
+        // Permutation sampling preserves efficiency exactly (telescoping
+        // sum per permutation) when no truncation is applied.
+        let game = GloveGame { left: 3, n: 6 };
+        let result = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                permutations: 50,
+                seed: 9,
+                truncation_tolerance: None,
+            },
+        );
+        let total: f64 = result.values.iter().sum();
+        let grand = game.evaluate(Coalition::grand(6));
+        assert!((total - grand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let game = GloveGame { left: 2, n: 4 };
+        let cfg = McConfig {
+            permutations: 10,
+            seed: 42,
+            truncation_tolerance: None,
+        };
+        assert_eq!(
+            monte_carlo_shapley(&game, &cfg),
+            monte_carlo_shapley(&game, &cfg)
+        );
+        let other = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                seed: 43,
+                ..cfg
+            },
+        );
+        assert_ne!(monte_carlo_shapley(&game, &cfg).values, other.values);
+    }
+
+    #[test]
+    fn truncation_reduces_evaluations() {
+        let game = AdditiveGame {
+            values: vec![5.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let cached_full = CachedUtility::new(&game);
+        let full = monte_carlo_shapley(
+            &cached_full,
+            &McConfig {
+                permutations: 50,
+                seed: 7,
+                truncation_tolerance: None,
+            },
+        );
+        let truncated = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                permutations: 50,
+                seed: 7,
+                truncation_tolerance: Some(0.01),
+            },
+        );
+        assert!(truncated.truncated_marginals > 0);
+        assert!(truncated.utility_evaluations < full.utility_evaluations);
+        // Player 0 still gets ~all the value.
+        assert!((truncated.values[0] - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permutation")]
+    fn zero_permutations_panics() {
+        let game = AdditiveGame { values: vec![1.0] };
+        let _ = monte_carlo_shapley(
+            &game,
+            &McConfig {
+                permutations: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

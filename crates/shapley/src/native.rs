@@ -1,0 +1,180 @@
+//! The native (exact) Shapley value — the paper's Eq. 1.
+//!
+//! ```text
+//! v_i = (1/n) Σ_{S ⊆ I\{i}}  [u(S ∪ {i}) − u(S)] / C(n−1, |S|)
+//! ```
+//!
+//! Evaluated by enumerating the full powerset once, caching utilities by
+//! bitmask, then assembling every player's weighted marginal sum. Cost is
+//! `2^n` utility evaluations plus `n · 2^(n−1)` table lookups — exactly
+//! the `2^n` coalition-model trainings the paper's Table I counts for
+//! NativeSV.
+
+use crate::coalition::{binomial, Coalition, MAX_PLAYERS};
+use crate::utility::CoalitionUtility;
+
+/// Computes the exact Shapley value of every player.
+///
+/// # Panics
+///
+/// Panics if the game has more than [`MAX_PLAYERS`] players (the `2^n`
+/// enumeration would be intractable).
+pub fn exact_shapley(utility: &impl CoalitionUtility) -> Vec<f64> {
+    let n = utility.num_players();
+    assert!(
+        n <= MAX_PLAYERS,
+        "exact SV enumerates 2^n coalitions; {n} players exceeds {MAX_PLAYERS}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // One pass over the powerset: cache[mask] = u(mask).
+    let mut cache = vec![0.0f64; 1usize << n];
+    for coalition in Coalition::powerset(n) {
+        cache[coalition.0 as usize] = utility.evaluate(coalition);
+    }
+
+    // Precompute the per-size weights 1 / (n · C(n−1, s)).
+    let weights: Vec<f64> = (0..n)
+        .map(|s| 1.0 / (n as f64 * binomial(n - 1, s)))
+        .collect();
+
+    let mut values = vec![0.0f64; n];
+    for (i, value) in values.iter_mut().enumerate() {
+        let others = Coalition::grand(n).without(i);
+        let mut acc = 0.0;
+        for s in others.subsets() {
+            let with_i = s.with(i);
+            let marginal = cache[with_i.0 as usize] - cache[s.0 as usize];
+            acc += weights[s.len()] * marginal;
+        }
+        *value = acc;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::games::{AdditiveGame, GloveGame, MajorityGame};
+    use crate::utility::{utility_fn, CachedUtility};
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_game() {
+        let u = utility_fn(0, |_| 0.0);
+        assert!(exact_shapley(&u).is_empty());
+    }
+
+    #[test]
+    fn single_player_gets_everything() {
+        let u = utility_fn(1, |c: Coalition| if c.is_empty() { 0.0 } else { 5.0 });
+        assert_eq!(exact_shapley(&u), vec![5.0]);
+    }
+
+    #[test]
+    fn additive_game_sv_equals_values() {
+        let game = AdditiveGame {
+            values: vec![3.0, -1.0, 0.5, 2.0],
+        };
+        let sv = exact_shapley(&game);
+        for (v, expect) in sv.iter().zip(&game.values) {
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn glove_game_two_left_one_right() {
+        // Classic result: with L={0,1}, R={2}, SV = (1/6, 1/6, 4/6).
+        let game = GloveGame { left: 2, n: 3 };
+        let sv = exact_shapley(&game);
+        assert!((sv[0] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((sv[1] - 1.0 / 6.0).abs() < 1e-12);
+        assert!((sv[2] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_game_symmetric() {
+        let game = MajorityGame { n: 5 };
+        let sv = exact_shapley(&game);
+        for v in &sv {
+            assert!((v - 0.2).abs() < 1e-12, "5 symmetric voters split 1.0");
+        }
+    }
+
+    #[test]
+    fn null_player_gets_zero() {
+        // Player 2 contributes nothing.
+        let u = utility_fn(3, |c: Coalition| {
+            (c.contains(0) as u8 + c.contains(1) as u8) as f64
+        });
+        let sv = exact_shapley(&u);
+        assert!((sv[2]).abs() < 1e-12);
+        assert!((sv[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_sees_every_coalition_exactly_once() {
+        let game = MajorityGame { n: 6 };
+        let cached = CachedUtility::new(&game);
+        let _ = exact_shapley(&cached);
+        assert_eq!(cached.unique_evaluations(), 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_efficiency(values in proptest::collection::vec(-10.0f64..10.0, 1..8)) {
+            // Σ v_i = u(N) − u(∅) for any game; use a nonlinear one.
+            let n = values.len();
+            let vals = values.clone();
+            let u = utility_fn(n, move |c: Coalition| {
+                let s: f64 = c.members().map(|i| vals[i]).sum();
+                s + 0.5 * (s.abs()).sqrt() * c.len() as f64
+            });
+            let sv = exact_shapley(&u);
+            let total: f64 = sv.iter().sum();
+            let grand = u.evaluate(Coalition::grand(n));
+            let empty = u.evaluate(Coalition::EMPTY);
+            prop_assert!((total - (grand - empty)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_symmetry(v in -5.0f64..5.0, n in 2usize..7) {
+            // All players identical ⇒ identical SVs.
+            let u = utility_fn(n, move |c: Coalition| v * (c.len() as f64).powi(2));
+            let sv = exact_shapley(&u);
+            for w in sv.windows(2) {
+                prop_assert!((w[0] - w[1]).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_additivity(
+            a in proptest::collection::vec(-5.0f64..5.0, 4),
+            b in proptest::collection::vec(-5.0f64..5.0, 4),
+        ) {
+            // SV(u1 + u2) = SV(u1) + SV(u2).
+            let (a2, b2) = (a.clone(), b.clone());
+            let u1 = utility_fn(4, move |c: Coalition| {
+                c.members().map(|i| a[i]).sum::<f64>().sin()
+            });
+            let u2 = utility_fn(4, move |c: Coalition| {
+                c.members().map(|i| b[i]).sum::<f64>().cos()
+            });
+            let (a3, b3) = (a2.clone(), b2.clone());
+            let sum_game = utility_fn(4, move |c: Coalition| {
+                c.members().map(|i| a3[i]).sum::<f64>().sin()
+                    + c.members().map(|i| b3[i]).sum::<f64>().cos()
+            });
+            let sv1 = exact_shapley(&u1);
+            let sv2 = exact_shapley(&u2);
+            let sv_sum = exact_shapley(&sum_game);
+            for i in 0..4 {
+                prop_assert!((sv_sum[i] - (sv1[i] + sv2[i])).abs() < 1e-9);
+            }
+            let _ = (a2, b2);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Utility-function abstractions.
+//!
+//! Two flavours exist because the paper's two SV methods consume
+//! different objects:
+//!
+//! * [`CoalitionUtility`] — `u(S)` over *player sets*. The native method
+//!   (Eq. 1) retrains a model per coalition, so the utility is a set
+//!   function. Implementations are usually expensive; wrap them in
+//!   [`CachedUtility`] so each coalition is evaluated once.
+//! * [`ModelUtility`] — `u(W)` over *model weights*. GroupSV builds
+//!   coalition models by averaging group aggregates and only then asks
+//!   for their utility (test-set accuracy in the paper).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::coalition::Coalition;
+
+/// A cooperative-game utility `u(S)` over coalitions of players.
+pub trait CoalitionUtility {
+    /// Number of players `n = |I|`.
+    fn num_players(&self) -> usize;
+
+    /// Utility of a coalition (empty coalitions allowed).
+    fn evaluate(&self, coalition: Coalition) -> f64;
+}
+
+/// Utility of a *model*, `u(W)`, plus the value assigned to the empty
+/// coalition (no model at all — the paper's implicit `u(∅)`, e.g. the
+/// accuracy of random guessing).
+pub trait ModelUtility {
+    /// Utility of the model with flat weights `w`.
+    fn of_model(&self, weights: &[f64]) -> f64;
+
+    /// Utility of the empty coalition.
+    fn of_empty(&self) -> f64;
+}
+
+/// Blanket impl so closures `(Fn(&[f64]) -> f64, f64)` can be used as a
+/// [`ModelUtility`] via [`model_utility_fn`].
+pub struct ModelUtilityFn<F> {
+    f: F,
+    empty: f64,
+}
+
+/// Wraps a closure and an empty-coalition value into a [`ModelUtility`].
+pub fn model_utility_fn<F: Fn(&[f64]) -> f64>(f: F, empty: f64) -> ModelUtilityFn<F> {
+    ModelUtilityFn { f, empty }
+}
+
+impl<F: Fn(&[f64]) -> f64> ModelUtility for ModelUtilityFn<F> {
+    fn of_model(&self, weights: &[f64]) -> f64 {
+        (self.f)(weights)
+    }
+
+    fn of_empty(&self) -> f64 {
+        self.empty
+    }
+}
+
+/// A [`CoalitionUtility`] from a closure over coalition bitmasks.
+pub struct UtilityFn<F> {
+    n: usize,
+    f: F,
+}
+
+/// Wraps `f(coalition) -> f64` as a [`CoalitionUtility`] over `n` players.
+pub fn utility_fn<F: Fn(Coalition) -> f64>(n: usize, f: F) -> UtilityFn<F> {
+    UtilityFn { n, f }
+}
+
+impl<F: Fn(Coalition) -> f64> CoalitionUtility for UtilityFn<F> {
+    fn num_players(&self) -> usize {
+        self.n
+    }
+
+    fn evaluate(&self, coalition: Coalition) -> f64 {
+        (self.f)(coalition)
+    }
+}
+
+/// Memoizing wrapper counting unique evaluations — both a performance
+/// device (coalition retraining is expensive) and the measurement hook
+/// for Table I's "number of models trained".
+pub struct CachedUtility<'a, U: ?Sized> {
+    inner: &'a U,
+    cache: RefCell<HashMap<Coalition, f64>>,
+}
+
+impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
+    /// Wraps a utility.
+    pub fn new(inner: &'a U) -> Self {
+        Self {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of *unique* coalitions evaluated so far.
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
+    fn num_players(&self) -> usize {
+        self.inner.num_players()
+    }
+
+    fn evaluate(&self, coalition: Coalition) -> f64 {
+        if let Some(&v) = self.cache.borrow().get(&coalition) {
+            return v;
+        }
+        let v = self.inner.evaluate(coalition);
+        self.cache.borrow_mut().insert(coalition, v);
+        v
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod games {
+    //! Canonical cooperative games for tests.
+
+    use super::*;
+    use crate::coalition::Coalition;
+
+    /// `u(S) = Σ_{i∈S} values[i]` — SV equals each player's value.
+    pub struct AdditiveGame {
+        /// Per-player values.
+        pub values: Vec<f64>,
+    }
+
+    impl CoalitionUtility for AdditiveGame {
+        fn num_players(&self) -> usize {
+            self.values.len()
+        }
+
+        fn evaluate(&self, coalition: Coalition) -> f64 {
+            coalition.members().map(|i| self.values[i]).sum()
+        }
+    }
+
+    /// Glove game: players `0..left` hold left gloves, the rest right
+    /// gloves; `u(S) = min(#left, #right)` pairs formed.
+    pub struct GloveGame {
+        /// Number of left-glove holders.
+        pub left: usize,
+        /// Total players.
+        pub n: usize,
+    }
+
+    impl CoalitionUtility for GloveGame {
+        fn num_players(&self) -> usize {
+            self.n
+        }
+
+        fn evaluate(&self, coalition: Coalition) -> f64 {
+            let lefts = coalition.members().filter(|&i| i < self.left).count();
+            let rights = coalition.len() - lefts;
+            lefts.min(rights) as f64
+        }
+    }
+
+    /// Majority game: `u(S) = 1` iff `|S| > n/2`.
+    pub struct MajorityGame {
+        /// Total players.
+        pub n: usize,
+    }
+
+    impl CoalitionUtility for MajorityGame {
+        fn num_players(&self) -> usize {
+            self.n
+        }
+
+        fn evaluate(&self, coalition: Coalition) -> f64 {
+            f64::from(coalition.len() * 2 > self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::games::AdditiveGame;
+    use super::*;
+    use crate::coalition::Coalition;
+
+    #[test]
+    fn utility_fn_adapts_closures() {
+        let u = utility_fn(3, |c: Coalition| c.len() as f64);
+        assert_eq!(u.num_players(), 3);
+        assert_eq!(u.evaluate(Coalition::from_members(&[0, 2])), 2.0);
+        assert_eq!(u.evaluate(Coalition::EMPTY), 0.0);
+    }
+
+    #[test]
+    fn model_utility_fn_adapts() {
+        let u = model_utility_fn(|w: &[f64]| w.iter().sum(), 0.1);
+        assert_eq!(u.of_model(&[1.0, 2.0]), 3.0);
+        assert_eq!(u.of_empty(), 0.1);
+    }
+
+    #[test]
+    fn cache_counts_unique_evaluations() {
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0],
+        };
+        let cached = CachedUtility::new(&game);
+        let c = Coalition::from_members(&[0]);
+        assert_eq!(cached.evaluate(c), 1.0);
+        assert_eq!(cached.evaluate(c), 1.0);
+        assert_eq!(cached.evaluate(Coalition::from_members(&[0, 1])), 3.0);
+        assert_eq!(cached.unique_evaluations(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Cross-silo scenario from the paper's introduction: mutually
+//! distrusting organizations (think banks building a shared fraud model)
+//! with *unequal data quality*, who need a transparent record of who
+//! contributed what before agreeing to share profits.
+//!
+//! Nine owners as in the paper's evaluation; owner 0 holds the cleanest
+//! data and owner 8 the noisiest (σ·i feature noise). Three federated
+//! rounds run on-chain; the final report shows that the contribution
+//! ledger tracks data quality, and how the m knob changes the resolution
+//! of that ledger.
+//!
+//! ```text
+//! cargo run --release --example cross_silo_banks
+//! ```
+
+use fedchain::config::FlConfig;
+use fedchain::protocol::FlProtocol;
+use fl_ml::dataset::SyntheticDigits;
+use numeric::stats::descending_ranks;
+
+fn run_with_groups(num_groups: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut config = FlConfig::paper_setting();
+    config.num_groups = num_groups;
+    config.rounds = 3;
+    config.sigma = 4.0; // strongly diverse data quality across the nine banks
+    config.data = SyntheticDigits {
+        instances: 2000, // keep the example snappy
+        ..config.data
+    };
+    config.train.epochs = 10;
+
+    let mut protocol = FlProtocol::new(config).expect("valid configuration");
+    let report = protocol.run().expect("honest majority commits");
+    (report.per_owner_sv, report.accuracy_history)
+}
+
+fn main() {
+    println!("nine banks, increasing feature noise with bank index (σ·i)\n");
+
+    for m in [3usize, 9] {
+        let (sv, accuracy) = run_with_groups(m);
+        println!("m = {m} groups — accuracy per round: {accuracy:?}");
+        let ranks = descending_ranks(&sv);
+        let max = sv.iter().cloned().fold(f64::EPSILON, f64::max);
+        for (bank, value) in sv.iter().enumerate() {
+            let bar_len = ((value.max(0.0) / max) * 50.0) as usize;
+            println!(
+                "  bank {bank} (noise σ·{bank}): v = {value:+.4}  rank {}  {}",
+                ranks[bank] + 1,
+                "#".repeat(bar_len)
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "higher m sharpens the per-bank resolution (paper Sect. IV-B) —\n\
+         with m = 9 each bank's SV is individually visible, at the cost of\n\
+         revealing its individual model update on-chain."
+    );
+}

@@ -1,0 +1,51 @@
+//! The privacy/resolution dial (paper Sect. IV-B).
+//!
+//! For each group count m, shows what a chain observer learns (anonymity
+//! set sizes, distance between an owner's private update and the group
+//! average that gets revealed) against the evaluation resolution gained
+//! (distinct contribution levels).
+//!
+//! ```text
+//! cargo run --release --example privacy_resolution
+//! ```
+
+use fedchain::config::FlConfig;
+use fedchain::privacy::analyze_round;
+use fedchain::world::World;
+use fl_ml::dataset::SyntheticDigits;
+use numeric::stats::mean;
+
+fn main() {
+    let mut config = FlConfig::paper_setting();
+    config.sigma = 1.0;
+    config.data = SyntheticDigits {
+        instances: 2000,
+        ..config.data
+    };
+    config.train.epochs = 10;
+
+    let world = World::generate(&config).expect("valid configuration");
+    let updates = world.local_updates(&config);
+    let n = config.num_owners;
+
+    println!("n = {n} owners; what does the chain reveal as m grows?\n");
+    println!("{:>3} | {:>13} | {:>15} | {:>17}", "m", "min anonymity", "mean leak dist", "resolution levels");
+    println!("{}", "-".repeat(60));
+    for m in 1..=n {
+        let report = analyze_round(&updates, m, config.permutation_seed, 0);
+        println!(
+            "{m:>3} | {:>13} | {:>15.4} | {:>17}",
+            report.min_anonymity,
+            mean(&report.per_owner_leak_distance),
+            report.resolution_levels
+        );
+    }
+
+    println!(
+        "\nm = 1: one group — nobody's update is attributable (max privacy),\n\
+         but every owner gets the same contribution score (no resolution).\n\
+         m = n: every owner is its own group — full per-owner resolution,\n\
+         but the revealed \"group average\" IS the owner's private model\n\
+         (leak distance 0). The paper's (n/m)-anonymity trade-off, live."
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run the whole paper pipeline in one call.
+//!
+//! Builds a 4-owner cross-silo federation on a small synthetic digits
+//! dataset, runs one federated round through the blockchain (secure
+//! aggregation + on-chain GroupSV evaluation), and prints each owner's
+//! contribution and reward.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fedchain::config::FlConfig;
+use fedchain::protocol::FlProtocol;
+use fedchain::rewards::{allocate, NegativePolicy};
+
+fn main() {
+    // The demo configuration: 4 owners, 2 groups, 1 round, 600 instances.
+    let config = FlConfig::quick_demo();
+    println!(
+        "federation: {} owners, {} groups, {} round(s), {} instances",
+        config.num_owners, config.num_groups, config.rounds, config.data.instances
+    );
+
+    let mut protocol = FlProtocol::new(config).expect("valid configuration");
+    let report = protocol.run().expect("honest majority commits");
+
+    println!("\nchain: {} blocks committed, {} gas burned", report.blocks, report.total_gas.0);
+    println!(
+        "global model accuracy after round 0: {:.4}",
+        report.accuracy_history[0]
+    );
+
+    println!("\ncontributions (GroupSV, evaluated on-chain):");
+    for (owner, sv) in report.per_owner_sv.iter().enumerate() {
+        println!("  owner {owner}: v = {sv:+.4}");
+    }
+
+    let payouts = allocate(1_000.0, &report.per_owner_sv, NegativePolicy::ClampZero);
+    println!("\nreward split of a 1000-token budget:");
+    for (owner, pay) in payouts.iter().enumerate() {
+        println!("  owner {owner}: {pay:.1} tokens");
+    }
+
+    // Everything above is auditable: each miner's chain verifies.
+    let engine = protocol.engine();
+    for id in 0..4u32 {
+        let store = engine.store_of(id).expect("miner exists");
+        assert!(store.verify_chain(), "miner {id}'s chain must verify");
+    }
+    println!("\nall 4 miner replicas verified the chain independently ✓");
+}

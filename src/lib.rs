@@ -1,0 +1,11 @@
+//! Umbrella crate for the transparent-fl workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can depend on a single package.
+
+pub use fedchain;
+pub use fl_chain as chain;
+pub use fl_crypto as crypto;
+pub use fl_ml as ml;
+pub use numeric;
+pub use shapley;
