@@ -25,11 +25,7 @@ impl SmartContract for VectorStore {
     type Call = Vec<u64>;
     type Error = String;
 
-    fn execute(
-        &mut self,
-        _ctx: &TxContext,
-        call: &Vec<u64>,
-    ) -> Result<ExecutionOutcome, String> {
+    fn execute(&mut self, _ctx: &TxContext, call: &Vec<u64>) -> Result<ExecutionOutcome, String> {
         if self.sum.is_empty() {
             self.sum = vec![0u64; call.len()];
         }
@@ -58,26 +54,21 @@ fn bench_commit(c: &mut Criterion) {
     let mut group = c.benchmark_group("commit_block");
     group.sample_size(20);
     for miners in [3usize, 9, 21] {
-        group.bench_with_input(
-            BenchmarkId::new("miners", miners),
-            &miners,
-            |b, &miners| {
-                b.iter(|| {
-                    let schedule =
-                        LeaderSchedule::round_robin((0..miners as u32).collect());
-                    let mut engine = ConsensusEngine::new(
-                        VectorStore::default(),
-                        schedule,
-                        &BTreeMap::new(),
-                        EngineConfig::default(),
-                    )
-                    .expect("non-empty miner set");
-                    engine
-                        .commit_transactions(black_box(submissions(miners, 650)))
-                        .expect("honest commit")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("miners", miners), &miners, |b, &miners| {
+            b.iter(|| {
+                let schedule = LeaderSchedule::round_robin((0..miners as u32).collect());
+                let mut engine = ConsensusEngine::new(
+                    VectorStore::default(),
+                    schedule,
+                    &BTreeMap::new(),
+                    EngineConfig::default(),
+                )
+                .expect("non-empty miner set");
+                engine
+                    .commit_transactions(black_box(submissions(miners, 650)))
+                    .expect("honest commit")
+            })
+        });
     }
     group.finish();
 }

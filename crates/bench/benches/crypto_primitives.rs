@@ -25,16 +25,12 @@ fn bench_chacha_keystream(c: &mut Criterion) {
     let mut group = c.benchmark_group("chacha20");
     for words in [650usize, 65_000] {
         group.throughput(Throughput::Bytes(words as u64 * 8));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(words),
-            &words,
-            |b, &words| {
-                b.iter(|| {
-                    let mut prg = ChaChaPrg::from_seed(&[7u8; 32]);
-                    prg.gen_u64_vec(black_box(words))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            b.iter(|| {
+                let mut prg = ChaChaPrg::from_seed(&[7u8; 32]);
+                prg.gen_u64_vec(black_box(words))
+            })
+        });
     }
     group.finish();
 }
@@ -63,11 +59,45 @@ fn bench_mask_round(c: &mut Criterion) {
     });
 }
 
+/// The seed mask-expansion path, kept verbatim as the regression
+/// baseline: HKDF seed derivation followed by `dim` per-`u64` PRG draws
+/// (what `ChaChaPrg::gen_u64_vec` did before the whole-block fill). The
+/// `mask_expand/seed/dim` vs `mask_expand/opt/dim` pairs in
+/// `BENCH_sv_runtime.json` are this function against
+/// `PairwiseMasker::mask_for_round`.
+fn seed_mask_expansion(pair_key: &[u8; 32], round: u64, dim: usize) -> Vec<u64> {
+    let mut info = [0u8; 16];
+    info[..8].copy_from_slice(b"round/v1");
+    info[8..].copy_from_slice(&round.to_be_bytes());
+    let okm = fl_crypto::hkdf::derive(b"transparent-fl/mask-seed", pair_key, &info, 32);
+    let mut seed = [0u8; 32];
+    seed.copy_from_slice(&okm);
+    let mut prg = ChaChaPrg::from_seed(&seed);
+    (0..dim).map(|_| prg.next_u64()).collect()
+}
+
+fn bench_mask_expansion(c: &mut Criterion) {
+    let pair_key = [9u8; 32];
+    let masker = PairwiseMasker::new(pair_key);
+    let mut group = c.benchmark_group("mask_expand");
+    for dim in [1_000usize, 10_000] {
+        group.throughput(Throughput::Bytes(dim as u64 * 8));
+        group.bench_with_input(BenchmarkId::new("seed", dim), &dim, |b, &dim| {
+            b.iter(|| seed_mask_expansion(black_box(&pair_key), 3, dim))
+        });
+        group.bench_with_input(BenchmarkId::new("opt", dim), &dim, |b, &dim| {
+            b.iter(|| masker.mask_for_round(black_box(3), dim))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
     bench_chacha_keystream,
     bench_dh_exchange,
-    bench_mask_round
+    bench_mask_round,
+    bench_mask_expansion
 );
 criterion_main!(benches);

@@ -25,11 +25,9 @@ fn bench_local_training(c: &mut Criterion) {
             ..SyntheticDigits::default()
         }
         .generate(1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(instances),
-            &ds,
-            |b, ds| b.iter(|| train_model(black_box(ds), &config())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(instances), &ds, |b, ds| {
+            b.iter(|| train_model(black_box(ds), &config()))
+        });
     }
     group.finish();
 }

@@ -13,9 +13,11 @@ use fedchain::ground_truth::RetrainUtility;
 use fedchain::world::World;
 use fl_ml::dataset::SyntheticDigits;
 use fl_ml::TrainConfig;
+use numeric::linalg::mean_vectors;
+use shapley::coalition::{binomial, Coalition};
 use shapley::exact_shapley;
-use shapley::group::{group_shapley, GroupSvConfig};
-use shapley::utility::CachedUtility;
+use shapley::group::{group_shapley, shapley_over_group_models, GroupSvConfig};
+use shapley::utility::{model_utility_fn, CachedUtility, ModelUtility};
 
 fn bench_config() -> FlConfig {
     let mut config = FlConfig::paper_setting();
@@ -36,8 +38,7 @@ fn bench_group_sv(c: &mut Criterion) {
     let config = bench_config();
     let world = World::generate(&config).expect("valid config");
     let updates = world.local_updates(&config);
-    let utility =
-        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
 
     let mut group = c.benchmark_group("group_sv");
     group.sample_size(10);
@@ -69,8 +70,7 @@ fn bench_native_sv(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("retrain_n6", |b| {
         b.iter(|| {
-            let utility =
-                RetrainUtility::new(&world.shards, &world.test, config.train);
+            let utility = RetrainUtility::new(&world.shards, &world.test, config.train);
             let cached = CachedUtility::new(&utility);
             exact_shapley(black_box(&cached))
         })
@@ -78,5 +78,86 @@ fn bench_native_sv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_group_sv, bench_native_sv);
+/// The seed implementation of `shapley_over_group_models`, kept verbatim
+/// as the regression baseline: per-coalition member clones +
+/// `mean_vectors`, sequential powerset walk. The `group_sv_models/seed/m`
+/// vs `group_sv_models/opt/m` pairs in `BENCH_sv_runtime.json` are this
+/// function against the library's incremental-sum parallel rewrite.
+fn seed_shapley_over_group_models(
+    group_models: &[Vec<f64>],
+    utility: &impl ModelUtility,
+) -> (Vec<f64>, usize) {
+    let m = group_models.len();
+    let mut utility_cache = vec![0.0f64; 1usize << m];
+    let mut evaluations = 0usize;
+    for coalition in Coalition::powerset(m) {
+        let value = if coalition.is_empty() {
+            utility.of_empty()
+        } else {
+            let members: Vec<Vec<f64>> = coalition
+                .members()
+                .map(|j| group_models[j].clone())
+                .collect();
+            let w_s = mean_vectors(&members);
+            utility.of_model(&w_s)
+        };
+        utility_cache[coalition.0 as usize] = value;
+        evaluations += 1;
+    }
+    let weights: Vec<f64> = (0..m)
+        .map(|s| 1.0 / (m as f64 * binomial(m - 1, s)))
+        .collect();
+    let mut per_group = vec![0.0f64; m];
+    for (j, vj) in per_group.iter_mut().enumerate() {
+        let others = Coalition::grand(m).without(j);
+        let mut acc = 0.0;
+        for s in others.subsets() {
+            let marginal = utility_cache[s.with(j).0 as usize] - utility_cache[s.0 as usize];
+            acc += weights[s.len()] * marginal;
+        }
+        *vj = acc;
+    }
+    (per_group, evaluations)
+}
+
+/// GroupSV's on-chain core at paper model dimensionality (650 weights)
+/// with a cheap deterministic utility, so the measured cost is the
+/// coalition-model construction + enumeration machinery itself — the
+/// part this workspace optimizes — not an arbitrary inference workload.
+fn bench_group_sv_models(c: &mut Criterion) {
+    let dim = 650usize;
+    let utility = model_utility_fn(
+        |w: &[f64]| {
+            let s: f64 = w.iter().map(|x| x * x).sum();
+            s.sqrt()
+        },
+        0.0,
+    );
+
+    let mut group = c.benchmark_group("group_sv_models");
+    group.sample_size(10);
+    for m in [4usize, 8, 12, 16] {
+        let models: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                (0..dim)
+                    .map(|d| ((j * dim + d) as f64 * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("seed", m), &models, |b, models| {
+            b.iter(|| seed_shapley_over_group_models(black_box(models), &utility))
+        });
+        group.bench_with_input(BenchmarkId::new("opt", m), &models, |b, models| {
+            b.iter(|| shapley_over_group_models(black_box(models), &utility))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_group_sv,
+    bench_native_sv,
+    bench_group_sv_models
+);
 criterion_main!(benches);

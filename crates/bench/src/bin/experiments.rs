@@ -60,7 +60,10 @@ fn run_one(which: &str, scale: Scale) -> Result<(), String> {
         }
         other => return Err(format!("unknown experiment {other:?}")),
     }
-    eprintln!("[{which} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[{which} completed in {:.1}s]\n",
+        started.elapsed().as_secs_f64()
+    );
     Ok(())
 }
 

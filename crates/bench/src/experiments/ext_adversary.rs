@@ -55,12 +55,7 @@ fn experiment_config(scale: Scale, m: usize) -> FlConfig {
 }
 
 /// Runs one attack at one m, plus the clean baseline (attack = "none").
-pub fn measure(
-    scale: Scale,
-    attack: Option<AdversaryKind>,
-    label: &str,
-    m: usize,
-) -> AdversaryRow {
+pub fn measure(scale: Scale, attack: Option<AdversaryKind>, label: &str, m: usize) -> AdversaryRow {
     let config = experiment_config(scale, m);
     let mut protocol = FlProtocol::new(config).expect("valid config");
     if let Some(kind) = attack {
@@ -90,9 +85,18 @@ pub fn run(scale: Scale) -> Vec<AdversaryRow> {
     let attacks: Vec<(Option<AdversaryKind>, &str)> = vec![
         (None, "none"),
         (Some(AdversaryKind::FreeRider), "free-rider"),
-        (Some(AdversaryKind::LabelFlip { fraction: 0.8 }), "label-flip 80%"),
-        (Some(AdversaryKind::ScaledUpdate { factor: -1.0 }), "sign-flip"),
-        (Some(AdversaryKind::NoisyUpdate { sigma: 1.0 }), "noisy update"),
+        (
+            Some(AdversaryKind::LabelFlip { fraction: 0.8 }),
+            "label-flip 80%",
+        ),
+        (
+            Some(AdversaryKind::ScaledUpdate { factor: -1.0 }),
+            "sign-flip",
+        ),
+        (
+            Some(AdversaryKind::NoisyUpdate { sigma: 1.0 }),
+            "noisy update",
+        ),
     ];
     let mut rows = Vec::new();
     for m in [3usize, n] {

@@ -54,8 +54,7 @@ pub fn run(scale: Scale) -> Vec<PrivacyRow> {
         exact_shapley(&utility)
     };
 
-    let utility =
-        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
     (1..=n)
         .map(|m| {
             let privacy = analyze_round(&updates, m, config.permutation_seed, 0);
@@ -97,8 +96,7 @@ pub fn render(rows: &[PrivacyRow]) -> Table {
             row.min_anonymity.to_string(),
             f4(row.mean_leak_distance),
             row.resolution_levels.to_string(),
-            row.cosine_vs_full_resolution
-                .map_or("undef".to_owned(), f4),
+            row.cosine_vs_full_resolution.map_or("undef".to_owned(), f4),
         ]);
     }
     table

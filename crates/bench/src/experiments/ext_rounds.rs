@@ -40,8 +40,7 @@ pub fn run(scale: Scale) -> Vec<RoundsRow> {
     config.sigma = 2.0;
     let world = World::generate(&config).expect("valid config");
     let n = config.num_owners;
-    let utility =
-        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
 
     let max_rounds = 8u64;
     let mut rows = Vec::new();
@@ -82,10 +81,7 @@ pub fn run(scale: Scale) -> Vec<RoundsRow> {
                 rows.push(RoundsRow {
                     num_groups: m,
                     rounds: round + 1,
-                    cosine_vs_per_user: cosine_similarity(
-                        &cumulative_group,
-                        &cumulative_user,
-                    ),
+                    cosine_vs_per_user: cosine_similarity(&cumulative_group, &cumulative_user),
                 });
             }
         }

@@ -107,7 +107,13 @@ pub fn render(rows: &[ThroughputRow]) -> Table {
     let mut table = Table::new(
         "Ext A — throughput vs cohort size (1 round, WAN 40ms ± 10ms, 10 MB/s links)",
         &[
-            "owners", "model dim", "txs", "gas", "bytes", "makespan", "tx/s",
+            "owners",
+            "model dim",
+            "txs",
+            "gas",
+            "bytes",
+            "makespan",
+            "tx/s",
         ],
     );
     for row in rows {

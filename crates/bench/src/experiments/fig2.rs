@@ -54,11 +54,7 @@ pub fn run(scale: Scale) -> Vec<Fig2Point> {
         config.sigma = sigma;
         let world = World::generate(&config).expect("valid config");
         let updates = world.local_updates(&config);
-        let utility = AccuracyUtility::new(
-            &world.test,
-            config.data.features,
-            config.data.classes,
-        );
+        let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
 
         for m in 2..=config.num_owners {
             let result = group_shapley(

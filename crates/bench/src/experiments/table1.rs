@@ -42,8 +42,7 @@ pub fn run(scale: Scale) -> Table1Result {
 
     // GroupSV at m = 2..n. Each measurement includes the n local
     // trainings — in the protocol they happen every round before SV.
-    let utility =
-        AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
     let mut group_sv = Vec::new();
     for m in 2..=n {
         let start = Instant::now();

@@ -5,7 +5,7 @@ use std::fs;
 use std::path::Path;
 
 /// A simple column-aligned table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. `"Fig. 1 — ground truth SV"`).
     pub title: String,
@@ -70,13 +70,53 @@ impl Table {
         out
     }
 
+    /// Serializes the table to pretty-printed JSON (hand-rolled: the
+    /// offline dependency set has no serde).
+    pub fn to_json(&self) -> String {
+        fn quote(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            let cells: Vec<String> = items.iter().map(|s| quote(s)).collect();
+            format!("{indent}[{}]", cells.join(", "))
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", quote(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"headers\": {},",
+            string_array(&self.headers, "").trim_start()
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "{}{sep}", string_array(row, "    "));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
     /// Writes the table as JSON next to other experiment artefacts.
     pub fn write_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(self)
-            .expect("table serialization cannot fail");
-        fs::write(path, json)
+        fs::write(path, self.to_json())
     }
 }
 

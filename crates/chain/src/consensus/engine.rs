@@ -317,8 +317,7 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
             // appends the block. Execution is deterministic, so replicas
             // remain identical.
             let gas_used: Gas = outcomes.iter().map(|o| o.gas_used).sum();
-            let events: Vec<String> =
-                outcomes.into_iter().flat_map(|o| o.events).collect();
+            let events: Vec<String> = outcomes.into_iter().flat_map(|o| o.events).collect();
             let mut block_digest = Hash32::ZERO;
             for miner in &mut self.miners {
                 let height = miner.store.height();
@@ -329,13 +328,12 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
                         sender: tx.sender,
                         tx_index,
                     };
-                    miner
-                        .contract
-                        .execute(&ctx, &tx.call)
-                        .map_err(|e| EngineError::ExecutionFailed {
+                    miner.contract.execute(&ctx, &tx.call).map_err(|e| {
+                        EngineError::ExecutionFailed {
                             tx_index,
                             reason: format!("{e:?}"),
-                        })?;
+                        }
+                    })?;
                 }
                 let block = Block::assemble(
                     height,
@@ -398,16 +396,19 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
                 sender: tx.sender,
                 tx_index,
             };
-            let outcome = scratch.execute(&ctx, &tx.call).map_err(|e| {
-                EngineError::ExecutionFailed {
-                    tx_index,
-                    reason: format!("{e:?}"),
-                }
-            })?;
-            meter.charge(outcome.gas_used).map_err(|e| EngineError::OutOfGas {
-                used: e.used,
-                limit: e.limit,
-            })?;
+            let outcome =
+                scratch
+                    .execute(&ctx, &tx.call)
+                    .map_err(|e| EngineError::ExecutionFailed {
+                        tx_index,
+                        reason: format!("{e:?}"),
+                    })?;
+            meter
+                .charge(outcome.gas_used)
+                .map_err(|e| EngineError::OutOfGas {
+                    used: e.used,
+                    limit: e.limit,
+                })?;
             outcomes.push(outcome);
         }
         Ok((scratch.state_digest(), outcomes))
@@ -424,8 +425,7 @@ mod tests {
         behaviors: &[(AccountId, MinerBehavior)],
     ) -> ConsensusEngine<CounterContract> {
         let schedule = LeaderSchedule::round_robin((0..n).collect());
-        let map: BTreeMap<AccountId, MinerBehavior> =
-            behaviors.iter().copied().collect();
+        let map: BTreeMap<AccountId, MinerBehavior> = behaviors.iter().copied().collect();
         ConsensusEngine::new(
             CounterContract::default(),
             schedule,
@@ -481,10 +481,7 @@ mod tests {
         assert_eq!(report.rejected_leaders, vec![0]);
         // State is the honest result, not the corrupted root.
         assert_eq!(engine.honest_contract().value, 7);
-        assert_eq!(
-            report.state_root,
-            engine.honest_contract().state_digest()
-        );
+        assert_eq!(report.state_root, engine.honest_contract().state_digest());
         assert_eq!(engine.stats().failed_views, 1);
     }
 
@@ -533,7 +530,10 @@ mod tests {
         );
         let report = engine.commit_transactions(add_txs(&[9])).unwrap();
         // Corrupt leader (1 self-vote) + AcceptAll (1) = 2 of 5: rejected.
-        assert_eq!(report.leader, 1, "next leader after fraud is AcceptAll miner 1");
+        assert_eq!(
+            report.leader, 1,
+            "next leader after fraud is AcceptAll miner 1"
+        );
         assert_eq!(engine.honest_contract().value, 9);
     }
 
@@ -564,7 +564,10 @@ mod tests {
         let mut engine = engine_with(3, &[]);
         let txs = vec![Transaction::new(0, 0, CounterCall::Fail)];
         let err = engine.commit_transactions(txs).unwrap_err();
-        assert!(matches!(err, EngineError::ExecutionFailed { tx_index: 0, .. }));
+        assert!(matches!(
+            err,
+            EngineError::ExecutionFailed { tx_index: 0, .. }
+        ));
         assert_eq!(engine.height(), 0);
     }
 

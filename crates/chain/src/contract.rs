@@ -169,7 +169,11 @@ mod tests {
     fn replicas_agree_on_digest() {
         let mut a = CounterContract::default();
         let mut b = CounterContract::default();
-        for call in [CounterCall::Add(3), CounterCall::Set(7), CounterCall::Add(1)] {
+        for call in [
+            CounterCall::Add(3),
+            CounterCall::Set(7),
+            CounterCall::Add(1),
+        ] {
             a.execute(&ctx(), &call).unwrap();
             b.execute(&ctx(), &call).unwrap();
         }

@@ -76,7 +76,10 @@ impl GasSchedule {
     pub fn charge(&self, stored_words: usize, compute_words: usize) -> Gas {
         let stored = (stored_words as u64).saturating_mul(self.per_word_store);
         let compute = (compute_words as u64).saturating_mul(self.per_word_compute);
-        Gas(self.base_call.saturating_add(stored).saturating_add(compute))
+        Gas(self
+            .base_call
+            .saturating_add(stored)
+            .saturating_add(compute))
     }
 }
 

@@ -97,12 +97,7 @@ impl HeaderChain {
 
     /// Verifies that a transaction with digest `tx_digest` was included
     /// in the block at `height`, using a full node's Merkle `proof`.
-    pub fn verify_inclusion(
-        &self,
-        height: u64,
-        tx_digest: &Hash32,
-        proof: &MerkleProof,
-    ) -> bool {
+    pub fn verify_inclusion(&self, height: u64, tx_digest: &Hash32, proof: &MerkleProof) -> bool {
         let Some(header) = self.header_at(height) else {
             return false;
         };

@@ -129,7 +129,10 @@ mod tests {
         pool.submit(tx(0, 1)).unwrap();
         let drained = pool.drain(10);
         assert_eq!(
-            drained.iter().map(|t| (t.sender, t.nonce)).collect::<Vec<_>>(),
+            drained
+                .iter()
+                .map(|t| (t.sender, t.nonce))
+                .collect::<Vec<_>>(),
             vec![(0, 0), (1, 0), (0, 1)]
         );
     }

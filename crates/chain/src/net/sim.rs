@@ -110,13 +110,7 @@ impl SimNetwork {
     }
 
     /// Sends a message; returns its scheduled delivery time.
-    pub fn send(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        bytes: usize,
-        tag: impl Into<String>,
-    ) -> u64 {
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: usize, tag: impl Into<String>) -> u64 {
         let serialization = match self.bandwidth {
             Some(bw) => (bytes as u64).saturating_mul(1_000_000) / bw,
             None => 0,
@@ -138,13 +132,7 @@ impl SimNetwork {
     }
 
     /// Broadcasts to every node in `recipients` except the sender.
-    pub fn broadcast(
-        &mut self,
-        from: NodeId,
-        recipients: &[NodeId],
-        bytes: usize,
-        tag: &str,
-    ) {
+    pub fn broadcast(&mut self, from: NodeId, recipients: &[NodeId], bytes: usize, tag: &str) {
         for &to in recipients {
             if to != from {
                 self.send(from, to, bytes, tag);

@@ -6,8 +6,7 @@
 //! semantic half is verification by re-execution in
 //! [`crate::consensus::engine`]).
 
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard};
 
 use crate::block::Block;
 use crate::codec::Encode;
@@ -67,35 +66,36 @@ impl<C: Encode + Clone> ChainStore<C> {
         }
     }
 
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Block<C>>> {
+        self.inner.read().expect("chain store lock poisoned")
+    }
+
     /// Number of blocks.
     pub fn height(&self) -> u64 {
-        self.inner.read().len() as u64
+        self.read().len() as u64
     }
 
     /// Digest of the tip header, or [`Hash32::ZERO`] for an empty chain.
     pub fn tip_digest(&self) -> Hash32 {
-        self.inner
-            .read()
+        self.read()
             .last()
             .map_or(Hash32::ZERO, |b| b.header.digest())
     }
 
     /// Clone of the block at `height` (0-based), if present.
     pub fn block_at(&self, height: u64) -> Option<Block<C>> {
-        self.inner.read().get(height as usize).cloned()
+        self.read().get(height as usize).cloned()
     }
 
     /// Clone of the tip block.
     pub fn tip(&self) -> Option<Block<C>> {
-        self.inner.read().last().cloned()
+        self.read().last().cloned()
     }
 
     /// Validates and appends a block.
     pub fn append(&self, block: Block<C>) -> Result<(), StoreError> {
-        let mut chain = self.inner.write();
-        let expected_parent = chain
-            .last()
-            .map_or(Hash32::ZERO, |b| b.header.digest());
+        let mut chain = self.inner.write().expect("chain store lock poisoned");
+        let expected_parent = chain.last().map_or(Hash32::ZERO, |b| b.header.digest());
         if block.header.parent != expected_parent {
             return Err(StoreError::ParentMismatch {
                 expected: expected_parent,
@@ -118,7 +118,7 @@ impl<C: Encode + Clone> ChainStore<C> {
 
     /// Verifies the hash chain from genesis to tip.
     pub fn verify_chain(&self) -> bool {
-        let chain = self.inner.read();
+        let chain = self.read();
         let mut parent = Hash32::ZERO;
         for (i, block) in chain.iter().enumerate() {
             if block.header.parent != parent
@@ -134,11 +134,7 @@ impl<C: Encode + Clone> ChainStore<C> {
 
     /// All state roots in order (the audit trail of contract states).
     pub fn state_roots(&self) -> Vec<Hash32> {
-        self.inner
-            .read()
-            .iter()
-            .map(|b| b.header.state_root)
-            .collect()
+        self.read().iter().map(|b| b.header.state_root).collect()
     }
 }
 

@@ -22,11 +22,7 @@ impl SmartContract for Accumulator {
     type Call = u64;
     type Error = String;
 
-    fn execute(
-        &mut self,
-        _ctx: &TxContext,
-        call: &u64,
-    ) -> Result<ExecutionOutcome, String> {
+    fn execute(&mut self, _ctx: &TxContext, call: &u64) -> Result<ExecutionOutcome, String> {
         self.total = self.total.wrapping_add(*call);
         Ok(ExecutionOutcome::event(format!("+{call}"), Gas(1)))
     }
@@ -36,10 +32,7 @@ impl SmartContract for Accumulator {
     }
 }
 
-fn engine(
-    miners: u32,
-    behaviors: &[(u32, MinerBehavior)],
-) -> ConsensusEngine<Accumulator> {
+fn engine(miners: u32, behaviors: &[(u32, MinerBehavior)]) -> ConsensusEngine<Accumulator> {
     let schedule = LeaderSchedule::round_robin((0..miners).collect());
     ConsensusEngine::new(
         Accumulator::default(),
@@ -114,8 +107,7 @@ fn interleaved_senders_keep_nonce_order() {
 fn seeded_schedule_commits_identically() {
     // The same transactions through a seeded (pseudorandom) leader
     // schedule: different leaders, same state.
-    let txs: Vec<Transaction<u64>> =
-        (0..5).map(|n| Transaction::new(0, n, n * n)).collect();
+    let txs: Vec<Transaction<u64>> = (0..5).map(|n| Transaction::new(0, n, n * n)).collect();
 
     let mut round_robin = engine(5, &[]);
     round_robin.commit_transactions(txs.clone()).unwrap();

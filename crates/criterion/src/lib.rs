@@ -1,0 +1,282 @@
+//! Offline benchmark-harness shim.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset of the `criterion` API the workspace's benches use: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then sampled
+//! `sample_size` times; a sample runs enough iterations to cover
+//! [`Criterion::MIN_SAMPLE_NANOS`] and reports mean ns/iter, and the
+//! harness prints (and optionally archives) the **median over samples**.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"name": ..., "median_ns": ..., "samples": ...}`) to `<path>`.
+//! * `CRITERION_SAMPLE_SIZE=<n>` — override every group's sample size.
+//!
+//! A single positional CLI argument acts as a substring filter over
+//! benchmark names (mirrors `cargo bench -- <filter>`); `--bench`-style
+//! flags from cargo are ignored.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Throughput annotation (recorded for display parity; the shim reports
+/// time, not derived throughput).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a name and parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        let default_sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Self {
+            filter,
+            results: Vec::new(),
+            default_sample_size,
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum wall-clock per sample; iteration counts are calibrated up
+    /// to cover it so cheap bodies aren't lost in timer noise.
+    pub const MIN_SAMPLE_NANOS: f64 = 5_000_000.0;
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: String, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if !self.matches(&name) {
+            return;
+        }
+        // Calibrate: run single iterations until the per-iter cost is
+        // known, then size samples to MIN_SAMPLE_NANOS.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed_ns: 0.0,
+        };
+        f(&mut bencher); // warm-up
+        f(&mut bencher);
+        let per_iter = bencher.elapsed_ns.max(1.0);
+        let iters = (Self::MIN_SAMPLE_NANOS / per_iter).clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            samples.push(b.elapsed_ns / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = if samples.len() % 2 == 1 {
+            samples[samples.len() / 2]
+        } else {
+            0.5 * (samples[samples.len() / 2 - 1] + samples[samples.len() / 2])
+        };
+
+        let mut line = String::new();
+        let _ = write!(line, "{name:<48} median {:>14.1} ns/iter", median);
+        let _ = write!(line, "   ({} samples x {} iters)", samples.len(), iters);
+        println!("{line}");
+        self.results.push(BenchResult {
+            name,
+            median_ns: median,
+            samples: samples.len(),
+        });
+    }
+
+    /// Writes accumulated results to `CRITERION_JSON` (JSON lines), if set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) else {
+            eprintln!("criterion-shim: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let _ = writeln!(
+                file,
+                "{{\"name\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}",
+                r.name, r.median_ns, r.samples
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("CRITERION_SAMPLE_SIZE").is_err() {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Records the per-iteration throughput (display-only in the shim).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(name, sample_size, f);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(name, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}

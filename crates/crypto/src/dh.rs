@@ -50,10 +50,8 @@ impl DhGroup {
     /// Correct-by-construction for protocol tests (`g^ab == g^ba` holds in
     /// any group); not intended to resist cryptanalysis.
     pub fn simulation_256() -> Self {
-        let p = U256::from_hex(
-            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F",
-        )
-        .expect("static prime parses");
+        let p = U256::from_hex("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F")
+            .expect("static prime parses");
         Self {
             p,
             g: U256::from_u64(5),
@@ -110,13 +108,14 @@ impl<const LIMBS: usize> DhGroupW<LIMBS> {
 
     /// Derives a uniform 32-byte pair key from the shared group element
     /// via HKDF (group elements are not uniform bytes).
-    pub fn shared_key(
-        &self,
-        my_private: &Uint<LIMBS>,
-        other_public: &Uint<LIMBS>,
-    ) -> [u8; 32] {
+    pub fn shared_key(&self, my_private: &Uint<LIMBS>, other_public: &Uint<LIMBS>) -> [u8; 32] {
         let element = self.shared_element(my_private, other_public);
-        let okm = hkdf::derive(b"transparent-fl/dh-pair-key", &element.to_be_bytes(), b"", 32);
+        let okm = hkdf::derive(
+            b"transparent-fl/dh-pair-key",
+            &element.to_be_bytes(),
+            b"",
+            32,
+        );
         okm.try_into().expect("HKDF returned 32 bytes")
     }
 }

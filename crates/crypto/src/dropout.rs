@@ -49,7 +49,10 @@ impl std::fmt::Display for DropoutError {
         match self {
             Self::Shamir(e) => write!(f, "secret sharing: {e}"),
             Self::KeyMismatch => {
-                write!(f, "reconstructed key does not match the advertised public key")
+                write!(
+                    f,
+                    "reconstructed key does not match the advertised public key"
+                )
             }
         }
     }
@@ -156,8 +159,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, kp)| {
-                escrow_private_key(&shamir, kp, threshold, n, &mut prg(i as u8 + 40))
-                    .unwrap()
+                escrow_private_key(&shamir, kp, threshold, n, &mut prg(i as u8 + 40)).unwrap()
             })
             .collect();
 
@@ -168,8 +170,7 @@ mod tests {
         let submissions: Vec<Vec<u64>> = (0..n)
             .map(|i| {
                 let party =
-                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory)
-                        .unwrap();
+                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory).unwrap();
                 party.masked_update(&codec, round, &weights[i])
             })
             .collect();
@@ -182,20 +183,14 @@ mod tests {
 
         // Survivors pool their shares of party 3's key (threshold = 3).
         let pooled: Vec<Share> = (0..3).map(|s| escrowed[3][s].clone()).collect();
-        let recovered = reconstruct_private_key(
-            &shamir,
-            &group,
-            &pooled,
-            threshold,
-            &keypairs[3].public,
-        )
-        .unwrap();
+        let recovered =
+            reconstruct_private_key(&shamir, &group, &pooled, threshold, &keypairs[3].public)
+                .unwrap();
         assert_eq!(recovered, keypairs[3].private);
 
         // Strip party 3's residual masks and decode the survivor mean.
-        let survivors: Vec<(PartyId, U256)> = (0..3)
-            .map(|s| (s as PartyId, keypairs[s].public))
-            .collect();
+        let survivors: Vec<(PartyId, U256)> =
+            (0..3).map(|s| (s as PartyId, keypairs[s].public)).collect();
         strip_dropped_masks(&group, &mut partial, 3, &recovered, &survivors, round);
 
         for (d, &ring) in partial.iter().enumerate() {
@@ -214,8 +209,8 @@ mod tests {
         let shamir = Shamir::default();
         let kp = group.keypair_from_seed(&[9u8; 32]);
         let shares = escrow_private_key(&shamir, &kp, 3, 5, &mut prg(1)).unwrap();
-        let err = reconstruct_private_key(&shamir, &group, &shares[..2], 3, &kp.public)
-            .unwrap_err();
+        let err =
+            reconstruct_private_key(&shamir, &group, &shares[..2], 3, &kp.public).unwrap_err();
         assert!(matches!(err, DropoutError::Shamir(_)));
     }
 
@@ -227,8 +222,8 @@ mod tests {
         let kp_b = group.keypair_from_seed(&[2u8; 32]);
         // Shares of A's key, verified against B's public key.
         let shares = escrow_private_key(&shamir, &kp_a, 2, 3, &mut prg(3)).unwrap();
-        let err = reconstruct_private_key(&shamir, &group, &shares[..2], 2, &kp_b.public)
-            .unwrap_err();
+        let err =
+            reconstruct_private_key(&shamir, &group, &shares[..2], 2, &kp_b.public).unwrap_err();
         assert_eq!(err, DropoutError::KeyMismatch);
     }
 
@@ -248,8 +243,7 @@ mod tests {
         let submissions: Vec<Vec<u64>> = (0..n)
             .map(|i| {
                 let party =
-                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory)
-                        .unwrap();
+                    PartyState::derive(&group, i as PartyId, &keypairs[i], &directory).unwrap();
                 party.masked_update(&codec, 0, &[1.0])
             })
             .collect();

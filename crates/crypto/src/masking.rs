@@ -46,23 +46,29 @@ impl PairwiseMasker {
     /// # Panics
     ///
     /// Panics if `me == other` — a party has no pairwise mask with itself.
-    pub fn apply(
-        &self,
-        me: PartyId,
-        other: PartyId,
-        round: u64,
-        update: &mut [u64],
-    ) {
-        assert_ne!(me, other, "no pairwise mask with self");
+    pub fn apply(&self, me: PartyId, other: PartyId, round: u64, update: &mut [u64]) {
         let mask = self.mask_for_round(round, update.len());
-        if me < other {
-            for (u, m) in update.iter_mut().zip(&mask) {
-                *u = u.wrapping_add(*m);
-            }
-        } else {
-            for (u, m) in update.iter_mut().zip(&mask) {
-                *u = u.wrapping_sub(*m);
-            }
+        apply_expanded(me, other, &mask, update);
+    }
+}
+
+/// Applies an already-expanded mask with the canonical orientation (the
+/// smaller id adds, the larger subtracts). Split out so callers that
+/// expand several pair masks in parallel can fold them without
+/// re-deriving the orientation rule.
+///
+/// # Panics
+///
+/// Panics if `me == other` — a party has no pairwise mask with itself.
+pub fn apply_expanded(me: PartyId, other: PartyId, mask: &[u64], update: &mut [u64]) {
+    assert_ne!(me, other, "no pairwise mask with self");
+    if me < other {
+        for (u, m) in update.iter_mut().zip(mask) {
+            *u = u.wrapping_add(*m);
+        }
+    } else {
+        for (u, m) in update.iter_mut().zip(mask) {
+            *u = u.wrapping_sub(*m);
         }
     }
 }
@@ -100,7 +106,10 @@ mod tests {
 
     #[test]
     fn different_keys_different_masks() {
-        assert_ne!(masker(1).mask_for_round(0, 10), masker(2).mask_for_round(0, 10));
+        assert_ne!(
+            masker(1).mask_for_round(0, 10),
+            masker(2).mask_for_round(0, 10)
+        );
     }
 
     #[test]

@@ -19,10 +19,17 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use numeric::FixedCodec;
+use numeric::{par, FixedCodec};
 
 use crate::dh::{DhGroup, DhKeyPair};
 use crate::masking::{PairwiseMasker, PartyId};
+
+/// Minimum ring elements per worker thread when expanding or summing
+/// mask vectors. ChaCha expansion costs a few ns per element, so below
+/// this the thread hand-off dominates; one paper-scale pair mask
+/// (dim ≈ 650) stays inline while multi-pair and high-dimensional work
+/// fans out.
+const MIN_RING_ELEMS_PER_THREAD: usize = 2048;
 
 /// Errors from driving a [`SecureAggSession`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,17 +148,25 @@ impl PartyState {
         if directory.public_key(me).is_none() {
             return Err(SecureAggError::UnknownParty(me));
         }
-        let mut maskers = BTreeMap::new();
-        for other in directory.parties() {
-            if other == me {
-                continue;
-            }
+        // Pairwise key agreement is one modular exponentiation per peer —
+        // the dominant setup cost — and each pair key depends only on the
+        // peer's public key, so the derivations fan out across cores.
+        let others: Vec<PartyId> = directory
+            .parties()
+            .into_iter()
+            .filter(|&other| other != me)
+            .collect();
+        let pair_keys = par::par_map(&others, 1, |_, other| {
             let other_pub = directory
-                .public_key(other)
+                .public_key(*other)
                 .expect("listed party has a key");
-            let pair_key = group.shared_key(&keypair.private, other_pub);
-            maskers.insert(other, PairwiseMasker::new(pair_key));
-        }
+            group.shared_key(&keypair.private, other_pub)
+        });
+        let maskers = others
+            .into_iter()
+            .zip(pair_keys)
+            .map(|(other, pair_key)| (other, PairwiseMasker::new(pair_key)))
+            .collect();
         Ok(Self { id: me, maskers })
     }
 
@@ -163,24 +178,33 @@ impl PartyState {
     /// Produces the masked fixed-point submission for `round`.
     ///
     /// `weights` are the party's raw model update (plaintext, local only).
-    pub fn masked_update(
-        &self,
-        codec: &FixedCodec,
-        round: u64,
-        weights: &[f64],
-    ) -> Vec<u64> {
-        let mut update = codec.encode_vec(weights);
-        for (&other, masker) in &self.maskers {
-            masker.apply(self.id, other, round, &mut update);
-        }
-        update
+    pub fn masked_update(&self, codec: &FixedCodec, round: u64, weights: &[f64]) -> Vec<u64> {
+        self.mask_ring_vector(round, codec.encode_vec(weights))
     }
 
     /// Masks an already-encoded ring vector (used by group-restricted
     /// aggregation where encoding happens upstream).
+    ///
+    /// Each pair's mask expansion is an independent ChaCha keystream, so
+    /// for enough total work the expansions fan out across cores and are
+    /// folded in ascending peer order. Ring addition is associative and
+    /// commutative (wrapping `u64`), so the masked vector is bit-identical
+    /// to the sequential fold for any thread count.
     pub fn mask_ring_vector(&self, round: u64, mut update: Vec<u64>) -> Vec<u64> {
-        for (&other, masker) in &self.maskers {
-            masker.apply(self.id, other, round, &mut update);
+        let dim = update.len();
+        if self.maskers.len() * dim < 2 * MIN_RING_ELEMS_PER_THREAD {
+            for (&other, masker) in &self.maskers {
+                masker.apply(self.id, other, round, &mut update);
+            }
+            return update;
+        }
+        let peers: Vec<(PartyId, &PairwiseMasker)> =
+            self.maskers.iter().map(|(&other, m)| (other, m)).collect();
+        let masks = par::par_map(&peers, 1, |_, (_, masker)| {
+            masker.mask_for_round(round, dim)
+        });
+        for ((other, _), mask) in peers.iter().zip(&masks) {
+            crate::masking::apply_expanded(self.id, *other, mask, &mut update);
         }
         update
     }
@@ -223,11 +247,7 @@ impl SecureAggSession {
     }
 
     /// Records a masked submission.
-    pub fn submit(
-        &mut self,
-        party: PartyId,
-        masked: Vec<u64>,
-    ) -> Result<(), SecureAggError> {
+    pub fn submit(&mut self, party: PartyId, masked: Vec<u64>) -> Result<(), SecureAggError> {
         if !self.expected.contains(&party) {
             return Err(SecureAggError::UnknownParty(party));
         }
@@ -260,23 +280,38 @@ impl SecureAggSession {
 
     /// Ring sum of all submissions. The pairwise masks cancel, leaving
     /// `Σ encode(w_i)`.
+    ///
+    /// For high-dimensional models the sum is chunked over coordinates
+    /// and computed on the fork-join layer; each coordinate always sums
+    /// parties in ascending id order (and wrapping `u64` addition is
+    /// exact), so the aggregate is bit-identical for any thread count.
     pub fn aggregate(&self) -> Result<Vec<u64>, SecureAggError> {
         let missing = self.pending();
         if !missing.is_empty() {
             return Err(SecureAggError::MissingSubmissions(missing));
         }
         let mut acc = vec![0u64; self.dim];
-        for masked in self.submissions.values() {
-            FixedCodec::ring_add_assign(&mut acc, masked);
+        if self.submissions.len() * self.dim < 2 * MIN_RING_ELEMS_PER_THREAD {
+            for masked in self.submissions.values() {
+                FixedCodec::ring_add_assign(&mut acc, masked);
+            }
+            return Ok(acc);
         }
+        let submissions: Vec<&Vec<u64>> = self.submissions.values().collect();
+        let min_chunk = MIN_RING_ELEMS_PER_THREAD / self.submissions.len().max(1);
+        par::par_fill_with(&mut acc, min_chunk.max(1), |start, chunk| {
+            let len = chunk.len();
+            for masked in &submissions {
+                for (a, m) in chunk.iter_mut().zip(&masked[start..start + len]) {
+                    *a = a.wrapping_add(*m);
+                }
+            }
+        });
         Ok(acc)
     }
 
     /// Aggregates and decodes to the cohort *average* in `f64`.
-    pub fn aggregate_mean(
-        &self,
-        codec: &FixedCodec,
-    ) -> Result<Vec<f64>, SecureAggError> {
+    pub fn aggregate_mean(&self, codec: &FixedCodec) -> Result<Vec<f64>, SecureAggError> {
         let ring = self.aggregate()?;
         let n = self.expected.len();
         Ok(ring.iter().map(|&r| codec.decode_avg(r, n)).collect())
@@ -374,8 +409,7 @@ mod tests {
     fn masked_submission_differs_from_plaintext() {
         let codec = FixedCodec::default();
         let g = group();
-        let kps: Vec<DhKeyPair> =
-            seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let kps: Vec<DhKeyPair> = seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
         let mut dir = KeyDirectory::new();
         dir.advertise(0, kps[0].public).unwrap();
         dir.advertise(1, kps[1].public).unwrap();
@@ -389,8 +423,7 @@ mod tests {
     fn per_round_masks_differ() {
         let codec = FixedCodec::default();
         let g = group();
-        let kps: Vec<DhKeyPair> =
-            seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let kps: Vec<DhKeyPair> = seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
         let mut dir = KeyDirectory::new();
         dir.advertise(0, kps[0].public).unwrap();
         dir.advertise(1, kps[1].public).unwrap();
@@ -409,7 +442,10 @@ mod tests {
         );
         assert_eq!(
             s.submit(0, vec![0]),
-            Err(SecureAggError::DimensionMismatch { expected: 2, got: 1 })
+            Err(SecureAggError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         s.submit(0, vec![1, 2]).unwrap();
         assert_eq!(
@@ -449,10 +485,8 @@ mod tests {
         let codec = FixedCodec::default();
         let g = group();
         let n = 4;
-        let weights: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![i as f64, -(i as f64)]).collect();
-        let kps: Vec<DhKeyPair> =
-            seeds(n).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let weights: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let kps: Vec<DhKeyPair> = seeds(n).iter().map(|s| g.keypair_from_seed(s)).collect();
         let mut dir = KeyDirectory::new();
         for (i, kp) in kps.iter().enumerate() {
             dir.advertise(i as PartyId, kp.public).unwrap();

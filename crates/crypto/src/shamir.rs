@@ -81,10 +81,8 @@ impl Shamir {
     /// Field `GF(p)` with the same 256-bit prime the DH simulation group
     /// uses (secp256k1's field prime).
     pub fn new_simulation_field() -> Self {
-        let p = U256::from_hex(
-            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F",
-        )
-        .expect("static prime parses");
+        let p = U256::from_hex("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F")
+            .expect("static prime parses");
         Self { p }
     }
 
@@ -125,11 +123,7 @@ impl Shamir {
 
     /// Reconstructs the secret from at least `threshold` shares via
     /// Lagrange interpolation at zero.
-    pub fn reconstruct(
-        &self,
-        shares: &[Share],
-        threshold: usize,
-    ) -> Result<U256, ShamirError> {
+    pub fn reconstruct(&self, shares: &[Share], threshold: usize) -> Result<U256, ShamirError> {
         if shares.len() < threshold {
             return Err(ShamirError::NotEnoughShares {
                 got: shares.len(),
@@ -158,7 +152,8 @@ impl Shamir {
                 den = den.mod_mul(&xk.mod_sub(&xj, p), p);
             }
             let lj = num.mod_mul(
-                &den.mod_inv_prime(p).expect("den nonzero for distinct points"),
+                &den.mod_inv_prime(p)
+                    .expect("den nonzero for distinct points"),
                 p,
             );
             secret = secret.mod_add(&sj.y.mod_mul(&lj, p), p);
@@ -171,7 +166,9 @@ impl Shamir {
         let xf = U256::from_u64(x).reduce(&self.p);
         let mut acc = U256::ZERO;
         for c in coeffs.iter().rev() {
-            acc = acc.mod_mul(&xf, &self.p).mod_add(&c.reduce(&self.p), &self.p);
+            acc = acc
+                .mod_mul(&xf, &self.p)
+                .mod_add(&c.reduce(&self.p), &self.p);
         }
         acc
     }
@@ -212,9 +209,7 @@ mod tests {
     #[test]
     fn below_threshold_fails() {
         let s = Shamir::default();
-        let shares = s
-            .split(&U256::from_u64(7), 3, 5, &mut prg(1))
-            .unwrap();
+        let shares = s.split(&U256::from_u64(7), 3, 5, &mut prg(1)).unwrap();
         assert_eq!(
             s.reconstruct(&shares[..2], 3).unwrap_err(),
             ShamirError::NotEnoughShares { got: 2, need: 3 }
@@ -265,9 +260,7 @@ mod tests {
     #[test]
     fn duplicate_points_rejected() {
         let s = Shamir::default();
-        let shares = s
-            .split(&U256::from_u64(5), 2, 3, &mut prg(1))
-            .unwrap();
+        let shares = s.split(&U256::from_u64(5), 2, 3, &mut prg(1)).unwrap();
         let dup = [shares[0].clone(), shares[0].clone()];
         assert_eq!(
             s.reconstruct(&dup, 2).unwrap_err(),

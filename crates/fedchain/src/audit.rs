@@ -68,7 +68,10 @@ impl std::fmt::Display for AuditError {
                 height,
                 tx_index,
                 reason,
-            } => write!(f, "replay failed at block {height}, tx {tx_index}: {reason}"),
+            } => write!(
+                f,
+                "replay failed at block {height}, tx {tx_index}: {reason}"
+            ),
         }
     }
 }
@@ -152,7 +155,11 @@ mod tests {
         let (protocol, params, test_set) = run_protocol();
         let store = protocol.engine().store_of(0).expect("miner 0");
         let report = replay_chain(store, params, test_set).expect("replayable");
-        assert!(report.clean, "every block must verify: {:#?}", report.blocks);
+        assert!(
+            report.clean,
+            "every block must verify: {:#?}",
+            report.blocks
+        );
         assert_eq!(report.blocks.len(), 2);
         // The auditor reconstructs the same ledger the contract holds.
         for (id, value) in &report.final_contributions {
@@ -181,8 +188,7 @@ mod tests {
         // Utility is part of the agreement; a different test set changes
         // evaluated accuracies and therefore the state roots.
         let (protocol, params, _) = run_protocol();
-        let other_test =
-            fl_ml::dataset::SyntheticDigits::small().generate(987_654);
+        let other_test = fl_ml::dataset::SyntheticDigits::small().generate(987_654);
         let store = protocol.engine().store_of(0).expect("miner 0");
         let report = replay_chain(store, params, other_test).expect("replayable");
         assert!(!report.clean);
@@ -194,8 +200,7 @@ mod tests {
         let mut roots = Vec::new();
         for id in 0..4u32 {
             let store = protocol.engine().store_of(id).expect("miner");
-            let report =
-                replay_chain(store, params.clone(), test_set.clone()).expect("ok");
+            let report = replay_chain(store, params.clone(), test_set.clone()).expect("ok");
             assert!(report.clean);
             roots.push(report.blocks.last().expect("blocks").recomputed_root);
         }

@@ -169,11 +169,17 @@ mod tests {
 
         let mut c = base();
         c.num_groups = 0;
-        assert!(matches!(c.validate(), Err(ConfigError::BadGroupCount { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadGroupCount { .. })
+        ));
 
         let mut c = base();
         c.num_groups = c.num_owners + 1;
-        assert!(matches!(c.validate(), Err(ConfigError::BadGroupCount { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadGroupCount { .. })
+        ));
 
         let mut c = base();
         c.rounds = 0;
@@ -181,7 +187,10 @@ mod tests {
 
         let mut c = base();
         c.train_fraction = 1.0;
-        assert!(matches!(c.validate(), Err(ConfigError::BadTrainFraction(_))));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadTrainFraction(_))
+        ));
 
         let mut c = base();
         c.sigma = -0.1;

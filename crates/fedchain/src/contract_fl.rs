@@ -277,8 +277,7 @@ impl FlContract {
             "test set feature mismatch"
         );
         let global_model = vec![0.0; params.model_dim];
-        let contributions =
-            params.owners.iter().map(|&o| (o, 0.0)).collect();
+        let contributions = params.owners.iter().map(|&o| (o, 0.0)).collect();
         Self {
             params,
             test_set,
@@ -353,8 +352,11 @@ impl FlContract {
         self.keys.insert(sender, public_key.to_vec());
         let gas = self.gas.charge(public_key.len().div_ceil(8), 0);
         Ok(ExecutionOutcome::event(
-            format!("key: owner {sender} advertised ({}/{})", self.keys.len(),
-                self.params.owners.len()),
+            format!(
+                "key: owner {sender} advertised ({}/{})",
+                self.keys.len(),
+                self.params.owners.len()
+            ),
             gas,
         ))
     }
@@ -446,9 +448,7 @@ impl FlContract {
                         .expect("completeness checked above");
                     FixedCodec::ring_add_assign(&mut acc, masked);
                 }
-                acc.iter()
-                    .map(|&r| codec.decode_avg(r, g.len()))
-                    .collect()
+                acc.iter().map(|&r| codec.decode_avg(r, g.len())).collect()
             })
             .collect();
 
@@ -508,15 +508,9 @@ impl SmartContract for FlContract {
     type Call = FlCall;
     type Error = FlError;
 
-    fn execute(
-        &mut self,
-        ctx: &TxContext,
-        call: &FlCall,
-    ) -> Result<ExecutionOutcome, FlError> {
+    fn execute(&mut self, ctx: &TxContext, call: &FlCall) -> Result<ExecutionOutcome, FlError> {
         match call {
-            FlCall::AdvertiseKey { public_key } => {
-                self.advertise_key(ctx.sender, public_key)
-            }
+            FlCall::AdvertiseKey { public_key } => self.advertise_key(ctx.sender, public_key),
             FlCall::SubmitMaskedUpdate { round, masked } => {
                 self.submit_update(ctx.sender, *round, masked)
             }
@@ -603,13 +597,28 @@ mod tests {
     fn key_exchange_rules() {
         let mut c = contract(3, 2);
         assert!(matches!(
-            c.execute(&ctx(9), &FlCall::AdvertiseKey { public_key: vec![1] }),
+            c.execute(
+                &ctx(9),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![1]
+                }
+            ),
             Err(FlError::NotAnOwner(9))
         ));
-        c.execute(&ctx(0), &FlCall::AdvertiseKey { public_key: vec![1] })
-            .unwrap();
+        c.execute(
+            &ctx(0),
+            &FlCall::AdvertiseKey {
+                public_key: vec![1],
+            },
+        )
+        .unwrap();
         assert!(matches!(
-            c.execute(&ctx(0), &FlCall::AdvertiseKey { public_key: vec![2] }),
+            c.execute(
+                &ctx(0),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![2]
+                }
+            ),
             Err(FlError::KeyAlreadyAdvertised(0))
         ));
         assert_eq!(c.public_key_of(0), Some(&[1u8][..]));
@@ -646,7 +655,10 @@ mod tests {
                     masked: update.clone()
                 }
             ),
-            Err(FlError::WrongRound { expected: 0, got: 5 })
+            Err(FlError::WrongRound {
+                expected: 0,
+                got: 5
+            })
         ));
         // Wrong dimension.
         assert!(matches!(
@@ -725,7 +737,7 @@ mod tests {
         let record = &c.history()[0];
         assert_eq!(record.per_owner_sv.len(), 4);
         assert_eq!(record.utility_evaluations, 4); // 2^m, m=2
-        // Groups partition all 4 owners.
+                                                   // Groups partition all 4 owners.
         let total: usize = record.groups.iter().map(Vec::len).sum();
         assert_eq!(total, 4);
         // Submissions cleared for the next round.
@@ -748,16 +760,13 @@ mod tests {
                 )
                 .unwrap();
             }
-            c.execute(&ctx(0), &FlCall::EvaluateRound { round }).unwrap();
+            c.execute(&ctx(0), &FlCall::EvaluateRound { round })
+                .unwrap();
         }
         assert!(c.finished());
         // Cumulative SV equals the sum over round records.
         for (pos, owner) in (0..3u32).enumerate() {
-            let total: f64 = c
-                .history()
-                .iter()
-                .map(|r| r.per_owner_sv[pos])
-                .sum();
+            let total: f64 = c.history().iter().map(|r| r.per_owner_sv[pos]).sum();
             let ledger = c.contributions()[&owner];
             assert!((ledger - total).abs() < 1e-12);
         }
@@ -826,22 +835,18 @@ mod tests {
             )
             .unwrap();
         }
-        let plain: Vec<Vec<f64>> = (0..3)
-            .map(|i| vec![0.1 * (i as f64 + 1.0); dim])
-            .collect();
+        let plain: Vec<Vec<f64>> = (0..3).map(|i| vec![0.1 * (i as f64 + 1.0); dim]).collect();
         for (i, kp) in keypairs.iter().enumerate() {
             let party = PartyState::derive(&dh, i as u32, kp, &dir).unwrap();
             let masked = party.masked_update(&codec, 0, &plain[i]);
             c.execute(
                 &ctx(i as u32),
-                &FlCall::SubmitMaskedUpdate {
-                    round: 0,
-                    masked,
-                },
+                &FlCall::SubmitMaskedUpdate { round: 0, masked },
             )
             .unwrap();
         }
-        c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }).unwrap();
+        c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
         // Global model = the single group model = mean of plaintexts = 0.2.
         for w in c.global_model() {
             assert!((w - 0.2).abs() < 1e-6, "got {w}");

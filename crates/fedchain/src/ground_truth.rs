@@ -149,7 +149,10 @@ mod tests {
         let u = RetrainUtility::new(&world.shards, &world.test, config.train);
         let empty = u.evaluate(Coalition::EMPTY);
         let grand = u.evaluate(Coalition::grand(3));
-        assert!(grand > empty + 0.15, "training must help: {empty} -> {grand}");
+        assert!(
+            grand > empty + 0.15,
+            "training must help: {empty} -> {grand}"
+        );
     }
 
     #[test]
@@ -193,8 +196,7 @@ mod tests {
         );
         let grand = u.evaluate(Coalition::grand(3));
         let avg = mean_vectors(&updates);
-        let model =
-            LogisticModel::from_flat(&avg, config.data.features, config.data.classes);
+        let model = LogisticModel::from_flat(&avg, config.data.features, config.data.classes);
         assert_eq!(grand, model_accuracy(&model, &world.test));
     }
 

@@ -178,10 +178,7 @@ mod tests {
         let zeros = vec![0.0; 65 * 10];
         let ua = a.local_update(&zeros, 64, 10);
         let ub = b.local_update(&zeros, 64, 10);
-        let dir = vec![
-            (0u32, a.keypair.public),
-            (1u32, b.keypair.public),
-        ];
+        let dir = vec![(0u32, a.keypair.public), (1u32, b.keypair.public)];
         let ma = a.mask_update(&ua, 3, &dir).unwrap();
         let mb = b.mask_update(&ub, 3, &dir).unwrap();
         let codec = FixedCodec::new(24);

@@ -22,7 +22,7 @@ use fl_chain::consensus::leader::LeaderSchedule;
 use fl_chain::gas::Gas;
 use fl_chain::tx::{AccountId, Transaction};
 use fl_ml::dataset::Dataset;
-use numeric::U256;
+use numeric::{par, U256};
 use shapley::group::{grouping, permutation};
 
 use crate::adversary::AdversaryKind;
@@ -142,8 +142,7 @@ impl FlProtocol {
         };
         let contract = FlContract::genesis(params, world.test.clone());
         let schedule = LeaderSchedule::round_robin(owner_ids);
-        let engine =
-            ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
+        let engine = ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
 
         Ok(Self {
             config,
@@ -239,13 +238,35 @@ impl FlProtocol {
             );
         }
 
-        // Local training + masking, off-chain per owner.
-        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
-        for (group, directory) in groups.iter().zip(&group_directories) {
+        // Local training + masking, off-chain per owner. In deployment
+        // every owner computes on its own machine simultaneously; here the
+        // owners fan out across cores. Each owner's update depends only on
+        // its own shard, RNG, and the (shared, read-only) global model, so
+        // the updates are bit-identical to a sequential pass.
+        let mut group_of = vec![0usize; n];
+        for (j, group) in groups.iter().enumerate() {
             for &idx in group {
-                let update =
-                    self.owners[idx].local_update(&global_model, num_features, num_classes);
-                let masked = self.owners[idx].mask_update(&update, round, directory)?;
+                group_of[idx] = j;
+            }
+        }
+        let masked_updates: Vec<Result<Vec<u64>, fl_crypto::secure_agg::SecureAggError>> =
+            par::par_map_mut(&mut self.owners, 1, |idx, owner| {
+                let update = owner.local_update(&global_model, num_features, num_classes);
+                owner.mask_update(&update, round, &group_directories[group_of[idx]])
+            });
+
+        // Transaction assembly stays sequential: nonces and block order
+        // are consensus-visible and must not depend on the schedule.
+        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
+        let mut masked_updates: Vec<Option<Vec<u64>>> = masked_updates
+            .into_iter()
+            .map(|r| r.map(Some))
+            .collect::<Result<_, _>>()?;
+        for group in &groups {
+            for &idx in group {
+                let masked = masked_updates[idx]
+                    .take()
+                    .expect("each owner produces exactly one update");
                 let id = self.owners[idx].id();
                 let nonce = self.next_nonce(id);
                 txs.push(Transaction::new(
@@ -259,7 +280,11 @@ impl FlProtocol {
         // Anyone may trigger evaluation; owner 0 does.
         let trigger = self.owners[0].id();
         let nonce = self.next_nonce(trigger);
-        txs.push(Transaction::new(trigger, nonce, FlCall::EvaluateRound { round }));
+        txs.push(Transaction::new(
+            trigger,
+            nonce,
+            FlCall::EvaluateRound { round },
+        ));
 
         Ok(self.engine.commit_transactions(txs)?)
     }
@@ -346,11 +371,7 @@ mod tests {
         assert_eq!(report.round_records.len(), 2);
         // Cumulative SV = sum of per-round SVs.
         for (i, &total) in report.per_owner_sv.iter().enumerate() {
-            let sum: f64 = report
-                .round_records
-                .iter()
-                .map(|r| r.per_owner_sv[i])
-                .sum();
+            let sum: f64 = report.round_records.iter().map(|r| r.per_owner_sv[i]).sum();
             assert!((total - sum).abs() < 1e-12);
         }
     }
@@ -441,9 +462,6 @@ mod tests {
     fn invalid_config_rejected() {
         let mut c = quick();
         c.num_owners = 1;
-        assert!(matches!(
-            FlProtocol::new(c),
-            Err(ProtocolError::Config(_))
-        ));
+        assert!(matches!(FlProtocol::new(c), Err(ProtocolError::Config(_))));
     }
 }

@@ -39,10 +39,7 @@ pub fn allocate(budget: f64, shapley_values: &[f64], policy: NegativePolicy) -> 
     let transformed: Vec<f64> = match policy {
         NegativePolicy::ClampZero => shapley_values.iter().map(|&v| v.max(0.0)).collect(),
         NegativePolicy::ShiftMin => {
-            let min = shapley_values
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let min = shapley_values.iter().cloned().fold(f64::INFINITY, f64::min);
             let shift = if min < 0.0 { -min } else { 0.0 };
             shapley_values.iter().map(|&v| v + shift).collect()
         }

@@ -28,16 +28,9 @@ impl World {
     pub fn generate(config: &FlConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let dataset = config.data.generate(config.sub_seed("dataset"));
-        let split = train_test_split(
-            &dataset,
-            config.train_fraction,
-            config.sub_seed("split"),
-        );
-        let mut shards = shard_for_owners(
-            &split.train,
-            config.num_owners,
-            config.sub_seed("shards"),
-        );
+        let split = train_test_split(&dataset, config.train_fraction, config.sub_seed("split"));
+        let mut shards =
+            shard_for_owners(&split.train, config.num_owners, config.sub_seed("shards"));
         apply_quality_schedule(&mut shards, config.sigma, config.sub_seed("noise"));
         Ok(Self {
             shards,
@@ -53,8 +46,7 @@ impl World {
     /// Trains each owner's local model from zero weights and returns the
     /// flat updates — the single-round `w_i` of the paper's evaluation.
     pub fn local_updates(&self, config: &FlConfig) -> Vec<Vec<f64>> {
-        let zeros =
-            vec![0.0; (config.data.features + 1) * config.data.classes];
+        let zeros = vec![0.0; (config.data.features + 1) * config.data.classes];
         self.local_updates_from(config, &zeros)
     }
 
@@ -64,11 +56,8 @@ impl World {
         self.shards
             .iter()
             .map(|shard| {
-                let mut model = LogisticModel::from_flat(
-                    global,
-                    config.data.features,
-                    config.data.classes,
-                );
+                let mut model =
+                    LogisticModel::from_flat(global, config.data.features, config.data.classes);
                 model.train(shard, &config.train);
                 model.to_flat()
             })

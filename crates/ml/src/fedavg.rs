@@ -57,10 +57,7 @@ mod tests {
     #[test]
     fn weighted_reduces_to_uniform_for_equal_counts() {
         let updates = vec![vec![1.0, 0.0], vec![3.0, 2.0]];
-        assert_eq!(
-            fedavg_weighted(&updates, &[5, 5]),
-            fedavg_uniform(&updates)
-        );
+        assert_eq!(fedavg_weighted(&updates, &[5, 5]), fedavg_uniform(&updates));
     }
 
     #[test]

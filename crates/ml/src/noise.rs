@@ -107,11 +107,9 @@ mod tests {
     #[test]
     fn labels_never_touched() {
         let mut s = shards(4);
-        let labels_before: Vec<Vec<usize>> =
-            s.iter().map(|d| d.labels.clone()).collect();
+        let labels_before: Vec<Vec<usize>> = s.iter().map(|d| d.labels.clone()).collect();
         apply_quality_schedule(&mut s, 3.0, 1);
-        let labels_after: Vec<Vec<usize>> =
-            s.iter().map(|d| d.labels.clone()).collect();
+        let labels_after: Vec<Vec<usize>> = s.iter().map(|d| d.labels.clone()).collect();
         assert_eq!(labels_before, labels_after);
     }
 

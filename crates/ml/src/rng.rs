@@ -34,10 +34,7 @@ impl Xoshiro256 {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -153,8 +150,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| r.next_gaussian()).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
     }
@@ -163,8 +159,7 @@ mod tests {
     fn gaussian_with_parameters() {
         let mut r = Xoshiro256::seed_from_u64(6);
         let n = 20_000;
-        let samples: Vec<f64> =
-            (0..n).map(|_| r.next_gaussian_with(10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..n).map(|_| r.next_gaussian_with(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1);
     }
@@ -177,7 +172,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle must move elements");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle must move elements"
+        );
     }
 
     #[test]

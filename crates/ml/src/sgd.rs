@@ -153,13 +153,7 @@ mod tests {
         let a = train_model_sgd(&ds, &config);
         let b = train_model_sgd(&ds, &config);
         assert_eq!(a, b, "same seed must reproduce bit-identical weights");
-        let c = train_model_sgd(
-            &ds,
-            &SgdConfig {
-                seed: 6,
-                ..config
-            },
-        );
+        let c = train_model_sgd(&ds, &SgdConfig { seed: 6, ..config });
         assert_ne!(a, c, "different seed must reorder batches");
     }
 

@@ -22,11 +22,7 @@ pub struct TrainTestSplit {
 ///
 /// Panics unless `0 < train_fraction < 1` and both sides end up
 /// non-empty.
-pub fn train_test_split(
-    dataset: &Dataset,
-    train_fraction: f64,
-    seed: u64,
-) -> TrainTestSplit {
+pub fn train_test_split(dataset: &Dataset, train_fraction: f64, seed: u64) -> TrainTestSplit {
     assert!(
         (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
         "train_fraction must be in (0, 1), got {train_fraction}"
@@ -104,9 +100,11 @@ mod tests {
         let sig = |d: &Dataset| -> Vec<u64> {
             (0..d.len())
                 .map(|i| {
-                    d.features.row(i).iter().map(|v| v.to_bits()).fold(0u64, |a, b| {
-                        a.wrapping_mul(31).wrapping_add(b)
-                    })
+                    d.features
+                        .row(i)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b))
                 })
                 .collect()
         };
@@ -150,7 +148,10 @@ mod tests {
     #[test]
     fn shard_deterministic() {
         let ds = data();
-        assert_eq!(shard_for_owners(&ds, 5, 9)[2], shard_for_owners(&ds, 5, 9)[2]);
+        assert_eq!(
+            shard_for_owners(&ds, 5, 9)[2],
+            shard_for_owners(&ds, 5, 9)[2]
+        );
     }
 
     #[test]

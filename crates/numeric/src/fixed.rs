@@ -169,7 +169,11 @@ mod tests {
         let step = c.resolution();
         for v in [0.1, -0.7, 2.7181, -123.456] {
             let err = (c.decode(c.encode(v)) - v).abs();
-            assert!(err <= step / 2.0 + f64::EPSILON, "err {err} > {}", step / 2.0);
+            assert!(
+                err <= step / 2.0 + f64::EPSILON,
+                "err {err} > {}",
+                step / 2.0
+            );
         }
     }
 

@@ -13,6 +13,8 @@
 //!   logistic-regression trainer in `fl-ml`.
 //! * [`stats`] — the statistical helpers the evaluation needs (cosine
 //!   similarity for Fig. 2, summaries for the reports).
+//! * [`par`] — deterministic fork-join parallelism over index ranges; the
+//!   execution layer behind the SV and secure-aggregation hot paths.
 //!
 //! Everything here is deterministic and dependency-free by design: the
 //! blockchain's verification-by-re-execution protocol (paper Sect. III)
@@ -23,6 +25,7 @@
 
 pub mod fixed;
 pub mod linalg;
+pub mod par;
 pub mod stats;
 pub mod uint;
 

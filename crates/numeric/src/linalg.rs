@@ -60,7 +60,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows: expected {c}, got {}", row.len());
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -121,7 +125,8 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -150,7 +155,8 @@ impl Matrix {
     /// Used for the gradient `Xᵀ·(P − Y)` without materializing `Xᵀ`.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "t_matmul shape mismatch: {:?}ᵀ x {:?}",
             self.shape(),
             rhs.shape()
@@ -237,14 +243,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -1,0 +1,317 @@
+//! Dependency-free deterministic fork-join parallelism.
+//!
+//! Every hot path in this workspace — powerset utility evaluation in the
+//! Shapley engines, pairwise key agreement and mask expansion in secure
+//! aggregation, per-owner local training — is embarrassingly parallel
+//! *per index*. This module provides the one primitive they share:
+//! partition an index range into contiguous chunks, run each chunk on a
+//! scoped `std::thread`, and write results into pre-assigned slots.
+//!
+//! # Determinism contract
+//!
+//! The blockchain's verification-by-re-execution protocol requires every
+//! miner to compute **bit-identical** results regardless of its core
+//! count. All helpers here guarantee that as long as the supplied closure
+//! is a *pure function of the global index* (and of `&`/`&mut` state that
+//! only it touches):
+//!
+//! * slot `i` of the output is always `f(i, …)` — chunk boundaries move
+//!   with the thread count, but never which slot a result lands in;
+//! * no helper ever reduces across threads — callers combine results in
+//!   index order, so floating-point rounding cannot depend on the
+//!   schedule;
+//! * with one thread (or below the size threshold) the closure runs on
+//!   the calling thread in plain index order, and the parallel schedule
+//!   produces exactly the same slot values.
+//!
+//! The property tests in `shapley/tests/par_determinism.rs` pin this
+//! contract across thread counts 1, 2, and `available_parallelism`.
+//!
+//! # Knobs
+//!
+//! * [`set_max_threads`] / [`max_threads`] — global cap, `0` = one thread
+//!   per available core. The `FL_PAR_THREADS` environment variable, read
+//!   once at first use, seeds the cap (useful for benchmarking the
+//!   sequential fallback without recompiling).
+//! * Every helper takes `min_per_thread`, the smallest number of items
+//!   worth shipping to another thread; below `2 * min_per_thread` items
+//!   the call stays sequential. Callers pick it per workload: `1` for
+//!   model training or modular exponentiation, tens for utility
+//!   evaluations, thousands for ring-element arithmetic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global thread cap: 0 = automatic (one per core).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads every `par_*` helper may use.
+///
+/// `0` restores the automatic setting (`available_parallelism`). `1`
+/// forces the sequential path, which the determinism property tests use
+/// to compare schedules.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current thread cap (resolved: always `>= 1`).
+pub fn max_threads() -> usize {
+    let configured = MAX_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    // Resolved once: `available_parallelism` is a syscall, and the par
+    // helpers sit on hot paths that may run thousands of times per
+    // round. Affinity changes after startup are deliberately ignored.
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        let env = std::env::var("FL_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if env > 0 {
+            env
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    })
+}
+
+/// Number of worker threads for `n` items at the given granularity.
+fn plan_threads(n: usize, min_per_thread: usize) -> usize {
+    let min = min_per_thread.max(1);
+    (n / min).clamp(1, max_threads())
+}
+
+/// Splits `slice` into `threads` contiguous chunks whose lengths differ by
+/// at most one, returning `(start_index, chunk)` pairs.
+fn balanced_chunks<T>(slice: &mut [T], threads: usize) -> Vec<(usize, &mut [T])> {
+    let n = slice.len();
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut rest = slice;
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        let (head, tail) = rest.split_at_mut(len);
+        out.push((start, head));
+        start += len;
+        rest = tail;
+    }
+    out
+}
+
+/// Fills every slot of `out` with a value computed from its global index:
+/// `f(start, chunk)` must set `chunk[k]` to a pure function of
+/// `start + k`.
+///
+/// The workhorse primitive: all other helpers are built on it. Runs on
+/// the calling thread when `out.len() < 2 * min_per_thread` or the thread
+/// cap is 1.
+pub fn par_fill_with<T, F>(out: &mut [T], min_per_thread: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = plan_threads(out.len(), min_per_thread);
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let mut chunks = balanced_chunks(out, threads);
+    let (first_start, first_chunk) = chunks.remove(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        // Spawn workers for all but the first chunk; the calling thread
+        // works instead of idling at the join.
+        for (start, chunk) in chunks {
+            scope.spawn(move || f(start, chunk));
+        }
+        f(first_start, first_chunk);
+    });
+}
+
+/// `(0..n).map(f).collect()`, computed on up to [`max_threads`] threads.
+///
+/// `f` must be a pure function of the index for the determinism contract
+/// to hold.
+pub fn par_map_indices<R, F>(n: usize, min_per_thread: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = plan_threads(n, min_per_thread);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let base = n / threads;
+    let extra = n % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        // Spawn workers for all but the first range; the calling thread
+        // computes the first range instead of idling at the join.
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .cloned()
+            .map(|range| scope.spawn(move || range.map(f).collect::<Vec<R>>()))
+            .collect();
+        let first: Vec<R> = bounds[0].clone().map(f).collect();
+        let mut parts = Vec::with_capacity(threads);
+        parts.push(first);
+        parts.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par worker panicked")),
+        );
+        parts
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut parts {
+        out.append(part);
+    }
+    out
+}
+
+/// `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` in parallel.
+pub fn par_map<T, R, F>(items: &[T], min_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indices(items.len(), min_per_thread, |i| f(i, &items[i]))
+}
+
+/// Like [`par_map`] over mutable items: each element is visited exactly
+/// once with exclusive access, results collected in index order.
+pub fn par_map_mut<T, R, F>(items: &mut [T], min_per_thread: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = plan_threads(n, min_per_thread);
+    if threads <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut chunks = balanced_chunks(items, threads);
+    let (first_start, first_chunk) = chunks.remove(0);
+    let f = &f;
+    let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        // Spawn workers for all but the first chunk; the calling thread
+        // works its own chunk instead of idling at the join.
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(k, item)| f(start + k, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let first: Vec<R> = first_chunk
+            .iter_mut()
+            .enumerate()
+            .map(|(k, item)| f(first_start + k, item))
+            .collect();
+        let mut results = Vec::with_capacity(threads);
+        results.push(first);
+        results.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("par worker panicked")),
+        );
+        results
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in &mut results {
+        out.append(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_matches_sequential_for_any_thread_cap() {
+        let n = 1000;
+        let mut expected = vec![0u64; n];
+        for (i, v) in expected.iter_mut().enumerate() {
+            *v = (i as u64).wrapping_mul(0x9e37_79b9);
+        }
+        for cap in [1usize, 2, 3, 8] {
+            set_max_threads(cap);
+            let mut out = vec![0u64; n];
+            par_fill_with(&mut out, 1, |start, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ((start + k) as u64).wrapping_mul(0x9e37_79b9);
+                }
+            });
+            assert_eq!(out, expected, "cap={cap}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        set_max_threads(4);
+        let out = par_map_indices(100, 1, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn map_mut_visits_every_item_once() {
+        set_max_threads(3);
+        let mut items: Vec<u32> = (0..50).collect();
+        let doubled = par_map_mut(&mut items, 1, |i, item| {
+            *item += 1;
+            (i as u32, *item * 2)
+        });
+        assert_eq!(items, (1..=50).collect::<Vec<u32>>());
+        for (i, (idx, d)) in doubled.iter().enumerate() {
+            assert_eq!(*idx as usize, i);
+            assert_eq!(*d, (i as u32 + 1) * 2);
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn below_threshold_stays_sequential() {
+        // 3 items at min 16 per thread: must not spawn (observable only
+        // through correctness here, but exercises the fallback branch).
+        let out = par_map(&[1, 2, 3], 16, |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<u8> = par_map_indices(0, 1, |_| unreachable!());
+        assert!(out.is_empty());
+        let mut empty: [u8; 0] = [];
+        par_fill_with(&mut empty, 1, |_, _| {});
+    }
+
+    #[test]
+    fn max_threads_resolves_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

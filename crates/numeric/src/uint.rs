@@ -313,9 +313,7 @@ impl<const LIMBS: usize> Uint<LIMBS> {
             let mut carry = 0u128;
             for j in 0..LIMBS {
                 let idx = i + j;
-                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128
-                    + acc[idx] as u128
-                    + carry;
+                let prod = self.limbs[i] as u128 * rhs.limbs[j] as u128 + acc[idx] as u128 + carry;
                 acc[idx] = prod as u64;
                 carry = prod >> 64;
             }

@@ -1,0 +1,105 @@
+//! Offline property-testing shim.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! provides the (small) subset of the `proptest` API the workspace's
+//! test-suite uses, with the same names and call shapes:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`,
+//! * [`strategy::Strategy`] with `prop_map`, range strategies over the
+//!   primitive numeric types, `any::<T>()`, and `collection::vec`.
+//!
+//! Generation is a deterministic splitmix64 stream seeded from the test
+//! name, so failures reproduce across runs and machines. There is no
+//! shrinking: a failing case panics with the generated inputs' debug
+//! representation instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// The strategy/assert prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Mirrors `proptest::proptest!`: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a `#[test]` that runs the body for `cases` generated
+/// inputs (default [`test_runner::ProptestConfig::default`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (#[test] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) #[test] $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let _guard = $crate::test_runner::CaseGuard(format!(
+                        concat!("[case {}]", $(concat!(" ", stringify!($arg), " = {:?}")),+),
+                        case, $(&$arg),+
+                    ));
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// The real proptest retries with fresh inputs; this shim `continue`s to
+/// the next generated case. Because the property body is expanded
+/// directly inside the case loop, `prop_assume!` must sit at the body's
+/// top level (not inside a user loop) — which is how the workspace's
+/// tests use it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,97 @@
+//! Deterministic test runner state.
+
+/// Per-suite configuration (mirrors `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still exercising a meaningful input spread.
+        Self { cases: 64 }
+    }
+}
+
+/// Prints the generated inputs of the in-flight case if it panics, so a
+/// failing property is reproducible from the test log.
+pub struct CaseGuard(pub String);
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest case failed: {}", self.0);
+        }
+    }
+}
+
+/// Deterministic splitmix64 generator seeded from the test name, so every
+/// run (and every machine) sees the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from an arbitrary tag (the test name).
+    pub fn deterministic(tag: &str) -> Self {
+        // FNV-1a over the tag bytes gives a well-spread 64-bit seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for &b in tag.as_bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: seed }
+    }
+
+    /// Next pseudo-random `u64` (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next pseudo-random `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_tag() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

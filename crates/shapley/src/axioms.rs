@@ -29,9 +29,9 @@ pub fn symmetric_players(utility: &impl CoalitionUtility, i: usize, j: usize) ->
     let n = utility.num_players();
     assert!(i < n && j < n && i != j, "need two distinct players");
     let others = Coalition::grand(n).without(i).without(j);
-    others.subsets().all(|s| {
-        (utility.evaluate(s.with(i)) - utility.evaluate(s.with(j))).abs() <= TOLERANCE
-    })
+    others
+        .subsets()
+        .all(|s| (utility.evaluate(s.with(i)) - utility.evaluate(s.with(j))).abs() <= TOLERANCE)
 }
 
 /// Checks the symmetry axiom for a computed value vector.
@@ -39,9 +39,7 @@ pub fn check_symmetry(utility: &impl CoalitionUtility, values: &[f64]) -> bool {
     let n = utility.num_players();
     for i in 0..n {
         for j in (i + 1)..n {
-            if symmetric_players(utility, i, j)
-                && (values[i] - values[j]).abs() > TOLERANCE
-            {
+            if symmetric_players(utility, i, j) && (values[i] - values[j]).abs() > TOLERANCE {
                 return false;
             }
         }
@@ -55,15 +53,14 @@ pub fn is_null_player(utility: &impl CoalitionUtility, i: usize) -> bool {
     let n = utility.num_players();
     assert!(i < n, "player out of range");
     let others = Coalition::grand(n).without(i);
-    others.subsets().all(|s| {
-        (utility.evaluate(s.with(i)) - utility.evaluate(s)).abs() <= TOLERANCE
-    })
+    others
+        .subsets()
+        .all(|s| (utility.evaluate(s.with(i)) - utility.evaluate(s)).abs() <= TOLERANCE)
 }
 
 /// Checks the null-player axiom for a computed value vector.
 pub fn check_null_player(utility: &impl CoalitionUtility, values: &[f64]) -> bool {
-    (0..utility.num_players())
-        .all(|i| !is_null_player(utility, i) || values[i].abs() <= TOLERANCE)
+    (0..utility.num_players()).all(|i| !is_null_player(utility, i) || values[i].abs() <= TOLERANCE)
 }
 
 #[cfg(test)]

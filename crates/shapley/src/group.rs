@@ -19,9 +19,20 @@
 //! uniform within-group attribution.
 
 use numeric::linalg::mean_vectors;
+use numeric::par;
 
 use crate::coalition::{binomial, Coalition, MAX_PLAYERS};
 use crate::utility::ModelUtility;
+
+/// Minimum coalition-model evaluations per worker thread; below twice
+/// this the powerset is evaluated on the calling thread. Small `m`
+/// rounds (the paper's cross-silo demo uses `m = 2`) stay free of thread
+/// overhead while the `2^m` enumeration parallelizes as soon as it is
+/// the dominant cost.
+const MIN_EVALS_PER_THREAD: usize = 16;
+
+/// Minimum per-player marginal-sum assemblies per worker thread.
+const MIN_PLAYERS_PER_THREAD: usize = 4;
 
 /// Configuration for one GroupSV evaluation round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +91,7 @@ pub fn permutation(seed: u64, round: u64, n: usize) -> Vec<usize> {
 /// the first `n mod m` groups take one extra member.
 pub fn grouping(pi: &[usize], m: usize) -> Vec<Vec<usize>> {
     assert!(m > 0, "need at least one group");
-    assert!(
-        m <= pi.len(),
-        "more groups ({m}) than users ({})",
-        pi.len()
-    );
+    assert!(m <= pi.len(), "more groups ({m}) than users ({})", pi.len());
     let n = pi.len();
     let base = n / m;
     let extra = n % m;
@@ -99,12 +106,97 @@ pub fn grouping(pi: &[usize], m: usize) -> Vec<Vec<usize>> {
     groups
 }
 
+/// Precomputed partial coalition sums: every coalition's weight-sum is
+/// one vector addition away.
+///
+/// The `2^m` coalition models are averages `W_S = (1/|S|) Σ_{j∈S} W_j`.
+/// Building each sum naively costs `O(|S| · d)` — the dominant cost of
+/// the enumeration once the utility is cheap. Splitting the bitmask into
+/// its low `h` and high `m − h` halves and tabulating the subset-sums of
+/// each half (classic subset-DP, each table entry one vector add on a
+/// smaller entry) gets `Σ_S = lows[S_lo] + highs[S_hi]` in `O(d)` with
+/// `O(2^{m/2} · d)` memory instead of `O(2^m · d)`.
+///
+/// Determinism: every table entry adds member models in ascending group
+/// index, so the coalition model is a pure function of `mask` — chunk
+/// boundaries of the parallel enumeration cannot influence a single bit
+/// of any coalition model. Note the floating-point *grouping* differs
+/// from a flat sequential fold: a coalition spanning both halves is
+/// summed as `(low half) + (high half)`, so its model can differ from
+/// the seed implementation's `mean_vectors` fold in the final ULP.
+/// That changes nothing on-chain — every miner runs this same code —
+/// but exact-equality replays of chains recorded *before* this rewrite
+/// would have to use the old fold.
+struct CoalitionSums {
+    dim: usize,
+    low_bits: u32,
+    lows: Vec<Vec<f64>>,
+    highs: Vec<Vec<f64>>,
+}
+
+impl CoalitionSums {
+    fn new(group_models: &[Vec<f64>], dim: usize) -> Self {
+        let m = group_models.len();
+        let low_bits = (m / 2) as u32;
+        let lows = Self::half_table(&group_models[..low_bits as usize], dim);
+        let highs = Self::half_table(&group_models[low_bits as usize..], dim);
+        Self {
+            dim,
+            low_bits,
+            lows,
+            highs,
+        }
+    }
+
+    /// Subset-sum table over `models` (one half of the groups). Entry
+    /// `x` holds `Σ_{bit j ∈ x} models[j]`, built by adding the highest
+    /// member onto the already-computed remainder — so within a half,
+    /// members accumulate in ascending index order.
+    fn half_table(models: &[Vec<f64>], dim: usize) -> Vec<Vec<f64>> {
+        let bits = models.len();
+        let mut table = vec![vec![0.0f64; dim]; 1usize << bits];
+        for x in 1usize..(1usize << bits) {
+            let msb = usize::BITS - 1 - x.leading_zeros();
+            let rest = x & !(1usize << msb);
+            let (head, tail) = table.split_at_mut(x);
+            let entry = &mut tail[0];
+            entry.copy_from_slice(&head[rest]);
+            for (e, w) in entry.iter_mut().zip(&models[msb as usize]) {
+                *e += w;
+            }
+        }
+        table
+    }
+
+    /// Writes the coalition *mean* `W_S` for a non-empty `mask` into
+    /// `out` without allocating.
+    fn mean_into(&self, mask: usize, out: &mut [f64]) {
+        debug_assert_ne!(mask, 0);
+        debug_assert_eq!(out.len(), self.dim);
+        let low = mask & ((1usize << self.low_bits) - 1);
+        let high = mask >> self.low_bits;
+        let inv = 1.0 / mask.count_ones() as f64;
+        let lo = &self.lows[low];
+        let hi = &self.highs[high];
+        for ((o, l), h) in out.iter_mut().zip(lo).zip(hi) {
+            *o = (l + h) * inv;
+        }
+    }
+}
+
 /// Lines 4–6 of Algorithm 1: exact Shapley values over *group models*.
 ///
 /// This is the form the smart contract runs on-chain: it receives the
 /// per-group secure aggregates (it can never see individual updates) and
 /// computes each group's SV by enumerating the `2^m` coalition models
 /// built from plain averages of group models.
+///
+/// Coalition models come from an incremental subset-sum table
+/// ([`CoalitionSums`]): `O(d)` per coalition and zero per-coalition heap
+/// clones of member models. The `2^m` utility evaluations run on the
+/// deterministic fork-join layer ([`numeric::par`]); because each cache
+/// slot is a pure function of its coalition bitmask, the result is
+/// bit-identical for every thread count.
 ///
 /// Returns `(per_group_sv, utility_evaluations)`.
 ///
@@ -113,7 +205,7 @@ pub fn grouping(pi: &[usize], m: usize) -> Vec<Vec<usize>> {
 /// Panics on empty/ragged input or more than [`MAX_PLAYERS`] groups.
 pub fn shapley_over_group_models(
     group_models: &[Vec<f64>],
-    utility: &impl ModelUtility,
+    utility: &(impl ModelUtility + Sync),
 ) -> (Vec<f64>, usize) {
     let m = group_models.len();
     assert!(m > 0, "no groups");
@@ -127,37 +219,36 @@ pub fn shapley_over_group_models(
         "all group models must share a dimension"
     );
 
-    let mut utility_cache = vec![0.0f64; 1usize << m];
-    let mut evaluations = 0usize;
-    for coalition in Coalition::powerset(m) {
-        let value = if coalition.is_empty() {
-            utility.of_empty()
-        } else {
-            let members: Vec<Vec<f64>> = coalition
-                .members()
-                .map(|j| group_models[j].clone())
-                .collect();
-            let w_s = mean_vectors(&members);
-            utility.of_model(&w_s)
-        };
-        utility_cache[coalition.0 as usize] = value;
-        evaluations += 1;
-    }
+    let sums = CoalitionSums::new(group_models, dim);
+    let evaluations = 1usize << m;
+    let mut utility_cache = vec![0.0f64; evaluations];
+    par::par_fill_with(&mut utility_cache, MIN_EVALS_PER_THREAD, |start, chunk| {
+        // One scratch buffer per chunk: coalition models are built in
+        // place, never cloned.
+        let mut w_s = vec![0.0f64; dim];
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let mask = start + k;
+            *slot = if mask == 0 {
+                utility.of_empty()
+            } else {
+                sums.mean_into(mask, &mut w_s);
+                utility.of_model(&w_s)
+            };
+        }
+    });
 
     let weights: Vec<f64> = (0..m)
         .map(|s| 1.0 / (m as f64 * binomial(m - 1, s)))
         .collect();
-    let mut per_group = vec![0.0f64; m];
-    for (j, vj) in per_group.iter_mut().enumerate() {
+    let per_group = par::par_map_indices(m, MIN_PLAYERS_PER_THREAD, |j| {
         let others = Coalition::grand(m).without(j);
         let mut acc = 0.0;
         for s in others.subsets() {
-            let marginal =
-                utility_cache[s.with(j).0 as usize] - utility_cache[s.0 as usize];
+            let marginal = utility_cache[s.with(j).0 as usize] - utility_cache[s.0 as usize];
             acc += weights[s.len()] * marginal;
         }
-        *vj = acc;
-    }
+        acc
+    });
     (per_group, evaluations)
 }
 
@@ -176,7 +267,7 @@ pub fn shapley_over_group_models(
 /// enumeration).
 pub fn group_shapley(
     local_weights: &[Vec<f64>],
-    utility: &impl ModelUtility,
+    utility: &(impl ModelUtility + Sync),
     config: &GroupSvConfig,
 ) -> GroupSvResult {
     let n = local_weights.len();
@@ -201,14 +292,21 @@ pub fn group_shapley(
     let groups = grouping(&pi, m);
 
     // Line 3: group models (secure aggregation computes exactly this).
-    let group_models: Vec<Vec<f64>> = groups
-        .iter()
-        .map(|g| {
-            let members: Vec<Vec<f64>> =
-                g.iter().map(|&i| local_weights[i].clone()).collect();
-            mean_vectors(&members)
-        })
-        .collect();
+    // Accumulate members directly in listed order — same summation order
+    // as `mean_vectors`, without cloning each member's update first.
+    let group_models: Vec<Vec<f64>> = par::par_map(&groups, 2, |_, g| {
+        let mut acc = vec![0.0f64; dim];
+        for &i in g {
+            for (a, w) in acc.iter_mut().zip(&local_weights[i]) {
+                *a += w;
+            }
+        }
+        let inv = 1.0 / g.len() as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    });
 
     // Lines 4–6: coalition models and exact SV over groups.
     let (per_group, evaluations) = shapley_over_group_models(&group_models, utility);
@@ -315,8 +413,7 @@ mod tests {
 
         // Build the equivalent coalition game over users directly. The
         // grouping permutes users; map group j -> its single member.
-        let member_of_group: Vec<usize> =
-            result.groups.iter().map(|g| g[0]).collect();
+        let member_of_group: Vec<usize> = result.groups.iter().map(|g| g[0]).collect();
         let w2 = weights.clone();
         let game = utility_fn(3, move |c: Coalition| {
             if c.is_empty() {
@@ -342,8 +439,7 @@ mod tests {
     #[test]
     fn efficiency_over_groups() {
         // Σ V_j = u(W_G) − u(∅).
-        let weights: Vec<Vec<f64>> =
-            (0..6).map(|i| vec![i as f64, -(i as f64) * 0.5]).collect();
+        let weights: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, -(i as f64) * 0.5]).collect();
         for m in 1..=6 {
             let result = group_shapley(
                 &weights,

@@ -7,9 +7,21 @@
 //! the running coalition's utility is within `tolerance` of the grand
 //! coalition's (late marginals are ~0, so skipping them trades a tiny
 //! bias for large savings when utility evaluation is expensive).
+//!
+//! Every permutation draws from its **own splitmix64 stream** derived
+//! from `(seed, permutation index)`, so permutation `p` shuffles
+//! identically whether it runs first on one thread or last on sixteen.
+//! The sampled walks execute on the deterministic fork-join layer
+//! ([`numeric::par`]) and their marginals are reduced in permutation
+//! order, making the estimate bit-identical for every thread count.
+
+use numeric::par;
 
 use crate::coalition::Coalition;
 use crate::utility::CoalitionUtility;
+
+/// Minimum permutation walks per worker thread.
+const MIN_PERMS_PER_THREAD: usize = 8;
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,13 +55,35 @@ pub struct McResult {
     pub truncated_marginals: usize,
 }
 
+/// One permutation's walk: marginal contributions plus diagnostics.
+struct PermWalk {
+    marginals: Vec<f64>,
+    evaluations: usize,
+    truncated: usize,
+}
+
+/// splitmix64 finalizer.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The independent stream state for permutation `index` under `seed`.
+///
+/// Two finalizer rounds decorrelate neighbouring indices; the result
+/// depends only on `(seed, index)`, never on which thread runs the walk.
+fn stream_state(seed: u64, index: u64) -> u64 {
+    splitmix(seed ^ splitmix(index.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)))
+}
+
 /// Estimates Shapley values by permutation sampling.
 ///
 /// # Panics
 ///
 /// Panics if `permutations == 0` or the game is empty.
 pub fn monte_carlo_shapley(
-    utility: &impl CoalitionUtility,
+    utility: &(impl CoalitionUtility + Sync),
     config: &McConfig,
 ) -> McResult {
     let n = utility.num_players();
@@ -58,42 +92,54 @@ pub fn monte_carlo_shapley(
 
     let grand_value = utility.evaluate(Coalition::grand(n));
     let empty_value = utility.evaluate(Coalition::EMPTY);
-    let mut evaluations = 2usize;
-    let mut truncated = 0usize;
 
-    let mut acc = vec![0.0f64; n];
-    let mut state = config.seed;
-    let mut next = move || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-
-    let mut order: Vec<usize> = (0..n).collect();
-    for _ in 0..config.permutations {
-        // Fisher–Yates with the local splitmix64.
+    let walks = par::par_map_indices(config.permutations, MIN_PERMS_PER_THREAD, |p| {
+        let mut state = stream_state(config.seed, p as u64);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix(state)
+        };
+        // Fisher–Yates with the per-permutation splitmix64 stream.
+        let mut order: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
             let j = (next() % (i as u64 + 1)) as usize;
             order.swap(i, j);
         }
+        let mut walk = PermWalk {
+            marginals: vec![0.0f64; n],
+            evaluations: 0,
+            truncated: 0,
+        };
         let mut coalition = Coalition::EMPTY;
         let mut prev_value = empty_value;
         for &player in &order {
             if let Some(tol) = config.truncation_tolerance {
                 if (grand_value - prev_value).abs() <= tol {
                     // Remaining marginals treated as zero.
-                    truncated += 1;
+                    walk.truncated += 1;
                     continue;
                 }
             }
             coalition = coalition.with(player);
             let value = utility.evaluate(coalition);
-            evaluations += 1;
-            acc[player] += value - prev_value;
+            walk.evaluations += 1;
+            walk.marginals[player] += value - prev_value;
             prev_value = value;
         }
+        walk
+    });
+
+    // Reduce in permutation order: the floating-point sum is independent
+    // of the parallel schedule.
+    let mut acc = vec![0.0f64; n];
+    let mut evaluations = 2usize;
+    let mut truncated = 0usize;
+    for walk in &walks {
+        for (a, m) in acc.iter_mut().zip(&walk.marginals) {
+            *a += m;
+        }
+        evaluations += walk.evaluations;
+        truncated += walk.truncated;
     }
 
     let scale = 1.0 / config.permutations as f64;
@@ -147,10 +193,7 @@ mod tests {
             },
         );
         for (mc, ex) in result.values.iter().zip(&exact) {
-            assert!(
-                (mc - ex).abs() < 0.05,
-                "MC {mc} too far from exact {ex}"
-            );
+            assert!((mc - ex).abs() < 0.05, "MC {mc} too far from exact {ex}");
         }
     }
 
@@ -184,13 +227,7 @@ mod tests {
             monte_carlo_shapley(&game, &cfg),
             monte_carlo_shapley(&game, &cfg)
         );
-        let other = monte_carlo_shapley(
-            &game,
-            &McConfig {
-                seed: 43,
-                ..cfg
-            },
-        );
+        let other = monte_carlo_shapley(&game, &McConfig { seed: 43, ..cfg });
         assert_ne!(monte_carlo_shapley(&game, &cfg).values, other.values);
     }
 

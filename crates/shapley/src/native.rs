@@ -8,10 +8,21 @@
 //! bitmask, then assembling every player's weighted marginal sum. Cost is
 //! `2^n` utility evaluations plus `n · 2^(n−1)` table lookups — exactly
 //! the `2^n` coalition-model trainings the paper's Table I counts for
-//! NativeSV.
+//! NativeSV. Both passes run on the deterministic fork-join layer
+//! ([`numeric::par`]): each cache slot and each player's marginal sum is
+//! a pure function of its index, so the result is bit-identical for every
+//! thread count.
+
+use numeric::par;
 
 use crate::coalition::{binomial, Coalition, MAX_PLAYERS};
 use crate::utility::CoalitionUtility;
+
+/// Minimum utility evaluations per worker thread (coalition utilities
+/// range from closure arithmetic to full model retraining; 8 keeps even
+/// the `n = 6` retraining bench parallel without shipping trivial games
+/// to threads).
+const MIN_EVALS_PER_THREAD: usize = 8;
 
 /// Computes the exact Shapley value of every player.
 ///
@@ -19,7 +30,7 @@ use crate::utility::CoalitionUtility;
 ///
 /// Panics if the game has more than [`MAX_PLAYERS`] players (the `2^n`
 /// enumeration would be intractable).
-pub fn exact_shapley(utility: &impl CoalitionUtility) -> Vec<f64> {
+pub fn exact_shapley(utility: &(impl CoalitionUtility + Sync)) -> Vec<f64> {
     let n = utility.num_players();
     assert!(
         n <= MAX_PLAYERS,
@@ -31,17 +42,18 @@ pub fn exact_shapley(utility: &impl CoalitionUtility) -> Vec<f64> {
 
     // One pass over the powerset: cache[mask] = u(mask).
     let mut cache = vec![0.0f64; 1usize << n];
-    for coalition in Coalition::powerset(n) {
-        cache[coalition.0 as usize] = utility.evaluate(coalition);
-    }
+    par::par_fill_with(&mut cache, MIN_EVALS_PER_THREAD, |start, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = utility.evaluate(Coalition((start + k) as u32));
+        }
+    });
 
     // Precompute the per-size weights 1 / (n · C(n−1, s)).
     let weights: Vec<f64> = (0..n)
         .map(|s| 1.0 / (n as f64 * binomial(n - 1, s)))
         .collect();
 
-    let mut values = vec![0.0f64; n];
-    for (i, value) in values.iter_mut().enumerate() {
+    par::par_map_indices(n, 4, |i| {
         let others = Coalition::grand(n).without(i);
         let mut acc = 0.0;
         for s in others.subsets() {
@@ -49,9 +61,8 @@ pub fn exact_shapley(utility: &impl CoalitionUtility) -> Vec<f64> {
             let marginal = cache[with_i.0 as usize] - cache[s.0 as usize];
             acc += weights[s.len()] * marginal;
         }
-        *value = acc;
-    }
-    values
+        acc
+    })
 }
 
 #[cfg(test)]

@@ -11,8 +11,8 @@
 //!   coalition models by averaging group aggregates and only then asks
 //!   for their utility (test-set accuracy in the paper).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::coalition::Coalition;
 
@@ -82,9 +82,17 @@ impl<F: Fn(Coalition) -> f64> CoalitionUtility for UtilityFn<F> {
 /// Memoizing wrapper counting unique evaluations — both a performance
 /// device (coalition retraining is expensive) and the measurement hook
 /// for Table I's "number of models trained".
+///
+/// The cache is behind a [`Mutex`] so a cached utility can be shared by
+/// the parallel Shapley engines (`Sync` when the inner utility is). The
+/// lock is held only for the map lookup/insert, never across an inner
+/// evaluation, so concurrent misses of *different* coalitions still
+/// evaluate in parallel (a concurrent miss of the same coalition may
+/// evaluate twice; both results are identical, and the enumeration-style
+/// callers visit each coalition exactly once anyway).
 pub struct CachedUtility<'a, U: ?Sized> {
     inner: &'a U,
-    cache: RefCell<HashMap<Coalition, f64>>,
+    cache: Mutex<HashMap<Coalition, f64>>,
 }
 
 impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
@@ -92,13 +100,13 @@ impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
     pub fn new(inner: &'a U) -> Self {
         Self {
             inner,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
     /// Number of *unique* coalitions evaluated so far.
     pub fn unique_evaluations(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().expect("utility cache poisoned").len()
     }
 }
 
@@ -108,11 +116,19 @@ impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
     }
 
     fn evaluate(&self, coalition: Coalition) -> f64 {
-        if let Some(&v) = self.cache.borrow().get(&coalition) {
+        if let Some(&v) = self
+            .cache
+            .lock()
+            .expect("utility cache poisoned")
+            .get(&coalition)
+        {
             return v;
         }
         let v = self.inner.evaluate(coalition);
-        self.cache.borrow_mut().insert(coalition, v);
+        self.cache
+            .lock()
+            .expect("utility cache poisoned")
+            .insert(coalition, v);
         v
     }
 }

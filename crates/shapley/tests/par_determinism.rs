@@ -1,0 +1,160 @@
+//! The determinism contract of the parallel execution layer, pinned.
+//!
+//! Miners re-execute the contract on machines with arbitrary core
+//! counts, so every parallel engine must produce **bit-identical**
+//! `Vec<f64>` output for any thread count. These tests run each engine
+//! with the fork-join layer capped at 1 thread (the sequential
+//! fallback), 2 threads, and `available_parallelism`, and require exact
+//! equality — not approximate closeness.
+//!
+//! The thread cap is a process-global knob, so the tests serialize on a
+//! mutex and restore the automatic setting afterwards.
+
+use std::sync::Mutex;
+
+use numeric::par;
+use shapley::coalition::Coalition;
+use shapley::group::{group_shapley, shapley_over_group_models, GroupSvConfig};
+use shapley::monte_carlo::{monte_carlo_shapley, McConfig};
+use shapley::native::exact_shapley;
+use shapley::utility::{model_utility_fn, utility_fn};
+
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under thread caps 1, 2, and automatic, asserting the three
+/// results are exactly equal.
+fn assert_schedule_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let _lock = THREAD_CAP.lock().expect("thread-cap mutex poisoned");
+    par::set_max_threads(1);
+    let sequential = f();
+    par::set_max_threads(2);
+    let two_threads = f();
+    par::set_max_threads(0); // automatic: available_parallelism
+    let automatic = f();
+    assert_eq!(
+        sequential, two_threads,
+        "1 thread vs 2 threads must be bit-identical"
+    );
+    assert_eq!(
+        sequential, automatic,
+        "1 thread vs available_parallelism must be bit-identical"
+    );
+}
+
+/// A deliberately nonlinear coalition game whose floating-point path
+/// would expose any reduction-order change.
+fn nonlinear_game(n: usize) -> impl shapley::utility::CoalitionUtility + Sync {
+    utility_fn(n, move |c: Coalition| {
+        let s: f64 = c.members().map(|i| ((i * 37 + 11) as f64).sin()).sum();
+        s + 0.25 * s.abs().sqrt() * c.len() as f64
+    })
+}
+
+fn synthetic_models(m: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..m)
+        .map(|j| {
+            (0..dim)
+                .map(|d| ((j * dim + d) as f64 * 0.7).sin())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn exact_shapley_is_schedule_invariant() {
+    for n in [1usize, 3, 7, 12] {
+        let game = nonlinear_game(n);
+        assert_schedule_invariant(|| exact_shapley(&game));
+    }
+}
+
+#[test]
+fn group_sv_over_models_is_schedule_invariant() {
+    let utility = model_utility_fn(
+        |w: &[f64]| {
+            let s: f64 = w.iter().map(|x| x * x).sum();
+            s.sqrt() - w.iter().sum::<f64>() * 0.1
+        },
+        0.05,
+    );
+    for m in [1usize, 2, 5, 10] {
+        let models = synthetic_models(m, 64);
+        assert_schedule_invariant(|| shapley_over_group_models(&models, &utility).0);
+    }
+}
+
+#[test]
+fn group_shapley_end_to_end_is_schedule_invariant() {
+    let utility = model_utility_fn(|w: &[f64]| w.iter().map(|x| x.tanh()).sum(), 0.0);
+    let weights = synthetic_models(9, 32);
+    for m in [1usize, 4, 9] {
+        let cfg = GroupSvConfig {
+            num_groups: m,
+            seed: 42,
+            round: 3,
+        };
+        assert_schedule_invariant(|| {
+            let result = group_shapley(&weights, &utility, &cfg);
+            (result.per_user, result.per_group, result.global_model)
+        });
+    }
+}
+
+#[test]
+fn monte_carlo_is_schedule_invariant() {
+    let game = nonlinear_game(9);
+    for permutations in [1usize, 7, 200] {
+        let cfg = McConfig {
+            permutations,
+            seed: 1234,
+            truncation_tolerance: None,
+        };
+        assert_schedule_invariant(|| monte_carlo_shapley(&game, &cfg));
+    }
+}
+
+#[test]
+fn monte_carlo_with_truncation_is_schedule_invariant() {
+    // Truncation changes per-permutation control flow (and the
+    // evaluation diagnostics), which must still be schedule-invariant.
+    let game = nonlinear_game(8);
+    let cfg = McConfig {
+        permutations: 100,
+        seed: 77,
+        truncation_tolerance: Some(0.05),
+    };
+    assert_schedule_invariant(|| {
+        let r = monte_carlo_shapley(&game, &cfg);
+        (r.values, r.utility_evaluations, r.truncated_marginals)
+    });
+}
+
+#[test]
+fn monte_carlo_streams_are_per_permutation() {
+    // Prefix property of per-permutation streams: the first k
+    // permutations of a longer run contribute exactly the estimate of a
+    // k-permutation run (scaled), because each permutation's RNG is
+    // derived from its index, not from a shared evolving stream.
+    let game = nonlinear_game(6);
+    let short = monte_carlo_shapley(
+        &game,
+        &McConfig {
+            permutations: 50,
+            seed: 5,
+            truncation_tolerance: None,
+        },
+    );
+    let long = monte_carlo_shapley(
+        &game,
+        &McConfig {
+            permutations: 100,
+            seed: 5,
+            truncation_tolerance: None,
+        },
+    );
+    // Both estimates converge on the same exact values, and neither run
+    // may depend on the other's length; sanity-check agreement loosely.
+    for (a, b) in short.values.iter().zip(&long.values) {
+        assert!((a - b).abs() < 0.5, "short {a} vs long {b}");
+    }
+}

@@ -38,9 +38,18 @@ fn main() {
     }
 
     println!("\naxiom checks (exact SV):");
-    println!("  efficiency (Σv = u(N) − u(∅)) … {}", ok(check_efficiency(&utility, &sv)));
-    println!("  symmetry                      … {}", ok(check_symmetry(&utility, &sv)));
-    println!("  null player                   … {}", ok(check_null_player(&utility, &sv)));
+    println!(
+        "  efficiency (Σv = u(N) − u(∅)) … {}",
+        ok(check_efficiency(&utility, &sv))
+    );
+    println!(
+        "  symmetry                      … {}",
+        ok(check_symmetry(&utility, &sv))
+    );
+    println!(
+        "  null player                   … {}",
+        ok(check_null_player(&utility, &sv))
+    );
 
     // Monte-Carlo cross-check: permutation sampling converges to the
     // exact values (the related-work baseline of Ghorbani & Zou).
@@ -64,7 +73,10 @@ fn main() {
 
     let grand = utility.evaluate(Coalition::grand(5));
     let empty = utility.evaluate(Coalition::EMPTY);
-    println!("\nu(∅) = {empty:.4}, u(N) = {grand:.4}, Σv = {:.4}", sv.iter().sum::<f64>());
+    println!(
+        "\nu(∅) = {empty:.4}, u(N) = {grand:.4}, Σv = {:.4}",
+        sv.iter().sum::<f64>()
+    );
 }
 
 fn ok(flag: bool) -> &'static str {

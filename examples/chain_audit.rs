@@ -25,8 +25,7 @@ fn main() {
 
     // …and we, the auditor, replay it from genesis.
     println!("auditing {} blocks from genesis…\n", store.height());
-    let report = replay_chain(store, params.clone(), test_set.clone())
-        .expect("chain replays");
+    let report = replay_chain(store, params.clone(), test_set.clone()).expect("chain replays");
     for block in &report.blocks {
         println!(
             "  block {}: {} txs, committed root {}…, recomputed {}… — {}",
@@ -34,7 +33,11 @@ fn main() {
             block.txs,
             block.committed_root.short(),
             block.recomputed_root.short(),
-            if block.consistent { "consistent" } else { "MISMATCH" }
+            if block.consistent {
+                "consistent"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     assert!(report.clean);
@@ -55,11 +58,7 @@ fn main() {
     let tree = MerkleTree::build(&leaves);
     let my_tx_index = 2; // owner 2's masked update
     let proof = tree.prove(my_tx_index).expect("in range");
-    let included = light.verify_inclusion(
-        1,
-        &round_block.txs[my_tx_index].digest(),
-        &proof,
-    );
+    let included = light.verify_inclusion(1, &round_block.txs[my_tx_index].digest(), &proof);
     println!(
         "\nlight client ({} headers, no block bodies): my update included? {included}",
         light.height()

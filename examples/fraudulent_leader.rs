@@ -31,8 +31,7 @@ fn main() {
     println!("\nrun 2: owner 0 proposes corrupted evaluation results as leader");
     let behaviors: BTreeMap<AccountId, MinerBehavior> =
         [(0u32, MinerBehavior::CorruptProposals)].into();
-    let mut protocol =
-        FlProtocol::with_behaviors(config, &behaviors).expect("valid configuration");
+    let mut protocol = FlProtocol::with_behaviors(config, &behaviors).expect("valid configuration");
     let fraud = protocol.run().expect("honest majority still commits");
 
     for commit in &fraud.commits {
@@ -50,7 +49,10 @@ fn main() {
     }
 
     println!("\nfraud attempts (failed views): {}", fraud.failed_views);
-    assert!(fraud.failed_views > 0, "the fraudulent leader must be caught");
+    assert!(
+        fraud.failed_views > 0,
+        "the fraudulent leader must be caught"
+    );
 
     println!("\ncontribution ledger comparison:");
     println!("  honest run: {:?}", honest.per_owner_sv);

@@ -29,7 +29,10 @@ fn main() {
     let n = config.num_owners;
 
     println!("n = {n} owners; what does the chain reveal as m grows?\n");
-    println!("{:>3} | {:>13} | {:>15} | {:>17}", "m", "min anonymity", "mean leak dist", "resolution levels");
+    println!(
+        "{:>3} | {:>13} | {:>15} | {:>17}",
+        "m", "min anonymity", "mean leak dist", "resolution levels"
+    );
     println!("{}", "-".repeat(60));
     for m in 1..=n {
         let report = analyze_round(&updates, m, config.permutation_seed, 0);

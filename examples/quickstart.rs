@@ -24,7 +24,10 @@ fn main() {
     let mut protocol = FlProtocol::new(config).expect("valid configuration");
     let report = protocol.run().expect("honest majority commits");
 
-    println!("\nchain: {} blocks committed, {} gas burned", report.blocks, report.total_gas.0);
+    println!(
+        "\nchain: {} blocks committed, {} gas burned",
+        report.blocks, report.total_gas.0
+    );
     println!(
         "global model accuracy after round 0: {:.4}",
         report.accuracy_history[0]

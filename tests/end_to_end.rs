@@ -90,11 +90,7 @@ fn on_chain_group_sv_matches_off_chain_algorithm_1() {
     // Rebuild the same world off-chain and train the same local updates.
     let world = World::generate(&config).expect("valid config");
     let updates = world.local_updates(&config);
-    let utility = AccuracyUtility::new(
-        &world.test,
-        config.data.features,
-        config.data.classes,
-    );
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
     let off_chain = group_shapley(
         &updates,
         &utility,

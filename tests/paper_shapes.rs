@@ -30,11 +30,7 @@ fn group_sv_at_m_equals_n_recovers_per_user_sv() {
     let world = World::generate(&config).expect("valid config");
     let updates = world.local_updates(&config);
 
-    let utility = AccuracyUtility::new(
-        &world.test,
-        config.data.features,
-        config.data.classes,
-    );
+    let utility = AccuracyUtility::new(&world.test, config.data.features, config.data.classes);
     let group = group_shapley(
         &updates,
         &utility,
@@ -56,7 +52,10 @@ fn group_sv_at_m_equals_n_recovers_per_user_sv() {
     // Same multiset of values, matched per user: the grouping permutes
     // users into singleton groups, so per_user already re-indexes.
     let cos = cosine_similarity(&group.per_user, &native).expect("nonzero vectors");
-    assert!(cos > 0.9999, "m=n GroupSV must equal per-user SV, cos={cos}");
+    assert!(
+        cos > 0.9999,
+        "m=n GroupSV must equal per-user SV, cos={cos}"
+    );
 }
 
 /// Paper Sect. V-B1: noisier owners contribute less. At demo scale we
@@ -75,8 +74,7 @@ fn noisy_owner_scores_below_clean_mean() {
     );
     let sv = exact_shapley(&utility);
     let noisiest = sv[config.num_owners - 1];
-    let clean_mean: f64 =
-        sv[..3].iter().sum::<f64>() / 3.0;
+    let clean_mean: f64 = sv[..3].iter().sum::<f64>() / 3.0;
     assert!(
         noisiest < clean_mean,
         "noisiest owner {noisiest} must be below clean mean {clean_mean}: {sv:?}"
