@@ -1,5 +1,9 @@
 //! Chain-level benchmarks: block commitment with re-execution
-//! verification (the paper's consensus cost) at different cohort sizes.
+//! verification (the paper's consensus cost) at different cohort sizes,
+//! and mempool admission (per-tx vs batched).
+//!
+//! Committed medians live in `BENCH_chain_throughput.json`; regenerate
+//! with `CRITERION_JSON=out.jsonl cargo bench --bench chain_throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeMap;
@@ -10,8 +14,9 @@ use fl_chain::consensus::leader::LeaderSchedule;
 use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
 use fl_chain::gas::Gas;
 use fl_chain::hash::Hash32;
+use fl_chain::mempool::Mempool;
 use fl_chain::merkle::MerkleTree;
-use fl_chain::tx::Transaction;
+use fl_chain::tx::{Transaction, TxBundle};
 
 /// A storage-bound contract standing in for the FL contract's submission
 /// path: it accumulates vectors, like masked updates, and digests state.
@@ -73,6 +78,62 @@ fn bench_commit(c: &mut Criterion) {
     group.finish();
 }
 
+/// `count` transactions from `senders` senders in sender-contiguous
+/// runs (the shape a round block has: each owner's txs arrive together),
+/// contiguous nonces, pool-admissible in submission order. The payload
+/// is a bare `u64` so the measurement isolates admission bookkeeping,
+/// not payload cloning.
+fn admission_batch(count: usize, senders: usize) -> Vec<Transaction<u64>> {
+    let per_sender = count / senders;
+    (0..count)
+        .map(|i| Transaction::new((i / per_sender) as u32, (i % per_sender) as u64, i as u64))
+        .collect()
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mempool_admission");
+    group.sample_size(20);
+    let (count, senders) = (1024usize, 8usize);
+    // Seed path: one capacity check + nonce-map lookup/insert per call.
+    group.bench_function(BenchmarkId::new("per_tx", count), |b| {
+        let batch = admission_batch(count, senders);
+        b.iter(|| {
+            let mut pool: Mempool<u64> = Mempool::new(count);
+            for tx in black_box(batch.clone()) {
+                pool.submit(tx).expect("admissible");
+            }
+            pool.len()
+        })
+    });
+    // Batched path: capacity computed once, nonce expectations cached
+    // across each same-sender run.
+    group.bench_function(BenchmarkId::new("batched", count), |b| {
+        let batch = admission_batch(count, senders);
+        b.iter(|| {
+            let mut pool: Mempool<u64> = Mempool::new(count);
+            let admission = pool.submit_batch(black_box(batch.clone()));
+            assert!(admission.all_admitted());
+            pool.len()
+        })
+    });
+    group.finish();
+}
+
+/// Sealing pays the Merkle transaction root once per block; the engine
+/// then commits the bundle without rebuilding the tree per miner
+/// replica (compare against `merkle_root` × miner count).
+fn bench_bundle_seal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle_seal");
+    group.sample_size(20);
+    for count in [64usize, 1024] {
+        let batch = admission_batch(count, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &batch, |b, batch| {
+            b.iter(|| TxBundle::seal(black_box(batch.clone())).expect("contiguous"))
+        });
+    }
+    group.finish();
+}
+
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle_root");
     for leaves in [10usize, 100, 1000] {
@@ -88,5 +149,11 @@ fn bench_merkle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_commit, bench_merkle);
+criterion_group!(
+    benches,
+    bench_commit,
+    bench_admission,
+    bench_bundle_seal,
+    bench_merkle
+);
 criterion_main!(benches);

@@ -66,7 +66,10 @@ fn measure_cohort(scale: Scale, n: usize) -> ThroughputRow {
     let update_bytes = model_dim * 8;
 
     // Replay the communication pattern on a WAN:
-    //  1. every owner sends its masked update to the leader;
+    //  1. every owner gossips its round transactions to the leader's
+    //     mempool as one bundle (batched admission: the masked update,
+    //     plus the evaluation trigger for owner 0). Like the leader's
+    //     own update, the trigger stays local when its sender leads;
     //  2. the leader broadcasts the block (n updates) to all miners;
     //  3. every miner returns a vote (small);
     //  4. the leader broadcasts the commit certificate (small).
@@ -75,7 +78,11 @@ fn measure_cohort(scale: Scale, n: usize) -> ThroughputRow {
     let leader = round_commit.leader;
     for &node in &nodes {
         if node != leader {
-            net.send(node, leader, update_bytes, "masked-update");
+            if node == 0 {
+                net.send_batch(node, leader, &[update_bytes, 64], "tx-bundle");
+            } else {
+                net.send_batch(node, leader, &[update_bytes], "tx-bundle");
+            }
         }
     }
     let block_bytes = update_bytes * n + 256;

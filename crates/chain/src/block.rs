@@ -91,6 +91,34 @@ impl<C: Encode> Block<C> {
     }
 }
 
+impl<C: Encode + Clone> Block<C> {
+    /// Assembles a block from a sealed [`TxBundle`], reusing the Merkle
+    /// root computed at seal time instead of rebuilding the tree — the
+    /// batched commit path assembles each block exactly once this way.
+    pub fn from_bundle(
+        height: u64,
+        parent: Hash32,
+        state_root: Hash32,
+        proposer: AccountId,
+        view: u64,
+        bundle: &crate::tx::TxBundle<C>,
+    ) -> Self {
+        let block = Self {
+            header: BlockHeader {
+                height,
+                parent,
+                tx_root: bundle.tx_root(),
+                state_root,
+                proposer,
+                view,
+            },
+            txs: bundle.txs().to_vec(),
+        };
+        debug_assert!(block.tx_root_consistent(), "bundle root out of sync");
+        block
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +163,22 @@ mod tests {
         let mut c = sample_block();
         c.header.view = 42;
         assert_ne!(a.header.digest(), c.header.digest());
+    }
+
+    #[test]
+    fn from_bundle_equals_assemble() {
+        let txs = vec![Transaction::new(0, 0, 10u64), Transaction::new(1, 0, 20u64)];
+        let bundle = crate::tx::TxBundle::seal(txs.clone()).unwrap();
+        let via_bundle = Block::from_bundle(
+            1,
+            Hash32::of_bytes(b"parent"),
+            Hash32::of_bytes(b"state"),
+            3,
+            1,
+            &bundle,
+        );
+        assert_eq!(via_bundle, sample_block());
+        assert!(via_bundle.tx_root_consistent());
     }
 
     #[test]

@@ -13,22 +13,47 @@
 //! 3. Every other miner re-executes the same transactions on a scratch
 //!    copy of *its* replica and votes to accept iff its root matches the
 //!    proposal.
-//! 4. On a strict majority, every miner applies the transactions to its
-//!    replica and appends the block; otherwise the view advances and the
-//!    next leader proposes the same transactions.
+//! 4. On a strict majority, every miner applies the *proven* outcome to
+//!    its replica and appends the block; otherwise the view advances and
+//!    the next leader proposes the same transactions.
 //!
 //! The engine guarantees: **with an honest majority, only blocks whose
 //! state root equals honest re-execution are ever committed** — the
 //! machine-checked form of the paper's trust claim.
+//!
+//! # Batched, parallel pipeline
+//!
+//! [`ConsensusEngine::commit_bundle`] takes a pre-validated
+//! [`TxBundle`] (see `mempool::Mempool::drain_bundle`), so admission
+//! checks and the transaction Merkle root are computed once per block,
+//! not once per miner. Within a view, the leader's proposal execution
+//! and every verifier's independent re-execution *overlap*: they fan out
+//! on `numeric::par` with one slot per miner. Each slot is a pure
+//! function of the miner's index (replicas are in lockstep, execution is
+//! deterministic), and the slots are combined in index order afterwards,
+//! so quorum results are **bit-identical for any thread count** — the
+//! same contract `numeric::par` pins for the Shapley engines.
+//!
+//! # Commit atomicity
+//!
+//! The commit phase is all-or-nothing by construction. Execution — the
+//! only fallible step — happens exclusively on scratch replicas *before*
+//! the vote; once quorum is reached, the outcome already proven on
+//! scratch is transplanted onto every replica with no fallible call in
+//! the apply loop. A post-quorum failure therefore cannot leave some
+//! replicas advanced and others not (a divergence that would be
+//! permanent, since every later block builds on it).
 
 use std::collections::BTreeMap;
+
+use numeric::par;
 
 use crate::block::Block;
 use crate::contract::{ExecutionOutcome, SmartContract, TxContext};
 use crate::gas::{Gas, GasMeter};
 use crate::hash::Hash32;
 use crate::store::ChainStore;
-use crate::tx::{AccountId, Transaction};
+use crate::tx::{AccountId, Transaction, TxBundle};
 
 use super::leader::LeaderSchedule;
 
@@ -91,6 +116,12 @@ pub enum EngineError {
     },
     /// Engine constructed with no miners.
     NoMiners,
+    /// Engine constructed with a duplicate miner id (the slot-per-miner
+    /// pipeline requires ids to be unique).
+    DuplicateMiner {
+        /// The id that appears more than once.
+        id: AccountId,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -106,6 +137,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "block out of gas: used {used}, limit {limit}")
             }
             Self::NoMiners => write!(f, "engine has no miners"),
+            Self::DuplicateMiner { id } => write!(f, "duplicate miner id {id}"),
         }
     }
 }
@@ -149,6 +181,28 @@ struct Miner<S: SmartContract> {
     store: ChainStore<S::Call>,
 }
 
+/// Result of executing a block's transactions on a scratch replica: the
+/// advanced contract, its state root, and the per-tx outcomes. Holding
+/// one is proof the block executes cleanly from the pre-state — the
+/// commit phase applies it instead of re-executing.
+struct ScratchOutcome<S> {
+    contract: S,
+    root: Hash32,
+    outcomes: Vec<ExecutionOutcome>,
+}
+
+/// What one miner's parallel slot contributes to a view. Slot `i` is a
+/// pure function of miner `i`'s replica (and the shared transaction
+/// list), so the fan-out is schedule-invariant.
+enum Slot<S> {
+    /// The leader's slot: full proposal execution.
+    Proposal(Result<ScratchOutcome<S>, EngineError>),
+    /// An honest verifier's slot: independent re-execution root.
+    Reexecution(Result<Hash32, EngineError>),
+    /// A Byzantine verifier's slot: a vote without re-execution.
+    Vote(bool),
+}
+
 /// Aggregate engine statistics across all commits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -186,6 +240,12 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
         let ids = schedule.miners().to_vec();
         if ids.is_empty() {
             return Err(EngineError::NoMiners);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in &ids {
+            if !seen.insert(id) {
+                return Err(EngineError::DuplicateMiner { id });
+            }
         }
         let miners = ids
             .into_iter()
@@ -244,12 +304,36 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
     pub fn height(&self) -> u64 {
         self.miners[0].store.height()
     }
+}
 
+impl<S> ConsensusEngine<S>
+where
+    S: SmartContract + Clone + Send + Sync,
+    S::Call: Send + Sync,
+{
     /// Runs the full protocol to commit `txs` as one block.
+    ///
+    /// Convenience wrapper over [`Self::commit_bundle`] for callers that
+    /// bypass a mempool (tests, examples); the engine itself imposes no
+    /// nonce semantics, so the bundle is sealed without admission checks.
     pub fn commit_transactions(
         &mut self,
         txs: Vec<Transaction<S::Call>>,
     ) -> Result<CommitReport, EngineError> {
+        self.commit_bundle(&TxBundle::seal_unchecked(txs))
+    }
+
+    /// Runs the full protocol to commit a sealed bundle as one block.
+    ///
+    /// The bundle is borrowed so that on error the caller still holds
+    /// the transactions (e.g. to `release` them back to a mempool). On
+    /// error **no replica has advanced**; see the module docs on commit
+    /// atomicity.
+    pub fn commit_bundle(
+        &mut self,
+        bundle: &TxBundle<S::Call>,
+    ) -> Result<CommitReport, EngineError> {
+        let txs = bundle.txs();
         let total = self.miners.len();
         let mut attempts = 0u64;
         let mut rejected_leaders = Vec::new();
@@ -263,43 +347,71 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
             attempts += 1;
 
             let leader_id = self.schedule.leader(view);
-            let leader = self
+            let leader_pos = self
                 .miners
                 .iter()
-                .find(|m| m.id == leader_id)
+                .position(|m| m.id == leader_id)
                 .expect("schedule only names known miners");
+            let leader_behavior = self.miners[leader_pos].behavior;
+            // Replicas advance in lockstep: every miner is at one height.
+            let height = self.miners[0].store.height();
 
-            // Leader executes on a scratch replica.
-            let height = leader.store.height();
-            let (honest_root, outcomes) =
-                self.execute_on_clone(&leader.contract, height, view, &txs)?;
+            // Proposal execution and verification overlap: one parallel
+            // slot per miner. Slot `i` depends only on miner `i`'s replica
+            // and the shared transaction list, and slots are combined in
+            // index order below, so the result is bit-identical for any
+            // thread count.
+            let mut slots: Vec<Slot<S>> = par::par_map(&self.miners, 1, |_, miner| {
+                if miner.id == leader_id {
+                    Slot::Proposal(self.scratch_execute(&miner.contract, height, view, txs))
+                } else {
+                    match miner.behavior {
+                        MinerBehavior::AcceptAll => Slot::Vote(true),
+                        MinerBehavior::RejectAll => Slot::Vote(false),
+                        MinerBehavior::Honest | MinerBehavior::CorruptProposals => {
+                            Slot::Reexecution(
+                                self.scratch_execute(&miner.contract, height, view, txs)
+                                    .map(|s| s.root),
+                            )
+                        }
+                    }
+                }
+            });
+
+            // The leader endorses its own proposal; its slot becomes a
+            // yes-vote once the scratch outcome is extracted.
+            let Slot::Proposal(proposal) =
+                std::mem::replace(&mut slots[leader_pos], Slot::Vote(true))
+            else {
+                unreachable!("leader slot is always a proposal")
+            };
+            // A failing transaction invalidates the whole batch, before
+            // any replica is touched.
+            let scratch = proposal?;
 
             // A fraudulent leader publishes a different root.
-            let proposed_root = match leader.behavior {
+            let proposed_root = match leader_behavior {
                 MinerBehavior::CorruptProposals => {
-                    Hash32::of("corrupted-proposal", &(honest_root, view))
+                    Hash32::of("corrupted-proposal", &(scratch.root, view))
                 }
-                _ => honest_root,
+                _ => scratch.root,
             };
 
-            // Verification: every other miner re-executes and votes.
-            let mut votes_for = 1usize; // the leader endorses its proposal
-            for verifier in &self.miners {
-                if verifier.id == leader_id {
-                    continue;
-                }
-                let accept = match verifier.behavior {
-                    MinerBehavior::AcceptAll => true,
-                    MinerBehavior::RejectAll => false,
-                    MinerBehavior::Honest | MinerBehavior::CorruptProposals => {
-                        let (their_root, _) = self.execute_on_clone(
-                            &verifier.contract,
-                            verifier.store.height(),
-                            view,
-                            &txs,
-                        )?;
-                        their_root == proposed_root
-                    }
+            let mut votes_for = 0usize;
+            for slot in &slots {
+                let accept = match slot {
+                    Slot::Vote(v) => *v,
+                    Slot::Reexecution(Ok(root)) => *root == proposed_root,
+                    // A verifier whose re-execution failed abstains
+                    // (counted as reject). Deliberate BFT semantics: a
+                    // faulted verifier must not be able to abort a
+                    // proposal that reaches quorum without it — it
+                    // adopts the proven outcome at commit like every
+                    // replica, so replicas stay identical either way.
+                    // (Unreachable with a deterministic contract: the
+                    // leader fails identically and aborts above.)
+                    Slot::Reexecution(Err(_)) => false,
+                    Slot::Proposal(_) => unreachable!("proposal slot replaced above"),
                 };
                 if accept {
                     votes_for += 1;
@@ -313,46 +425,44 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
                 continue;
             }
 
-            // Commit: every miner applies the txs to its replica and
-            // appends the block. Execution is deterministic, so replicas
-            // remain identical.
+            // Commit — atomic by construction: the outcome already proven
+            // on scratch is transplanted onto every replica; no fallible
+            // call from here on, so either every replica advances or
+            // (on the error paths above) none did.
+            let ScratchOutcome {
+                contract: proven,
+                outcomes,
+                ..
+            } = scratch;
             let gas_used: Gas = outcomes.iter().map(|o| o.gas_used).sum();
             let events: Vec<String> = outcomes.into_iter().flat_map(|o| o.events).collect();
-            let mut block_digest = Hash32::ZERO;
-            for miner in &mut self.miners {
-                let height = miner.store.height();
-                for (tx_index, tx) in txs.iter().enumerate() {
-                    let ctx = TxContext {
-                        block_height: height,
-                        view,
-                        sender: tx.sender,
-                        tx_index,
-                    };
-                    miner.contract.execute(&ctx, &tx.call).map_err(|e| {
-                        EngineError::ExecutionFailed {
-                            tx_index,
-                            reason: format!("{e:?}"),
-                        }
-                    })?;
-                }
-                let block = Block::assemble(
-                    height,
-                    miner.store.tip_digest(),
-                    // The *honest* root is what goes on-chain: a corrupt
-                    // proposal that somehow won quorum would still commit
-                    // its lying root — tests pin that this cannot happen
-                    // with an honest majority.
-                    proposed_root,
-                    leader_id,
-                    view,
-                    txs.clone(),
-                );
-                block_digest = block.header.digest();
+            // Lockstep replicas share one tip, so the block — including
+            // the bundle's precomputed tx root — is assembled exactly
+            // once. The proposed root is what goes on-chain: a corrupt
+            // proposal that somehow won quorum would still commit its
+            // lying root — tests pin that this cannot happen with an
+            // honest majority.
+            let parent = self.miners[0].store.tip_digest();
+            let block = Block::from_bundle(height, parent, proposed_root, leader_id, view, bundle);
+            let block_digest = block.header.digest();
+            // The last replica takes ownership instead of cloning —
+            // saves one deep copy of contract state and transactions per
+            // committed block.
+            let (last, rest) = self
+                .miners
+                .split_last_mut()
+                .expect("constructor rejects empty miner sets");
+            for miner in rest {
+                miner.contract = proven.clone();
                 miner
                     .store
-                    .append(block)
+                    .append_sealed(block.clone())
                     .expect("replicas advance in lockstep");
             }
+            last.contract = proven;
+            last.store
+                .append_sealed(block)
+                .expect("replicas advance in lockstep");
 
             self.stats.blocks += 1;
             self.stats.txs += txs.len() as u64;
@@ -374,15 +484,17 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
         }
     }
 
-    /// Executes `txs` on a scratch clone, returning the resulting state
-    /// root and per-tx outcomes.
-    fn execute_on_clone(
+    /// The shared scratch-execution helper: executes `txs` on a clone of
+    /// `contract`, metering gas. Both the leader's proposal and every
+    /// honest verifier's re-execution run through it (concurrently — it
+    /// takes `&self` and touches only its own scratch state).
+    fn scratch_execute(
         &self,
         contract: &S,
         block_height: u64,
         view: u64,
         txs: &[Transaction<S::Call>],
-    ) -> Result<(Hash32, Vec<ExecutionOutcome>), EngineError> {
+    ) -> Result<ScratchOutcome<S>, EngineError> {
         let mut scratch = contract.clone();
         let mut meter = match self.config.block_gas_limit {
             Some(limit) => GasMeter::with_limit(limit),
@@ -411,7 +523,12 @@ impl<S: SmartContract + Clone> ConsensusEngine<S> {
                 })?;
             outcomes.push(outcome);
         }
-        Ok((scratch.state_digest(), outcomes))
+        let root = scratch.state_digest();
+        Ok(ScratchOutcome {
+            contract: scratch,
+            root,
+            outcomes,
+        })
     }
 }
 
@@ -602,10 +719,170 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_miner_ids_rejected_at_construction() {
+        // The slot-per-miner pipeline identifies the leader by id; a
+        // duplicate id would leave a second proposal slot unresolved, so
+        // construction refuses it outright.
+        let schedule = LeaderSchedule::round_robin(vec![0, 0, 1]);
+        match ConsensusEngine::new(
+            CounterContract::default(),
+            schedule,
+            &BTreeMap::new(),
+            EngineConfig::default(),
+        ) {
+            Err(err) => assert_eq!(err, EngineError::DuplicateMiner { id: 0 }),
+            Ok(_) => panic!("duplicate ids must be rejected"),
+        }
+    }
+
+    #[test]
     fn empty_block_commits() {
         let mut engine = engine_with(3, &[]);
         let report = engine.commit_transactions(vec![]).unwrap();
         assert_eq!(report.gas_used, Gas(0));
         assert_eq!(engine.height(), 1);
+    }
+
+    #[test]
+    fn commit_bundle_equals_commit_transactions() {
+        let txs = add_txs(&[4, 5, 6]);
+        let mut via_txs = engine_with(4, &[]);
+        let a = via_txs.commit_transactions(txs.clone()).unwrap();
+        let mut via_bundle = engine_with(4, &[]);
+        let bundle = crate::tx::TxBundle::seal(txs).unwrap();
+        let b = via_bundle.commit_bundle(&bundle).unwrap();
+        assert_eq!(a.block_digest, b.block_digest);
+        assert_eq!(a.state_root, b.state_root);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            via_txs.honest_contract().state_digest(),
+            via_bundle.honest_contract().state_digest()
+        );
+    }
+
+    mod commit_atomicity {
+        //! Regression tests for the commit-phase divergence bug: a
+        //! failure that strikes *after* quorum (at what used to be the
+        //! per-miner apply loop) must never leave some replicas advanced
+        //! and others not.
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        use super::*;
+
+        /// A contract with a global execution budget shared across every
+        /// replica and scratch clone. Executions past the budget fail —
+        /// modelling an environment fault (allocation failure, resource
+        /// exhaustion) that strikes only after the scratch phase. The
+        /// digest covers the counter value *not at all*: state is the
+        /// accumulated sum, so replicas are comparable.
+        #[derive(Debug, Clone)]
+        struct BudgetedContract {
+            value: u64,
+            calls: Arc<AtomicU64>,
+            budget: u64,
+        }
+
+        impl BudgetedContract {
+            fn new(budget: u64) -> Self {
+                Self {
+                    value: 0,
+                    calls: Arc::new(AtomicU64::new(0)),
+                    budget,
+                }
+            }
+        }
+
+        impl SmartContract for BudgetedContract {
+            type Call = u64;
+            type Error = String;
+
+            fn execute(
+                &mut self,
+                _ctx: &TxContext,
+                call: &u64,
+            ) -> Result<ExecutionOutcome, String> {
+                let n = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+                if n > self.budget {
+                    return Err(format!("execution budget exhausted at call {n}"));
+                }
+                self.value = self.value.wrapping_add(*call);
+                Ok(ExecutionOutcome::event(format!("+{call}"), Gas(1)))
+            }
+
+            fn state_digest(&self) -> Hash32 {
+                Hash32::of("budgeted", &self.value)
+            }
+        }
+
+        fn budgeted_engine(n: u32, budget: u64) -> ConsensusEngine<BudgetedContract> {
+            let schedule = LeaderSchedule::round_robin((0..n).collect());
+            ConsensusEngine::new(
+                BudgetedContract::new(budget),
+                schedule,
+                &BTreeMap::new(),
+                EngineConfig::default(),
+            )
+            .unwrap()
+        }
+
+        fn assert_replicas_identical(engine: &ConsensusEngine<BudgetedContract>, n: u32) {
+            let roots: Vec<Hash32> = (0..n)
+                .map(|id| engine.contract_of(id).unwrap().state_digest())
+                .collect();
+            assert!(
+                roots.windows(2).all(|w| w[0] == w[1]),
+                "replicas diverged: {roots:?}"
+            );
+            let heights: Vec<u64> = (0..n)
+                .map(|id| engine.store_of(id).unwrap().height())
+                .collect();
+            assert!(
+                heights.windows(2).all(|w| w[0] == w[1]),
+                "chains diverged: {heights:?}"
+            );
+        }
+
+        #[test]
+        fn apply_time_fault_cannot_diverge_replicas() {
+            // 4 miners × 2 txs: the scratch phase (leader + 3 honest
+            // verifiers) consumes exactly 8 executions. A budget of 8
+            // means *any* post-quorum re-execution — what the old apply
+            // loop did per miner, with a fallible `?` in the middle —
+            // would fail partway through the miner list and leave
+            // replicas permanently diverged. The atomic commit applies
+            // the proven scratch outcome instead and must succeed on
+            // every replica.
+            let n = 4;
+            let mut engine = budgeted_engine(n, 8);
+            let txs: Vec<Transaction<u64>> =
+                vec![Transaction::new(0, 0, 10u64), Transaction::new(0, 1, 20u64)];
+            let report = engine.commit_transactions(txs).expect(
+                "commit must not re-execute after quorum: the proven outcome is applied as-is",
+            );
+            assert_eq!(report.votes_for, 4);
+            assert_replicas_identical(&engine, n);
+            assert_eq!(engine.height(), 1, "committed on every replica");
+            assert_eq!(engine.honest_contract().value, 30);
+        }
+
+        #[test]
+        fn pre_quorum_fault_commits_on_no_replica() {
+            // Budget 1 of the 8 needed: execution dies during the
+            // scratch phase. The error must surface *before* any replica
+            // is touched — all-or-nothing means "none" here.
+            let n = 4;
+            let mut engine = budgeted_engine(n, 1);
+            let txs: Vec<Transaction<u64>> =
+                vec![Transaction::new(0, 0, 10u64), Transaction::new(0, 1, 20u64)];
+            let err = engine.commit_transactions(txs).unwrap_err();
+            assert!(matches!(err, EngineError::ExecutionFailed { .. }));
+            assert_replicas_identical(&engine, n);
+            assert_eq!(engine.height(), 0, "committed on no replica");
+            for id in 0..n {
+                assert_eq!(engine.contract_of(id).unwrap().value, 0);
+            }
+        }
     }
 }

@@ -17,9 +17,14 @@
 //!   machines with digestible state, executed identically by every miner.
 //! * [`gas`] — execution metering, powering the paper's future-work
 //!   throughput analysis (Ext A in DESIGN.md).
-//! * [`mempool`] — pending-transaction pool with per-sender nonce order.
+//! * [`mempool`] — pending-transaction pool with per-sender nonce order,
+//!   batched admission ([`mempool::Mempool::submit_batch`]), and sealed
+//!   [`tx::TxBundle`] hand-off to the engine.
 //! * [`consensus`] — leader schedule plus the propose → re-execute →
-//!   vote → commit engine, including Byzantine miner behaviours.
+//!   vote → commit engine, including Byzantine miner behaviours. The
+//!   commit pipeline executes once per replica on scratch state (fanned
+//!   out on `numeric::par`, bit-identical for any thread count) and
+//!   applies the proven outcome atomically.
 //! * [`net`] — a discrete-event message network with latency models, for
 //!   the throughput experiments.
 //!
@@ -48,4 +53,5 @@ pub use block::{Block, BlockHeader};
 pub use consensus::engine::{ConsensusEngine, EngineConfig, MinerBehavior};
 pub use contract::{ExecutionOutcome, SmartContract, TxContext};
 pub use hash::Hash32;
-pub use tx::Transaction;
+pub use mempool::{BatchAdmission, Mempool, MempoolError};
+pub use tx::{BundleError, Transaction, TxBundle};

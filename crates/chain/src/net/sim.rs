@@ -131,6 +131,28 @@ impl SimNetwork {
         deliver_at
     }
 
+    /// Sends several payloads from one sender to one receiver coalesced
+    /// into a single framed message: one latency sample and one
+    /// serialization charge over the summed bytes, instead of one per
+    /// payload. This is the wire-level counterpart of batched mempool
+    /// admission — a node gossips its pending transactions as one bundle.
+    ///
+    /// Returns the scheduled delivery time; a no-op returning `now` for
+    /// an empty batch.
+    pub fn send_batch(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: &[usize],
+        tag: impl Into<String>,
+    ) -> u64 {
+        if payload_bytes.is_empty() {
+            return self.clock;
+        }
+        let total: usize = payload_bytes.iter().sum();
+        self.send(from, to, total, tag)
+    }
+
     /// Broadcasts to every node in `recipients` except the sender.
     pub fn broadcast(&mut self, from: NodeId, recipients: &[NodeId], bytes: usize, tag: &str) {
         for &to in recipients {
@@ -209,6 +231,28 @@ mod tests {
         let mut n = net().with_bandwidth(1_000_000);
         let at = n.send(0, 1, 1_000_000, "big");
         assert_eq!(at, 1_000_000 + 100);
+    }
+
+    #[test]
+    fn send_batch_coalesces_into_one_message() {
+        // 3 payloads batched: one message, one latency sample, and one
+        // serialization charge over the summed bytes at 1 MB/s.
+        let mut batched = net().with_bandwidth(1_000_000);
+        let at = batched.send_batch(0, 1, &[250_000, 250_000, 500_000], "tx-bundle");
+        assert_eq!(at, 1_000_000 + 100);
+        assert_eq!(batched.stats().messages, 1);
+        assert_eq!(batched.stats().bytes, 1_000_000);
+        let d = batched.step().unwrap();
+        assert_eq!(d.bytes, 1_000_000);
+        assert_eq!(d.tag, "tx-bundle");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut n = net();
+        assert_eq!(n.send_batch(0, 1, &[], "empty"), 0);
+        assert_eq!(n.in_flight(), 0);
+        assert_eq!(n.stats().messages, 0);
     }
 
     #[test]

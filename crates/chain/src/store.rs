@@ -95,6 +95,36 @@ impl<C: Encode + Clone> ChainStore<C> {
     /// Validates and appends a block.
     pub fn append(&self, block: Block<C>) -> Result<(), StoreError> {
         let mut chain = self.inner.write().expect("chain store lock poisoned");
+        Self::check_structure(&chain, &block)?;
+        // Root check last: the O(1) structural checks reject cheaply
+        // before the O(n) Merkle rebuild runs.
+        if !block.tx_root_consistent() {
+            return Err(StoreError::TxRootMismatch);
+        }
+        chain.push(block);
+        Ok(())
+    }
+
+    /// Appends a block whose transaction root was already verified at
+    /// seal time (assembled with [`Block::from_bundle`] from a sealed
+    /// `TxBundle`), skipping the per-append Merkle rebuild. The batched
+    /// commit path verifies the root once per block instead of once per
+    /// miner replica; debug builds still re-check it. Crate-private so
+    /// external callers cannot bypass the root validation of
+    /// [`ChainStore::append`].
+    pub(crate) fn append_sealed(&self, block: Block<C>) -> Result<(), StoreError> {
+        debug_assert!(
+            block.tx_root_consistent(),
+            "append_sealed requires a pre-verified tx root"
+        );
+        let mut chain = self.inner.write().expect("chain store lock poisoned");
+        Self::check_structure(&chain, &block)?;
+        chain.push(block);
+        Ok(())
+    }
+
+    /// Parent-link and height-continuity checks shared by both appends.
+    fn check_structure(chain: &[Block<C>], block: &Block<C>) -> Result<(), StoreError> {
         let expected_parent = chain.last().map_or(Hash32::ZERO, |b| b.header.digest());
         if block.header.parent != expected_parent {
             return Err(StoreError::ParentMismatch {
@@ -109,10 +139,6 @@ impl<C: Encode + Clone> ChainStore<C> {
                 got: block.header.height,
             });
         }
-        if !block.tx_root_consistent() {
-            return Err(StoreError::TxRootMismatch);
-        }
-        chain.push(block);
         Ok(())
     }
 
@@ -180,6 +206,19 @@ mod tests {
             store.append(bad),
             Err(StoreError::ParentMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn append_sealed_keeps_structural_checks() {
+        let store: ChainStore<u64> = ChainStore::new();
+        store.append_sealed(next_block(&store, &[1])).unwrap();
+        let mut bad = next_block(&store, &[2]);
+        bad.header.height = 9;
+        assert!(matches!(
+            store.append_sealed(bad),
+            Err(StoreError::HeightMismatch { .. })
+        ));
+        assert_eq!(store.height(), 1);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Byzantine matrix × thread-schedule determinism for the batched
+//! commit pipeline.
+//!
+//! The engine fans proposal execution and verifier re-executions out on
+//! `numeric::par` (one slot per miner, combined in index order), so every
+//! consensus artifact — block digests, committed state roots, vote
+//! counts, view numbers — must be **bit-identical** across thread caps
+//! 1, 2, and `available_parallelism` (the same knob `FL_PAR_THREADS`
+//! seeds), in every Byzantine configuration: `CorruptProposals` leaders
+//! crossed with `AcceptAll` / `RejectAll` verifier minorities. Style
+//! follows `shapley/tests/par_determinism.rs`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use fl_chain::consensus::engine::{ConsensusEngine, EngineConfig, MinerBehavior};
+use fl_chain::consensus::leader::LeaderSchedule;
+use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
+use fl_chain::gas::Gas;
+use fl_chain::hash::Hash32;
+use fl_chain::mempool::Mempool;
+use fl_chain::tx::Transaction;
+use numeric::par;
+
+/// The thread cap is a process-global knob; serialize the tests on it.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// A deliberately nonlinear floating-point state machine: any change in
+/// execution order or grouping across schedules would move `acc`'s
+/// rounding and change the digest.
+#[derive(Debug, Clone, Default)]
+struct ChaosContract {
+    acc: f64,
+    count: u64,
+}
+
+impl SmartContract for ChaosContract {
+    type Call = u64;
+    type Error = String;
+
+    fn execute(&mut self, ctx: &TxContext, call: &u64) -> Result<ExecutionOutcome, String> {
+        let x = (*call as f64 + ctx.tx_index as f64 * 0.25).sin();
+        self.acc = (self.acc + x) * 1.000_000_1 + x.abs().sqrt() * 1e-9;
+        self.count += 1;
+        Ok(ExecutionOutcome::event(format!("x={x:.3}"), Gas(1)))
+    }
+
+    fn state_digest(&self) -> Hash32 {
+        Hash32::of("chaos", &(self.acc.to_bits(), self.count))
+    }
+}
+
+/// Everything consensus decides for one run; compared bit-for-bit
+/// across thread caps.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    per_block: Vec<(Hash32, Hash32, usize, u32, u64)>,
+    replica_roots: Vec<Hash32>,
+    heights: Vec<u64>,
+    failed_views: u64,
+}
+
+const MINERS: u32 = 7;
+
+fn run_matrix_case(behaviors: &[(u32, MinerBehavior)]) -> RunTrace {
+    let schedule = LeaderSchedule::round_robin((0..MINERS).collect());
+    let map: BTreeMap<u32, MinerBehavior> = behaviors.iter().copied().collect();
+    let mut engine = ConsensusEngine::new(
+        ChaosContract::default(),
+        schedule,
+        &map,
+        EngineConfig::default(),
+    )
+    .expect("non-empty miner set");
+
+    // Drive the engine the way a node does: batched admission, sealed
+    // bundles, three blocks.
+    let mut pool: Mempool<u64> = Mempool::new(256);
+    let mut per_block = Vec::new();
+    for block in 0..3u64 {
+        let batch: Vec<Transaction<u64>> = (0..12)
+            .map(|i| Transaction::new((i % 4) as u32, block * 3 + i / 4, block * 100 + i))
+            .collect();
+        let admission = pool.submit_batch(batch);
+        assert!(admission.all_admitted(), "{:?}", admission.rejected);
+        let bundle = pool.drain_bundle(usize::MAX);
+        let report = engine.commit_bundle(&bundle).expect("honest majority");
+        per_block.push((
+            report.block_digest,
+            report.state_root,
+            report.votes_for,
+            report.leader,
+            report.view,
+        ));
+    }
+
+    RunTrace {
+        per_block,
+        replica_roots: (0..MINERS)
+            .map(|id| engine.contract_of(id).unwrap().state_digest())
+            .collect(),
+        heights: (0..MINERS)
+            .map(|id| engine.store_of(id).unwrap().height())
+            .collect(),
+        failed_views: engine.stats().failed_views,
+    }
+}
+
+/// Runs one Byzantine configuration under thread caps 1, 2, and
+/// automatic, requiring exact equality of every consensus artifact.
+fn assert_schedule_invariant(behaviors: &[(u32, MinerBehavior)]) {
+    let _lock = THREAD_CAP.lock().expect("thread-cap mutex poisoned");
+    par::set_max_threads(1);
+    let sequential = run_matrix_case(behaviors);
+    par::set_max_threads(2);
+    let two_threads = run_matrix_case(behaviors);
+    par::set_max_threads(0); // automatic: available_parallelism
+    let automatic = run_matrix_case(behaviors);
+    par::set_max_threads(0);
+    assert_eq!(
+        sequential, two_threads,
+        "1 thread vs 2 threads must be bit-identical ({behaviors:?})"
+    );
+    assert_eq!(
+        sequential, automatic,
+        "1 thread vs available_parallelism must be bit-identical ({behaviors:?})"
+    );
+    // All replicas — including Byzantine ones, which follow the chain —
+    // converge on one root.
+    assert!(
+        sequential.replica_roots.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged: {:?}",
+        sequential.replica_roots
+    );
+    assert!(sequential.heights.iter().all(|&h| h == 3));
+}
+
+#[test]
+fn all_honest_is_schedule_invariant() {
+    assert_schedule_invariant(&[]);
+}
+
+#[test]
+fn corrupt_leader_is_schedule_invariant() {
+    let trace = {
+        let _lock = THREAD_CAP.lock().expect("thread-cap mutex poisoned");
+        par::set_max_threads(1);
+        let t = run_matrix_case(&[(0, MinerBehavior::CorruptProposals)]);
+        par::set_max_threads(0);
+        t
+    };
+    // Round-robin: miner 0 leads views 0, 7, 14, … — its proposals are
+    // rejected every time it comes up, costing views.
+    assert!(trace.failed_views >= 1);
+    assert_schedule_invariant(&[(0, MinerBehavior::CorruptProposals)]);
+}
+
+#[test]
+fn corrupt_leader_with_accept_all_minority_is_schedule_invariant() {
+    assert_schedule_invariant(&[
+        (0, MinerBehavior::CorruptProposals),
+        (1, MinerBehavior::AcceptAll),
+        (2, MinerBehavior::AcceptAll),
+    ]);
+}
+
+#[test]
+fn corrupt_leader_with_reject_all_minority_is_schedule_invariant() {
+    assert_schedule_invariant(&[
+        (0, MinerBehavior::CorruptProposals),
+        (3, MinerBehavior::RejectAll),
+        (4, MinerBehavior::RejectAll),
+    ]);
+}
+
+#[test]
+fn mixed_byzantine_minority_is_schedule_invariant() {
+    assert_schedule_invariant(&[
+        (0, MinerBehavior::CorruptProposals),
+        (1, MinerBehavior::AcceptAll),
+        (2, MinerBehavior::RejectAll),
+    ]);
+}

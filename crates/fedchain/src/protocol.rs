@@ -10,6 +10,14 @@
 //!   `EvaluateRound` call, committed through the full propose /
 //!   re-execute / vote cycle.
 //!
+//! Each block's transactions flow through the batched mempool pipeline:
+//! staged with per-sender nonces, admitted in one
+//! [`Mempool::submit_batch`] pass, drained as a sealed
+//! [`fl_chain::tx::TxBundle`], and committed via
+//! [`ConsensusEngine::commit_bundle`]. If consensus fails, the bundle is
+//! [`Mempool::release`]d so the owners' nonce counters roll back instead
+//! of wedging every later submission behind a permanent gap.
+//!
 //! After `R` rounds the contract holds each owner's cumulative
 //! contribution `v_i = Σ_r v_i^r` and the final global model `W_G`.
 
@@ -20,6 +28,7 @@ use fl_chain::consensus::engine::{
 };
 use fl_chain::consensus::leader::LeaderSchedule;
 use fl_chain::gas::Gas;
+use fl_chain::mempool::Mempool;
 use fl_chain::tx::{AccountId, Transaction};
 use fl_ml::dataset::Dataset;
 use numeric::{par, U256};
@@ -40,6 +49,11 @@ pub enum ProtocolError {
     Consensus(EngineError),
     /// Secure aggregation failed (should not happen with valid config).
     SecureAgg(fl_crypto::secure_agg::SecureAggError),
+    /// The mempool rejected part of a staged batch (internal invariant
+    /// violation: the driver stages contiguous nonces and sizes the pool
+    /// for the round, so this signals a bug — never commit a truncated
+    /// round block silently).
+    Admission(fl_chain::mempool::MempoolError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -48,6 +62,7 @@ impl std::fmt::Display for ProtocolError {
             Self::Config(e) => write!(f, "configuration: {e}"),
             Self::Consensus(e) => write!(f, "consensus: {e}"),
             Self::SecureAgg(e) => write!(f, "secure aggregation: {e}"),
+            Self::Admission(e) => write!(f, "batch admission: {e}"),
         }
     }
 }
@@ -97,7 +112,7 @@ pub struct FlProtocol {
     owners: Vec<DataOwner>,
     engine: ConsensusEngine<FlContract>,
     test_set: Dataset,
-    nonces: BTreeMap<AccountId, u64>,
+    pool: Mempool<FlCall>,
 }
 
 impl FlProtocol {
@@ -144,12 +159,16 @@ impl FlProtocol {
         let schedule = LeaderSchedule::round_robin(owner_ids);
         let engine = ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
 
+        // Capacity: a round block is one masked update per owner plus the
+        // evaluation trigger; hold a few rounds of headroom.
+        let pool = Mempool::new((config.num_owners + 1) * 8);
+
         Ok(Self {
             config,
             owners,
             engine,
             test_set: world.test,
-            nonces: BTreeMap::new(),
+            pool,
         })
     }
 
@@ -182,29 +201,77 @@ impl FlProtocol {
         &self.engine
     }
 
-    fn next_nonce(&mut self, sender: AccountId) -> u64 {
-        let n = self.nonces.entry(sender).or_insert(0);
-        let current = *n;
-        *n += 1;
-        current
+    /// The mempool feeding the engine (nonce accounting, batched
+    /// admission).
+    pub fn mempool(&self) -> &Mempool<FlCall> {
+        &self.pool
+    }
+
+    /// Next nonce for `sender`: the pool's expectation plus however many
+    /// transactions the batch under construction already stages for it.
+    fn staged_nonce(&self, staged: &mut BTreeMap<AccountId, u64>, sender: AccountId) -> u64 {
+        let count = staged.entry(sender).or_insert(0);
+        let nonce = self.pool.expected_nonce(sender) + *count;
+        *count += 1;
+        nonce
+    }
+
+    /// Admits `txs` in one batched pass, drains *everything pending* as a
+    /// sealed bundle, and commits it. The two error paths scope their
+    /// rollback differently, on purpose: an admission failure un-admits
+    /// only this batch (transactions queued earlier were not part of the
+    /// failure and stay pending), while a consensus failure releases the
+    /// whole bundle — earlier-queued transactions included, because they
+    /// were part of the failed block — so every affected sender's nonce
+    /// counter rewinds and resubmission is possible.
+    fn commit_batch(
+        &mut self,
+        txs: Vec<Transaction<FlCall>>,
+    ) -> Result<CommitReport, ProtocolError> {
+        let admission = self.pool.submit_batch(txs);
+        if !admission.all_admitted() {
+            // Never commit a truncated round block (e.g. one missing an
+            // owner's update or the evaluation trigger): un-admit this
+            // batch — transactions queued before it stay pending — and
+            // surface the first rejection.
+            self.pool.rollback_admitted(admission.admitted);
+            let (_, reason) = admission
+                .rejected
+                .into_iter()
+                .next()
+                .expect("not all_admitted implies a rejection");
+            return Err(ProtocolError::Admission(reason));
+        }
+        let bundle = self.pool.drain_bundle(usize::MAX);
+        match self.engine.commit_bundle(&bundle) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                // Dropping release()'s evicted orphans is deliberate:
+                // the rollback makes any still-queued transactions above
+                // the rewind point unexecutable, and their senders
+                // resubmit from the rewound nonce.
+                self.pool.release(bundle.txs());
+                Err(e.into())
+            }
+        }
     }
 
     /// Commits the key-advertisement block (phase 0).
     fn advertise_keys(&mut self) -> Result<CommitReport, ProtocolError> {
-        let txs: Vec<Transaction<FlCall>> = (0..self.owners.len())
-            .map(|i| {
-                let id = self.owners[i].id();
-                let nonce = self.next_nonce(id);
-                Transaction::new(
-                    id,
-                    nonce,
-                    FlCall::AdvertiseKey {
-                        public_key: self.owners[i].public_key_bytes(),
-                    },
-                )
-            })
-            .collect();
-        Ok(self.engine.commit_transactions(txs)?)
+        let mut staged = BTreeMap::new();
+        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(self.owners.len());
+        for i in 0..self.owners.len() {
+            let id = self.owners[i].id();
+            let nonce = self.staged_nonce(&mut staged, id);
+            txs.push(Transaction::new(
+                id,
+                nonce,
+                FlCall::AdvertiseKey {
+                    public_key: self.owners[i].public_key_bytes(),
+                },
+            ));
+        }
+        self.commit_batch(txs)
     }
 
     /// Runs one federated round: local training, masking, submission,
@@ -257,6 +324,7 @@ impl FlProtocol {
 
         // Transaction assembly stays sequential: nonces and block order
         // are consensus-visible and must not depend on the schedule.
+        let mut staged = BTreeMap::new();
         let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
         let mut masked_updates: Vec<Option<Vec<u64>>> = masked_updates
             .into_iter()
@@ -268,7 +336,7 @@ impl FlProtocol {
                     .take()
                     .expect("each owner produces exactly one update");
                 let id = self.owners[idx].id();
-                let nonce = self.next_nonce(id);
+                let nonce = self.staged_nonce(&mut staged, id);
                 txs.push(Transaction::new(
                     id,
                     nonce,
@@ -279,14 +347,14 @@ impl FlProtocol {
 
         // Anyone may trigger evaluation; owner 0 does.
         let trigger = self.owners[0].id();
-        let nonce = self.next_nonce(trigger);
+        let nonce = self.staged_nonce(&mut staged, trigger);
         txs.push(Transaction::new(
             trigger,
             nonce,
             FlCall::EvaluateRound { round },
         ));
 
-        Ok(self.engine.commit_transactions(txs)?)
+        self.commit_batch(txs)
     }
 
     /// Runs the complete protocol: key exchange plus all `R` rounds.
@@ -440,6 +508,29 @@ mod tests {
             "free rider must not uniquely lead: {:?}",
             report.per_owner_sv
         );
+    }
+
+    #[test]
+    fn failed_consensus_releases_nonces_for_resubmission() {
+        // Drain → consensus failure → the driver drops the block's txs.
+        // Without the release path, every owner's nonce counter stays
+        // advanced and all later submissions hit a permanent nonce gap.
+        let behaviors: BTreeMap<AccountId, MinerBehavior> = [
+            (1u32, MinerBehavior::RejectAll),
+            (2u32, MinerBehavior::RejectAll),
+            (3u32, MinerBehavior::RejectAll),
+        ]
+        .into();
+        let mut p = FlProtocol::with_behaviors(quick(), &behaviors).unwrap();
+        assert!(p.run().is_err(), "Byzantine majority must stall");
+        assert!(p.mempool().is_empty(), "dropped txs are not requeued");
+        for id in 0..4u32 {
+            assert_eq!(
+                p.mempool().expected_nonce(id),
+                0,
+                "owner {id}'s nonce counter must roll back for resubmission"
+            );
+        }
     }
 
     #[test]
