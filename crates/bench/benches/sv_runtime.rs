@@ -15,8 +15,11 @@ use fl_ml::dataset::SyntheticDigits;
 use fl_ml::TrainConfig;
 use numeric::linalg::mean_vectors;
 use shapley::coalition::{binomial, Coalition};
+use shapley::estimator::{Exact, MonteCarlo, Stratified, SvEstimator};
 use shapley::exact_shapley;
-use shapley::group::{group_shapley, shapley_over_group_models, GroupSvConfig};
+use shapley::group::{group_shapley, shapley_over_group_models, GroupModelGame, GroupSvConfig};
+use shapley::monte_carlo::McConfig;
+use shapley::stratified::StratifiedConfig;
 use shapley::utility::{model_utility_fn, CachedUtility, ModelUtility};
 
 fn bench_config() -> FlConfig {
@@ -154,10 +157,70 @@ fn bench_group_sv_models(c: &mut Criterion) {
     group.finish();
 }
 
+/// The estimator layer over the contract's group-model game at paper
+/// model dimensionality, across group counts the exact path cannot
+/// reach: `exact` runs only at m = 16 (the `2^m` wall), while the
+/// sampling estimators cover m = 16/32/48 — the workload behind the
+/// 64-group on-chain cap. m > 25 also exercises the game's direct
+/// member-summation backing (the subset-sum tables are exact-cap only).
+fn bench_sv_estimator(c: &mut Criterion) {
+    let dim = 650usize;
+    let utility = model_utility_fn(
+        |w: &[f64]| {
+            let s: f64 = w.iter().map(|x| x * x).sum();
+            s.sqrt()
+        },
+        0.0,
+    );
+
+    let mut group = c.benchmark_group("sv_estimator");
+    group.sample_size(10);
+    for m in [16usize, 32, 48] {
+        let models: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                (0..dim)
+                    .map(|d| ((j * dim + d) as f64 * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        let game = GroupModelGame::new(&models, &utility);
+        if m <= 16 {
+            group.bench_with_input(BenchmarkId::new("exact", m), &m, |b, _| {
+                b.iter(|| Exact.estimate(black_box(&game)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("stratified", m), &m, |b, _| {
+            b.iter(|| {
+                Stratified {
+                    config: StratifiedConfig {
+                        samples_per_stratum: 4,
+                        seed: 42,
+                    },
+                }
+                .estimate(black_box(&game))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("monte_carlo", m), &m, |b, &m| {
+            b.iter(|| {
+                MonteCarlo {
+                    config: McConfig {
+                        permutations: 2 * m,
+                        seed: 42,
+                        truncation_tolerance: None,
+                    },
+                }
+                .estimate(black_box(&game))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_sv,
     bench_native_sv,
-    bench_group_sv_models
+    bench_group_sv_models,
+    bench_sv_estimator
 );
 criterion_main!(benches);

@@ -74,6 +74,9 @@ fn table1_render_includes_speedups() {
     let result = Table1Result {
         group_sv: vec![(2, 0.1), (3, 0.2)],
         native_sv: 2.0,
+        native_evaluations: 512,
+        stratified_sv: 0.5,
+        stratified_evaluations: 324,
         num_owners: 9,
     };
     let table = table1::render(&result);
@@ -81,6 +84,9 @@ fn table1_render_includes_speedups() {
     assert!(text.contains("20.0x"), "2.0/0.1 speedup");
     assert!(text.contains("10.0x"), "2.0/0.2 speedup");
     assert!(text.contains("native (n=9)"));
+    assert!(text.contains("stratified (n=9)"));
+    assert!(text.contains("4.0x"), "2.0/0.5 stratified speedup");
+    assert!(text.contains("512") && text.contains("324"), "eval counts");
 }
 
 #[test]

@@ -6,14 +6,20 @@
 //! coalition evaluations) and NativeSV at n = 9 is an order of magnitude
 //! above GroupSV at the same resolution (m = 9) because it trains 2^n
 //! coalition models instead of training n and averaging.
+//!
+//! Since the estimator refactor the native and sampling baselines run
+//! through the [`shapley::estimator::SvEstimator`] trait and report
+//! their cost from the uniform [`SvEstimate`] envelope, so the "models
+//! trained" column is measured, not hard-coded.
 
 use std::time::Instant;
 
 use fedchain::contract_fl::AccuracyUtility;
 use fedchain::ground_truth::RetrainUtility;
 use fedchain::world::World;
-use shapley::exact_shapley;
+use shapley::estimator::{Exact, Stratified, SvEstimator};
 use shapley::group::{group_shapley, GroupSvConfig};
+use shapley::stratified::StratifiedConfig;
 use shapley::utility::CachedUtility;
 
 use crate::report::{secs, Table};
@@ -28,6 +34,13 @@ pub struct Table1Result {
     pub group_sv: Vec<(usize, f64)>,
     /// NativeSV seconds (2^n retrained coalition models).
     pub native_sv: f64,
+    /// Utility evaluations the native estimator reported (`2^n`).
+    pub native_evaluations: usize,
+    /// Stratified-sampling seconds over the same retrain game (the
+    /// related-work scalability baseline at per-user resolution).
+    pub stratified_sv: f64,
+    /// Utility evaluations the stratified estimator reported.
+    pub stratified_evaluations: usize,
     /// Owner count n.
     pub num_owners: usize,
 }
@@ -59,16 +72,34 @@ pub fn run(scale: Scale) -> Table1Result {
         group_sv.push((m, start.elapsed().as_secs_f64()));
     }
 
-    // NativeSV: 2^n coalition retrainings.
+    // NativeSV: 2^n coalition retrainings, through the estimator layer.
     let start = Instant::now();
     let retrain = RetrainUtility::new(&world.shards, &world.test, config.train);
     let cached = CachedUtility::new(&retrain);
-    let _ = exact_shapley(&cached);
+    let native = Exact.estimate(&cached);
     let native_sv = start.elapsed().as_secs_f64();
+
+    // Stratified sampling over the same game: per-user resolution like
+    // NativeSV, polynomial evaluation budget. The cache dedups repeated
+    // coalitions, so "models trained" ≤ the estimator's evaluation
+    // count.
+    let start = Instant::now();
+    let cached = CachedUtility::new(&retrain);
+    let stratified = Stratified {
+        config: StratifiedConfig {
+            samples_per_stratum: 2,
+            seed: config.permutation_seed,
+        },
+    }
+    .estimate(&cached);
+    let stratified_sv = start.elapsed().as_secs_f64();
 
     Table1Result {
         group_sv,
         native_sv,
+        native_evaluations: native.utility_evaluations,
+        stratified_sv,
+        stratified_evaluations: stratified.utility_evaluations,
         num_owners: n,
     }
 }
@@ -78,14 +109,16 @@ pub fn render(result: &Table1Result) -> Table {
     let mut headers: Vec<String> = vec!["method".into()];
     headers.extend(result.group_sv.iter().map(|(m, _)| format!("m={m}")));
     headers.push(format!("native (n={})", result.num_owners));
+    headers.push(format!("stratified (n={})", result.num_owners));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        "Table I — time comparison: GroupSV (m=2..n) vs NativeSV",
+        "Table I — time comparison: GroupSV (m=2..n) vs NativeSV vs StratifiedSV",
         &header_refs,
     );
     let mut cells = vec!["time".to_owned()];
     cells.extend(result.group_sv.iter().map(|(_, t)| secs(*t)));
     cells.push(secs(result.native_sv));
+    cells.push(secs(result.stratified_sv));
     table.push_row(cells);
 
     let mut speedup = vec!["native/group".to_owned()];
@@ -96,6 +129,18 @@ pub fn render(result: &Table1Result) -> Table {
             .map(|(_, t)| format!("{:.1}x", result.native_sv / t)),
     );
     speedup.push("1.0x".to_owned());
+    speedup.push(format!("{:.1}x", result.native_sv / result.stratified_sv));
     table.push_row(speedup);
+
+    let mut evals = vec!["utility evals".to_owned()];
+    evals.extend(
+        result
+            .group_sv
+            .iter()
+            .map(|(m, _)| format!("{}", 1usize << m)),
+    );
+    evals.push(format!("{}", result.native_evaluations));
+    evals.push(format!("{}", result.stratified_evaluations));
+    table.push_row(evals);
     table
 }

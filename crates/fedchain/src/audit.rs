@@ -184,6 +184,21 @@ mod tests {
     }
 
     #[test]
+    fn audit_detects_wrong_sv_method() {
+        // The estimator choice is consensus configuration: replaying with
+        // a different method diverges from the committed state roots, so
+        // nobody can claim after the fact that another method ran.
+        let (protocol, mut params, test_set) = run_protocol();
+        params.sv_method = crate::config::SvMethod::MonteCarlo { permutations: 16 };
+        let store = protocol.engine().store_of(0).expect("miner 0");
+        let report = replay_chain(store, params, test_set).expect("still replayable");
+        assert!(
+            !report.clean,
+            "a swapped evaluation method must be detected via state roots"
+        );
+    }
+
+    #[test]
     fn audit_detects_wrong_test_set() {
         // Utility is part of the agreement; a different test set changes
         // evaluated accuracies and therefore the state roots.

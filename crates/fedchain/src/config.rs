@@ -5,8 +5,100 @@
 //! contribution evaluation parameters (e.g., permutation seed e, group
 //! size m, utility function u) and submit them to the blockchain."
 
+use fl_chain::codec::Encode;
 use fl_ml::dataset::SyntheticDigits;
 use fl_ml::TrainConfig;
+use shapley::coalition::{MAX_PLAYERS, MAX_SAMPLED_PLAYERS};
+
+/// The contribution-evaluation method for a protocol run — part of the
+/// on-chain agreement, exactly like the permutation seed and group
+/// count.
+///
+/// The paper treats "contribution evaluation parameters" as setup-stage
+/// consensus artefacts; making the *method* one of them keeps the
+/// evaluation transparent: every miner dispatches through the same
+/// [`shapley::estimator::SvEstimator`], and the choice is encoded into
+/// the contract's state digest and every round's audit record, so an
+/// auditor replaying the chain with a different method diverges
+/// immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SvMethod {
+    /// Exact SV over the `m` group models — the paper's Algorithm 1
+    /// lines 4–6 (`2^m` utility evaluations, `m ≤ 25`).
+    #[default]
+    GroupExact,
+    /// Permutation-sampling Monte-Carlo over the group models
+    /// (`m ≤ 64`).
+    MonteCarlo {
+        /// Permutations sampled per evaluation.
+        permutations: u32,
+    },
+    /// Stratified per-(group, size) subset sampling over the group
+    /// models — polynomial cost, `m ≤ 64`; the method that lifts the
+    /// exact-enumeration cap.
+    Stratified {
+        /// Subset draws per stratum.
+        samples_per_stratum: u32,
+    },
+}
+
+impl SvMethod {
+    /// Stable method name (matches the estimator layer's naming; shown
+    /// in round events and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::GroupExact => "group_exact",
+            Self::MonteCarlo { .. } => "monte_carlo",
+            Self::Stratified { .. } => "stratified",
+        }
+    }
+
+    /// Largest group count the method supports: the `2^m` enumeration
+    /// cap for [`SvMethod::GroupExact`], the coalition-mask width for
+    /// the sampling methods.
+    pub fn max_groups(&self) -> usize {
+        match self {
+            Self::GroupExact => MAX_PLAYERS,
+            Self::MonteCarlo { .. } | Self::Stratified { .. } => MAX_SAMPLED_PLAYERS,
+        }
+    }
+
+    /// Validates the method against a group count.
+    pub fn validate_groups(&self, num_groups: usize) -> Result<(), ConfigError> {
+        if num_groups > self.max_groups() {
+            return Err(ConfigError::GroupCountExceedsMethodCap {
+                groups: num_groups,
+                cap: self.max_groups(),
+                method: self.name(),
+            });
+        }
+        match self {
+            Self::MonteCarlo { permutations: 0 } => Err(ConfigError::NoSvSamples("monte_carlo")),
+            Self::Stratified {
+                samples_per_stratum: 0,
+            } => Err(ConfigError::NoSvSamples("stratified")),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Encode for SvMethod {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::GroupExact => out.push(0),
+            Self::MonteCarlo { permutations } => {
+                out.push(1);
+                u64::from(*permutations).encode_to(out);
+            }
+            Self::Stratified {
+                samples_per_stratum,
+            } => {
+                out.push(2);
+                u64::from(*samples_per_stratum).encode_to(out);
+            }
+        }
+    }
+}
 
 /// Full configuration of one protocol run.
 #[derive(Debug, Clone)]
@@ -15,6 +107,8 @@ pub struct FlConfig {
     pub num_owners: usize,
     /// Number of SV groups `m` (resolution/privacy knob, `1..=n`).
     pub num_groups: usize,
+    /// Contribution-evaluation method the contract dispatches to.
+    pub sv_method: SvMethod,
     /// Public permutation seed `e`.
     pub permutation_seed: u64,
     /// Total federated rounds `R`.
@@ -52,6 +146,17 @@ pub enum ConfigError {
     BadTrainFraction(f64),
     /// Negative sigma.
     NegativeSigma(f64),
+    /// The chosen SV method cannot evaluate this many groups.
+    GroupCountExceedsMethodCap {
+        /// Requested groups.
+        groups: usize,
+        /// The method's cap.
+        cap: usize,
+        /// Method name.
+        method: &'static str,
+    },
+    /// A sampling SV method was configured with zero samples.
+    NoSvSamples(&'static str),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -64,6 +169,19 @@ impl std::fmt::Display for ConfigError {
             Self::NoRounds => write!(f, "need at least one round"),
             Self::BadTrainFraction(v) => write!(f, "train fraction {v} outside (0,1)"),
             Self::NegativeSigma(v) => write!(f, "sigma {v} must be non-negative"),
+            Self::GroupCountExceedsMethodCap {
+                groups,
+                cap,
+                method,
+            } => {
+                write!(
+                    f,
+                    "SV method {method} supports at most {cap} groups, got {groups}"
+                )
+            }
+            Self::NoSvSamples(method) => {
+                write!(f, "SV method {method} needs a non-zero sample count")
+            }
         }
     }
 }
@@ -77,6 +195,7 @@ impl FlConfig {
         Self {
             num_owners: 9,
             num_groups: 3,
+            sv_method: SvMethod::GroupExact,
             permutation_seed: 0x5eed,
             rounds: 1,
             train: TrainConfig {
@@ -128,6 +247,7 @@ impl FlConfig {
         if self.sigma < 0.0 {
             return Err(ConfigError::NegativeSigma(self.sigma));
         }
+        self.sv_method.validate_groups(self.num_groups)?;
         Ok(())
     }
 
@@ -195,6 +315,66 @@ mod tests {
         let mut c = base();
         c.sigma = -0.1;
         assert!(matches!(c.validate(), Err(ConfigError::NegativeSigma(_))));
+    }
+
+    #[test]
+    fn sv_method_caps_and_samples_validated() {
+        // GroupExact is capped at the exact-enumeration bound.
+        assert_eq!(SvMethod::GroupExact.max_groups(), 25);
+        assert!(SvMethod::GroupExact.validate_groups(25).is_ok());
+        assert!(matches!(
+            SvMethod::GroupExact.validate_groups(26),
+            Err(ConfigError::GroupCountExceedsMethodCap { cap: 25, .. })
+        ));
+        // Sampling methods reach the full mask width.
+        let strat = SvMethod::Stratified {
+            samples_per_stratum: 8,
+        };
+        assert!(strat.validate_groups(64).is_ok());
+        assert!(strat.validate_groups(65).is_err());
+        // Zero samples are rejected.
+        assert_eq!(
+            SvMethod::MonteCarlo { permutations: 0 }.validate_groups(4),
+            Err(ConfigError::NoSvSamples("monte_carlo"))
+        );
+        assert_eq!(
+            SvMethod::Stratified {
+                samples_per_stratum: 0
+            }
+            .validate_groups(4),
+            Err(ConfigError::NoSvSamples("stratified"))
+        );
+    }
+
+    #[test]
+    fn sv_method_encoding_distinguishes_variants() {
+        let encodings: Vec<Vec<u8>> = [
+            SvMethod::GroupExact,
+            SvMethod::MonteCarlo { permutations: 100 },
+            SvMethod::MonteCarlo { permutations: 101 },
+            SvMethod::Stratified {
+                samples_per_stratum: 100,
+            },
+        ]
+        .iter()
+        .map(|m| {
+            let mut buf = Vec::new();
+            m.encode_to(&mut buf);
+            buf
+        })
+        .collect();
+        for i in 0..encodings.len() {
+            for j in (i + 1)..encodings.len() {
+                assert_ne!(encodings[i], encodings[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_includes_sv_method() {
+        let mut c = FlConfig::quick_demo();
+        c.sv_method = SvMethod::MonteCarlo { permutations: 0 };
+        assert_eq!(c.validate(), Err(ConfigError::NoSvSamples("monte_carlo")));
     }
 
     #[test]

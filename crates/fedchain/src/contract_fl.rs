@@ -11,13 +11,17 @@
 //!   individual submission: masks only cancel in the within-group sum.
 //! * **EvaluateRound** — once every owner has submitted, anyone may
 //!   trigger evaluation: the contract forms per-group secure aggregates,
-//!   decodes the group models, runs GroupSV (Algorithm 1) with the
-//!   test-set-accuracy utility, credits each owner's contribution, and
-//!   publishes the new global model.
+//!   decodes the group models, estimates contributions over the group
+//!   coalition game with the **method selected in the round
+//!   configuration** ([`SvMethod`], dispatched through the
+//!   [`shapley::estimator::SvEstimator`] trait), credits each owner's
+//!   contribution, and publishes the new global model.
 //!
-//! Everything the contract decides is emitted as events and captured in
-//! the state digest, so a fraudulent leader cannot tamper with the
-//! evaluation without every honest miner's re-execution diverging.
+//! Everything the contract decides — including *which* estimator ran and
+//! its sampling diagnostics — is emitted as events and captured in the
+//! state digest, so a fraudulent leader cannot tamper with the
+//! evaluation (or quietly swap the method) without every honest miner's
+//! re-execution diverging.
 
 use std::collections::BTreeMap;
 
@@ -30,8 +34,13 @@ use fl_ml::dataset::Dataset;
 use fl_ml::metrics::model_accuracy;
 use fl_ml::LogisticModel;
 use numeric::FixedCodec;
-use shapley::group::{grouping, permutation, shapley_over_group_models};
-use shapley::utility::ModelUtility;
+use shapley::estimator::{Exact, MonteCarlo, Stratified, SvEstimate, SvEstimator};
+use shapley::group::{grouping, permutation, GroupModelGame};
+use shapley::monte_carlo::McConfig;
+use shapley::stratified::StratifiedConfig;
+use shapley::utility::{CachedUtility, ModelUtility};
+
+use crate::config::SvMethod;
 
 /// Static protocol parameters agreed at the off-chain setup stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +49,8 @@ pub struct FlParams {
     pub owners: Vec<AccountId>,
     /// Number of SV groups `m`.
     pub num_groups: usize,
+    /// Contribution-evaluation method every miner dispatches to.
+    pub sv_method: SvMethod,
     /// Public permutation seed `e`.
     pub permutation_seed: u64,
     /// Total rounds `R`.
@@ -58,6 +69,7 @@ impl Encode for FlParams {
     fn encode_to(&self, out: &mut Vec<u8>) {
         self.owners.encode_to(out);
         self.num_groups.encode_to(out);
+        self.sv_method.encode_to(out);
         self.permutation_seed.encode_to(out);
         self.total_rounds.encode_to(out);
         self.model_dim.encode_to(out);
@@ -182,6 +194,9 @@ impl std::error::Error for FlError {}
 pub struct RoundRecord {
     /// Round number.
     pub round: u64,
+    /// The estimator that produced this round's values — the method is
+    /// part of the public audit trail, not an implementation detail.
+    pub sv_method: SvMethod,
     /// Group memberships used (owner *indices*, not account ids).
     pub groups: Vec<Vec<usize>>,
     /// Per-group Shapley values `V_j`.
@@ -190,19 +205,34 @@ pub struct RoundRecord {
     pub per_owner_sv: Vec<f64>,
     /// Test accuracy of the round's global model.
     pub global_accuracy: f64,
-    /// Utility evaluations performed (`2^m`).
+    /// Utility evaluations performed (`2^m` for the exact method; the
+    /// sampling methods' cost envelope otherwise).
     pub utility_evaluations: usize,
+    /// Independent samples drawn by a sampling estimator (0 for exact).
+    pub samples: usize,
 }
 
 impl Encode for RoundRecord {
     fn encode_to(&self, out: &mut Vec<u8>) {
         self.round.encode_to(out);
+        self.sv_method.encode_to(out);
         self.groups.encode_to(out);
         self.per_group_sv.encode_to(out);
         self.per_owner_sv.encode_to(out);
         self.global_accuracy.encode_to(out);
         self.utility_evaluations.encode_to(out);
+        self.samples.encode_to(out);
     }
+}
+
+/// Derives the round's public sampling seed from the permutation seed.
+///
+/// A different multiplier than the grouping permutation's golden-ratio
+/// stream, so the subsets a sampling estimator draws are not correlated
+/// with the round's group assignment. Pure function of public on-chain
+/// data — any miner or auditor re-derives it.
+fn sampling_seed(permutation_seed: u64, round: u64) -> u64 {
+    permutation_seed ^ round.wrapping_mul(0xd1b5_4a32_d192_ed03) ^ 0x5eed_5a3f_0e1e_57a7
 }
 
 /// Test-set-accuracy utility `u(W)` shared by the contract and the
@@ -266,6 +296,10 @@ impl FlContract {
             (1..=params.owners.len()).contains(&params.num_groups),
             "num_groups out of range"
         );
+        params
+            .sv_method
+            .validate_groups(params.num_groups)
+            .expect("SV method must support the group count");
         assert_eq!(
             params.model_dim,
             (params.num_features + 1) * params.num_classes,
@@ -452,14 +486,27 @@ impl FlContract {
             })
             .collect();
 
-        // Lines 4–6: SV over group coalition models.
+        // Lines 4–6 (generalized): SV over the group coalition game,
+        // dispatched through the estimator the round config selects.
+        // Every miner derives the same sampling seed from the public
+        // permutation seed and the round number, so sampling estimators
+        // re-execute bit-identically.
         let utility = AccuracyUtility::new(
             &self.test_set,
             self.params.num_features,
             self.params.num_classes,
         );
-        let (per_group_sv, utility_evaluations) =
-            shapley_over_group_models(&group_models, &utility);
+        let game = GroupModelGame::new(&group_models, &utility);
+        let estimate = Self::dispatch_estimator(
+            self.params.sv_method,
+            sampling_seed(self.params.permutation_seed, round),
+            &game,
+        );
+        let SvEstimate {
+            values: per_group_sv,
+            utility_evaluations,
+            diagnostics,
+        } = estimate;
 
         // Line 7: uniform split within groups.
         let mut per_owner_sv = vec![0.0f64; n];
@@ -479,13 +526,16 @@ impl FlContract {
         self.global_model = numeric::linalg::mean_vectors(&group_models);
         let global_accuracy = utility.of_model(&self.global_model);
 
+        let method = self.params.sv_method;
         self.history.push(RoundRecord {
             round,
+            sv_method: method,
             groups: groups.clone(),
             per_group_sv: per_group_sv.clone(),
             per_owner_sv,
             global_accuracy,
             utility_evaluations,
+            samples: diagnostics.samples,
         });
         self.submissions.clear();
         self.current_round += 1;
@@ -496,11 +546,51 @@ impl FlContract {
         );
         Ok(ExecutionOutcome::event(
             format!(
-                "evaluate: round {round}, m={m}, global acc {global_accuracy:.4}, \
-                 group SVs {per_group_sv:?}"
+                "evaluate: round {round}, m={m}, method {}, global acc \
+                 {global_accuracy:.4}, group SVs {per_group_sv:?}",
+                method.name()
             ),
             gas,
         ))
+    }
+
+    /// Runs the configured estimator over the round's group game.
+    ///
+    /// The method is on-chain configuration; the dispatch is the single
+    /// point where that configuration meets the estimator layer, so
+    /// every miner — and every later auditor replaying the chain —
+    /// resolves the identical estimator with the identical seed.
+    ///
+    /// The sampling estimators revisit coalitions (e.g. every size-0
+    /// stratum draws the same singleton), so their game is wrapped in
+    /// [`CachedUtility`] — each distinct coalition model pays for one
+    /// accuracy pass, with bit-identical values. The exact path visits
+    /// each coalition exactly once and skips the cache.
+    fn dispatch_estimator(
+        method: SvMethod,
+        seed: u64,
+        game: &(impl shapley::utility::CoalitionUtility + Sync),
+    ) -> SvEstimate {
+        match method {
+            SvMethod::GroupExact => Exact.estimate(game),
+            SvMethod::MonteCarlo { permutations } => MonteCarlo {
+                config: McConfig {
+                    permutations: permutations as usize,
+                    seed,
+                    truncation_tolerance: None,
+                },
+            }
+            .estimate(&CachedUtility::new(game)),
+            SvMethod::Stratified {
+                samples_per_stratum,
+            } => Stratified {
+                config: StratifiedConfig {
+                    samples_per_stratum: samples_per_stratum as usize,
+                    seed,
+                },
+            }
+            .estimate(&CachedUtility::new(game)),
+        }
     }
 }
 
@@ -551,6 +641,7 @@ mod tests {
         FlParams {
             owners: (0..n as u32).collect(),
             num_groups: m,
+            sv_method: SvMethod::GroupExact,
             permutation_seed: 7,
             total_rounds: 2,
             model_dim: (64 + 1) * 10,
@@ -742,6 +833,109 @@ mod tests {
         assert_eq!(total, 4);
         // Submissions cleared for the next round.
         assert!(c.observed_submission(0).is_none());
+    }
+
+    fn contract_with_method(n: usize, m: usize, method: SvMethod) -> FlContract {
+        let mut params = test_params(n, m);
+        params.sv_method = method;
+        let test_set = SyntheticDigits::small().generate(99);
+        FlContract::genesis(params, test_set)
+    }
+
+    fn run_one_round(c: &mut FlContract, n: usize) {
+        advertise_all(c, n);
+        for i in 0..n as u32 {
+            let update = plain_update(c, 0.01 * (i as f64 + 1.0));
+            c.execute(
+                &ctx(i),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update,
+                },
+            )
+            .unwrap();
+        }
+        c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
+    }
+
+    #[test]
+    fn method_choice_appears_in_audit_record() {
+        let method = SvMethod::Stratified {
+            samples_per_stratum: 2,
+        };
+        let mut c = contract_with_method(4, 4, method);
+        run_one_round(&mut c, 4);
+        let record = &c.history()[0];
+        assert_eq!(record.sv_method, method);
+        // Stratified cost envelope: 2 evals × m² strata × k samples.
+        assert_eq!(record.utility_evaluations, 2 * 16 * 2);
+        assert_eq!(record.samples, 16 * 2);
+        // Exact records report zero samples.
+        let mut exact = contract_with_method(4, 4, SvMethod::GroupExact);
+        run_one_round(&mut exact, 4);
+        let exact_record = &exact.history()[0];
+        assert_eq!(exact_record.sv_method, SvMethod::GroupExact);
+        assert_eq!(exact_record.samples, 0);
+        assert_eq!(exact_record.utility_evaluations, 16);
+    }
+
+    #[test]
+    fn method_name_appears_in_round_event() {
+        let mut c = contract_with_method(3, 3, SvMethod::MonteCarlo { permutations: 8 });
+        advertise_all(&mut c, 3);
+        for i in 0..3u32 {
+            let update = plain_update(&c, 0.01);
+            c.execute(
+                &ctx(i),
+                &FlCall::SubmitMaskedUpdate {
+                    round: 0,
+                    masked: update,
+                },
+            )
+            .unwrap();
+        }
+        let out = c
+            .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
+        assert!(
+            out.events[0].contains("method monte_carlo"),
+            "event must name the estimator: {}",
+            out.events[0]
+        );
+    }
+
+    #[test]
+    fn method_is_part_of_the_state_digest() {
+        // Two replicas that agree on everything but the estimator must
+        // diverge from genesis: the method is consensus configuration.
+        let a = contract_with_method(3, 2, SvMethod::GroupExact);
+        let b = contract_with_method(3, 2, SvMethod::MonteCarlo { permutations: 50 });
+        assert_ne!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn sampling_replicas_stay_digest_identical() {
+        // The sampling estimators are deterministic per (seed, round), so
+        // two honest replicas running Stratified agree bit-for-bit.
+        let method = SvMethod::Stratified {
+            samples_per_stratum: 3,
+        };
+        let mut a = contract_with_method(4, 2, method);
+        let mut b = contract_with_method(4, 2, method);
+        run_one_round(&mut a, 4);
+        run_one_round(&mut b, 4);
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.history()[0].per_owner_sv, b.history()[0].per_owner_sv);
+    }
+
+    #[test]
+    #[should_panic(expected = "must support the group count")]
+    fn genesis_rejects_method_that_cannot_cover_the_groups() {
+        let mut params = test_params(4, 2);
+        params.sv_method = SvMethod::MonteCarlo { permutations: 0 };
+        let test_set = SyntheticDigits::small().generate(99);
+        let _ = FlContract::genesis(params, test_set);
     }
 
     #[test]

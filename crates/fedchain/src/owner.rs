@@ -10,7 +10,10 @@
 
 use fl_chain::tx::AccountId;
 use fl_crypto::dh::{DhGroup, DhKeyPair};
+use fl_crypto::dropout::{escrow_private_key, DropoutError};
 use fl_crypto::secure_agg::{KeyDirectory, PartyState, SecureAggError};
+use fl_crypto::shamir::{Shamir, Share};
+use fl_crypto::ChaChaPrg;
 use fl_ml::dataset::Dataset;
 use fl_ml::logreg::{LogisticModel, TrainConfig};
 use fl_ml::rng::Xoshiro256;
@@ -69,6 +72,26 @@ impl DataOwner {
     /// Public key bytes to advertise on-chain.
     pub fn public_key_bytes(&self) -> Vec<u8> {
         self.keypair.public.to_be_bytes()
+    }
+
+    /// The owner's DH public key as a group element.
+    pub fn public_key(&self) -> U256 {
+        self.keypair.public
+    }
+
+    /// Shamir-shares the owner's DH private key across the cohort — the
+    /// setup step of the Bonawitz dropout-recovery extension. Share `j`
+    /// goes to cohort member `j`; any `threshold` of them can later
+    /// reconstruct this owner's key to strip its residual pair masks
+    /// from a partial aggregate should the owner vanish mid-round.
+    pub fn escrow_key_shares(
+        &self,
+        shamir: &Shamir,
+        threshold: usize,
+        cohort_size: usize,
+        prg: &mut ChaChaPrg,
+    ) -> Result<Vec<Share>, DropoutError> {
+        escrow_private_key(shamir, &self.keypair, threshold, cohort_size, prg)
     }
 
     /// Installs an adversarial behaviour. Label-flip corrupts the shard

@@ -30,8 +30,12 @@ use fl_chain::consensus::leader::LeaderSchedule;
 use fl_chain::gas::Gas;
 use fl_chain::mempool::Mempool;
 use fl_chain::tx::{AccountId, Transaction};
+use fl_crypto::dh::DhGroup;
+use fl_crypto::dropout::{reconstruct_private_key, strip_dropped_masks};
+use fl_crypto::shamir::{Shamir, Share};
+use fl_crypto::ChaChaPrg;
 use fl_ml::dataset::Dataset;
-use numeric::{par, U256};
+use numeric::{par, FixedCodec, U256};
 use shapley::group::{grouping, permutation};
 
 use crate::adversary::AdversaryKind;
@@ -49,6 +53,8 @@ pub enum ProtocolError {
     Consensus(EngineError),
     /// Secure aggregation failed (should not happen with valid config).
     SecureAgg(fl_crypto::secure_agg::SecureAggError),
+    /// Dropout recovery failed (bad shares or a key mismatch).
+    Dropout(fl_crypto::dropout::DropoutError),
     /// The mempool rejected part of a staged batch (internal invariant
     /// violation: the driver stages contiguous nonces and sizes the pool
     /// for the round, so this signals a bug — never commit a truncated
@@ -62,6 +68,7 @@ impl std::fmt::Display for ProtocolError {
             Self::Config(e) => write!(f, "configuration: {e}"),
             Self::Consensus(e) => write!(f, "consensus: {e}"),
             Self::SecureAgg(e) => write!(f, "secure aggregation: {e}"),
+            Self::Dropout(e) => write!(f, "dropout recovery: {e}"),
             Self::Admission(e) => write!(f, "batch admission: {e}"),
         }
     }
@@ -87,6 +94,12 @@ impl From<fl_crypto::secure_agg::SecureAggError> for ProtocolError {
     }
 }
 
+impl From<fl_crypto::dropout::DropoutError> for ProtocolError {
+    fn from(e: fl_crypto::dropout::DropoutError) -> Self {
+        Self::Dropout(e)
+    }
+}
+
 /// Summary of a full protocol run.
 #[derive(Debug, Clone)]
 pub struct FlRunReport {
@@ -104,6 +117,20 @@ pub struct FlRunReport {
     pub total_gas: Gas,
     /// Commit reports per block, for deeper inspection.
     pub commits: Vec<CommitReport>,
+}
+
+/// Outcome of a dropout-recovery drill ([`FlProtocol::run_dropout_recovery`]).
+#[derive(Debug, Clone)]
+pub struct DropoutRecovery {
+    /// Owner (by position) that dropped after masking.
+    pub dropped: usize,
+    /// The dropped owner's group this round (owner positions).
+    pub group: Vec<usize>,
+    /// Survivor mean decoded from the mask-stripped partial aggregate.
+    pub recovered_model: Vec<f64>,
+    /// Plaintext mean of the survivors' updates (the driver-side check
+    /// value — in deployment nobody holds this).
+    pub survivor_mean: Vec<f64>,
 }
 
 /// The protocol driver.
@@ -148,6 +175,7 @@ impl FlProtocol {
         let params = FlParams {
             owners: owner_ids.clone(),
             num_groups: config.num_groups,
+            sv_method: config.sv_method,
             permutation_seed: config.permutation_seed,
             total_rounds: config.rounds,
             model_dim: (config.data.features + 1) * config.data.classes,
@@ -357,10 +385,165 @@ impl FlProtocol {
         self.commit_batch(txs)
     }
 
+    /// Drills the secure-aggregation dropout path end-to-end through the
+    /// driver: the owners of `dropped`'s group train and mask for
+    /// `round`, the dropped owner's submission never arrives, and the
+    /// cohort recovers the survivors' aggregate via the Shamir key
+    /// escrow ([`fl_crypto::dropout`]).
+    ///
+    /// Sequence (the full-Bonawitz extension the paper omits):
+    ///
+    /// 1. every owner Shamir-shares its DH private key across the cohort
+    ///    (threshold = majority), seeded from the world seed;
+    /// 2. the group trains and masks exactly as in a live round;
+    /// 3. survivors' masked submissions are summed — the dropped owner's
+    ///    pairwise masks do **not** cancel;
+    /// 4. a majority pools its shares, reconstructs the dropped key, and
+    ///    verifies it against the public key advertised **on-chain**;
+    /// 5. [`strip_dropped_masks`] removes the residuals, leaving the
+    ///    survivors' exact aggregate.
+    ///
+    /// Nothing is committed for `round` — this is the recovery drill the
+    /// ROADMAP's "secure-agg dropout path" item asks for; a
+    /// dropout-tolerant `EvaluateRound` remains future work. (Phase 0 is
+    /// committed if keys are not yet on-chain, since step 4 verifies
+    /// against the advertised key.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dropped` is out of range or its group this round is a
+    /// singleton (an unmasked submission has nothing to recover).
+    pub fn run_dropout_recovery(
+        &mut self,
+        round: u64,
+        dropped: usize,
+    ) -> Result<DropoutRecovery, ProtocolError> {
+        let n = self.owners.len();
+        assert!(dropped < n, "owner index {dropped} out of range");
+        if self
+            .contract()
+            .public_key_of(self.owners[dropped].id())
+            .is_none()
+        {
+            self.advertise_keys()?;
+        }
+
+        let pi = permutation(self.config.permutation_seed, round, n);
+        let groups = grouping(&pi, self.config.num_groups);
+        let group = groups
+            .iter()
+            .find(|g| g.contains(&dropped))
+            .cloned()
+            .expect("every owner is grouped");
+        assert!(
+            group.len() >= 2,
+            "owner {dropped} is alone in its group this round; nothing is masked"
+        );
+
+        // Setup: every owner escrows its DH private key to the cohort.
+        let shamir = Shamir::default();
+        let threshold = n / 2 + 1;
+        let escrow_seed = self.config.sub_seed("key-escrow");
+        let escrowed: Vec<Vec<Share>> = self
+            .owners
+            .iter()
+            .enumerate()
+            .map(|(i, owner)| {
+                let mut seed_bytes = [0u8; 32];
+                seed_bytes[..8].copy_from_slice(&escrow_seed.to_le_bytes());
+                seed_bytes[8..16].copy_from_slice(&(i as u64).to_le_bytes());
+                let mut prg = ChaChaPrg::from_seed(&seed_bytes);
+                owner.escrow_key_shares(&shamir, threshold, n, &mut prg)
+            })
+            .collect::<Result<_, _>>()?;
+
+        // The round, as far as it gets: the group trains and masks
+        // against the keys advertised on-chain.
+        let contract = self.engine.honest_contract();
+        let global_model = contract.global_model().to_vec();
+        let num_features = contract.params().num_features;
+        let num_classes = contract.params().num_classes;
+        let model_dim = contract.params().model_dim;
+        let chain_key = |idx: usize, contract: &FlContract| -> U256 {
+            let bytes = contract
+                .public_key_of(idx as u32)
+                .expect("keys advertised above");
+            U256::from_be_bytes(bytes)
+        };
+        let directory: Vec<(AccountId, U256)> = group
+            .iter()
+            .map(|&idx| (idx as u32, chain_key(idx, contract)))
+            .collect();
+        let dropped_public = chain_key(dropped, contract);
+
+        let mut partial = vec![0u64; model_dim];
+        let mut plain_updates: Vec<Vec<f64>> = Vec::new();
+        for &idx in &group {
+            let update = self.owners[idx].local_update(&global_model, num_features, num_classes);
+            let masked = self.owners[idx].mask_update(&update, round, &directory)?;
+            if idx != dropped {
+                // Survivors' submissions arrive; the dropped one never
+                // does, so its pairwise masks stay uncancelled.
+                FixedCodec::ring_add_assign(&mut partial, &masked);
+                plain_updates.push(update);
+            }
+        }
+
+        // Recovery: a majority pools its shares of the dropped key and
+        // verifies the reconstruction against the advertised public key.
+        let dh = DhGroup::simulation_256();
+        let pooled: Vec<Share> = (0..n)
+            .filter(|&j| j != dropped)
+            .take(threshold)
+            .map(|j| escrowed[dropped][j].clone())
+            .collect();
+        let recovered_key =
+            reconstruct_private_key(&shamir, &dh, &pooled, threshold, &dropped_public)?;
+
+        let survivors: Vec<(AccountId, U256)> = directory
+            .iter()
+            .copied()
+            .filter(|(id, _)| *id != dropped as u32)
+            .collect();
+        strip_dropped_masks(
+            &dh,
+            &mut partial,
+            dropped as u32,
+            &recovered_key,
+            &survivors,
+            round,
+        );
+
+        let codec = FixedCodec::new(self.config.frac_bits);
+        let survivor_count = group.len() - 1;
+        let recovered_model: Vec<f64> = partial
+            .iter()
+            .map(|&r| codec.decode_avg(r, survivor_count))
+            .collect();
+        let mut survivor_mean = vec![0.0f64; model_dim];
+        for update in &plain_updates {
+            for (acc, w) in survivor_mean.iter_mut().zip(update) {
+                *acc += w / survivor_count as f64;
+            }
+        }
+
+        Ok(DropoutRecovery {
+            dropped,
+            group,
+            recovered_model,
+            survivor_mean,
+        })
+    }
+
     /// Runs the complete protocol: key exchange plus all `R` rounds.
     pub fn run(&mut self) -> Result<FlRunReport, ProtocolError> {
         let mut commits = Vec::new();
-        commits.push(self.advertise_keys()?);
+        // Phase 0, unless keys are already on-chain (a dropout drill may
+        // have committed them): re-advertising would fail the block with
+        // `KeyAlreadyAdvertised` and wedge the protocol.
+        if self.contract().public_key_of(self.owners[0].id()).is_none() {
+            commits.push(self.advertise_keys()?);
+        }
         for round in 0..self.config.rounds {
             commits.push(self.run_round(round)?);
         }
@@ -531,6 +714,86 @@ mod tests {
                 "owner {id}'s nonce counter must roll back for resubmission"
             );
         }
+    }
+
+    #[test]
+    fn dropout_recovery_through_protocol_driver() {
+        // One owner vanishes after masking; Shamir recovery of its DH key
+        // (verified against the key advertised on-chain) strips the
+        // residual masks and yields the survivors' exact aggregate.
+        let mut p = FlProtocol::new(quick()).unwrap();
+        let drill = p.run_dropout_recovery(0, 1).unwrap();
+        assert_eq!(drill.dropped, 1);
+        assert!(drill.group.contains(&1));
+        assert!(drill.group.len() >= 2);
+        assert_eq!(drill.recovered_model.len(), drill.survivor_mean.len());
+        for (d, (got, want)) in drill
+            .recovered_model
+            .iter()
+            .zip(&drill.survivor_mean)
+            .enumerate()
+        {
+            assert!(
+                (got - want).abs() < 1e-6,
+                "dim {d}: recovered {got}, survivors' mean {want}"
+            );
+        }
+        // The drill must not advance the round: nothing was evaluated.
+        assert_eq!(p.contract().current_round(), 0);
+        assert!(p.contract().history().is_empty());
+    }
+
+    #[test]
+    fn run_succeeds_after_a_dropout_drill() {
+        // Regression: the drill commits the key block; a subsequent
+        // run() must not re-advertise (KeyAlreadyAdvertised would fail
+        // every block and wedge the protocol permanently).
+        let mut p = FlProtocol::new(quick()).unwrap();
+        p.run_dropout_recovery(0, 1).unwrap();
+        let report = p.run().unwrap();
+        // Keys block was committed by the drill; run() adds the rounds.
+        assert_eq!(report.blocks, 2);
+        assert_eq!(report.round_records.len(), 1);
+
+        // The learned outcome matches a drill-free run exactly: the
+        // drill is observation, not interference.
+        let baseline = FlProtocol::new(quick()).unwrap().run().unwrap();
+        assert_eq!(report.per_owner_sv, baseline.per_owner_sv);
+        assert_eq!(report.accuracy_history, baseline.accuracy_history);
+    }
+
+    #[test]
+    fn dropout_recovery_is_deterministic() {
+        let drill = |seed_offset: u64| {
+            let mut config = quick();
+            config.world_seed += seed_offset;
+            let mut p = FlProtocol::new(config).unwrap();
+            p.run_dropout_recovery(0, 2).unwrap().recovered_model
+        };
+        assert_eq!(drill(0), drill(0));
+        assert_ne!(drill(0), drill(1), "different world, different models");
+    }
+
+    #[test]
+    fn on_chain_method_selection_runs_and_audits() {
+        // The round config picks the stratified estimator; the protocol
+        // commits it, the audit record names it, and an auditor replaying
+        // the chain with the true parameters verifies every state root.
+        let method = crate::config::SvMethod::Stratified {
+            samples_per_stratum: 2,
+        };
+        let mut config = quick();
+        config.sv_method = method;
+        let mut p = FlProtocol::new(config).unwrap();
+        let report = p.run().unwrap();
+        assert_eq!(report.round_records[0].sv_method, method);
+        assert!(report.round_records[0].samples > 0);
+
+        let params = p.contract().params().clone();
+        assert_eq!(params.sv_method, method);
+        let store = p.engine().store_of(0).unwrap();
+        let audit = crate::audit::replay_chain(store, params, p.test_set().clone()).unwrap();
+        assert!(audit.clean, "sampling evaluation must replay exactly");
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! contributions". This module converts cumulative Shapley values into
 //! payouts from a budget. SVs from accuracy utilities can be negative
 //! (a harmful owner), so two policies are offered for mapping them onto
-//! a non-negative payout simplex.
+//! a non-negative payout simplex. The estimator layer's uniform output
+//! plugs in directly via [`allocate_estimate`].
+
+use shapley::estimator::SvEstimate;
 
 /// How negative Shapley values are handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,9 +23,37 @@ pub enum NegativePolicy {
 /// Allocates `budget` proportionally to `shapley_values`.
 ///
 /// Returns one payout per owner summing to `budget` (to within floating
-/// point). When every transformed value is zero (e.g. all owners equally
-/// useless), the budget is split equally — the natural reading of the
-/// symmetry axiom.
+/// point). Under [`NegativePolicy::ShiftMin`] the worst owner's
+/// transformed value is **exactly** `0.0` (computed as `v - min`, an
+/// exact IEEE subtraction when `v == min`), never a stray negative ULP
+/// that could leak sign into a payout.
+///
+/// **Equal-split fallback:** when every *transformed* value is zero the
+/// proportional rule has no mass to distribute, so the budget is split
+/// equally — the natural reading of the symmetry axiom. This is reached
+/// by all-zero values under either policy, by all-negative values under
+/// [`NegativePolicy::ClampZero`], and by all-*equal* (including
+/// all-negative-equal, or a single all-negative owner) values under
+/// [`NegativePolicy::ShiftMin`] — the shift zeroes every coordinate at
+/// once. In particular a lone owner with a negative Shapley value still
+/// receives the full budget:
+///
+/// ```
+/// use fedchain::rewards::{allocate, NegativePolicy};
+///
+/// // A single owner whose SV is negative: the shift makes its value
+/// // exactly 0, and the equal-split fallback pays the whole budget.
+/// assert_eq!(allocate(50.0, &[-3.0], NegativePolicy::ShiftMin), vec![50.0]);
+///
+/// // Three equally-harmful owners: no proportional mass, equal split.
+/// let p = allocate(30.0, &[-2.0, -2.0, -2.0], NegativePolicy::ShiftMin);
+/// assert_eq!(p, vec![10.0, 10.0, 10.0]);
+///
+/// // Unequal all-negative owners keep their relative gaps: the worst
+/// // gets exactly zero and the rest share proportionally.
+/// let p = allocate(90.0, &[-5.0, -2.0], NegativePolicy::ShiftMin);
+/// assert_eq!(p, vec![0.0, 90.0]);
+/// ```
 ///
 /// # Panics
 ///
@@ -40,17 +71,34 @@ pub fn allocate(budget: f64, shapley_values: &[f64], policy: NegativePolicy) -> 
         NegativePolicy::ClampZero => shapley_values.iter().map(|&v| v.max(0.0)).collect(),
         NegativePolicy::ShiftMin => {
             let min = shapley_values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let shift = if min < 0.0 { -min } else { 0.0 };
-            shapley_values.iter().map(|&v| v + shift).collect()
+            if min < 0.0 {
+                // `v - min` is exact for `v == min`: the worst owner
+                // lands on 0.0, not on a rounding residue.
+                shapley_values.iter().map(|&v| v - min).collect()
+            } else {
+                shapley_values.to_vec()
+            }
         }
     };
 
     let total: f64 = transformed.iter().sum();
     let n = transformed.len() as f64;
     if total <= 0.0 {
+        // No proportional mass (all transformed values are zero): split
+        // equally per the symmetry axiom. See the doc example above.
         return vec![budget / n; transformed.len()];
     }
     transformed.iter().map(|&v| budget * v / total).collect()
+}
+
+/// Allocates `budget` from an estimator-layer result — the uniform
+/// [`SvEstimate`] every method in [`shapley::estimator`] returns.
+///
+/// # Panics
+///
+/// As [`allocate`].
+pub fn allocate_estimate(budget: f64, estimate: &SvEstimate, policy: NegativePolicy) -> Vec<f64> {
+    allocate(budget, &estimate.values, policy)
 }
 
 #[cfg(test)]
@@ -80,6 +128,52 @@ mod tests {
         // Shifted values: 3, 0, 6 → payouts 30, 0, 60.
         assert!((payouts[0] - 30.0).abs() < 1e-12);
         assert!((payouts[2] - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_owner_all_negative_shift_min_pays_full_budget() {
+        // Regression: the shift zeroes the lone (worst) owner's value,
+        // and the equal-split fallback must still pay out the whole
+        // budget rather than dropping it.
+        assert_eq!(
+            allocate(100.0, &[-7.5], NegativePolicy::ShiftMin),
+            vec![100.0]
+        );
+    }
+
+    #[test]
+    fn all_equal_negative_shift_min_splits_equally() {
+        let payouts = allocate(30.0, &[-4.0, -4.0, -4.0], NegativePolicy::ShiftMin);
+        assert_eq!(payouts, vec![10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn shift_min_worst_owner_is_exactly_zero() {
+        // The transformed worst value must be exactly 0.0 — `v - min`
+        // with v == min — so its payout is an exact zero, not an ULP.
+        let payouts = allocate(
+            60.0,
+            &[-0.1 + 0.2 - 0.3, 1.0, 2.0], // a value with fp residue
+            NegativePolicy::ShiftMin,
+        );
+        assert_eq!(payouts[0], 0.0);
+        let total: f64 = payouts.iter().sum();
+        assert!((total - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocate_estimate_consumes_the_estimator_envelope() {
+        use shapley::estimator::{Exact, SvEstimator};
+        use shapley::utility::utility_fn;
+
+        // An additive 2-player game: SV = (1, 3), payouts 25/75.
+        let game = utility_fn(2, |c: shapley::coalition::Coalition| {
+            c.members().map(|i| (1 + 2 * i) as f64).sum()
+        });
+        let estimate = Exact.estimate(&game);
+        let payouts = allocate_estimate(100.0, &estimate, NegativePolicy::ClampZero);
+        assert!((payouts[0] - 25.0).abs() < 1e-9);
+        assert!((payouts[1] - 75.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,19 +1,28 @@
 //! Coalitions as bitmasks.
 //!
 //! With the paper's cross-silo scale (n = 9 owners, `2^9 = 512`
-//! coalitions) a `u32` bitmask is the right representation: O(1) member
-//! tests, cheap hashing for the utility cache, and natural enumeration of
-//! the powerset by counting. A hard cap of 25 players keeps accidental
-//! `2^n` blow-ups from compiling into multi-hour runs.
+//! coalitions) a machine-word bitmask is the right representation: O(1)
+//! member tests, cheap hashing for the utility cache, and natural
+//! enumeration of the powerset by counting. The mask is a `u64`, so a
+//! coalition can name up to [`MAX_SAMPLED_PLAYERS`] players — the bound
+//! the sampling estimators work under. Exhaustive `2^n` enumeration is
+//! separately capped at [`MAX_PLAYERS`] so accidental powerset blow-ups
+//! cannot compile into multi-hour runs.
 
 use std::fmt;
 
-/// Maximum supported player count for exact enumeration.
+/// Maximum supported player count for **exact enumeration** (`2^n`
+/// coalitions). Sampling estimators go beyond this, up to
+/// [`MAX_SAMPLED_PLAYERS`].
 pub const MAX_PLAYERS: usize = 25;
+
+/// Maximum player count representable by the bitmask — the hard bound
+/// for every estimator, including the sampling ones.
+pub const MAX_SAMPLED_PLAYERS: usize = 64;
 
 /// A set of players encoded as a bitmask (player `i` ⇔ bit `i`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Coalition(pub u32);
+pub struct Coalition(pub u64);
 
 impl Coalition {
     /// The empty coalition.
@@ -23,13 +32,16 @@ impl Coalition {
     ///
     /// # Panics
     ///
-    /// Panics if `n > MAX_PLAYERS`.
+    /// Panics if `n > MAX_SAMPLED_PLAYERS`.
     pub fn grand(n: usize) -> Self {
-        assert!(n <= MAX_PLAYERS, "at most {MAX_PLAYERS} players, got {n}");
+        assert!(
+            n <= MAX_SAMPLED_PLAYERS,
+            "at most {MAX_SAMPLED_PLAYERS} players, got {n}"
+        );
         if n == 0 {
             Self::EMPTY
         } else {
-            Self((1u32 << n) - 1)
+            Self(u64::MAX >> (MAX_SAMPLED_PLAYERS - n))
         }
     }
 
@@ -37,11 +49,14 @@ impl Coalition {
     ///
     /// # Panics
     ///
-    /// Panics if any member index exceeds [`MAX_PLAYERS`].
+    /// Panics if any member index exceeds [`MAX_SAMPLED_PLAYERS`].
     pub fn from_members(members: &[usize]) -> Self {
-        let mut mask = 0u32;
+        let mut mask = 0u64;
         for &m in members {
-            assert!(m < MAX_PLAYERS, "player index {m} exceeds {MAX_PLAYERS}");
+            assert!(
+                m < MAX_SAMPLED_PLAYERS,
+                "player index {m} exceeds {MAX_SAMPLED_PLAYERS}"
+            );
             mask |= 1 << m;
         }
         Self(mask)
@@ -49,7 +64,7 @@ impl Coalition {
 
     /// True if player `i` is a member.
     pub fn contains(&self, i: usize) -> bool {
-        i < 32 && (self.0 >> i) & 1 == 1
+        i < MAX_SAMPLED_PLAYERS && (self.0 >> i) & 1 == 1
     }
 
     /// Number of members.
@@ -65,27 +80,39 @@ impl Coalition {
     /// Adds a player.
     #[must_use]
     pub fn with(&self, i: usize) -> Self {
-        assert!(i < MAX_PLAYERS, "player index {i} exceeds {MAX_PLAYERS}");
+        assert!(
+            i < MAX_SAMPLED_PLAYERS,
+            "player index {i} exceeds {MAX_SAMPLED_PLAYERS}"
+        );
         Self(self.0 | (1 << i))
     }
 
     /// Removes a player.
     #[must_use]
     pub fn without(&self, i: usize) -> Self {
-        assert!(i < MAX_PLAYERS, "player index {i} exceeds {MAX_PLAYERS}");
+        assert!(
+            i < MAX_SAMPLED_PLAYERS,
+            "player index {i} exceeds {MAX_SAMPLED_PLAYERS}"
+        );
         Self(self.0 & !(1 << i))
     }
 
     /// Iterates member indices in ascending order.
     pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..32usize).filter(move |&i| (self.0 >> i) & 1 == 1)
+        (0..MAX_SAMPLED_PLAYERS).filter(move |&i| (self.0 >> i) & 1 == 1)
     }
 
     /// Enumerates the full powerset of `n` players (`2^n` coalitions,
     /// including empty and grand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_PLAYERS` — exhaustive enumeration is capped
+    /// even though the mask itself holds up to [`MAX_SAMPLED_PLAYERS`]
+    /// players.
     pub fn powerset(n: usize) -> impl Iterator<Item = Coalition> {
         assert!(n <= MAX_PLAYERS, "at most {MAX_PLAYERS} players, got {n}");
-        (0u32..(1u32 << n)).map(Coalition)
+        (0u64..(1u64 << n)).map(Coalition)
     }
 
     /// Enumerates all subsets of `self` (including empty and `self`).
@@ -103,8 +130,8 @@ impl Coalition {
 
 /// Iterator over the subsets of a coalition.
 pub struct SubsetIter {
-    universe: u32,
-    current: u32,
+    universe: u64,
+    current: u64,
     done: bool,
 }
 
@@ -176,6 +203,20 @@ mod tests {
     }
 
     #[test]
+    fn wide_masks_up_to_64_players() {
+        // The sampling estimators address players 25..64; the mask and
+        // every set operation must be exact out to the last bit.
+        let full = Coalition::grand(MAX_SAMPLED_PLAYERS);
+        assert_eq!(full.len(), 64);
+        assert!(full.contains(63));
+        assert_eq!(full.without(63).len(), 63);
+        let c = Coalition::from_members(&[0, 31, 32, 63]);
+        assert_eq!(c.members().collect::<Vec<_>>(), vec![0, 31, 32, 63]);
+        assert_eq!(c.with(48).len(), 5);
+        assert_eq!(Coalition::grand(48).len(), 48);
+    }
+
+    #[test]
     fn with_without_round_trip() {
         let c = Coalition::from_members(&[1]);
         assert_eq!(c.with(2).without(2), c);
@@ -216,7 +257,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn too_many_players_panics() {
-        let _ = Coalition::grand(26);
+        let _ = Coalition::grand(MAX_SAMPLED_PLAYERS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn powerset_beyond_exact_cap_panics() {
+        let _ = Coalition::powerset(MAX_PLAYERS + 1);
     }
 
     #[test]

@@ -18,11 +18,14 @@
 //! individuals inside group averages ((n/m)-anonymity) at the cost of
 //! uniform within-group attribution.
 
+use std::cell::RefCell;
+
 use numeric::linalg::mean_vectors;
 use numeric::par;
 
-use crate::coalition::{binomial, Coalition, MAX_PLAYERS};
-use crate::utility::ModelUtility;
+use crate::coalition::{Coalition, MAX_PLAYERS, MAX_SAMPLED_PLAYERS};
+use crate::native::exact_shapley_core;
+use crate::utility::{CoalitionUtility, ModelUtility};
 
 /// Minimum coalition-model evaluations per worker thread; below twice
 /// this the powerset is evaluated on the calling thread. Small `m`
@@ -30,9 +33,6 @@ use crate::utility::ModelUtility;
 /// overhead while the `2^m` enumeration parallelizes as soon as it is
 /// the dominant cost.
 const MIN_EVALS_PER_THREAD: usize = 16;
-
-/// Minimum per-player marginal-sum assemblies per worker thread.
-const MIN_PLAYERS_PER_THREAD: usize = 4;
 
 /// Configuration for one GroupSV evaluation round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,15 +68,9 @@ pub struct GroupSvResult {
 /// splitmix64-seeded Fisher–Yates over `0..n`; public and reproducible so
 /// every re-executing miner derives the identical grouping.
 pub fn permutation(seed: u64, round: u64, n: usize) -> Vec<usize> {
-    // Mix e and r into one 64-bit state (splitmix64 finalizer).
-    let mut state = seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let mut next = move || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
+    // Mix e and r into one 64-bit state (splitmix64 stream).
+    let mut state = seed ^ round.wrapping_mul(crate::rng::GOLDEN);
+    let mut next = move || crate::rng::stream_next(&mut state);
     let mut idx: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
         // Rejection-free modulo is fine here: the bias over u64 is
@@ -184,19 +178,125 @@ impl CoalitionSums {
     }
 }
 
+/// The group-model coalition game: `u(S) = utility(mean_{j∈S} W_j)`.
+///
+/// This is the game the smart contract plays on-chain — it receives the
+/// per-group secure aggregates (it can never see individual updates) and
+/// asks for the utility of coalition averages. Exposing it as a
+/// [`CoalitionUtility`] lets **any** estimator in
+/// [`crate::estimator`] run over group models: exact enumeration
+/// (Algorithm 1), Monte-Carlo, or stratified sampling for group counts
+/// beyond the exact cap.
+///
+/// Representation: for `m ≤` [`MAX_PLAYERS`] groups the coalition means
+/// come from the incremental subset-sum tables ([`CoalitionSums`]) —
+/// `O(d)` per coalition, zero per-coalition clones. Beyond that the
+/// tables' `O(2^{m/2} · d)` memory is prohibitive (and only sampling
+/// estimators reach there anyway), so members are summed directly in
+/// ascending group order. Both paths make `evaluate` a pure function of
+/// the coalition bitmask, so every estimator built on [`numeric::par`]
+/// stays bit-identical across thread counts.
+pub struct GroupModelGame<'a, U> {
+    utility: &'a U,
+    backing: Backing<'a>,
+    m: usize,
+    dim: usize,
+}
+
+enum Backing<'a> {
+    /// Subset-sum tables (small `m`): coalition sum in one vector add.
+    Tabulated(CoalitionSums),
+    /// Direct member summation (large `m`, sampling estimators only).
+    Direct(&'a [Vec<f64>]),
+}
+
+thread_local! {
+    /// Per-thread scratch for coalition means, so `evaluate` allocates
+    /// only on a thread's first use. The value in each slot is a pure
+    /// function of the coalition mask, so which thread owns the buffer
+    /// cannot influence a single output bit.
+    static MEAN_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+impl<'a, U: ModelUtility> GroupModelGame<'a, U> {
+    /// Builds the game over `group_models` (one flat model per group).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/ragged input or more than
+    /// [`MAX_SAMPLED_PLAYERS`] groups.
+    pub fn new(group_models: &'a [Vec<f64>], utility: &'a U) -> Self {
+        let m = group_models.len();
+        assert!(m > 0, "no groups");
+        assert!(
+            m <= MAX_SAMPLED_PLAYERS,
+            "coalition masks hold {MAX_SAMPLED_PLAYERS} groups, got {m}"
+        );
+        let dim = group_models[0].len();
+        assert!(
+            group_models.iter().all(|w| w.len() == dim),
+            "all group models must share a dimension"
+        );
+        let backing = if m <= MAX_PLAYERS {
+            Backing::Tabulated(CoalitionSums::new(group_models, dim))
+        } else {
+            Backing::Direct(group_models)
+        };
+        Self {
+            utility,
+            backing,
+            m,
+            dim,
+        }
+    }
+}
+
+impl<U: ModelUtility> CoalitionUtility for GroupModelGame<'_, U> {
+    fn num_players(&self) -> usize {
+        self.m
+    }
+
+    fn evaluate(&self, coalition: Coalition) -> f64 {
+        if coalition.is_empty() {
+            return self.utility.of_empty();
+        }
+        // Take the buffer out of the cell rather than holding a borrow
+        // across `of_model`: a re-entrant evaluation on the same thread
+        // (a utility that itself consults another game) then starts from
+        // an empty buffer instead of panicking the RefCell.
+        let mut w_s = MEAN_SCRATCH.with(RefCell::take);
+        w_s.resize(self.dim, 0.0);
+        match &self.backing {
+            Backing::Tabulated(sums) => sums.mean_into(coalition.0 as usize, &mut w_s),
+            Backing::Direct(models) => {
+                w_s.fill(0.0);
+                for j in coalition.members() {
+                    for (acc, w) in w_s.iter_mut().zip(&models[j]) {
+                        *acc += w;
+                    }
+                }
+                let inv = 1.0 / coalition.len() as f64;
+                for acc in w_s.iter_mut() {
+                    *acc *= inv;
+                }
+            }
+        }
+        let value = self.utility.of_model(&w_s);
+        MEAN_SCRATCH.with(|scratch| scratch.replace(w_s));
+        value
+    }
+}
+
 /// Lines 4–6 of Algorithm 1: exact Shapley values over *group models*.
 ///
-/// This is the form the smart contract runs on-chain: it receives the
-/// per-group secure aggregates (it can never see individual updates) and
-/// computes each group's SV by enumerating the `2^m` coalition models
-/// built from plain averages of group models.
-///
-/// Coalition models come from an incremental subset-sum table
-/// ([`CoalitionSums`]): `O(d)` per coalition and zero per-coalition heap
-/// clones of member models. The `2^m` utility evaluations run on the
-/// deterministic fork-join layer ([`numeric::par`]); because each cache
-/// slot is a pure function of its coalition bitmask, the result is
-/// bit-identical for every thread count.
+/// The historical entry point the contract and benches call; since the
+/// estimator refactor it is a thin wrapper — build the
+/// [`GroupModelGame`] and run the shared exact-enumeration core
+/// (the same engine behind [`crate::estimator::Exact`]). The `2^m`
+/// utility evaluations run on the deterministic fork-join layer
+/// ([`numeric::par`]); because each cache slot is a pure function of its
+/// coalition bitmask, the result is bit-identical for every thread
+/// count.
 ///
 /// Returns `(per_group_sv, utility_evaluations)`.
 ///
@@ -208,48 +308,13 @@ pub fn shapley_over_group_models(
     utility: &(impl ModelUtility + Sync),
 ) -> (Vec<f64>, usize) {
     let m = group_models.len();
-    assert!(m > 0, "no groups");
     assert!(
         m <= MAX_PLAYERS,
         "GroupSV enumerates 2^m coalitions; m={m} exceeds {MAX_PLAYERS}"
     );
-    let dim = group_models[0].len();
-    assert!(
-        group_models.iter().all(|w| w.len() == dim),
-        "all group models must share a dimension"
-    );
-
-    let sums = CoalitionSums::new(group_models, dim);
-    let evaluations = 1usize << m;
-    let mut utility_cache = vec![0.0f64; evaluations];
-    par::par_fill_with(&mut utility_cache, MIN_EVALS_PER_THREAD, |start, chunk| {
-        // One scratch buffer per chunk: coalition models are built in
-        // place, never cloned.
-        let mut w_s = vec![0.0f64; dim];
-        for (k, slot) in chunk.iter_mut().enumerate() {
-            let mask = start + k;
-            *slot = if mask == 0 {
-                utility.of_empty()
-            } else {
-                sums.mean_into(mask, &mut w_s);
-                utility.of_model(&w_s)
-            };
-        }
-    });
-
-    let weights: Vec<f64> = (0..m)
-        .map(|s| 1.0 / (m as f64 * binomial(m - 1, s)))
-        .collect();
-    let per_group = par::par_map_indices(m, MIN_PLAYERS_PER_THREAD, |j| {
-        let others = Coalition::grand(m).without(j);
-        let mut acc = 0.0;
-        for s in others.subsets() {
-            let marginal = utility_cache[s.with(j).0 as usize] - utility_cache[s.0 as usize];
-            acc += weights[s.len()] * marginal;
-        }
-        acc
-    });
-    (per_group, evaluations)
+    let game = GroupModelGame::new(group_models, utility);
+    let per_group = exact_shapley_core(&game, MIN_EVALS_PER_THREAD);
+    (per_group, 1usize << m)
 }
 
 /// Runs Algorithm 1 over the users' local weight updates.

@@ -18,6 +18,7 @@
 use numeric::par;
 
 use crate::coalition::Coalition;
+use crate::rng::splitmix;
 use crate::utility::CoalitionUtility;
 
 /// Minimum permutation walks per worker thread.
@@ -51,6 +52,10 @@ pub struct McResult {
     pub values: Vec<f64>,
     /// Utility evaluations performed (the cost driver).
     pub utility_evaluations: usize,
+    /// Permutations sampled (echoes the configuration, so the result is
+    /// self-describing when converted into an estimator-layer
+    /// [`crate::estimator::SvEstimate`]).
+    pub permutations: usize,
     /// Marginals skipped by truncation.
     pub truncated_marginals: usize,
 }
@@ -62,19 +67,12 @@ struct PermWalk {
     truncated: usize,
 }
 
-/// splitmix64 finalizer.
-fn splitmix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 /// The independent stream state for permutation `index` under `seed`.
 ///
 /// Two finalizer rounds decorrelate neighbouring indices; the result
 /// depends only on `(seed, index)`, never on which thread runs the walk.
 fn stream_state(seed: u64, index: u64) -> u64 {
-    splitmix(seed ^ splitmix(index.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)))
+    splitmix(seed ^ splitmix(index.wrapping_mul(crate::rng::GOLDEN).wrapping_add(1)))
 }
 
 /// Estimates Shapley values by permutation sampling.
@@ -95,10 +93,7 @@ pub fn monte_carlo_shapley(
 
     let walks = par::par_map_indices(config.permutations, MIN_PERMS_PER_THREAD, |p| {
         let mut state = stream_state(config.seed, p as u64);
-        let mut next = move || {
-            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-            splitmix(state)
-        };
+        let mut next = move || crate::rng::stream_next(&mut state);
         // Fisher–Yates with the per-permutation splitmix64 stream.
         let mut order: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
@@ -149,6 +144,7 @@ pub fn monte_carlo_shapley(
     McResult {
         values: acc,
         utility_evaluations: evaluations,
+        permutations: config.permutations,
         truncated_marginals: truncated,
     }
 }

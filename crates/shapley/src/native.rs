@@ -24,13 +24,26 @@ use crate::utility::CoalitionUtility;
 /// to threads).
 const MIN_EVALS_PER_THREAD: usize = 8;
 
-/// Computes the exact Shapley value of every player.
+/// The shared exact-enumeration core: powerset utility cache plus
+/// weighted marginal assembly.
+///
+/// Both public exact entry points — [`exact_shapley`] and the estimator
+/// layer's `Exact`/`GroupSv` (and [`crate::group`]'s Algorithm 1 lines
+/// 4–6) — funnel through this function, so the determinism contract is
+/// pinned once: each cache slot and each player's marginal sum is a pure
+/// function of its index on [`numeric::par`], making the result
+/// bit-identical for every thread count. `min_evals_per_thread` is the
+/// caller's granularity knob (cheap closure games want coarser chunks
+/// than full model retraining).
 ///
 /// # Panics
 ///
 /// Panics if the game has more than [`MAX_PLAYERS`] players (the `2^n`
 /// enumeration would be intractable).
-pub fn exact_shapley(utility: &(impl CoalitionUtility + Sync)) -> Vec<f64> {
+pub(crate) fn exact_shapley_core(
+    utility: &(impl CoalitionUtility + Sync),
+    min_evals_per_thread: usize,
+) -> Vec<f64> {
     let n = utility.num_players();
     assert!(
         n <= MAX_PLAYERS,
@@ -42,9 +55,9 @@ pub fn exact_shapley(utility: &(impl CoalitionUtility + Sync)) -> Vec<f64> {
 
     // One pass over the powerset: cache[mask] = u(mask).
     let mut cache = vec![0.0f64; 1usize << n];
-    par::par_fill_with(&mut cache, MIN_EVALS_PER_THREAD, |start, chunk| {
+    par::par_fill_with(&mut cache, min_evals_per_thread, |start, chunk| {
         for (k, slot) in chunk.iter_mut().enumerate() {
-            *slot = utility.evaluate(Coalition((start + k) as u32));
+            *slot = utility.evaluate(Coalition((start + k) as u64));
         }
     });
 
@@ -63,6 +76,16 @@ pub fn exact_shapley(utility: &(impl CoalitionUtility + Sync)) -> Vec<f64> {
         }
         acc
     })
+}
+
+/// Computes the exact Shapley value of every player.
+///
+/// # Panics
+///
+/// Panics if the game has more than [`MAX_PLAYERS`] players (the `2^n`
+/// enumeration would be intractable).
+pub fn exact_shapley(utility: &(impl CoalitionUtility + Sync)) -> Vec<f64> {
+    exact_shapley_core(utility, MIN_EVALS_PER_THREAD)
 }
 
 #[cfg(test)]

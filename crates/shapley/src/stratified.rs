@@ -1,0 +1,269 @@
+//! Stratified Shapley sampling — the large-`m` estimator.
+//!
+//! Exact enumeration stops at [`MAX_PLAYERS`](crate::coalition::MAX_PLAYERS)
+//! players; permutation Monte-Carlo scales further but spends its samples
+//! unevenly across coalition sizes. This module implements the classic
+//! stratified decomposition of Eq. 1 (Castro et al., *Polynomial
+//! calculation of the Shapley value based on sampling*):
+//!
+//! ```text
+//! v_i = (1/n) Σ_{s=0}^{n−1}  E[ u(S ∪ {i}) − u(S) ]   over uniform
+//!                            s-subsets S ⊆ I\{i}
+//! ```
+//!
+//! Every `(player i, coalition size s)` pair is one **stratum**, and each
+//! stratum draws exactly `samples_per_stratum` independent subsets — so
+//! every coalition size of every player is covered by construction, which
+//! a fixed budget of whole permutations cannot guarantee.
+//!
+//! Re-executability: each sample draws from its **own splitmix64 stream**
+//! derived from `(seed, stratum, sample index)` — never from a shared
+//! evolving stream — so sample `k` of stratum `t` is identical whether it
+//! runs first on one thread or last on sixty-four. Strata fan out on the
+//! deterministic fork-join layer ([`numeric::par`]) with one output slot
+//! per stratum, combined in stratum order; the estimate is therefore
+//! bit-identical for every thread count, which is what lets miners
+//! re-execute it as part of contract verification.
+
+use numeric::par;
+
+use crate::coalition::{Coalition, MAX_SAMPLED_PLAYERS};
+use crate::estimator::{SvDiagnostics, SvEstimate};
+use crate::rng::splitmix;
+use crate::utility::CoalitionUtility;
+
+/// Minimum strata per worker thread (each stratum performs
+/// `2 · samples_per_stratum` utility evaluations).
+const MIN_STRATA_PER_THREAD: usize = 2;
+
+/// Stratified-sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedConfig {
+    /// Independent subset draws per `(player, size)` stratum.
+    pub samples_per_stratum: usize,
+    /// RNG seed; the per-sample streams are derived from
+    /// `(seed, stratum, index)`.
+    pub seed: u64,
+}
+
+impl Default for StratifiedConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_stratum: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// The independent stream state for sample `index` of `stratum` under
+/// `seed`.
+///
+/// Each coordinate passes through its own finalizer round with a distinct
+/// odd multiplier before mixing, decorrelating neighbouring strata and
+/// neighbouring sample indices; the result depends only on the triple,
+/// never on which thread runs the draw.
+fn stream_state(seed: u64, stratum: u64, index: u64) -> u64 {
+    splitmix(
+        seed ^ splitmix(stratum.wrapping_mul(crate::rng::GOLDEN).wrapping_add(1))
+            ^ splitmix(index.wrapping_mul(0xd1b5_4a32_d192_ed03).wrapping_add(2)),
+    )
+}
+
+/// Estimates Shapley values by stratified subset sampling.
+///
+/// Unbiased for any sample count: each stratum mean estimates one term of
+/// the size-decomposed Eq. 1, and the per-player value averages the `n`
+/// stratum means. Cost is `2 · n² · samples_per_stratum` utility
+/// evaluations — polynomial in `n`, so games far beyond the exact-
+/// enumeration cap (up to [`MAX_SAMPLED_PLAYERS`] players) are feasible.
+///
+/// # Panics
+///
+/// Panics if the game is empty, has more than [`MAX_SAMPLED_PLAYERS`]
+/// players, or `samples_per_stratum == 0`.
+pub fn stratified_shapley(
+    utility: &(impl CoalitionUtility + Sync),
+    config: &StratifiedConfig,
+) -> SvEstimate {
+    let n = utility.num_players();
+    assert!(n > 0, "empty game");
+    assert!(
+        n <= MAX_SAMPLED_PLAYERS,
+        "coalition masks hold {MAX_SAMPLED_PLAYERS} players, got {n}"
+    );
+    let k = config.samples_per_stratum;
+    assert!(k > 0, "need at least one sample per stratum");
+
+    // Stratum t = (player i = t / n, size s = t % n). Each slot is the
+    // *sum* of that stratum's k marginals — a pure function of t.
+    let strata = n * n;
+    let stratum_sums = par::par_map_indices(strata, MIN_STRATA_PER_THREAD, |t| {
+        let i = t / n;
+        let s = t % n;
+        // The other n−1 players, from which s-subsets are drawn.
+        let others_template: Vec<usize> = (0..n).filter(|&p| p != i).collect();
+        let mut sum = 0.0f64;
+        let mut others = others_template.clone();
+        for sample in 0..k {
+            let mut state = stream_state(config.seed, t as u64, sample as u64);
+            let mut next = || crate::rng::stream_next(&mut state);
+            // Partial Fisher–Yates: after s steps the prefix is a
+            // uniform s-subset of the others. One buffer per stratum —
+            // the shuffle only permutes, so resetting from the template
+            // is enough and spares n²·k clone allocations.
+            others.copy_from_slice(&others_template);
+            for j in 0..s {
+                let r = j + (next() % (others.len() - j) as u64) as usize;
+                others.swap(j, r);
+            }
+            let coalition = Coalition::from_members(&others[..s]);
+            let base = utility.evaluate(coalition);
+            let with_i = utility.evaluate(coalition.with(i));
+            sum += with_i - base;
+        }
+        sum
+    });
+
+    // Combine in stratum order: v_i = (1/n) Σ_s (stratum sum / k). The
+    // floating-point reduction is independent of the parallel schedule.
+    let scale = 1.0 / (n as f64 * k as f64);
+    let mut values = vec![0.0f64; n];
+    for (t, sum) in stratum_sums.iter().enumerate() {
+        values[t / n] += sum * scale;
+    }
+
+    SvEstimate {
+        values,
+        utility_evaluations: 2 * strata * k,
+        diagnostics: SvDiagnostics {
+            samples: strata * k,
+            strata,
+            truncated_marginals: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::native::exact_shapley;
+    use crate::utility::games::{AdditiveGame, GloveGame};
+    use crate::utility::utility_fn;
+
+    #[test]
+    fn additive_game_exact_in_every_sample() {
+        // Marginals of an additive game are constant, so even one sample
+        // per stratum recovers the exact values.
+        let game = AdditiveGame {
+            values: vec![1.0, -2.0, 3.0],
+        };
+        let estimate = stratified_shapley(
+            &game,
+            &StratifiedConfig {
+                samples_per_stratum: 1,
+                seed: 5,
+            },
+        );
+        for (got, expect) in estimate.values.iter().zip(&game.values) {
+            assert!((got - expect).abs() < 1e-12);
+        }
+        assert_eq!(estimate.utility_evaluations, 2 * 9);
+        assert_eq!(estimate.diagnostics.strata, 9);
+        assert_eq!(estimate.diagnostics.samples, 9);
+    }
+
+    #[test]
+    fn converges_to_exact_on_glove_game() {
+        let game = GloveGame { left: 2, n: 5 };
+        let exact = exact_shapley(&game);
+        let estimate = stratified_shapley(
+            &game,
+            &StratifiedConfig {
+                samples_per_stratum: 2000,
+                seed: 1,
+            },
+        );
+        for (got, expect) in estimate.values.iter().zip(&exact) {
+            assert!(
+                (got - expect).abs() < 0.05,
+                "stratified {got} too far from exact {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let game = GloveGame { left: 2, n: 4 };
+        let cfg = StratifiedConfig {
+            samples_per_stratum: 10,
+            seed: 42,
+        };
+        assert_eq!(
+            stratified_shapley(&game, &cfg),
+            stratified_shapley(&game, &cfg)
+        );
+        let other = stratified_shapley(&game, &StratifiedConfig { seed: 43, ..cfg });
+        assert_ne!(stratified_shapley(&game, &cfg).values, other.values);
+    }
+
+    #[test]
+    fn runs_a_48_player_game() {
+        // Impossible for the exact estimators (2^48 coalitions); the
+        // stratified sampler handles it in n²·k samples.
+        let n = 48usize;
+        let game = utility_fn(n, move |c: Coalition| {
+            c.members().map(|i| ((i * 13 + 5) as f64).sin()).sum()
+        });
+        let estimate = stratified_shapley(
+            &game,
+            &StratifiedConfig {
+                samples_per_stratum: 2,
+                seed: 9,
+            },
+        );
+        assert_eq!(estimate.values.len(), n);
+        assert_eq!(estimate.diagnostics.strata, n * n);
+        // Additive game: even 2 samples per stratum are exact.
+        for (i, v) in estimate.values.iter().enumerate() {
+            let expect = ((i * 13 + 5) as f64).sin();
+            assert!((v - expect).abs() < 1e-9, "player {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn null_player_gets_zero_exactly() {
+        // Player 2 never changes the utility, so every sampled marginal
+        // is exactly zero regardless of sample count.
+        let game = utility_fn(3, |c: Coalition| {
+            (c.contains(0) as u8 + c.contains(1) as u8) as f64
+        });
+        let estimate = stratified_shapley(
+            &game,
+            &StratifiedConfig {
+                samples_per_stratum: 3,
+                seed: 0,
+            },
+        );
+        assert_eq!(estimate.values[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let game = AdditiveGame { values: vec![1.0] };
+        let _ = stratified_shapley(
+            &game,
+            &StratifiedConfig {
+                samples_per_stratum: 0,
+                seed: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty game")]
+    fn empty_game_panics() {
+        let game = AdditiveGame { values: vec![] };
+        let _ = stratified_shapley(&game, &StratifiedConfig::default());
+    }
+}

@@ -13,10 +13,13 @@
 use std::sync::Mutex;
 
 use numeric::par;
+use proptest::prelude::*;
 use shapley::coalition::Coalition;
+use shapley::estimator::{Exact, GroupSv, Stratified, SvEstimator};
 use shapley::group::{group_shapley, shapley_over_group_models, GroupSvConfig};
 use shapley::monte_carlo::{monte_carlo_shapley, McConfig};
 use shapley::native::exact_shapley;
+use shapley::stratified::{stratified_shapley, StratifiedConfig};
 use shapley::utility::{model_utility_fn, utility_fn};
 
 static THREAD_CAP: Mutex<()> = Mutex::new(());
@@ -127,6 +130,92 @@ fn monte_carlo_with_truncation_is_schedule_invariant() {
         let r = monte_carlo_shapley(&game, &cfg);
         (r.values, r.utility_evaluations, r.truncated_marginals)
     });
+}
+
+#[test]
+fn stratified_is_schedule_invariant() {
+    // The new sampler must uphold the same contract as every other
+    // engine, including at the player counts only it can reach.
+    for n in [1usize, 5, 12, 30] {
+        let game = nonlinear_game(n);
+        let cfg = StratifiedConfig {
+            samples_per_stratum: 4,
+            seed: 2024,
+        };
+        assert_schedule_invariant(|| stratified_shapley(&game, &cfg));
+    }
+}
+
+#[test]
+fn stratified_48_players_is_schedule_invariant() {
+    // The acceptance case: a 48-player game — impossible for the exact
+    // engines (2^48 coalitions) — runs and is bit-identical for thread
+    // caps 1, 2, and available_parallelism.
+    let game = nonlinear_game(48);
+    let cfg = StratifiedConfig {
+        samples_per_stratum: 2,
+        seed: 7,
+    };
+    assert_schedule_invariant(|| {
+        let estimate = stratified_shapley(&game, &cfg);
+        assert_eq!(estimate.values.len(), 48);
+        (
+            estimate.values,
+            estimate.utility_evaluations,
+            estimate.diagnostics,
+        )
+    });
+}
+
+#[test]
+fn estimator_layer_is_schedule_invariant() {
+    // Dispatch through the trait objects the contract uses, not the free
+    // functions, so the estimator layer itself is pinned.
+    let game = nonlinear_game(10);
+    assert_schedule_invariant(|| Exact.estimate(&game));
+    assert_schedule_invariant(|| {
+        Stratified {
+            config: StratifiedConfig {
+                samples_per_stratum: 3,
+                seed: 11,
+            },
+        }
+        .estimate(&game)
+    });
+    assert_schedule_invariant(|| {
+        GroupSv {
+            num_groups: 4,
+            seed: 3,
+            round: 1,
+        }
+        .estimate(&game)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn prop_stratified_converges_to_exact(
+        n in 2usize..=10,
+        seed in any::<u64>(),
+    ) {
+        // Estimator parity: at high sample counts the stratified
+        // estimate approaches the exact values on games small enough to
+        // enumerate. The game is nonlinear so agreement is not an
+        // artifact of additivity.
+        let game = nonlinear_game(n);
+        let exact = Exact.estimate(&game);
+        let sampled = Stratified {
+            config: StratifiedConfig { samples_per_stratum: 600, seed },
+        }
+        .estimate(&game);
+        for (i, (e, s)) in exact.values.iter().zip(&sampled.values).enumerate() {
+            prop_assert!(
+                (e - s).abs() < 0.15,
+                "player {i}: exact {e} vs stratified {s}"
+            );
+        }
+    }
 }
 
 #[test]
