@@ -216,11 +216,118 @@ fn bench_sv_estimator(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dropout recovery (the round state machine's Recovering→Evaluated
+/// work): reconstruct the dropped DH keys from their Shamir escrow
+/// shares (verified against the advertised public keys) and strip the
+/// residual pairwise masks from the survivors' partial aggregate —
+/// measured at paper-adjacent and 10× model dimensionality, for a single
+/// dropout and the ⌈n/3⌉ acceptance case.
+fn bench_secure_agg_recovery(c: &mut Criterion) {
+    use fl_crypto::dh::{DhGroup, DhKeyPair};
+    use fl_crypto::dropout::{escrow_private_key, recover_dropout_set, DroppedParty};
+    use fl_crypto::secure_agg::{KeyDirectory, PartyState};
+    use fl_crypto::shamir::{Shamir, Share};
+    use fl_crypto::ChaChaPrg;
+    use numeric::FixedCodec;
+
+    let n = 9usize;
+    let threshold = n / 2 + 1;
+    let round = 0u64;
+    let dh = DhGroup::simulation_256();
+    let shamir = Shamir::default();
+    let codec = FixedCodec::default();
+
+    let keypairs: Vec<DhKeyPair> = (0..n)
+        .map(|i| dh.keypair_from_seed(&[i as u8 + 1; 32]))
+        .collect();
+    let mut directory = KeyDirectory::new();
+    for (i, kp) in keypairs.iter().enumerate() {
+        directory
+            .advertise(i as u32, kp.public)
+            .expect("unique ids");
+    }
+    let escrowed: Vec<Vec<Share>> = keypairs
+        .iter()
+        .enumerate()
+        .map(|(i, kp)| {
+            let mut prg = ChaChaPrg::from_seed(&[i as u8 + 40; 32]);
+            escrow_private_key(&shamir, kp, threshold, n, &mut prg).expect("valid escrow")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("secure_agg_recovery");
+    group.sample_size(10);
+    for dim in [1_000usize, 10_000] {
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| ((i * dim + d) as f64 * 0.37).sin())
+                    .collect()
+            })
+            .collect();
+        let submissions: Vec<Vec<u64>> = (0..n)
+            .map(|i| {
+                let party = PartyState::derive(&dh, i as u32, &keypairs[i], &directory)
+                    .expect("cohort derives");
+                party.masked_update(&codec, round, &weights[i])
+            })
+            .collect();
+        for drops in [1usize, n.div_ceil(3)] {
+            // The last `drops` owners vanish; survivors' masked
+            // submissions form the partial sum to correct.
+            let dropped_ids: Vec<usize> = (n - drops..n).collect();
+            let survivor_ids: Vec<usize> = (0..n - drops).collect();
+            let mut partial = vec![0u64; dim];
+            for &s in &survivor_ids {
+                FixedCodec::ring_add_assign(&mut partial, &submissions[s]);
+            }
+            let survivors: Vec<(u32, numeric::U256)> = survivor_ids
+                .iter()
+                .map(|&s| (s as u32, keypairs[s].public))
+                .collect();
+            let dropped: Vec<DroppedParty> = dropped_ids
+                .iter()
+                .map(|&d| DroppedParty {
+                    id: d as u32,
+                    advertised_public: keypairs[d].public,
+                    shares: survivor_ids
+                        .iter()
+                        .take(threshold)
+                        .map(|&s| escrowed[d][s].clone())
+                        .collect(),
+                })
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new(format!("reconstruct_strip/dim{dim}"), drops),
+                &partial,
+                |b, partial| {
+                    b.iter(|| {
+                        let mut sum = partial.clone();
+                        recover_dropout_set(
+                            &shamir,
+                            &dh,
+                            &mut sum,
+                            black_box(&dropped),
+                            &survivors,
+                            threshold,
+                            round,
+                        )
+                        .expect("recovery succeeds");
+                        sum
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_group_sv,
     bench_native_sv,
     bench_group_sv_models,
-    bench_sv_estimator
+    bench_sv_estimator,
+    bench_secure_agg_recovery
 );
 criterion_main!(benches);

@@ -77,6 +77,20 @@ fn table1_render_includes_speedups() {
         native_evaluations: 512,
         stratified_sv: 0.5,
         stratified_evaluations: 324,
+        recovery: vec![
+            table1::RecoveryCost {
+                dropped: 0,
+                secs: 1.5,
+                utility_evaluations: 8,
+                blocks: 2,
+            },
+            table1::RecoveryCost {
+                dropped: 3,
+                secs: 1.9,
+                utility_evaluations: 8,
+                blocks: 3,
+            },
+        ],
         num_owners: 9,
     };
     let table = table1::render(&result);
@@ -87,6 +101,27 @@ fn table1_render_includes_speedups() {
     assert!(text.contains("stratified (n=9)"));
     assert!(text.contains("4.0x"), "2.0/0.5 stratified speedup");
     assert!(text.contains("512") && text.contains("324"), "eval counts");
+    // Recovery-cost columns: per-dropout wall-clock + block counts.
+    assert!(text.contains("round d=0") && text.contains("round d=3"));
+    assert!(text.contains("2 blk") && text.contains("3 blk"));
+}
+
+#[test]
+fn table1_render_without_recovery_measurements() {
+    let result = Table1Result {
+        group_sv: vec![(2, 0.1)],
+        native_sv: 1.0,
+        native_evaluations: 512,
+        stratified_sv: 0.5,
+        stratified_evaluations: 324,
+        recovery: vec![],
+        num_owners: 9,
+    };
+    let text = table1::render(&result).render();
+    assert!(
+        !text.contains("round d=0"),
+        "no recovery columns when unmeasured"
+    );
 }
 
 #[test]

@@ -9,13 +9,14 @@
 //!
 //! Since the estimator refactor the native and sampling baselines run
 //! through the [`shapley::estimator::SvEstimator`] trait and report
-//! their cost from the uniform [`SvEstimate`] envelope, so the "models
-//! trained" column is measured, not hard-coded.
+//! their cost from the uniform [`shapley::estimator::SvEstimate`]
+//! envelope, so the "models trained" column is measured, not hard-coded.
 
 use std::time::Instant;
 
 use fedchain::contract_fl::AccuracyUtility;
 use fedchain::ground_truth::RetrainUtility;
+use fedchain::protocol::FlProtocol;
 use fedchain::world::World;
 use shapley::estimator::{Exact, Stratified, SvEstimator};
 use shapley::group::{group_shapley, GroupSvConfig};
@@ -25,6 +26,23 @@ use shapley::utility::CachedUtility;
 use crate::report::{secs, Table};
 
 use super::Scale;
+
+/// Cost of one on-chain round at a given dropout count — the ROADMAP's
+/// recovery-cost column, fed from the round record's [`shapley::estimator::SvEstimate`]
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct RecoveryCost {
+    /// Owners dropped in the round.
+    pub dropped: usize,
+    /// Wall-clock of the full on-chain round (setup block + round
+    /// block(s), consensus included; a churned round commits the extra
+    /// recovery block).
+    pub secs: f64,
+    /// Utility evaluations the round's estimator reported.
+    pub utility_evaluations: usize,
+    /// Blocks committed (2 for a full round, 3 with recovery).
+    pub blocks: u64,
+}
 
 /// Timing results.
 #[derive(Debug, Clone)]
@@ -41,6 +59,8 @@ pub struct Table1Result {
     pub stratified_sv: f64,
     /// Utility evaluations the stratified estimator reported.
     pub stratified_evaluations: usize,
+    /// Recovery cost at 0, 1, and ⌈n/3⌉ dropped owners.
+    pub recovery: Vec<RecoveryCost>,
     /// Owner count n.
     pub num_owners: usize,
 }
@@ -94,31 +114,66 @@ pub fn run(scale: Scale) -> Table1Result {
     .estimate(&cached);
     let stratified_sv = start.elapsed().as_secs_f64();
 
+    // Recovery cost: one full on-chain round (through the mempool and
+    // consensus) at 0, 1, and ⌈n/3⌉ dropped owners. Evaluation counts
+    // come from the round record's SvEstimate diagnostics, so the column
+    // is measured, not modeled.
+    let mut recovery = Vec::new();
+    for d in [0usize, 1, n.div_ceil(3)] {
+        let mut round_config = scale.config();
+        round_config.sigma = 1.0;
+        round_config.rounds = 1;
+        if d > 0 {
+            // Drop the highest-positioned owners; owner 0 stays alive to
+            // trigger evaluation.
+            round_config.dropout_schedule = vec![(0, (n - d..n).collect())];
+        }
+        let mut protocol = FlProtocol::new(round_config).expect("valid config");
+        let start = Instant::now();
+        let report = protocol.run().expect("honest run");
+        recovery.push(RecoveryCost {
+            dropped: d,
+            secs: start.elapsed().as_secs_f64(),
+            utility_evaluations: report.round_records[0].utility_evaluations,
+            blocks: report.blocks,
+        });
+    }
+
     Table1Result {
         group_sv,
         native_sv,
         native_evaluations: native.utility_evaluations,
         stratified_sv,
         stratified_evaluations: stratified.utility_evaluations,
+        recovery,
         num_owners: n,
     }
 }
 
-/// Renders in the paper's layout.
+/// Renders in the paper's layout, plus the recovery-cost columns
+/// (`round d=k`: one full on-chain round with `k` dropped owners).
 pub fn render(result: &Table1Result) -> Table {
     let mut headers: Vec<String> = vec!["method".into()];
     headers.extend(result.group_sv.iter().map(|(m, _)| format!("m={m}")));
     headers.push(format!("native (n={})", result.num_owners));
     headers.push(format!("stratified (n={})", result.num_owners));
+    headers.extend(
+        result
+            .recovery
+            .iter()
+            .map(|r| format!("round d={}", r.dropped)),
+    );
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
-        "Table I — time comparison: GroupSV (m=2..n) vs NativeSV vs StratifiedSV",
+        "Table I — time comparison: GroupSV (m=2..n) vs NativeSV vs StratifiedSV; \
+         round d=k = full on-chain round with k dropouts (recovery cost)",
         &header_refs,
     );
     let mut cells = vec!["time".to_owned()];
     cells.extend(result.group_sv.iter().map(|(_, t)| secs(*t)));
     cells.push(secs(result.native_sv));
     cells.push(secs(result.stratified_sv));
+    cells.extend(result.recovery.iter().map(|r| secs(r.secs)));
     table.push_row(cells);
 
     let mut speedup = vec!["native/group".to_owned()];
@@ -130,6 +185,7 @@ pub fn render(result: &Table1Result) -> Table {
     );
     speedup.push("1.0x".to_owned());
     speedup.push(format!("{:.1}x", result.native_sv / result.stratified_sv));
+    speedup.extend(result.recovery.iter().map(|r| format!("{} blk", r.blocks)));
     table.push_row(speedup);
 
     let mut evals = vec!["utility evals".to_owned()];
@@ -141,6 +197,12 @@ pub fn render(result: &Table1Result) -> Table {
     );
     evals.push(format!("{}", result.native_evaluations));
     evals.push(format!("{}", result.stratified_evaluations));
+    evals.extend(
+        result
+            .recovery
+            .iter()
+            .map(|r| format!("{}", r.utility_evaluations)),
+    );
     table.push_row(evals);
     table
 }

@@ -92,7 +92,7 @@ impl<C: Encode> Block<C> {
 }
 
 impl<C: Encode + Clone> Block<C> {
-    /// Assembles a block from a sealed [`TxBundle`], reusing the Merkle
+    /// Assembles a block from a sealed [`crate::tx::TxBundle`], reusing the Merkle
     /// root computed at seal time instead of rebuilding the tree — the
     /// batched commit path assembles each block exactly once this way.
     pub fn from_bundle(

@@ -281,6 +281,12 @@ impl<C: Encode + Clone> Mempool<C> {
         evicted
     }
 
+    /// Admission capacity the pool was created with ([`Mempool::requeue`]
+    /// may push `len()` past it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of pending transactions.
     pub fn len(&self) -> usize {
         self.queue.len()

@@ -13,18 +13,27 @@
 //! self-mask): sufficient for the semi-honest model the paper works in,
 //! and exactly the code path a dropout exercises.
 //!
+//! Recovery is defined over a **set** `D` of simultaneous dropouts, not a
+//! single party: the survivors' pairwise masks cancel among themselves in
+//! the partial sum, masks between two *dropped* parties never entered it
+//! (neither submitted), so the only residue is one `±m_{sd}` per
+//! (survivor `s`, dropped `d`) pair. All dropped keys are reconstructed
+//! and every residual mask is stripped in one deterministic pass —
+//! ascending dropped id, then ascending survivor id — so any re-executing
+//! miner computes the identical corrected aggregate.
+//!
 //! ```text
 //! setup:    party i  →  shamir.split(a_i, t, n)  →  share_j to party j
-//! round r:  survivors submit masked updates; party d drops
-//! recover:  t survivors pool shares of a_d → a_d
-//!           for each survivor s: m_{sd} = PRG(KDF(pub_s^a_d), r)
-//!           corrected = Σ submissions − Σ_s orient(s,d)·m_{sd}
+//! round r:  survivors submit masked updates; the set D drops
+//! recover:  t survivors pool shares of a_d → a_d        (each d ∈ D)
+//!           for each (s, d): m_{sd} = PRG(KDF(pub_s^a_d), r)
+//!           corrected = Σ submissions − Σ_{s,d} orient(s,d)·m_{sd}
 //! ```
 
-use numeric::U256;
+use numeric::{par, U256};
 
 use crate::dh::{DhGroup, DhKeyPair};
-use crate::masking::{PairwiseMasker, PartyId};
+use crate::masking::{self, PairwiseMasker, PartyId};
 use crate::shamir::{Shamir, ShamirError, Share};
 use crate::ChaChaPrg;
 
@@ -89,12 +98,24 @@ pub fn reconstruct_private_key(
     Ok(private)
 }
 
+/// One dropped party's recovery inputs: its identity, the public key it
+/// advertised (on-chain, before dropping), and the escrow shares the
+/// survivors pooled for it.
+#[derive(Debug, Clone)]
+pub struct DroppedParty {
+    /// The dropped party.
+    pub id: PartyId,
+    /// The DH public key the party advertised; reconstruction is
+    /// verified against it.
+    pub advertised_public: U256,
+    /// Pooled escrow shares of the party's private key (≥ threshold).
+    pub shares: Vec<Share>,
+}
+
 /// Removes a dropped party's residual masks from a partial ring sum.
 ///
-/// `partial_sum` is `Σ` of the *survivors'* masked submissions; each
-/// survivor `s` still carries an uncancelled `±m_{sd}` against the
-/// dropped party `d`. Given `d`'s reconstructed private key, this derives
-/// each pair mask and strips it, leaving `Σ encode(w_s)` exactly.
+/// Single-dropout convenience over [`strip_dropped_set_masks`]: see
+/// there for the contract.
 pub fn strip_dropped_masks(
     group: &DhGroup,
     partial_sum: &mut [u64],
@@ -103,25 +124,100 @@ pub fn strip_dropped_masks(
     survivors: &[(PartyId, U256)],
     round: u64,
 ) {
-    for (survivor, survivor_public) in survivors {
-        assert_ne!(*survivor, dropped, "dropped party cannot survive");
-        let pair_key = group.shared_key(dropped_private, survivor_public);
-        let masker = PairwiseMasker::new(pair_key);
-        let mask = masker.mask_for_round(round, partial_sum.len());
-        // Orientation convention (see `masking`): the smaller id *adds*
-        // the pair mask. The survivor applied its side; remove it.
-        if *survivor < dropped {
-            // survivor added m_{sd} → subtract it.
-            for (acc, m) in partial_sum.iter_mut().zip(&mask) {
-                *acc = acc.wrapping_sub(*m);
-            }
-        } else {
-            // survivor subtracted m_{sd} → add it back.
-            for (acc, m) in partial_sum.iter_mut().zip(&mask) {
-                *acc = acc.wrapping_add(*m);
-            }
+    strip_dropped_set_masks(
+        group,
+        partial_sum,
+        &[(dropped, *dropped_private)],
+        survivors,
+        round,
+    );
+}
+
+/// Removes the residual masks of a *set* of simultaneously dropped
+/// parties from a survivors-only partial ring sum, in one pass.
+///
+/// `partial_sum` is `Σ` of the *survivors'* masked submissions; each
+/// survivor `s` still carries an uncancelled `±m_{sd}` against every
+/// dropped party `d` (masks between two dropped parties never entered
+/// the sum, so nothing is stripped for those pairs). Given the
+/// reconstructed private key of each dropped party, this derives every
+/// (survivor, dropped) pair mask and strips it, leaving `Σ encode(w_s)`
+/// exactly.
+///
+/// Deterministic order: pairs are processed ascending by dropped id,
+/// then ascending by survivor id, and ring addition is exact wrapping
+/// arithmetic, so the corrected sum is a pure function of the inputs —
+/// bit-identical on every re-executing miner for any thread count (mask
+/// expansions fan out on [`numeric::par`], one slot per pair, and are
+/// folded in index order).
+///
+/// # Panics
+///
+/// Panics if `dropped` ids are not strictly ascending or a dropped party
+/// also appears among the survivors.
+pub fn strip_dropped_set_masks(
+    group: &DhGroup,
+    partial_sum: &mut [u64],
+    dropped: &[(PartyId, U256)],
+    survivors: &[(PartyId, U256)],
+    round: u64,
+) {
+    assert!(
+        dropped.windows(2).all(|w| w[0].0 < w[1].0),
+        "dropped ids must be strictly ascending"
+    );
+    // The flat (dropped, survivor) pair list, in the canonical order.
+    let mut pairs: Vec<(PartyId, &U256, PartyId, &U256)> = Vec::new();
+    for (d, d_private) in dropped {
+        for (s, s_public) in survivors {
+            assert_ne!(s, d, "dropped party {d} cannot survive");
+            pairs.push((*d, d_private, *s, s_public));
         }
     }
+    // Each pair's mask is an independent DH agreement + ChaCha expansion;
+    // the fold below consumes them in index order regardless of the
+    // schedule, so the corrected sum is schedule-invariant.
+    let dim = partial_sum.len();
+    let masks = par::par_map(&pairs, 1, |_, (_, d_private, _, s_public)| {
+        let pair_key = group.shared_key(d_private, s_public);
+        PairwiseMasker::new(pair_key).mask_for_round(round, dim)
+    });
+    for ((d, _, s, _), mask) in pairs.iter().zip(&masks) {
+        // Orientation convention (see `masking`): the smaller id *adds*
+        // the pair mask. The survivor applied its side; remove it by
+        // applying the *dropped* party's side, which cancels it.
+        masking::apply_expanded(*d, *s, mask, partial_sum);
+    }
+}
+
+/// Recovers an entire dropout set in one deterministic pass: every
+/// dropped party's private key is reconstructed from its pooled escrow
+/// shares and verified against the advertised public key, then all
+/// residual (survivor, dropped) pair masks are stripped from
+/// `partial_sum` via [`strip_dropped_set_masks`].
+///
+/// Returns the reconstructed private keys, ascending by dropped id.
+///
+/// # Panics
+///
+/// As [`strip_dropped_set_masks`].
+pub fn recover_dropout_set(
+    shamir: &Shamir,
+    group: &DhGroup,
+    partial_sum: &mut [u64],
+    dropped: &[DroppedParty],
+    survivors: &[(PartyId, U256)],
+    threshold: usize,
+    round: u64,
+) -> Result<Vec<(PartyId, U256)>, DropoutError> {
+    let mut recovered = Vec::with_capacity(dropped.len());
+    for d in dropped {
+        let private =
+            reconstruct_private_key(shamir, group, &d.shares, threshold, &d.advertised_public)?;
+        recovered.push((d.id, private));
+    }
+    strip_dropped_set_masks(group, partial_sum, &recovered, survivors, round);
+    Ok(recovered)
 }
 
 #[cfg(test)]
@@ -201,6 +297,190 @@ mod tests {
                 "dim {d}: recovered {got}, want {expect}"
             );
         }
+    }
+
+    /// The set variant: 5 parties escrow keys, parties 1 and 3 drop
+    /// after everyone masked; the three survivors recover both keys and
+    /// strip every residual mask in one pass.
+    #[test]
+    fn simultaneous_dropout_set_recovers_survivor_sum() {
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let codec = FixedCodec::default();
+        let n = 5usize;
+        let threshold = 3usize;
+        let round = 9u64;
+        let dim = 16usize;
+
+        let keypairs: Vec<DhKeyPair> = (0..n as u8)
+            .map(|i| group.keypair_from_seed(&[i + 11; 32]))
+            .collect();
+        let mut directory = KeyDirectory::new();
+        for (i, kp) in keypairs.iter().enumerate() {
+            directory.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let escrowed: Vec<Vec<Share>> = keypairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                escrow_private_key(&shamir, kp, threshold, n, &mut prg(i as u8 + 60)).unwrap()
+            })
+            .collect();
+
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|d| (i * dim + d) as f64 * 0.25 - 3.0)
+                    .collect()
+            })
+            .collect();
+        let dropped_ids = [1usize, 3];
+        let survivor_ids = [0usize, 2, 4];
+        let mut partial = vec![0u64; dim];
+        for i in survivor_ids {
+            let party = PartyState::derive(&group, i as PartyId, &keypairs[i], &directory).unwrap();
+            let masked = party.masked_update(&codec, round, &weights[i]);
+            FixedCodec::ring_add_assign(&mut partial, &masked);
+        }
+
+        let survivors: Vec<(PartyId, U256)> = survivor_ids
+            .iter()
+            .map(|&s| (s as PartyId, keypairs[s].public))
+            .collect();
+        let dropped: Vec<DroppedParty> = dropped_ids
+            .iter()
+            .map(|&d| DroppedParty {
+                id: d as PartyId,
+                advertised_public: keypairs[d].public,
+                shares: survivor_ids
+                    .iter()
+                    .map(|&s| escrowed[d][s].clone())
+                    .collect(),
+            })
+            .collect();
+        let recovered = recover_dropout_set(
+            &shamir,
+            &group,
+            &mut partial,
+            &dropped,
+            &survivors,
+            threshold,
+            round,
+        )
+        .unwrap();
+        assert_eq!(recovered.len(), 2);
+        for ((id, private), d) in recovered.iter().zip(&dropped_ids) {
+            assert_eq!(*id, *d as PartyId);
+            assert_eq!(*private, keypairs[*d].private);
+        }
+
+        for (c, &ring) in partial.iter().enumerate() {
+            let expect: f64 = survivor_ids.iter().map(|&i| weights[i][c]).sum();
+            let got = codec.decode(ring);
+            assert!(
+                (got - expect).abs() < 1e-6,
+                "dim {c}: recovered {got}, want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_strip_equals_sequential_single_strips() {
+        // The one-pass set strip must be bit-identical to stripping each
+        // dropped party in ascending order with the single-party API.
+        let group = DhGroup::simulation_256();
+        let keypairs: Vec<DhKeyPair> = (0..4u8)
+            .map(|i| group.keypair_from_seed(&[i + 31; 32]))
+            .collect();
+        let survivors: Vec<(PartyId, U256)> =
+            vec![(0, keypairs[0].public), (2, keypairs[2].public)];
+        let dropped: Vec<(PartyId, U256)> =
+            vec![(1, keypairs[1].private), (3, keypairs[3].private)];
+        let base: Vec<u64> = (0..32).map(|i| i as u64 * 0x9e37_79b9).collect();
+
+        let mut one_pass = base.clone();
+        strip_dropped_set_masks(&group, &mut one_pass, &dropped, &survivors, 4);
+        let mut sequential = base;
+        for (d, private) in &dropped {
+            strip_dropped_masks(&group, &mut sequential, *d, private, &survivors, 4);
+        }
+        assert_eq!(one_pass, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_dropout_set_panics() {
+        let group = DhGroup::simulation_256();
+        let kp = group.keypair_from_seed(&[5u8; 32]);
+        let mut sum = vec![0u64; 4];
+        strip_dropped_set_masks(
+            &group,
+            &mut sum,
+            &[(3, kp.private), (1, kp.private)],
+            &[(0, kp.public)],
+            0,
+        );
+    }
+
+    #[test]
+    fn duplicate_share_indices_rejected() {
+        // A malicious survivor replaying another's evaluation point must
+        // surface as a clean Shamir error, not a bogus reconstruction.
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let kp = group.keypair_from_seed(&[8u8; 32]);
+        let shares = escrow_private_key(&shamir, &kp, 3, 5, &mut prg(2)).unwrap();
+        let dup = vec![shares[0].clone(), shares[0].clone(), shares[1].clone()];
+        let err = reconstruct_private_key(&shamir, &group, &dup, 3, &kp.public).unwrap_err();
+        assert_eq!(
+            err,
+            DropoutError::Shamir(ShamirError::DuplicatePoint(shares[0].x))
+        );
+    }
+
+    #[test]
+    fn threshold_equals_cohort_size_round_trips() {
+        // t = n edge case: recovery needs *every* party's share — which
+        // contradicts a dropout (the dropped party cannot contribute), so
+        // the reconstruction itself must still work from all n shares.
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let kp = group.keypair_from_seed(&[13u8; 32]);
+        let shares = escrow_private_key(&shamir, &kp, 5, 5, &mut prg(4)).unwrap();
+        let recovered = reconstruct_private_key(&shamir, &group, &shares, 5, &kp.public).unwrap();
+        assert_eq!(recovered, kp.private);
+    }
+
+    #[test]
+    fn below_threshold_set_recovery_is_a_clean_error() {
+        // recover_dropout_set with too few pooled shares must return the
+        // Shamir error — never panic mid-strip or corrupt the sum.
+        let group = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let kp = group.keypair_from_seed(&[21u8; 32]);
+        let other = group.keypair_from_seed(&[22u8; 32]);
+        let shares = escrow_private_key(&shamir, &kp, 3, 4, &mut prg(6)).unwrap();
+        let base: Vec<u64> = vec![7u64; 8];
+        let mut sum = base.clone();
+        let err = recover_dropout_set(
+            &shamir,
+            &group,
+            &mut sum,
+            &[DroppedParty {
+                id: 0,
+                advertised_public: kp.public,
+                shares: shares[..2].to_vec(),
+            }],
+            &[(1, other.public)],
+            3,
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DropoutError::Shamir(ShamirError::NotEnoughShares { got: 2, need: 3 })
+        );
+        assert_eq!(sum, base, "a failed recovery must leave the sum untouched");
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum ShamirError {
     },
     /// Two shares used the same evaluation point.
     DuplicatePoint(u64),
+    /// A share claimed the evaluation point `x = 0` — that point *is*
+    /// the secret, so honest dealers never emit it and reconstruction
+    /// rejects it outright.
+    ZeroPoint,
     /// The secret is not a field element (>= p).
     SecretOutOfField,
 }
@@ -58,6 +62,7 @@ impl std::fmt::Display for ShamirError {
                 write!(f, "need {need} shares to reconstruct, got {got}")
             }
             Self::DuplicatePoint(x) => write!(f, "duplicate share point {x}"),
+            Self::ZeroPoint => write!(f, "share evaluation point x = 0 is forbidden"),
             Self::SecretOutOfField => write!(f, "secret exceeds the field modulus"),
         }
     }
@@ -132,6 +137,9 @@ impl Shamir {
         }
         let used = &shares[..threshold];
         for (i, s) in used.iter().enumerate() {
+            if s.x == 0 {
+                return Err(ShamirError::ZeroPoint);
+            }
             if used[..i].iter().any(|o| o.x == s.x) {
                 return Err(ShamirError::DuplicatePoint(s.x));
             }
@@ -265,6 +273,19 @@ mod tests {
         assert_eq!(
             s.reconstruct(&dup, 2).unwrap_err(),
             ShamirError::DuplicatePoint(shares[0].x)
+        );
+    }
+
+    #[test]
+    fn zero_evaluation_point_rejected() {
+        // x = 0 would make the "share" the secret itself; a forged share
+        // claiming it must be rejected before interpolation.
+        let s = Shamir::default();
+        let mut shares = s.split(&U256::from_u64(77), 2, 3, &mut prg(4)).unwrap();
+        shares[0].x = 0;
+        assert_eq!(
+            s.reconstruct(&shares[..2], 2).unwrap_err(),
+            ShamirError::ZeroPoint
         );
     }
 

@@ -210,6 +210,78 @@ mod tests {
     }
 
     #[test]
+    fn dropout_chain_audits_clean_and_carries_recovery_evidence() {
+        // A churned round (owner 1 drops, recovery block closes it)
+        // replays exactly: the recovery lifecycle is part of the
+        // re-executable record, not out-of-band state.
+        let mut config = FlConfig::quick_demo();
+        config.dropout_schedule = vec![(0, vec![1])];
+        let mut protocol = FlProtocol::new(config).expect("valid config");
+        protocol.run().expect("honest run");
+        let params = protocol.contract().params().clone();
+        let test_set = protocol.test_set().clone();
+        let store = protocol.engine().store_of(0).expect("miner 0");
+        let report = replay_chain(store, params, test_set).expect("replayable");
+        assert!(
+            report.clean,
+            "churned chain must replay: {:#?}",
+            report.blocks
+        );
+        // Setup + survivor block + recovery block.
+        assert_eq!(report.blocks.len(), 3);
+        let record = &protocol.contract().history()[0];
+        assert_eq!(record.dropped, vec![1]);
+        assert!(!record.recovery.is_empty());
+    }
+
+    #[test]
+    fn tampered_survivor_set_diverges_at_the_first_state_root() {
+        // An auditor (or malicious archivist) claiming a different
+        // survivor set cannot produce the committed roots: the survivor
+        // set is part of the round record, the record is part of the
+        // state digest, and the digest is the block's state root.
+        let mut config = FlConfig::quick_demo();
+        config.dropout_schedule = vec![(0, vec![1])];
+        let mut protocol = FlProtocol::new(config).expect("valid config");
+        protocol.run().expect("honest run");
+        let params = protocol.contract().params().clone();
+        let test_set = protocol.test_set().clone();
+        let store = protocol.engine().store_of(0).expect("miner 0");
+
+        // Honest replay of every transaction, block by block.
+        let mut contract = crate::contract_fl::FlContract::genesis(params, test_set);
+        for height in 0..store.height() {
+            let block = store.block_at(height).expect("height bounded");
+            for (tx_index, tx) in block.txs.iter().enumerate() {
+                let ctx = TxContext {
+                    block_height: height,
+                    view: block.header.view,
+                    sender: tx.sender,
+                    tx_index,
+                };
+                contract.execute(&ctx, &tx.call).expect("honest tx replays");
+            }
+        }
+        let evaluated_block = store.block_at(store.height() - 1).expect("recovery block");
+        assert_eq!(
+            contract.state_digest(),
+            evaluated_block.header.state_root,
+            "sanity: the honest replay reproduces the committed root"
+        );
+
+        // Forge the record: claim the dropped owner survived.
+        let record = &mut contract.history_mut()[0];
+        assert_eq!(record.dropped, vec![1]);
+        record.dropped.clear();
+        record.survivors = vec![0, 1, 2, 3];
+        assert_ne!(
+            contract.state_digest(),
+            evaluated_block.header.state_root,
+            "a tampered survivor set must diverge at the first state root"
+        );
+    }
+
+    #[test]
     fn every_replicas_chain_audits_identically() {
         let (protocol, params, test_set) = run_protocol();
         let mut roots = Vec::new();

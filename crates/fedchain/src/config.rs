@@ -126,6 +126,12 @@ pub struct FlConfig {
     pub world_seed: u64,
     /// Fixed-point fractional bits for the secure-aggregation ring.
     pub frac_bits: u32,
+    /// Per-round dropout schedule: `(round, owner positions)` pairs
+    /// naming owners that vanish after masking but before submitting in
+    /// that round. The protocol driver withholds their transactions and
+    /// drives the contract's recovery phase instead; an empty schedule is
+    /// the paper's no-churn setting.
+    pub dropout_schedule: Vec<(u64, Vec<usize>)>,
 }
 
 /// Errors from validating a configuration.
@@ -157,6 +163,30 @@ pub enum ConfigError {
     },
     /// A sampling SV method was configured with zero samples.
     NoSvSamples(&'static str),
+    /// A dropout schedule entry names a round the protocol never runs.
+    DropoutRoundOutOfRange {
+        /// Scheduled round.
+        round: u64,
+        /// Configured round count.
+        rounds: u64,
+    },
+    /// A dropout schedule entry names an owner position out of range.
+    DropoutOwnerOutOfRange {
+        /// Scheduled owner position.
+        owner: usize,
+        /// Owner count.
+        owners: usize,
+    },
+    /// A round drops so many owners that the survivors cannot reach the
+    /// escrow threshold — the dropped keys would be unrecoverable.
+    TooManyDropouts {
+        /// The offending round.
+        round: u64,
+        /// Owners dropped in that round.
+        dropped: usize,
+        /// Maximum recoverable dropouts (`n - escrow_threshold`).
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -181,6 +211,28 @@ impl std::fmt::Display for ConfigError {
             }
             Self::NoSvSamples(method) => {
                 write!(f, "SV method {method} needs a non-zero sample count")
+            }
+            Self::DropoutRoundOutOfRange { round, rounds } => {
+                write!(
+                    f,
+                    "dropout scheduled for round {round}, but only {rounds} rounds run"
+                )
+            }
+            Self::DropoutOwnerOutOfRange { owner, owners } => {
+                write!(
+                    f,
+                    "dropout names owner {owner}, but only {owners} owners exist"
+                )
+            }
+            Self::TooManyDropouts {
+                round,
+                dropped,
+                max,
+            } => {
+                write!(
+                    f,
+                    "round {round} drops {dropped} owners; at most {max} are recoverable"
+                )
             }
         }
     }
@@ -208,6 +260,7 @@ impl FlConfig {
             train_fraction: 0.8,
             world_seed: 20210424, // arXiv v2 date of the paper
             frac_bits: 24,
+            dropout_schedule: Vec::new(),
         }
     }
 
@@ -248,7 +301,53 @@ impl FlConfig {
             return Err(ConfigError::NegativeSigma(self.sigma));
         }
         self.sv_method.validate_groups(self.num_groups)?;
+        let max_dropouts = self.num_owners - self.escrow_threshold();
+        for (round, owners) in &self.dropout_schedule {
+            if *round >= self.rounds {
+                return Err(ConfigError::DropoutRoundOutOfRange {
+                    round: *round,
+                    rounds: self.rounds,
+                });
+            }
+            for &owner in owners {
+                if owner >= self.num_owners {
+                    return Err(ConfigError::DropoutOwnerOutOfRange {
+                        owner,
+                        owners: self.num_owners,
+                    });
+                }
+            }
+            let dropped = self.dropped_in_round(*round).len();
+            if dropped > max_dropouts {
+                return Err(ConfigError::TooManyDropouts {
+                    round: *round,
+                    dropped,
+                    max: max_dropouts,
+                });
+            }
+        }
         Ok(())
+    }
+
+    /// Shamir reconstruction threshold for the on-chain key escrow: a
+    /// strict majority of the cohort, so any honest-majority survivor set
+    /// can recover a dropped owner's key while no minority can.
+    pub fn escrow_threshold(&self) -> usize {
+        self.num_owners / 2 + 1
+    }
+
+    /// Owner positions scheduled to drop in `round`, ascending and
+    /// deduplicated across schedule entries.
+    pub fn dropped_in_round(&self, round: u64) -> Vec<usize> {
+        let mut dropped: Vec<usize> = self
+            .dropout_schedule
+            .iter()
+            .filter(|(r, _)| *r == round)
+            .flat_map(|(_, owners)| owners.iter().copied())
+            .collect();
+        dropped.sort_unstable();
+        dropped.dedup();
+        dropped
     }
 
     /// Derived sub-seed for a named purpose, so the world seed fans out
@@ -375,6 +474,55 @@ mod tests {
         let mut c = FlConfig::quick_demo();
         c.sv_method = SvMethod::MonteCarlo { permutations: 0 };
         assert_eq!(c.validate(), Err(ConfigError::NoSvSamples("monte_carlo")));
+    }
+
+    #[test]
+    fn dropout_schedule_validated() {
+        // quick_demo: 4 owners, threshold 3 → at most 1 recoverable drop.
+        let mut c = FlConfig::quick_demo();
+        assert_eq!(c.escrow_threshold(), 3);
+        c.dropout_schedule = vec![(0, vec![1])];
+        c.validate().unwrap();
+
+        c.dropout_schedule = vec![(5, vec![1])];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::DropoutRoundOutOfRange {
+                round: 5,
+                rounds: 1
+            })
+        );
+
+        c.dropout_schedule = vec![(0, vec![9])];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::DropoutOwnerOutOfRange {
+                owner: 9,
+                owners: 4
+            })
+        );
+
+        // Two entries for the same round accumulate (and dedup).
+        c.dropout_schedule = vec![(0, vec![1, 1]), (0, vec![2])];
+        assert_eq!(c.dropped_in_round(0), vec![1, 2]);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyDropouts {
+                round: 0,
+                dropped: 2,
+                max: 1
+            })
+        );
+    }
+
+    #[test]
+    fn dropped_in_round_is_sorted_and_scoped() {
+        let mut c = FlConfig::quick_demo();
+        c.rounds = 2;
+        c.dropout_schedule = vec![(1, vec![3]), (0, vec![2]), (1, vec![0])];
+        assert_eq!(c.dropped_in_round(0), vec![2]);
+        assert_eq!(c.dropped_in_round(1), vec![0, 3]);
+        assert!(c.dropped_in_round(7).is_empty());
     }
 
     #[test]

@@ -6,39 +6,50 @@
 //!
 //! * **AdvertiseKey** — a data owner registers its DH public key (round 0
 //!   of secure aggregation).
+//! * **EscrowKeyShares** — a data owner commits hash commitments to the
+//!   Shamir shares of its DH private key, one per cohort member (the
+//!   shares themselves travel off-chain to their holders). The
+//!   commitments are bound into the state digest, so the escrow cannot
+//!   be rewritten after the fact.
 //! * **SubmitMaskedUpdate** — a data owner submits its masked local
 //!   weights for the current round. The contract can *never* unmask an
 //!   individual submission: masks only cancel in the within-group sum.
-//! * **EvaluateRound** — once every owner has submitted, anyone may
-//!   trigger evaluation: the contract forms per-group secure aggregates,
-//!   decodes the group models, estimates contributions over the group
-//!   coalition game with the **method selected in the round
-//!   configuration** ([`SvMethod`], dispatched through the
-//!   [`shapley::estimator::SvEstimator`] trait), credits each owner's
-//!   contribution, and publishes the new global model.
+//! * **SubmitRecoveryShare** — during recovery, a surviving owner
+//!   reveals its escrowed share of a dropped owner's key; the contract
+//!   checks it against the escrowed commitment before accepting it.
+//! * **EvaluateRound** — drives the round state machine (see
+//!   [`FlContract`]): with every submission in it evaluates immediately;
+//!   with owners missing it declares them dropped and opens recovery;
+//!   called again with ≥ threshold verified shares per dropped owner it
+//!   reconstructs the dropped keys, strips the residual masks, and
+//!   evaluates the group-model game **restricted to survivors**.
 //!
-//! Everything the contract decides — including *which* estimator ran and
-//! its sampling diagnostics — is emitted as events and captured in the
-//! state digest, so a fraudulent leader cannot tamper with the
-//! evaluation (or quietly swap the method) without every honest miner's
-//! re-execution diverging.
+//! Everything the contract decides — including *which* estimator ran,
+//! its sampling diagnostics, the survivor set, and the recovery
+//! evidence — is emitted as events and captured in the state digest, so
+//! a fraudulent leader cannot tamper with the evaluation (or quietly
+//! swap the method, or forge the survivor set) without every honest
+//! miner's re-execution diverging at the first state root.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use fl_chain::codec::Encode;
 use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
 use fl_chain::gas::GasSchedule;
 use fl_chain::hash::Hash32;
 use fl_chain::tx::AccountId;
+use fl_crypto::dh::DhGroup;
+use fl_crypto::dropout::{reconstruct_private_key, strip_dropped_set_masks};
+use fl_crypto::shamir::{Shamir, Share};
 use fl_ml::dataset::Dataset;
 use fl_ml::metrics::model_accuracy;
 use fl_ml::LogisticModel;
-use numeric::FixedCodec;
+use numeric::{FixedCodec, U256};
 use shapley::estimator::{Exact, MonteCarlo, Stratified, SvEstimate, SvEstimator};
 use shapley::group::{grouping, permutation, GroupModelGame};
 use shapley::monte_carlo::McConfig;
 use shapley::stratified::StratifiedConfig;
-use shapley::utility::{CachedUtility, ModelUtility};
+use shapley::utility::{CachedUtility, ModelUtility, RestrictedGame};
 
 use crate::config::SvMethod;
 
@@ -63,6 +74,9 @@ pub struct FlParams {
     pub num_classes: usize,
     /// Fixed-point fractional bits of the aggregation ring.
     pub frac_bits: u32,
+    /// Shamir threshold of the key escrow: recovery of a dropped owner's
+    /// key needs verified shares from this many surviving owners.
+    pub escrow_threshold: usize,
 }
 
 impl Encode for FlParams {
@@ -76,6 +90,7 @@ impl Encode for FlParams {
         self.num_features.encode_to(out);
         self.num_classes.encode_to(out);
         (self.frac_bits as u64).encode_to(out);
+        self.escrow_threshold.encode_to(out);
     }
 }
 
@@ -94,10 +109,31 @@ pub enum FlCall {
         /// Masked ring vector of length `model_dim`.
         masked: Vec<u64>,
     },
-    /// Trigger evaluation of `round` once all submissions are in.
+    /// Drive the round state machine: evaluate `round` if complete, open
+    /// recovery if submissions are missing, or finish recovery once
+    /// enough shares are in.
     EvaluateRound {
         /// Round to evaluate.
         round: u64,
+    },
+    /// Commit hash commitments to the Shamir shares of the sender's DH
+    /// private key — `commitments[j]` commits the share destined for
+    /// owner position `j` (see [`share_commitment`]).
+    EscrowKeyShares {
+        /// One commitment per cohort member, by owner position.
+        commitments: Vec<Hash32>,
+    },
+    /// Reveal the sender's escrowed share of a dropped owner's key
+    /// during the recovery phase of `round`.
+    SubmitRecoveryShare {
+        /// Round under recovery.
+        round: u64,
+        /// The dropped owner whose key the share belongs to.
+        dropped: AccountId,
+        /// Share evaluation point (the sender's owner position + 1).
+        share_x: u64,
+        /// Share value, big-endian field-element bytes.
+        share_y: Vec<u8>,
     },
 }
 
@@ -117,8 +153,36 @@ impl Encode for FlCall {
                 out.push(2);
                 round.encode_to(out);
             }
+            FlCall::EscrowKeyShares { commitments } => {
+                out.push(3);
+                commitments.encode_to(out);
+            }
+            FlCall::SubmitRecoveryShare {
+                round,
+                dropped,
+                share_x,
+                share_y,
+            } => {
+                out.push(4);
+                round.encode_to(out);
+                dropped.encode_to(out);
+                share_x.encode_to(out);
+                share_y.encode_to(out);
+            }
         }
     }
+}
+
+/// Commitment to one escrowed Shamir share, as committed on-chain by
+/// [`FlCall::EscrowKeyShares`] and checked when the share is revealed by
+/// [`FlCall::SubmitRecoveryShare`]. Domain-separated and bound to the
+/// escrowing owner, so a share can never be replayed against a different
+/// owner's escrow.
+pub fn share_commitment(owner: AccountId, share: &Share) -> Hash32 {
+    Hash32::of(
+        "transparent-fl/escrow-share",
+        &(owner, share.x, share.y.to_be_bytes()),
+    )
 }
 
 /// Contract-level errors (abort the block proposal).
@@ -151,13 +215,96 @@ pub enum FlError {
         /// Received length.
         got: usize,
     },
-    /// Evaluation requested before every owner submitted.
-    SubmissionsIncomplete {
-        /// Owners that have not submitted.
-        missing: Vec<AccountId>,
-    },
     /// All `total_rounds` rounds already evaluated.
     ProtocolFinished,
+    /// An advertised public key was not a full-width group element.
+    BadKeyEncoding {
+        /// Required byte length.
+        expected: usize,
+        /// Received byte length.
+        got: usize,
+    },
+    /// A revealed share value was not a full-width field element.
+    BadShareEncoding {
+        /// Required byte length.
+        expected: usize,
+        /// Received byte length.
+        got: usize,
+    },
+    /// An owner tried to escrow key shares before advertising its key.
+    EscrowWithoutKey(AccountId),
+    /// An owner committed its escrow twice.
+    EscrowAlreadyCommitted(AccountId),
+    /// An escrow did not carry one commitment per cohort member.
+    EscrowSizeMismatch {
+        /// Cohort size.
+        expected: usize,
+        /// Commitments received.
+        got: usize,
+    },
+    /// A missing owner never escrowed its key shares, so its masks are
+    /// unrecoverable and the round cannot enter recovery.
+    EscrowMissing(AccountId),
+    /// A submission arrived after the round entered recovery — the
+    /// sender was already declared dropped.
+    RoundInRecovery(u64),
+    /// Too few owners submitted to reach the escrow threshold; the
+    /// dropped keys cannot be reconstructed and the round cannot
+    /// complete.
+    InsufficientSurvivors {
+        /// Owners that submitted.
+        survivors: usize,
+        /// Escrow threshold.
+        need: usize,
+    },
+    /// A recovery share arrived while the round was not in recovery.
+    NotRecovering(u64),
+    /// A recovery share named an owner that was not declared dropped.
+    NotDropped(AccountId),
+    /// A recovery share came from an owner that did not submit this
+    /// round (only survivors hold liveness to vouch shares).
+    NotASurvivor(AccountId),
+    /// A recovery share used an evaluation point that does not belong to
+    /// its sender.
+    BadRecoveryShare {
+        /// The sender's canonical evaluation point.
+        expected_x: u64,
+        /// The point the share claimed.
+        got: u64,
+    },
+    /// A revealed share does not match the escrowed commitment.
+    ShareCommitmentMismatch {
+        /// The dropped owner whose escrow was checked.
+        dropped: AccountId,
+        /// The share's provider.
+        provider: AccountId,
+    },
+    /// The same survivor revealed a share for the same dropped owner
+    /// twice.
+    DuplicateRecoveryShare {
+        /// The dropped owner.
+        dropped: AccountId,
+        /// The share's provider.
+        provider: AccountId,
+    },
+    /// Evaluation was triggered during recovery before every dropped
+    /// owner accumulated threshold-many verified shares.
+    RecoveryIncomplete {
+        /// The dropped owner still short of shares.
+        dropped: AccountId,
+        /// Verified shares so far.
+        have: usize,
+        /// Escrow threshold.
+        need: usize,
+    },
+    /// Reconstruction of a dropped owner's key failed (the pooled shares
+    /// do not reproduce the advertised public key).
+    RecoveryFailed {
+        /// The dropped owner.
+        owner: AccountId,
+        /// Underlying dropout-recovery error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FlError {
@@ -179,15 +326,127 @@ impl std::fmt::Display for FlError {
             Self::DimMismatch { expected, got } => {
                 write!(f, "update dimension {got} != {expected}")
             }
-            Self::SubmissionsIncomplete { missing } => {
-                write!(f, "missing submissions from {missing:?}")
-            }
             Self::ProtocolFinished => write!(f, "all rounds already evaluated"),
+            Self::BadKeyEncoding { expected, got } => {
+                write!(f, "public key must be {expected} bytes, got {got}")
+            }
+            Self::BadShareEncoding { expected, got } => {
+                write!(f, "share value must be {expected} bytes, got {got}")
+            }
+            Self::EscrowWithoutKey(id) => {
+                write!(
+                    f,
+                    "owner {id} must advertise its key before escrowing shares"
+                )
+            }
+            Self::EscrowAlreadyCommitted(id) => {
+                write!(f, "owner {id} already committed its escrow")
+            }
+            Self::EscrowSizeMismatch { expected, got } => {
+                write!(f, "escrow carries {got} commitments, cohort has {expected}")
+            }
+            Self::EscrowMissing(id) => {
+                write!(f, "dropped owner {id} never escrowed key shares")
+            }
+            Self::RoundInRecovery(round) => {
+                write!(f, "round {round} is in recovery; submissions are closed")
+            }
+            Self::InsufficientSurvivors { survivors, need } => {
+                write!(
+                    f,
+                    "{survivors} survivors cannot reach escrow threshold {need}"
+                )
+            }
+            Self::NotRecovering(round) => {
+                write!(f, "round {round} is not in recovery")
+            }
+            Self::NotDropped(id) => write!(f, "owner {id} was not declared dropped"),
+            Self::NotASurvivor(id) => {
+                write!(
+                    f,
+                    "owner {id} did not submit this round; shares need a survivor"
+                )
+            }
+            Self::BadRecoveryShare { expected_x, got } => {
+                write!(
+                    f,
+                    "recovery share point {got} != sender's point {expected_x}"
+                )
+            }
+            Self::ShareCommitmentMismatch { dropped, provider } => {
+                write!(
+                    f,
+                    "share from {provider} for dropped {dropped} fails its escrow commitment"
+                )
+            }
+            Self::DuplicateRecoveryShare { dropped, provider } => {
+                write!(f, "owner {provider} already revealed a share for {dropped}")
+            }
+            Self::RecoveryIncomplete {
+                dropped,
+                have,
+                need,
+            } => {
+                write!(
+                    f,
+                    "dropped owner {dropped} has {have}/{need} verified shares"
+                )
+            }
+            Self::RecoveryFailed { owner, reason } => {
+                write!(f, "key recovery for owner {owner} failed: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for FlError {}
+
+/// Lifecycle phase of the round currently being assembled on-chain.
+///
+/// Part of the consensus state (encoded into the state digest): every
+/// honest replica agrees not only on *what* was evaluated but on *where
+/// in the lifecycle* the current round stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Collecting masked submissions.
+    Submitting,
+    /// Submissions are closed with owners missing; collecting recovery
+    /// shares for the declared dropout set.
+    Recovering {
+        /// Owners declared dropped, ascending by account id.
+        dropped: Vec<AccountId>,
+    },
+}
+
+impl Encode for RoundPhase {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Submitting => out.push(0),
+            Self::Recovering { dropped } => {
+                out.push(1);
+                dropped.encode_to(out);
+            }
+        }
+    }
+}
+
+/// How one dropped owner's key was recovered — the per-dropout entry of
+/// the round's public audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvidence {
+    /// Owner position of the dropped owner.
+    pub dropped: usize,
+    /// Owner positions of the survivors whose verified shares
+    /// reconstructed the key (ascending, exactly threshold-many).
+    pub providers: Vec<usize>,
+}
+
+impl Encode for RecoveryEvidence {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.dropped.encode_to(out);
+        self.providers.encode_to(out);
+    }
+}
 
 /// Immutable record of one evaluated round — the public audit trail.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,7 +458,17 @@ pub struct RoundRecord {
     pub sv_method: SvMethod,
     /// Group memberships used (owner *indices*, not account ids).
     pub groups: Vec<Vec<usize>>,
-    /// Per-group Shapley values `V_j`.
+    /// Owner positions that submitted and were evaluated, ascending. A
+    /// full round lists every owner.
+    pub survivors: Vec<usize>,
+    /// Owner positions declared dropped, ascending (empty for a full
+    /// round). Dropped owners score exactly `0.0` this round.
+    pub dropped: Vec<usize>,
+    /// Per-dropout recovery evidence (which survivors' shares
+    /// reconstructed each dropped key).
+    pub recovery: Vec<RecoveryEvidence>,
+    /// Per-group Shapley values `V_j` (groups whose members all dropped
+    /// are excluded from the game and record `0.0`).
     pub per_group_sv: Vec<f64>,
     /// Per-owner Shapley values `v_i^r` (indexed by owner position).
     pub per_owner_sv: Vec<f64>,
@@ -217,6 +486,9 @@ impl Encode for RoundRecord {
         self.round.encode_to(out);
         self.sv_method.encode_to(out);
         self.groups.encode_to(out);
+        self.survivors.encode_to(out);
+        self.dropped.encode_to(out);
+        self.recovery.encode_to(out);
         self.per_group_sv.encode_to(out);
         self.per_owner_sv.encode_to(out);
         self.global_accuracy.encode_to(out);
@@ -269,6 +541,49 @@ impl ModelUtility for AccuracyUtility<'_> {
 }
 
 /// The contract state. `Clone` gives each miner an independent replica.
+///
+/// # Round state machine
+///
+/// Each round walks a deterministic lifecycle, driven entirely by
+/// committed transactions:
+///
+/// ```text
+///              SubmitMaskedUpdate×k          EvaluateRound
+///  Submitting ────────────────────▶ Submitting ──────────┐
+///      │                                                 │ all owners
+///      │ EvaluateRound, owners missing                   │ submitted
+///      ▼                                                 ▼
+///  Recovering { dropped }                            Evaluated
+///      │  SubmitRecoveryShare×(≥t per dropped)      (RoundRecord,
+///      │                                             round += 1,
+///      └───────────── EvaluateRound ────────────▶    → Submitting)
+/// ```
+///
+/// * **Submitting** — masked updates accumulate. `EvaluateRound` with a
+///   complete cohort evaluates immediately (the paper's original path).
+///   With owners missing — and provided the survivors can reach the
+///   escrow threshold and every missing owner escrowed its key shares —
+///   the round transitions to *Recovering* and the missing owners are
+///   declared dropped; late submissions are rejected from that point on.
+/// * **Recovering** — survivors reveal their escrowed shares of each
+///   dropped key via [`FlCall::SubmitRecoveryShare`]; each share is
+///   checked against its on-chain commitment before it counts. A second
+///   `EvaluateRound` (with ≥ threshold shares per dropped owner)
+///   reconstructs every dropped key, verifies it against the advertised
+///   DH public key, strips the residual pairwise masks from each group's
+///   partial aggregate, and evaluates the group-model game **restricted
+///   to survivors** ([`shapley::utility::RestrictedGame`]): dropped
+///   owners score exactly zero, groups whose members all dropped leave
+///   the game entirely.
+/// * **Evaluated** — terminal per round: the [`RoundRecord`] (survivor
+///   set, dropout set, and recovery evidence included) is appended to
+///   the history, the phase resets to *Submitting*, and the round
+///   counter advances.
+///
+/// The phase, the escrow commitments, and every accepted recovery share
+/// are part of the state digest, so a replica (or auditor) that disagrees
+/// on any lifecycle step — including the survivor set — diverges at the
+/// first state root.
 #[derive(Debug, Clone)]
 pub struct FlContract {
     params: FlParams,
@@ -277,8 +592,14 @@ pub struct FlContract {
     test_set: Dataset,
     gas: GasSchedule,
     keys: BTreeMap<AccountId, Vec<u8>>,
+    /// Escrow commitments per owner: entry `j` commits the Shamir share
+    /// of the owner's DH private key destined for owner position `j`.
+    escrows: BTreeMap<AccountId, Vec<Hash32>>,
     current_round: u64,
+    phase: RoundPhase,
     submissions: BTreeMap<AccountId, Vec<u64>>,
+    /// Verified recovery shares: dropped owner → (provider → share).
+    recovery_shares: BTreeMap<AccountId, BTreeMap<AccountId, Share>>,
     contributions: BTreeMap<AccountId, f64>,
     global_model: Vec<f64>,
     history: Vec<RoundRecord>,
@@ -310,6 +631,10 @@ impl FlContract {
             params.num_features,
             "test set feature mismatch"
         );
+        assert!(
+            (1..=params.owners.len()).contains(&params.escrow_threshold),
+            "escrow threshold out of range"
+        );
         let global_model = vec![0.0; params.model_dim];
         let contributions = params.owners.iter().map(|&o| (o, 0.0)).collect();
         Self {
@@ -317,8 +642,11 @@ impl FlContract {
             test_set,
             gas: GasSchedule::default(),
             keys: BTreeMap::new(),
+            escrows: BTreeMap::new(),
             current_round: 0,
+            phase: RoundPhase::Submitting,
             submissions: BTreeMap::new(),
+            recovery_shares: BTreeMap::new(),
             contributions,
             global_model,
             history: Vec::new(),
@@ -355,9 +683,26 @@ impl FlContract {
         &self.history
     }
 
+    /// Test-only mutable history access, used to *forge* audit records
+    /// (e.g. a tampered survivor set) and prove the digest catches it.
+    #[cfg(test)]
+    pub(crate) fn history_mut(&mut self) -> &mut [RoundRecord] {
+        &mut self.history
+    }
+
     /// Advertised public key of an owner.
     pub fn public_key_of(&self, owner: AccountId) -> Option<&[u8]> {
         self.keys.get(&owner).map(Vec::as_slice)
+    }
+
+    /// Current lifecycle phase of the round under assembly.
+    pub fn phase(&self) -> &RoundPhase {
+        &self.phase
+    }
+
+    /// The escrow commitments an owner committed, if any.
+    pub fn escrow_of(&self, owner: AccountId) -> Option<&[Hash32]> {
+        self.escrows.get(&owner).map(Vec::as_slice)
     }
 
     /// What a chain observer sees for `owner` this round: the masked
@@ -382,6 +727,16 @@ impl FlContract {
         self.owner_index(sender)?;
         if self.keys.contains_key(&sender) {
             return Err(FlError::KeyAlreadyAdvertised(sender));
+        }
+        // Keys are full-width 256-bit group elements. Rejecting other
+        // lengths here keeps every later parse (`U256::from_be_bytes` in
+        // the recovery path) infallible — an oversized key must never be
+        // able to panic a re-executing replica mid-round.
+        if public_key.len() != 32 {
+            return Err(FlError::BadKeyEncoding {
+                expected: 32,
+                got: public_key.len(),
+            });
         }
         self.keys.insert(sender, public_key.to_vec());
         let gas = self.gas.charge(public_key.len().div_ceil(8), 0);
@@ -417,6 +772,12 @@ impl FlContract {
                 got: round,
             });
         }
+        if matches!(self.phase, RoundPhase::Recovering { .. }) {
+            // The sender was declared dropped when recovery opened; a
+            // late submission would change the survivor set after the
+            // fact and is rejected deterministically.
+            return Err(FlError::RoundInRecovery(round));
+        }
         if self.submissions.contains_key(&sender) {
             return Err(FlError::DuplicateSubmission(sender));
         }
@@ -438,6 +799,116 @@ impl FlContract {
         ))
     }
 
+    fn escrow_key_shares(
+        &mut self,
+        sender: AccountId,
+        commitments: &[Hash32],
+    ) -> Result<ExecutionOutcome, FlError> {
+        self.owner_index(sender)?;
+        if self.finished() {
+            return Err(FlError::ProtocolFinished);
+        }
+        if !self.keys.contains_key(&sender) {
+            // The escrow secret-shares the advertised key; without the
+            // key there is nothing for recovery to verify against.
+            return Err(FlError::EscrowWithoutKey(sender));
+        }
+        if self.escrows.contains_key(&sender) {
+            return Err(FlError::EscrowAlreadyCommitted(sender));
+        }
+        let n = self.params.owners.len();
+        if commitments.len() != n {
+            return Err(FlError::EscrowSizeMismatch {
+                expected: n,
+                got: commitments.len(),
+            });
+        }
+        self.escrows.insert(sender, commitments.to_vec());
+        let gas = self.gas.charge(commitments.len() * 4, 0);
+        Ok(ExecutionOutcome::event(
+            format!(
+                "escrow: owner {sender} committed {n} share commitments ({}/{})",
+                self.escrows.len(),
+                n
+            ),
+            gas,
+        ))
+    }
+
+    fn submit_recovery_share(
+        &mut self,
+        sender: AccountId,
+        round: u64,
+        dropped: AccountId,
+        share_x: u64,
+        share_y: &[u8],
+    ) -> Result<ExecutionOutcome, FlError> {
+        let provider_pos = self.owner_index(sender)?;
+        if self.finished() {
+            return Err(FlError::ProtocolFinished);
+        }
+        if round != self.current_round {
+            return Err(FlError::WrongRound {
+                expected: self.current_round,
+                got: round,
+            });
+        }
+        let RoundPhase::Recovering { dropped: ref set } = self.phase else {
+            return Err(FlError::NotRecovering(round));
+        };
+        if !set.contains(&dropped) {
+            return Err(FlError::NotDropped(dropped));
+        }
+        if !self.submissions.contains_key(&sender) {
+            return Err(FlError::NotASurvivor(sender));
+        }
+        let expected_x = provider_pos as u64 + 1;
+        if share_x != expected_x {
+            return Err(FlError::BadRecoveryShare {
+                expected_x,
+                got: share_x,
+            });
+        }
+        // Length-check before parsing: `U256::from_be_bytes` panics on
+        // oversized input, and a panic inside `execute` would take down
+        // every re-executing replica on one malformed transaction.
+        if share_y.len() != 32 {
+            return Err(FlError::BadShareEncoding {
+                expected: 32,
+                got: share_y.len(),
+            });
+        }
+        let share = Share {
+            x: share_x,
+            y: U256::from_be_bytes(share_y),
+        };
+        let committed = self
+            .escrows
+            .get(&dropped)
+            .expect("recovery only opens for escrowed owners")[provider_pos];
+        if share_commitment(dropped, &share) != committed {
+            return Err(FlError::ShareCommitmentMismatch {
+                dropped,
+                provider: sender,
+            });
+        }
+        let entry = self.recovery_shares.entry(dropped).or_default();
+        if entry.contains_key(&sender) {
+            return Err(FlError::DuplicateRecoveryShare {
+                dropped,
+                provider: sender,
+            });
+        }
+        entry.insert(sender, share);
+        let have = self.recovery_shares[&dropped].len();
+        let need = self.params.escrow_threshold;
+        let gas = self.gas.charge(4, 0);
+        Ok(ExecutionOutcome::event(
+            format!("recover: owner {sender} revealed share for dropped {dropped} ({have}/{need})"),
+            gas,
+        ))
+    }
+
     fn evaluate_round(&mut self, round: u64) -> Result<ExecutionOutcome, FlError> {
         if self.finished() {
             return Err(FlError::ProtocolFinished);
@@ -448,71 +919,213 @@ impl FlContract {
                 got: round,
             });
         }
-        let missing: Vec<AccountId> = self
-            .params
-            .owners
-            .iter()
-            .copied()
-            .filter(|o| !self.submissions.contains_key(o))
-            .collect();
-        if !missing.is_empty() {
-            return Err(FlError::SubmissionsIncomplete { missing });
+        match self.phase.clone() {
+            RoundPhase::Submitting => {
+                let missing: Vec<AccountId> = self
+                    .params
+                    .owners
+                    .iter()
+                    .copied()
+                    .filter(|o| !self.submissions.contains_key(o))
+                    .collect();
+                if missing.is_empty() {
+                    return self.finish_round(round, &[]);
+                }
+                // Opening recovery is only sound if the dropped keys are
+                // actually recoverable: the survivors must be able to
+                // reach the escrow threshold, and every missing owner
+                // must have escrowed its shares.
+                let survivors = self.params.owners.len() - missing.len();
+                let need = self.params.escrow_threshold;
+                if survivors < need {
+                    return Err(FlError::InsufficientSurvivors { survivors, need });
+                }
+                for &d in &missing {
+                    if !self.escrows.contains_key(&d) {
+                        return Err(FlError::EscrowMissing(d));
+                    }
+                }
+                self.phase = RoundPhase::Recovering {
+                    dropped: missing.clone(),
+                };
+                let gas = self.gas.charge(missing.len() * 2, 0);
+                Ok(ExecutionOutcome::event(
+                    format!(
+                        "recover: round {round} entered recovery, dropped {missing:?}, \
+                         {survivors} survivors"
+                    ),
+                    gas,
+                ))
+            }
+            RoundPhase::Recovering { dropped } => {
+                let need = self.params.escrow_threshold;
+                for &d in &dropped {
+                    let have = self.recovery_shares.get(&d).map_or(0, BTreeMap::len);
+                    if have < need {
+                        return Err(FlError::RecoveryIncomplete {
+                            dropped: d,
+                            have,
+                            need,
+                        });
+                    }
+                }
+                self.finish_round(round, &dropped)
+            }
         }
+    }
 
+    /// Completes a round on the survivor set: reconstructs the dropped
+    /// keys (if any), strips residual masks per group, and evaluates the
+    /// group-model game restricted to the surviving groups.
+    ///
+    /// The full-cohort path is the special case `dropped_ids = []`.
+    fn finish_round(
+        &mut self,
+        round: u64,
+        dropped_ids: &[AccountId],
+    ) -> Result<ExecutionOutcome, FlError> {
         let n = self.params.owners.len();
         let m = self.params.num_groups;
         let codec = FixedCodec::new(self.params.frac_bits);
+        let threshold = self.params.escrow_threshold;
 
-        // Lines 1–2 of Algorithm 1: the public grouping for this round.
+        let dropped_set: BTreeSet<AccountId> = dropped_ids.iter().copied().collect();
+        let is_dropped = |idx: usize| dropped_set.contains(&self.params.owners[idx]);
+        let dropped_pos: Vec<usize> = (0..n).filter(|&i| is_dropped(i)).collect();
+        let survivor_pos: Vec<usize> = (0..n).filter(|&i| !is_dropped(i)).collect();
+
+        // Recovery proper: reconstruct every dropped key from the first
+        // threshold-many verified shares (providers ascending — a pure
+        // function of the on-chain share set) and check it against the
+        // advertised public key. All fallible work happens before any
+        // state mutation, so a failed recovery leaves the round intact.
+        let dh = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let mut recovered: BTreeMap<AccountId, U256> = BTreeMap::new();
+        let mut evidence: Vec<RecoveryEvidence> = Vec::with_capacity(dropped_pos.len());
+        for &pos in &dropped_pos {
+            let id = self.params.owners[pos];
+            let provided = self
+                .recovery_shares
+                .get(&id)
+                .expect("threshold checked before finish_round");
+            let providers: Vec<AccountId> = provided.keys().copied().take(threshold).collect();
+            let shares: Vec<Share> = providers.iter().map(|p| provided[p].clone()).collect();
+            let advertised =
+                U256::from_be_bytes(self.keys.get(&id).expect("dropped owner advertised"));
+            let private = reconstruct_private_key(&shamir, &dh, &shares, threshold, &advertised)
+                .map_err(|e| FlError::RecoveryFailed {
+                    owner: id,
+                    reason: e.to_string(),
+                })?;
+            recovered.insert(id, private);
+            evidence.push(RecoveryEvidence {
+                dropped: pos,
+                providers: providers
+                    .iter()
+                    .map(|p| self.owner_index(*p).expect("provider is an owner"))
+                    .collect(),
+            });
+        }
+
+        // Lines 1–2 of Algorithm 1: the public grouping for this round
+        // (over the *full* cohort — the grouping is fixed at round start;
+        // dropping out does not reshuffle anyone).
         let pi = permutation(self.params.permutation_seed, round, n);
         let groups = grouping(&pi, m);
 
-        // Line 3: per-group secure aggregates. Summing the group's masked
-        // submissions cancels the within-group pairwise masks; dividing
-        // by the group size yields the group model W_j.
-        let group_models: Vec<Vec<f64>> = groups
-            .iter()
-            .map(|g| {
-                let mut acc = vec![0u64; self.params.model_dim];
-                for &idx in g {
-                    let owner = self.params.owners[idx];
-                    let masked = self
-                        .submissions
-                        .get(&owner)
-                        .expect("completeness checked above");
-                    FixedCodec::ring_add_assign(&mut acc, masked);
-                }
-                acc.iter().map(|&r| codec.decode_avg(r, g.len())).collect()
-            })
-            .collect();
+        // Line 3, survivor-restricted: each group's aggregate sums its
+        // *surviving* members' masked submissions; survivor-survivor
+        // masks cancel in the sum, and each dropped member's residual
+        // masks are stripped with its reconstructed key. A group whose
+        // members all dropped has no model and leaves the game.
+        let mut group_models: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut surviving_groups: Vec<usize> = Vec::new();
+        for (j, g) in groups.iter().enumerate() {
+            let alive: Vec<usize> = g.iter().copied().filter(|&i| !is_dropped(i)).collect();
+            if alive.is_empty() {
+                group_models.push(vec![0.0; self.params.model_dim]);
+                continue;
+            }
+            surviving_groups.push(j);
+            let mut acc = vec![0u64; self.params.model_dim];
+            for &idx in &alive {
+                let owner = self.params.owners[idx];
+                let masked = self
+                    .submissions
+                    .get(&owner)
+                    .expect("survivors submitted by definition");
+                FixedCodec::ring_add_assign(&mut acc, masked);
+            }
+            let mut group_dropped: Vec<(AccountId, U256)> = g
+                .iter()
+                .copied()
+                .filter(|&i| is_dropped(i))
+                .map(|i| {
+                    let id = self.params.owners[i];
+                    (id, recovered[&id])
+                })
+                .collect();
+            if !group_dropped.is_empty() {
+                group_dropped.sort_unstable_by_key(|(id, _)| *id);
+                let survivor_keys: Vec<(AccountId, U256)> = alive
+                    .iter()
+                    .map(|&i| {
+                        let id = self.params.owners[i];
+                        (
+                            id,
+                            U256::from_be_bytes(self.keys.get(&id).expect("keys complete")),
+                        )
+                    })
+                    .collect();
+                strip_dropped_set_masks(&dh, &mut acc, &group_dropped, &survivor_keys, round);
+            }
+            group_models.push(
+                acc.iter()
+                    .map(|&r| codec.decode_avg(r, alive.len()))
+                    .collect(),
+            );
+        }
 
-        // Lines 4–6 (generalized): SV over the group coalition game,
-        // dispatched through the estimator the round config selects.
-        // Every miner derives the same sampling seed from the public
-        // permutation seed and the round number, so sampling estimators
-        // re-execute bit-identically.
+        // Lines 4–6 (generalized): SV over the group coalition game
+        // restricted to the surviving groups, dispatched through the
+        // estimator the round config selects. Every miner derives the
+        // same sampling seed from the public permutation seed and the
+        // round number, so sampling estimators re-execute bit-identically.
         let utility = AccuracyUtility::new(
             &self.test_set,
             self.params.num_features,
             self.params.num_classes,
         );
-        let game = GroupModelGame::new(&group_models, &utility);
+        let full_game = GroupModelGame::new(&group_models, &utility);
+        let game = RestrictedGame::new(&full_game, surviving_groups.clone());
         let estimate = Self::dispatch_estimator(
             self.params.sv_method,
             sampling_seed(self.params.permutation_seed, round),
             &game,
         );
         let SvEstimate {
-            values: per_group_sv,
+            values,
             utility_evaluations,
             diagnostics,
         } = estimate;
 
-        // Line 7: uniform split within groups.
+        let mut per_group_sv = vec![0.0f64; m];
+        for (k, &j) in surviving_groups.iter().enumerate() {
+            per_group_sv[j] = values[k];
+        }
+
+        // Line 7: uniform split among each group's *survivors*; dropped
+        // owners score exactly zero this round.
         let mut per_owner_sv = vec![0.0f64; n];
-        for (j, group) in groups.iter().enumerate() {
-            let share = per_group_sv[j] / group.len() as f64;
-            for &idx in group {
+        for &j in &surviving_groups {
+            let alive: Vec<usize> = groups[j]
+                .iter()
+                .copied()
+                .filter(|&i| !is_dropped(i))
+                .collect();
+            let share = per_group_sv[j] / alive.len() as f64;
+            for idx in alive {
                 per_owner_sv[idx] = share;
                 let owner = self.params.owners[idx];
                 *self
@@ -522,8 +1135,12 @@ impl FlContract {
             }
         }
 
-        // New global model: the average of all group models.
-        self.global_model = numeric::linalg::mean_vectors(&group_models);
+        // New global model: the average of the surviving group models.
+        let surviving_models: Vec<Vec<f64>> = surviving_groups
+            .iter()
+            .map(|&j| group_models[j].clone())
+            .collect();
+        self.global_model = numeric::linalg::mean_vectors(&surviving_models);
         let global_accuracy = utility.of_model(&self.global_model);
 
         let method = self.params.sv_method;
@@ -531,6 +1148,9 @@ impl FlContract {
             round,
             sv_method: method,
             groups: groups.clone(),
+            survivors: survivor_pos.clone(),
+            dropped: dropped_pos.clone(),
+            recovery: evidence,
             per_group_sv: per_group_sv.clone(),
             per_owner_sv,
             global_accuracy,
@@ -538,17 +1158,20 @@ impl FlContract {
             samples: diagnostics.samples,
         });
         self.submissions.clear();
+        self.recovery_shares.clear();
+        self.phase = RoundPhase::Submitting;
         self.current_round += 1;
 
         let gas = self.gas.charge(
             self.params.model_dim,
-            utility_evaluations * self.params.model_dim,
+            (utility_evaluations + dropped_pos.len() * survivor_pos.len()) * self.params.model_dim,
         );
         Ok(ExecutionOutcome::event(
             format!(
-                "evaluate: round {round}, m={m}, method {}, global acc \
+                "evaluate: round {round}, m={m}, method {}, survivors {}/{n}, global acc \
                  {global_accuracy:.4}, group SVs {per_group_sv:?}",
-                method.name()
+                method.name(),
+                survivor_pos.len(),
             ),
             gas,
         ))
@@ -605,6 +1228,15 @@ impl SmartContract for FlContract {
                 self.submit_update(ctx.sender, *round, masked)
             }
             FlCall::EvaluateRound { round } => self.evaluate_round(*round),
+            FlCall::EscrowKeyShares { commitments } => {
+                self.escrow_key_shares(ctx.sender, commitments)
+            }
+            FlCall::SubmitRecoveryShare {
+                round,
+                dropped,
+                share_x,
+                share_y,
+            } => self.submit_recovery_share(ctx.sender, *round, *dropped, *share_x, share_y),
         }
     }
 
@@ -612,15 +1244,31 @@ impl SmartContract for FlContract {
         let mut buf = Vec::new();
         self.params.encode_to(&mut buf);
         self.current_round.encode_to(&mut buf);
+        self.phase.encode_to(&mut buf);
         (self.keys.len() as u64).encode_to(&mut buf);
         for (id, key) in &self.keys {
             id.encode_to(&mut buf);
             key.encode_to(&mut buf);
         }
+        (self.escrows.len() as u64).encode_to(&mut buf);
+        for (id, commitments) in &self.escrows {
+            id.encode_to(&mut buf);
+            commitments.encode_to(&mut buf);
+        }
         (self.submissions.len() as u64).encode_to(&mut buf);
         for (id, update) in &self.submissions {
             id.encode_to(&mut buf);
             update.encode_to(&mut buf);
+        }
+        (self.recovery_shares.len() as u64).encode_to(&mut buf);
+        for (dropped, providers) in &self.recovery_shares {
+            dropped.encode_to(&mut buf);
+            (providers.len() as u64).encode_to(&mut buf);
+            for (provider, share) in providers {
+                provider.encode_to(&mut buf);
+                share.x.encode_to(&mut buf);
+                share.y.to_be_bytes().encode_to(&mut buf);
+            }
         }
         for (id, value) in &self.contributions {
             id.encode_to(&mut buf);
@@ -648,6 +1296,7 @@ mod tests {
             num_features: 64,
             num_classes: 10,
             frac_bits: 24,
+            escrow_threshold: n / 2 + 1,
         }
     }
 
@@ -691,15 +1340,41 @@ mod tests {
             c.execute(
                 &ctx(9),
                 &FlCall::AdvertiseKey {
-                    public_key: vec![1]
+                    public_key: vec![1; 32]
                 }
             ),
             Err(FlError::NotAnOwner(9))
         ));
+        // Keys must be full-width group elements: a short (or oversized)
+        // encoding is rejected before it can poison the recovery path.
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![1]
+                }
+            ),
+            Err(FlError::BadKeyEncoding {
+                expected: 32,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![1; 33]
+                }
+            ),
+            Err(FlError::BadKeyEncoding {
+                expected: 32,
+                got: 33
+            })
+        ));
         c.execute(
             &ctx(0),
             &FlCall::AdvertiseKey {
-                public_key: vec![1],
+                public_key: vec![1; 32],
             },
         )
         .unwrap();
@@ -707,12 +1382,12 @@ mod tests {
             c.execute(
                 &ctx(0),
                 &FlCall::AdvertiseKey {
-                    public_key: vec![2]
+                    public_key: vec![2; 32]
                 }
             ),
             Err(FlError::KeyAlreadyAdvertised(0))
         ));
-        assert_eq!(c.public_key_of(0), Some(&[1u8][..]));
+        assert_eq!(c.public_key_of(0), Some(&[1u8; 32][..]));
         assert_eq!(c.public_key_of(1), None);
     }
 
@@ -784,7 +1459,9 @@ mod tests {
     }
 
     #[test]
-    fn evaluation_requires_all_submissions() {
+    fn incomplete_round_needs_threshold_survivors_and_escrow() {
+        // 3 owners, threshold 2. One submission: survivors below the
+        // escrow threshold, the round cannot even open recovery.
         let mut c = contract(3, 2);
         advertise_all(&mut c, 3);
         let update = plain_update(&c, 0.1);
@@ -792,16 +1469,33 @@ mod tests {
             &ctx(0),
             &FlCall::SubmitMaskedUpdate {
                 round: 0,
+                masked: update.clone(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }),
+            Err(FlError::InsufficientSurvivors {
+                survivors: 1,
+                need: 2
+            })
+        ));
+        // Two submissions reach the threshold, but the missing owner
+        // never escrowed its key shares: its masks are unrecoverable.
+        c.execute(
+            &ctx(1),
+            &FlCall::SubmitMaskedUpdate {
+                round: 0,
                 masked: update,
             },
         )
         .unwrap();
-        match c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }) {
-            Err(FlError::SubmissionsIncomplete { missing }) => {
-                assert_eq!(missing, vec![1, 2]);
-            }
-            other => panic!("expected SubmissionsIncomplete, got {other:?}"),
-        }
+        assert!(matches!(
+            c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }),
+            Err(FlError::EscrowMissing(2))
+        ));
+        // Nothing transitioned: the round is still accepting submissions.
+        assert_eq!(c.phase(), &RoundPhase::Submitting);
     }
 
     #[test]
@@ -999,6 +1693,355 @@ mod tests {
         let before = c.state_digest();
         advertise_all(&mut c, 3);
         assert_ne!(c.state_digest(), before);
+    }
+
+    mod dropout_lifecycle {
+        //! The round state machine under real pairwise masks: escrow,
+        //! dropout declaration, share verification, survivor-only
+        //! evaluation.
+
+        use super::*;
+        use fl_crypto::dh::{DhGroup, DhKeyPair};
+        use fl_crypto::dropout::escrow_private_key;
+        use fl_crypto::secure_agg::{KeyDirectory, PartyState};
+        use fl_crypto::ChaChaPrg;
+
+        pub(super) struct MaskedWorld {
+            pub contract: FlContract,
+            pub keypairs: Vec<DhKeyPair>,
+            /// `escrowed[i][j]`: share of owner i's key held by owner j.
+            pub escrowed: Vec<Vec<Share>>,
+            pub groups: Vec<Vec<usize>>,
+            pub weights: Vec<Vec<f64>>,
+        }
+
+        /// Builds a contract with real DH keys advertised, escrows
+        /// committed, and per-owner plaintext weights prepared.
+        pub(super) fn masked_world(n: usize, m: usize) -> MaskedWorld {
+            let contract = super::contract(n, m);
+            let dh = DhGroup::simulation_256();
+            let shamir = Shamir::default();
+            let threshold = contract.params().escrow_threshold;
+            let keypairs: Vec<DhKeyPair> = (0..n)
+                .map(|i| dh.keypair_from_seed(&[i as u8 + 1; 32]))
+                .collect();
+            let mut c = contract;
+            for (i, kp) in keypairs.iter().enumerate() {
+                c.execute(
+                    &ctx(i as u32),
+                    &FlCall::AdvertiseKey {
+                        public_key: kp.public.to_be_bytes(),
+                    },
+                )
+                .unwrap();
+            }
+            let escrowed: Vec<Vec<Share>> = keypairs
+                .iter()
+                .enumerate()
+                .map(|(i, kp)| {
+                    let mut prg = ChaChaPrg::from_seed(&[i as u8 + 50; 32]);
+                    escrow_private_key(&shamir, kp, threshold, n, &mut prg).unwrap()
+                })
+                .collect();
+            for (i, shares) in escrowed.iter().enumerate() {
+                let commitments: Vec<Hash32> = shares
+                    .iter()
+                    .map(|s| share_commitment(i as u32, s))
+                    .collect();
+                c.execute(&ctx(i as u32), &FlCall::EscrowKeyShares { commitments })
+                    .unwrap();
+            }
+            let pi = permutation(c.params().permutation_seed, 0, n);
+            let groups = grouping(&pi, m);
+            let dim = c.params().model_dim;
+            let weights: Vec<Vec<f64>> =
+                (0..n).map(|i| vec![0.1 * (i as f64 + 1.0); dim]).collect();
+            MaskedWorld {
+                contract: c,
+                keypairs,
+                escrowed,
+                groups,
+                weights,
+            }
+        }
+
+        pub(super) fn masked_submission(w: &MaskedWorld, i: usize, round: u64) -> Vec<u64> {
+            let codec = FixedCodec::new(w.contract.params().frac_bits);
+            let group = w
+                .groups
+                .iter()
+                .find(|g| g.contains(&i))
+                .expect("every owner grouped");
+            if group.len() == 1 {
+                return codec.encode_vec(&w.weights[i]);
+            }
+            let dh = DhGroup::simulation_256();
+            let mut dir = KeyDirectory::new();
+            for &j in group {
+                dir.advertise(j as u32, w.keypairs[j].public).unwrap();
+            }
+            let party = PartyState::derive(&dh, i as u32, &w.keypairs[i], &dir).unwrap();
+            party.masked_update(&codec, round, &w.weights[i])
+        }
+
+        pub(super) fn recovery_share_call(
+            w: &MaskedWorld,
+            dropped: usize,
+            provider: usize,
+        ) -> FlCall {
+            let share = &w.escrowed[dropped][provider];
+            FlCall::SubmitRecoveryShare {
+                round: 0,
+                dropped: dropped as u32,
+                share_x: share.x,
+                share_y: share.y.to_be_bytes(),
+            }
+        }
+
+        #[test]
+        fn escrow_requires_key_size_and_uniqueness() {
+            let mut c = contract(3, 2);
+            let commitments = vec![Hash32::ZERO; 3];
+            assert!(matches!(
+                c.execute(
+                    &ctx(0),
+                    &FlCall::EscrowKeyShares {
+                        commitments: commitments.clone()
+                    }
+                ),
+                Err(FlError::EscrowWithoutKey(0))
+            ));
+            advertise_all(&mut c, 3);
+            assert!(matches!(
+                c.execute(
+                    &ctx(0),
+                    &FlCall::EscrowKeyShares {
+                        commitments: vec![Hash32::ZERO; 2]
+                    }
+                ),
+                Err(FlError::EscrowSizeMismatch {
+                    expected: 3,
+                    got: 2
+                })
+            ));
+            c.execute(
+                &ctx(0),
+                &FlCall::EscrowKeyShares {
+                    commitments: commitments.clone(),
+                },
+            )
+            .unwrap();
+            assert_eq!(c.escrow_of(0), Some(&commitments[..]));
+            assert!(matches!(
+                c.execute(&ctx(0), &FlCall::EscrowKeyShares { commitments }),
+                Err(FlError::EscrowAlreadyCommitted(0))
+            ));
+        }
+
+        #[test]
+        fn dropout_round_completes_on_survivors_only() {
+            // 4 owners in ONE group (everyone pairwise masked), owner 2
+            // vanishes after masking. Threshold = 3.
+            let mut w = masked_world(4, 1);
+            let dropped = 2usize;
+            for i in [0usize, 1, 3] {
+                let masked = masked_submission(&w, i, 0);
+                w.contract
+                    .execute(
+                        &ctx(i as u32),
+                        &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                    )
+                    .unwrap();
+            }
+
+            // Evaluation with a missing owner opens recovery.
+            let out = w
+                .contract
+                .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+                .unwrap();
+            assert!(
+                out.events[0].contains("entered recovery"),
+                "{:?}",
+                out.events
+            );
+            assert_eq!(
+                w.contract.phase(),
+                &RoundPhase::Recovering { dropped: vec![2] }
+            );
+
+            // Late submission from the dropped owner is rejected.
+            let late = masked_submission(&w, dropped, 0);
+            assert!(matches!(
+                w.contract.execute(
+                    &ctx(2),
+                    &FlCall::SubmitMaskedUpdate {
+                        round: 0,
+                        masked: late
+                    }
+                ),
+                Err(FlError::RoundInRecovery(0))
+            ));
+
+            // Recovery-share validation: wrong target, dead sender,
+            // foreign evaluation point, tampered value, early evaluate.
+            assert!(matches!(
+                w.contract.execute(&ctx(0), &recovery_share_call(&w, 1, 0)),
+                Err(FlError::NotDropped(1))
+            ));
+            assert!(matches!(
+                w.contract.execute(&ctx(2), &recovery_share_call(&w, 2, 2)),
+                Err(FlError::NotASurvivor(2))
+            ));
+            assert!(matches!(
+                w.contract.execute(&ctx(0), &recovery_share_call(&w, 2, 1)),
+                Err(FlError::BadRecoveryShare {
+                    expected_x: 1,
+                    got: 2
+                })
+            ));
+            let tampered = FlCall::SubmitRecoveryShare {
+                round: 0,
+                dropped: 2,
+                share_x: 1,
+                share_y: vec![0xAB; 32],
+            };
+            assert!(matches!(
+                w.contract.execute(&ctx(0), &tampered),
+                Err(FlError::ShareCommitmentMismatch {
+                    dropped: 2,
+                    provider: 0
+                })
+            ));
+            // An oversized share value must be a clean error, never a
+            // parse panic that would crash every replica.
+            let oversized = FlCall::SubmitRecoveryShare {
+                round: 0,
+                dropped: 2,
+                share_x: 1,
+                share_y: vec![0xAB; 33],
+            };
+            assert!(matches!(
+                w.contract.execute(&ctx(0), &oversized),
+                Err(FlError::BadShareEncoding {
+                    expected: 32,
+                    got: 33
+                })
+            ));
+            assert!(matches!(
+                w.contract
+                    .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 }),
+                Err(FlError::RecoveryIncomplete {
+                    dropped: 2,
+                    have: 0,
+                    need: 3
+                })
+            ));
+
+            // Three survivors reveal their verified shares; duplicates
+            // are rejected.
+            for provider in [0usize, 1, 3] {
+                w.contract
+                    .execute(
+                        &ctx(provider as u32),
+                        &recovery_share_call(&w, dropped, provider),
+                    )
+                    .unwrap();
+            }
+            assert!(matches!(
+                w.contract
+                    .execute(&ctx(0), &recovery_share_call(&w, dropped, 0)),
+                Err(FlError::DuplicateRecoveryShare {
+                    dropped: 2,
+                    provider: 0
+                })
+            ));
+
+            // The second EvaluateRound completes the round on survivors.
+            let out = w
+                .contract
+                .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+                .unwrap();
+            assert!(out.events[0].contains("survivors 3/4"), "{:?}", out.events);
+            assert_eq!(w.contract.current_round(), 1);
+            assert_eq!(w.contract.phase(), &RoundPhase::Submitting);
+
+            let record = &w.contract.history()[0];
+            assert_eq!(record.survivors, vec![0, 1, 3]);
+            assert_eq!(record.dropped, vec![2]);
+            assert_eq!(record.per_owner_sv[2], 0.0);
+            assert_eq!(record.recovery.len(), 1);
+            assert_eq!(record.recovery[0].dropped, 2);
+            assert_eq!(record.recovery[0].providers, vec![0, 1, 3]);
+
+            // Survivor-only aggregate: the single group model must be
+            // the survivors' mean — masks (incl. the dropped owner's
+            // residuals) stripped exactly.
+            let expect = (0.1 + 0.2 + 0.4) / 3.0;
+            for v in w.contract.global_model() {
+                assert!((v - expect).abs() < 1e-6, "got {v}, want {expect}");
+            }
+        }
+
+        #[test]
+        fn recovery_state_is_part_of_the_digest() {
+            // Two replicas agree while both track the same lifecycle;
+            // declaring the dropout (and each accepted share) moves the
+            // digest, so replicas cannot silently disagree on phase.
+            let build = || {
+                let mut w = masked_world(4, 1);
+                for i in [0usize, 1, 3] {
+                    let masked = masked_submission(&w, i, 0);
+                    w.contract
+                        .execute(
+                            &ctx(i as u32),
+                            &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                        )
+                        .unwrap();
+                }
+                w
+            };
+            let mut a = build();
+            let b = build();
+            assert_eq!(a.contract.state_digest(), b.contract.state_digest());
+            a.contract
+                .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+                .unwrap();
+            assert_ne!(
+                a.contract.state_digest(),
+                b.contract.state_digest(),
+                "entering recovery must move the state root"
+            );
+            let before_share = a.contract.state_digest();
+            a.contract
+                .execute(&ctx(0), &recovery_share_call(&a, 2, 0))
+                .unwrap();
+            assert_ne!(
+                a.contract.state_digest(),
+                before_share,
+                "every accepted share must move the state root"
+            );
+        }
+
+        #[test]
+        fn full_round_records_everyone_as_survivor() {
+            let mut w = masked_world(4, 2);
+            for i in 0..4usize {
+                let masked = masked_submission(&w, i, 0);
+                w.contract
+                    .execute(
+                        &ctx(i as u32),
+                        &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                    )
+                    .unwrap();
+            }
+            w.contract
+                .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+                .unwrap();
+            let record = &w.contract.history()[0];
+            assert_eq!(record.survivors, vec![0, 1, 2, 3]);
+            assert!(record.dropped.is_empty());
+            assert!(record.recovery.is_empty());
+        }
     }
 
     #[test]

@@ -5,10 +5,19 @@
 //! owners and the consensus engine (every owner is also a miner,
 //! Sect. III), and drives the rounds:
 //!
-//! * **block 0** — every owner advertises its DH public key;
-//! * **block r+1** — all owners' masked updates for round `r` plus the
-//!   `EvaluateRound` call, committed through the full propose /
-//!   re-execute / vote cycle.
+//! * **block 0** — every owner advertises its DH public key *and*
+//!   commits its key-escrow share commitments (the Bonawitz dropout
+//!   extension: each owner Shamir-shares its DH private key across the
+//!   cohort; the shares travel off-chain, their commitments live
+//!   on-chain);
+//! * **round blocks** — the surviving owners' masked updates for round
+//!   `r` plus the `EvaluateRound` call. With a complete cohort that is
+//!   one block; when the round's dropout schedule
+//!   ([`FlConfig::dropout_schedule`]) withholds owners, the same
+//!   `EvaluateRound` instead opens the contract's recovery phase and a
+//!   **second block** carries the survivors' recovery shares plus the
+//!   closing `EvaluateRound` — the full dropout lifecycle is on-chain,
+//!   two state roots per churned round.
 //!
 //! Each block's transactions flow through the batched mempool pipeline:
 //! staged with per-sender nonces, admitted in one
@@ -19,7 +28,8 @@
 //! of wedging every later submission behind a permanent gap.
 //!
 //! After `R` rounds the contract holds each owner's cumulative
-//! contribution `v_i = Σ_r v_i^r` and the final global model `W_G`.
+//! contribution `v_i = Σ_r v_i^r` (dropped owners earn exactly zero for
+//! their missed rounds) and the final global model `W_G`.
 
 use std::collections::BTreeMap;
 
@@ -28,19 +38,18 @@ use fl_chain::consensus::engine::{
 };
 use fl_chain::consensus::leader::LeaderSchedule;
 use fl_chain::gas::Gas;
+use fl_chain::hash::Hash32;
 use fl_chain::mempool::Mempool;
 use fl_chain::tx::{AccountId, Transaction};
-use fl_crypto::dh::DhGroup;
-use fl_crypto::dropout::{reconstruct_private_key, strip_dropped_masks};
 use fl_crypto::shamir::{Shamir, Share};
 use fl_crypto::ChaChaPrg;
 use fl_ml::dataset::Dataset;
-use numeric::{par, FixedCodec, U256};
+use numeric::{par, U256};
 use shapley::group::{grouping, permutation};
 
 use crate::adversary::AdversaryKind;
 use crate::config::{ConfigError, FlConfig};
-use crate::contract_fl::{FlCall, FlContract, FlParams, RoundRecord};
+use crate::contract_fl::{share_commitment, FlCall, FlContract, FlParams, RoundRecord};
 use crate::owner::DataOwner;
 use crate::world::World;
 
@@ -119,20 +128,6 @@ pub struct FlRunReport {
     pub commits: Vec<CommitReport>,
 }
 
-/// Outcome of a dropout-recovery drill ([`FlProtocol::run_dropout_recovery`]).
-#[derive(Debug, Clone)]
-pub struct DropoutRecovery {
-    /// Owner (by position) that dropped after masking.
-    pub dropped: usize,
-    /// The dropped owner's group this round (owner positions).
-    pub group: Vec<usize>,
-    /// Survivor mean decoded from the mask-stripped partial aggregate.
-    pub recovered_model: Vec<f64>,
-    /// Plaintext mean of the survivors' updates (the driver-side check
-    /// value — in deployment nobody holds this).
-    pub survivor_mean: Vec<f64>,
-}
-
 /// The protocol driver.
 pub struct FlProtocol {
     config: FlConfig,
@@ -140,6 +135,11 @@ pub struct FlProtocol {
     engine: ConsensusEngine<FlContract>,
     test_set: Dataset,
     pool: Mempool<FlCall>,
+    /// Off-chain escrow shares: `escrows[i][j]` is the Shamir share of
+    /// owner `i`'s DH private key held by owner `j` (its commitment is
+    /// on-chain). In deployment each owner holds only its own column;
+    /// the driver plays every owner, so it holds the whole matrix.
+    escrows: Vec<Vec<Share>>,
 }
 
 impl FlProtocol {
@@ -172,6 +172,25 @@ impl FlProtocol {
             })
             .collect();
 
+        // Key escrow (setup stage of the dropout extension): every owner
+        // Shamir-shares its DH private key across the cohort, seeded
+        // from the world seed so every rebuild derives identical shares.
+        let n = config.num_owners;
+        let shamir = Shamir::default();
+        let threshold = config.escrow_threshold();
+        let escrow_seed = config.sub_seed("key-escrow");
+        let escrows: Vec<Vec<Share>> = owners
+            .iter()
+            .enumerate()
+            .map(|(i, owner)| {
+                let mut seed_bytes = [0u8; 32];
+                seed_bytes[..8].copy_from_slice(&escrow_seed.to_le_bytes());
+                seed_bytes[8..16].copy_from_slice(&(i as u64).to_le_bytes());
+                let mut prg = ChaChaPrg::from_seed(&seed_bytes);
+                owner.escrow_key_shares(&shamir, threshold, n, &mut prg)
+            })
+            .collect::<Result<_, _>>()?;
+
         let params = FlParams {
             owners: owner_ids.clone(),
             num_groups: config.num_groups,
@@ -182,14 +201,25 @@ impl FlProtocol {
             num_features: config.data.features,
             num_classes: config.data.classes,
             frac_bits: config.frac_bits,
+            escrow_threshold: threshold,
         };
         let contract = FlContract::genesis(params, world.test.clone());
         let schedule = LeaderSchedule::round_robin(owner_ids);
         let engine = ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
 
-        // Capacity: a round block is one masked update per owner plus the
-        // evaluation trigger; hold a few rounds of headroom.
-        let pool = Mempool::new((config.num_owners + 1) * 8);
+        // Capacity: sized for the largest block any validated schedule
+        // can assemble — the setup block (2n: keys + escrows), a round
+        // block (n + 1), or a recovery block (dropped × threshold + 1,
+        // which dominates as soon as several owners drop at once) — with
+        // a few blocks of headroom.
+        let max_dropped = config
+            .dropout_schedule
+            .iter()
+            .map(|(r, _)| config.dropped_in_round(*r).len())
+            .max()
+            .unwrap_or(0);
+        let max_block_txs = (2 * n).max(n + 1).max(max_dropped * threshold + 1);
+        let pool = Mempool::new(max_block_txs * 8);
 
         Ok(Self {
             config,
@@ -197,6 +227,7 @@ impl FlProtocol {
             engine,
             test_set: world.test,
             pool,
+            escrows,
         })
     }
 
@@ -284,11 +315,14 @@ impl FlProtocol {
         }
     }
 
-    /// Commits the key-advertisement block (phase 0).
+    /// Commits the setup block (phase 0): every owner advertises its DH
+    /// public key and escrows hash commitments to the Shamir shares of
+    /// its private key — the on-chain half of the dropout extension.
     fn advertise_keys(&mut self) -> Result<CommitReport, ProtocolError> {
+        let n = self.owners.len();
         let mut staged = BTreeMap::new();
-        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(self.owners.len());
-        for i in 0..self.owners.len() {
+        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(2 * n);
+        for i in 0..n {
             let id = self.owners[i].id();
             let nonce = self.staged_nonce(&mut staged, id);
             txs.push(Transaction::new(
@@ -299,13 +333,31 @@ impl FlProtocol {
                 },
             ));
         }
+        for i in 0..n {
+            let id = self.owners[i].id();
+            let commitments: Vec<Hash32> = self.escrows[i]
+                .iter()
+                .map(|share| share_commitment(id, share))
+                .collect();
+            let nonce = self.staged_nonce(&mut staged, id);
+            txs.push(Transaction::new(
+                id,
+                nonce,
+                FlCall::EscrowKeyShares { commitments },
+            ));
+        }
         self.commit_batch(txs)
     }
 
     /// Runs one federated round: local training, masking, submission,
-    /// evaluation — committed as a single block.
-    fn run_round(&mut self, round: u64) -> Result<CommitReport, ProtocolError> {
+    /// evaluation. A full round commits one block; a round whose dropout
+    /// schedule withholds owners commits **two** — the survivors' block
+    /// (whose `EvaluateRound` opens recovery on-chain) and the recovery
+    /// block (shares + the closing `EvaluateRound`).
+    fn run_round(&mut self, round: u64) -> Result<Vec<CommitReport>, ProtocolError> {
         let n = self.owners.len();
+        let dropped = self.config.dropped_in_round(round);
+        let is_dropped = |idx: usize| dropped.binary_search(&idx).is_ok();
         let contract = self.engine.honest_contract();
         let global_model = contract.global_model().to_vec();
         let num_features = contract.params().num_features;
@@ -337,17 +389,21 @@ impl FlProtocol {
         // every owner computes on its own machine simultaneously; here the
         // owners fan out across cores. Each owner's update depends only on
         // its own shard, RNG, and the (shared, read-only) global model, so
-        // the updates are bit-identical to a sequential pass.
+        // the updates are bit-identical to a sequential pass. Owners
+        // scheduled to drop vanish before producing anything visible.
         let mut group_of = vec![0usize; n];
         for (j, group) in groups.iter().enumerate() {
             for &idx in group {
                 group_of[idx] = j;
             }
         }
-        let masked_updates: Vec<Result<Vec<u64>, fl_crypto::secure_agg::SecureAggError>> =
+        let masked_updates: Vec<Option<Result<Vec<u64>, fl_crypto::secure_agg::SecureAggError>>> =
             par::par_map_mut(&mut self.owners, 1, |idx, owner| {
+                if is_dropped(idx) {
+                    return None;
+                }
                 let update = owner.local_update(&global_model, num_features, num_classes);
-                owner.mask_update(&update, round, &group_directories[group_of[idx]])
+                Some(owner.mask_update(&update, round, &group_directories[group_of[idx]]))
             });
 
         // Transaction assembly stays sequential: nonces and block order
@@ -356,13 +412,16 @@ impl FlProtocol {
         let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
         let mut masked_updates: Vec<Option<Vec<u64>>> = masked_updates
             .into_iter()
-            .map(|r| r.map(Some))
+            .map(|r| r.transpose())
             .collect::<Result<_, _>>()?;
         for group in &groups {
             for &idx in group {
+                if is_dropped(idx) {
+                    continue;
+                }
                 let masked = masked_updates[idx]
                     .take()
-                    .expect("each owner produces exactly one update");
+                    .expect("each survivor produces exactly one update");
                 let id = self.owners[idx].id();
                 let nonce = self.staged_nonce(&mut staged, id);
                 txs.push(Transaction::new(
@@ -373,8 +432,11 @@ impl FlProtocol {
             }
         }
 
-        // Anyone may trigger evaluation; owner 0 does.
-        let trigger = self.owners[0].id();
+        // Anyone alive may trigger evaluation; the first survivor does.
+        // With owners missing this transaction opens recovery instead of
+        // evaluating — same call, driven by the contract's state machine.
+        let survivors: Vec<usize> = (0..n).filter(|&idx| !is_dropped(idx)).collect();
+        let trigger = self.owners[*survivors.first().expect("validated: survivors exist")].id();
         let nonce = self.staged_nonce(&mut staged, trigger);
         txs.push(Transaction::new(
             trigger,
@@ -382,170 +444,57 @@ impl FlProtocol {
             FlCall::EvaluateRound { round },
         ));
 
-        self.commit_batch(txs)
-    }
-
-    /// Drills the secure-aggregation dropout path end-to-end through the
-    /// driver: the owners of `dropped`'s group train and mask for
-    /// `round`, the dropped owner's submission never arrives, and the
-    /// cohort recovers the survivors' aggregate via the Shamir key
-    /// escrow ([`fl_crypto::dropout`]).
-    ///
-    /// Sequence (the full-Bonawitz extension the paper omits):
-    ///
-    /// 1. every owner Shamir-shares its DH private key across the cohort
-    ///    (threshold = majority), seeded from the world seed;
-    /// 2. the group trains and masks exactly as in a live round;
-    /// 3. survivors' masked submissions are summed — the dropped owner's
-    ///    pairwise masks do **not** cancel;
-    /// 4. a majority pools its shares, reconstructs the dropped key, and
-    ///    verifies it against the public key advertised **on-chain**;
-    /// 5. [`strip_dropped_masks`] removes the residuals, leaving the
-    ///    survivors' exact aggregate.
-    ///
-    /// Nothing is committed for `round` — this is the recovery drill the
-    /// ROADMAP's "secure-agg dropout path" item asks for; a
-    /// dropout-tolerant `EvaluateRound` remains future work. (Phase 0 is
-    /// committed if keys are not yet on-chain, since step 4 verifies
-    /// against the advertised key.)
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dropped` is out of range or its group this round is a
-    /// singleton (an unmasked submission has nothing to recover).
-    pub fn run_dropout_recovery(
-        &mut self,
-        round: u64,
-        dropped: usize,
-    ) -> Result<DropoutRecovery, ProtocolError> {
-        let n = self.owners.len();
-        assert!(dropped < n, "owner index {dropped} out of range");
-        if self
-            .contract()
-            .public_key_of(self.owners[dropped].id())
-            .is_none()
-        {
-            self.advertise_keys()?;
+        let mut commits = vec![self.commit_batch(txs)?];
+        if dropped.is_empty() {
+            return Ok(commits);
         }
 
-        let pi = permutation(self.config.permutation_seed, round, n);
-        let groups = grouping(&pi, self.config.num_groups);
-        let group = groups
-            .iter()
-            .find(|g| g.contains(&dropped))
-            .cloned()
-            .expect("every owner is grouped");
-        assert!(
-            group.len() >= 2,
-            "owner {dropped} is alone in its group this round; nothing is masked"
-        );
-
-        // Setup: every owner escrows its DH private key to the cohort.
-        let shamir = Shamir::default();
-        let threshold = n / 2 + 1;
-        let escrow_seed = self.config.sub_seed("key-escrow");
-        let escrowed: Vec<Vec<Share>> = self
-            .owners
-            .iter()
-            .enumerate()
-            .map(|(i, owner)| {
-                let mut seed_bytes = [0u8; 32];
-                seed_bytes[..8].copy_from_slice(&escrow_seed.to_le_bytes());
-                seed_bytes[8..16].copy_from_slice(&(i as u64).to_le_bytes());
-                let mut prg = ChaChaPrg::from_seed(&seed_bytes);
-                owner.escrow_key_shares(&shamir, threshold, n, &mut prg)
-            })
-            .collect::<Result<_, _>>()?;
-
-        // The round, as far as it gets: the group trains and masks
-        // against the keys advertised on-chain.
-        let contract = self.engine.honest_contract();
-        let global_model = contract.global_model().to_vec();
-        let num_features = contract.params().num_features;
-        let num_classes = contract.params().num_classes;
-        let model_dim = contract.params().model_dim;
-        let chain_key = |idx: usize, contract: &FlContract| -> U256 {
-            let bytes = contract
-                .public_key_of(idx as u32)
-                .expect("keys advertised above");
-            U256::from_be_bytes(bytes)
-        };
-        let directory: Vec<(AccountId, U256)> = group
-            .iter()
-            .map(|&idx| (idx as u32, chain_key(idx, contract)))
-            .collect();
-        let dropped_public = chain_key(dropped, contract);
-
-        let mut partial = vec![0u64; model_dim];
-        let mut plain_updates: Vec<Vec<f64>> = Vec::new();
-        for &idx in &group {
-            let update = self.owners[idx].local_update(&global_model, num_features, num_classes);
-            let masked = self.owners[idx].mask_update(&update, round, &directory)?;
-            if idx != dropped {
-                // Survivors' submissions arrive; the dropped one never
-                // does, so its pairwise masks stay uncancelled.
-                FixedCodec::ring_add_assign(&mut partial, &masked);
-                plain_updates.push(update);
+        // Recovery block: threshold-many survivors reveal their escrowed
+        // shares for every dropped owner, then the closing EvaluateRound
+        // reconstructs the keys, strips the residual masks, and
+        // evaluates on the survivors.
+        let threshold = self.config.escrow_threshold();
+        let mut staged = BTreeMap::new();
+        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(dropped.len() * threshold + 1);
+        for &d in &dropped {
+            let dropped_id = self.owners[d].id();
+            for &provider in survivors.iter().take(threshold) {
+                let share = &self.escrows[d][provider];
+                let id = self.owners[provider].id();
+                let nonce = self.staged_nonce(&mut staged, id);
+                txs.push(Transaction::new(
+                    id,
+                    nonce,
+                    FlCall::SubmitRecoveryShare {
+                        round,
+                        dropped: dropped_id,
+                        share_x: share.x,
+                        share_y: share.y.to_be_bytes(),
+                    },
+                ));
             }
         }
-
-        // Recovery: a majority pools its shares of the dropped key and
-        // verifies the reconstruction against the advertised public key.
-        let dh = DhGroup::simulation_256();
-        let pooled: Vec<Share> = (0..n)
-            .filter(|&j| j != dropped)
-            .take(threshold)
-            .map(|j| escrowed[dropped][j].clone())
-            .collect();
-        let recovered_key =
-            reconstruct_private_key(&shamir, &dh, &pooled, threshold, &dropped_public)?;
-
-        let survivors: Vec<(AccountId, U256)> = directory
-            .iter()
-            .copied()
-            .filter(|(id, _)| *id != dropped as u32)
-            .collect();
-        strip_dropped_masks(
-            &dh,
-            &mut partial,
-            dropped as u32,
-            &recovered_key,
-            &survivors,
-            round,
-        );
-
-        let codec = FixedCodec::new(self.config.frac_bits);
-        let survivor_count = group.len() - 1;
-        let recovered_model: Vec<f64> = partial
-            .iter()
-            .map(|&r| codec.decode_avg(r, survivor_count))
-            .collect();
-        let mut survivor_mean = vec![0.0f64; model_dim];
-        for update in &plain_updates {
-            for (acc, w) in survivor_mean.iter_mut().zip(update) {
-                *acc += w / survivor_count as f64;
-            }
-        }
-
-        Ok(DropoutRecovery {
-            dropped,
-            group,
-            recovered_model,
-            survivor_mean,
-        })
+        let nonce = self.staged_nonce(&mut staged, trigger);
+        txs.push(Transaction::new(
+            trigger,
+            nonce,
+            FlCall::EvaluateRound { round },
+        ));
+        commits.push(self.commit_batch(txs)?);
+        Ok(commits)
     }
 
     /// Runs the complete protocol: key exchange plus all `R` rounds.
     pub fn run(&mut self) -> Result<FlRunReport, ProtocolError> {
         let mut commits = Vec::new();
-        // Phase 0, unless keys are already on-chain (a dropout drill may
-        // have committed them): re-advertising would fail the block with
-        // `KeyAlreadyAdvertised` and wedge the protocol.
+        // Phase 0, unless keys are already on-chain (re-advertising
+        // would fail the block with `KeyAlreadyAdvertised` and wedge the
+        // protocol).
         if self.contract().public_key_of(self.owners[0].id()).is_none() {
             commits.push(self.advertise_keys()?);
         }
         for round in 0..self.config.rounds {
-            commits.push(self.run_round(round)?);
+            commits.extend(self.run_round(round)?);
         }
 
         let contract = self.engine.honest_contract();
@@ -717,61 +666,159 @@ mod tests {
     }
 
     #[test]
-    fn dropout_recovery_through_protocol_driver() {
-        // One owner vanishes after masking; Shamir recovery of its DH key
-        // (verified against the key advertised on-chain) strips the
-        // residual masks and yields the survivors' exact aggregate.
-        let mut p = FlProtocol::new(quick()).unwrap();
-        let drill = p.run_dropout_recovery(0, 1).unwrap();
-        assert_eq!(drill.dropped, 1);
-        assert!(drill.group.contains(&1));
-        assert!(drill.group.len() >= 2);
-        assert_eq!(drill.recovered_model.len(), drill.survivor_mean.len());
-        for (d, (got, want)) in drill
-            .recovered_model
-            .iter()
-            .zip(&drill.survivor_mean)
-            .enumerate()
-        {
-            assert!(
-                (got - want).abs() < 1e-6,
-                "dim {d}: recovered {got}, survivors' mean {want}"
+    fn dropout_round_commits_end_to_end_through_the_mempool() {
+        // Owner 1 vanishes after masking in round 0. The round commits
+        // in two blocks (survivors + recovery), the record carries the
+        // survivor set and recovery evidence, and the dropped owner
+        // earns exactly zero.
+        let mut config = quick();
+        config.dropout_schedule = vec![(0, vec![1])];
+        let mut p = FlProtocol::new(config).unwrap();
+        let report = p.run().unwrap();
+        // Setup block + survivor block + recovery block.
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.round_records.len(), 1);
+        let record = &report.round_records[0];
+        assert_eq!(record.survivors, vec![0, 2, 3]);
+        assert_eq!(record.dropped, vec![1]);
+        assert_eq!(record.per_owner_sv[1], 0.0);
+        assert_eq!(report.per_owner_sv[1], 0.0);
+        assert_eq!(record.recovery.len(), 1);
+        assert_eq!(record.recovery[0].dropped, 1);
+        // Threshold-many survivors vouched the reconstruction.
+        assert_eq!(record.recovery[0].providers.len(), 3);
+        assert!(record.recovery[0].providers.iter().all(|p| *p != 1));
+
+        // Every replica audits the churned chain clean.
+        let params = p.contract().params().clone();
+        let store = p.engine().store_of(0).unwrap();
+        let audit = crate::audit::replay_chain(store, params, p.test_set().clone()).unwrap();
+        assert!(audit.clean, "recovery blocks must replay exactly");
+    }
+
+    #[test]
+    fn dropout_round_matches_from_scratch_survivor_aggregate() {
+        // The recovered global model must equal a from-scratch unmasked
+        // aggregate of the survivors: group-wise survivor means, then the
+        // mean over surviving groups — bit-path through the same ring.
+        let mut config = quick();
+        config.dropout_schedule = vec![(0, vec![3])];
+        let mut p = FlProtocol::new(config.clone()).unwrap();
+        let report = p.run().unwrap();
+        let record = &report.round_records[0];
+
+        let world = World::generate(&config).unwrap();
+        let updates = world.local_updates(&config);
+        let codec = numeric::FixedCodec::new(config.frac_bits);
+        let dim = (config.data.features + 1) * config.data.classes;
+        let mut surviving_models: Vec<Vec<f64>> = Vec::new();
+        for group in &record.groups {
+            let alive: Vec<usize> = group.iter().copied().filter(|&i| i != 3).collect();
+            if alive.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0u64; dim];
+            for &i in &alive {
+                numeric::FixedCodec::ring_add_assign(&mut acc, &codec.encode_vec(&updates[i]));
+            }
+            surviving_models.push(
+                acc.iter()
+                    .map(|&r| codec.decode_avg(r, alive.len()))
+                    .collect(),
             );
         }
-        // The drill must not advance the round: nothing was evaluated.
-        assert_eq!(p.contract().current_round(), 0);
-        assert!(p.contract().history().is_empty());
+        let expect = numeric::linalg::mean_vectors(&surviving_models);
+        assert_eq!(
+            p.contract().global_model(),
+            expect.as_slice(),
+            "mask-stripped aggregate must be bit-identical to the plaintext ring sum"
+        );
     }
 
     #[test]
-    fn run_succeeds_after_a_dropout_drill() {
-        // Regression: the drill commits the key block; a subsequent
-        // run() must not re-advertise (KeyAlreadyAdvertised would fail
-        // every block and wedge the protocol permanently).
-        let mut p = FlProtocol::new(quick()).unwrap();
-        p.run_dropout_recovery(0, 1).unwrap();
+    fn multi_dropout_round_with_ceil_n_over_3_dropped() {
+        // The acceptance shape: 9 owners, ⌈9/3⌉ = 3 drop simultaneously
+        // (threshold 5 survivors remain), the round completes on-chain.
+        let mut config = quick();
+        config.num_owners = 9;
+        config.num_groups = 3;
+        config.dropout_schedule = vec![(0, vec![2, 5, 8])];
+        let mut p = FlProtocol::new(config).unwrap();
         let report = p.run().unwrap();
-        // Keys block was committed by the drill; run() adds the rounds.
-        assert_eq!(report.blocks, 2);
-        assert_eq!(report.round_records.len(), 1);
-
-        // The learned outcome matches a drill-free run exactly: the
-        // drill is observation, not interference.
-        let baseline = FlProtocol::new(quick()).unwrap().run().unwrap();
-        assert_eq!(report.per_owner_sv, baseline.per_owner_sv);
-        assert_eq!(report.accuracy_history, baseline.accuracy_history);
+        assert_eq!(report.blocks, 3);
+        let record = &report.round_records[0];
+        assert_eq!(record.dropped, vec![2, 5, 8]);
+        assert_eq!(record.survivors.len(), 6);
+        assert_eq!(record.recovery.len(), 3);
+        for d in [2usize, 5, 8] {
+            assert_eq!(record.per_owner_sv[d], 0.0);
+        }
+        // Survivors split their groups' value; the ledger reflects it.
+        let paid: usize = record.per_owner_sv.iter().filter(|v| v.abs() > 0.0).count();
+        assert!(paid > 0, "survivors must be evaluated: {record:?}");
+        let params = p.contract().params().clone();
+        let audit = crate::audit::replay_chain(
+            p.engine().store_of(0).unwrap(),
+            params,
+            p.test_set().clone(),
+        )
+        .unwrap();
+        assert!(audit.clean);
     }
 
     #[test]
-    fn dropout_recovery_is_deterministic() {
-        let drill = |seed_offset: u64| {
+    fn mempool_is_sized_for_the_recovery_block() {
+        // Regression: the recovery block carries dropped × threshold + 1
+        // transactions, which outgrows the old (n + 1) × 8 sizing for
+        // wide cohorts with many simultaneous dropouts. Any schedule the
+        // validator accepts must fit the pool.
+        let mut config = quick();
+        config.num_owners = 33;
+        config.num_groups = 3;
+        // Maximum recoverable dropouts: n − threshold = 33 − 17 = 16.
+        config.dropout_schedule = vec![(0, (17..33).collect())];
+        config.validate().unwrap();
+        let threshold = config.escrow_threshold();
+        let recovery_block_txs = 16 * threshold + 1;
+        let p = FlProtocol::new(config).unwrap();
+        assert!(
+            p.mempool().capacity() >= recovery_block_txs,
+            "pool capacity {} cannot admit a {}-tx recovery block",
+            p.mempool().capacity(),
+            recovery_block_txs
+        );
+    }
+
+    #[test]
+    fn dropout_rounds_are_deterministic() {
+        let run = |seed_offset: u64| {
             let mut config = quick();
             config.world_seed += seed_offset;
+            config.dropout_schedule = vec![(0, vec![2])];
             let mut p = FlProtocol::new(config).unwrap();
-            p.run_dropout_recovery(0, 2).unwrap().recovered_model
+            let report = p.run().unwrap();
+            (report.per_owner_sv, p.contract().global_model().to_vec())
         };
-        assert_eq!(drill(0), drill(0));
-        assert_ne!(drill(0), drill(1), "different world, different models");
+        assert_eq!(run(0), run(0));
+        assert_ne!(run(0), run(1), "different world, different models");
+    }
+
+    #[test]
+    fn dropped_owner_resumes_in_the_next_round() {
+        // Dropping is per-round: the owner is back (and paid) in round 1.
+        let mut config = quick();
+        config.rounds = 2;
+        config.dropout_schedule = vec![(0, vec![1])];
+        let mut p = FlProtocol::new(config).unwrap();
+        let report = p.run().unwrap();
+        assert_eq!(report.round_records.len(), 2);
+        assert_eq!(report.round_records[0].per_owner_sv[1], 0.0);
+        assert_eq!(report.round_records[1].survivors, vec![0, 1, 2, 3]);
+        // Cumulative SV for owner 1 comes entirely from round 1.
+        assert_eq!(
+            report.per_owner_sv[1],
+            report.round_records[1].per_owner_sv[1]
+        );
     }
 
     #[test]

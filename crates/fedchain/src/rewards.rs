@@ -101,6 +101,64 @@ pub fn allocate_estimate(budget: f64, estimate: &SvEstimate, policy: NegativePol
     allocate(budget, &estimate.values, policy)
 }
 
+/// Allocates `budget` for a round with dropouts: owners listed in
+/// `dropped` (positions, ascending) are paid **exactly** `0.0` — not a
+/// clamped or shifted residue — and the entire budget is renormalized
+/// over the survivors' Shapley values under `policy`.
+///
+/// This is the payout rule matching the contract's survivor-only
+/// evaluation ([`crate::contract_fl::RoundRecord::dropped`] owners score
+/// zero): an owner that vanished mid-round contributed nothing to the
+/// evaluated model, so it cannot dilute the survivors' rewards — even
+/// under [`NegativePolicy::ShiftMin`], where a dropped owner's zero
+/// score would otherwise re-enter the shifted simplex.
+///
+/// ```
+/// use fedchain::rewards::{allocate_with_dropouts, NegativePolicy};
+///
+/// // Owner 1 dropped; owners 0 and 2 split the budget 1:3.
+/// let p = allocate_with_dropouts(100.0, &[1.0, 0.5, 3.0], &[1], NegativePolicy::ClampZero);
+/// assert_eq!(p, vec![25.0, 0.0, 75.0]);
+/// ```
+///
+/// # Panics
+///
+/// As [`allocate`], and if `dropped` is not strictly ascending, names an
+/// owner out of range, or drops the whole cohort.
+pub fn allocate_with_dropouts(
+    budget: f64,
+    shapley_values: &[f64],
+    dropped: &[usize],
+    policy: NegativePolicy,
+) -> Vec<f64> {
+    assert!(
+        dropped.windows(2).all(|w| w[0] < w[1]),
+        "dropped positions must be strictly ascending"
+    );
+    if let Some(&last) = dropped.last() {
+        assert!(last < shapley_values.len(), "dropped position out of range");
+    }
+    assert!(
+        dropped.len() < shapley_values.len(),
+        "cannot drop the whole cohort"
+    );
+    let survivor_values: Vec<f64> = shapley_values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| dropped.binary_search(i).is_err())
+        .map(|(_, &v)| v)
+        .collect();
+    let survivor_payouts = allocate(budget, &survivor_values, policy);
+    let mut payouts = vec![0.0f64; shapley_values.len()];
+    let mut next = survivor_payouts.into_iter();
+    for (i, payout) in payouts.iter_mut().enumerate() {
+        if dropped.binary_search(&i).is_err() {
+            *payout = next.next().expect("one payout per survivor");
+        }
+    }
+    payouts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +232,59 @@ mod tests {
         let payouts = allocate_estimate(100.0, &estimate, NegativePolicy::ClampZero);
         assert!((payouts[0] - 25.0).abs() < 1e-9);
         assert!((payouts[1] - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropped_owners_paid_exactly_zero_under_both_policies() {
+        for policy in [NegativePolicy::ClampZero, NegativePolicy::ShiftMin] {
+            let payouts = allocate_with_dropouts(90.0, &[1.0, -5.0, 2.0, 0.5], &[1], policy);
+            assert_eq!(payouts[1], 0.0, "{policy:?}");
+            let total: f64 = payouts.iter().sum();
+            assert!((total - 90.0).abs() < 1e-9, "{policy:?}: budget conserved");
+        }
+    }
+
+    #[test]
+    fn dropout_renormalizes_over_survivors() {
+        // Survivors 0 and 2 hold values 1 and 3 → 25/75; the dropped
+        // owner's (large!) value never enters the denominator.
+        let payouts =
+            allocate_with_dropouts(100.0, &[1.0, 100.0, 3.0], &[1], NegativePolicy::ClampZero);
+        assert!((payouts[0] - 25.0).abs() < 1e-12);
+        assert_eq!(payouts[1], 0.0);
+        assert!((payouts[2] - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_min_dropout_keeps_worst_survivor_at_zero() {
+        // The shift is computed over survivors only: worst survivor gets
+        // exactly 0, the dropped owner stays exactly 0 as well.
+        let payouts =
+            allocate_with_dropouts(60.0, &[-2.0, 1.0, 4.0], &[1], NegativePolicy::ShiftMin);
+        assert_eq!(payouts[0], 0.0);
+        assert_eq!(payouts[1], 0.0);
+        assert!((payouts[2] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dropout_set_is_plain_allocation() {
+        let values = [1.0, 3.0];
+        assert_eq!(
+            allocate_with_dropouts(100.0, &values, &[], NegativePolicy::ClampZero),
+            allocate(100.0, &values, NegativePolicy::ClampZero)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whole cohort")]
+    fn dropping_everyone_panics() {
+        let _ = allocate_with_dropouts(10.0, &[1.0, 2.0], &[0, 1], NegativePolicy::ClampZero);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_dropout_positions_panic() {
+        let _ = allocate_with_dropouts(10.0, &[1.0, 2.0, 3.0], &[2, 0], NegativePolicy::ClampZero);
     }
 
     #[test]

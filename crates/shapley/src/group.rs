@@ -189,7 +189,7 @@ impl CoalitionSums {
 /// beyond the exact cap.
 ///
 /// Representation: for `m ≤` [`MAX_PLAYERS`] groups the coalition means
-/// come from the incremental subset-sum tables ([`CoalitionSums`]) —
+/// come from the incremental subset-sum tables (`CoalitionSums`) —
 /// `O(d)` per coalition, zero per-coalition clones. Beyond that the
 /// tables' `O(2^{m/2} · d)` memory is prohibitive (and only sampling
 /// estimators reach there anyway), so members are summed directly in

@@ -133,6 +133,65 @@ impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
     }
 }
 
+/// A game restricted to a subset of its players — the survivor-side
+/// counterpart of a dropout round.
+///
+/// Player `k` of the restricted game is player `players[k]` of the inner
+/// game; coalitions of the restricted game therefore never include a
+/// player outside the subset (a dropped owner contributes to no
+/// coalition, so its Shapley value in the round is exactly zero by
+/// construction). The restriction is a pure index mapping: `evaluate` is
+/// a pure function of the restricted coalition mask whenever the inner
+/// game's is, so every estimator built on [`numeric::par`] keeps its
+/// bit-identical-across-thread-counts contract through the restriction.
+pub struct RestrictedGame<'a, U: ?Sized> {
+    inner: &'a U,
+    players: Vec<usize>,
+}
+
+impl<'a, U: CoalitionUtility + ?Sized> RestrictedGame<'a, U> {
+    /// Restricts `inner` to `players` (inner-game positions, strictly
+    /// ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `players` is empty, not strictly ascending, or names a
+    /// player outside the inner game.
+    pub fn new(inner: &'a U, players: Vec<usize>) -> Self {
+        assert!(!players.is_empty(), "restriction to zero players");
+        assert!(
+            players.windows(2).all(|w| w[0] < w[1]),
+            "players must be strictly ascending"
+        );
+        assert!(
+            *players.last().expect("non-empty") < inner.num_players(),
+            "player index out of range"
+        );
+        Self { inner, players }
+    }
+
+    /// The inner-game positions this restriction keeps, ascending.
+    pub fn players(&self) -> &[usize] {
+        &self.players
+    }
+}
+
+impl<U: CoalitionUtility + ?Sized> CoalitionUtility for RestrictedGame<'_, U> {
+    fn num_players(&self) -> usize {
+        self.players.len()
+    }
+
+    fn evaluate(&self, coalition: Coalition) -> f64 {
+        let mut inner = Coalition::EMPTY;
+        for (k, &p) in self.players.iter().enumerate() {
+            if coalition.contains(k) {
+                inner = inner.with(p);
+            }
+        }
+        self.inner.evaluate(inner)
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod games {
     //! Canonical cooperative games for tests.
@@ -213,6 +272,53 @@ mod tests {
         let u = model_utility_fn(|w: &[f64]| w.iter().sum(), 0.1);
         assert_eq!(u.of_model(&[1.0, 2.0]), 3.0);
         assert_eq!(u.of_empty(), 0.1);
+    }
+
+    #[test]
+    fn restricted_game_maps_indices() {
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0, 4.0, 8.0],
+        };
+        let restricted = RestrictedGame::new(&game, vec![1, 3]);
+        assert_eq!(restricted.num_players(), 2);
+        assert_eq!(restricted.players(), &[1, 3]);
+        // Restricted player 0 is inner player 1, restricted 1 is inner 3.
+        assert_eq!(restricted.evaluate(Coalition::from_members(&[0])), 2.0);
+        assert_eq!(restricted.evaluate(Coalition::from_members(&[1])), 8.0);
+        assert_eq!(restricted.evaluate(Coalition::from_members(&[0, 1])), 10.0);
+        assert_eq!(restricted.evaluate(Coalition::EMPTY), 0.0);
+    }
+
+    #[test]
+    fn restricted_additive_game_has_subgame_shapley_values() {
+        // Restricting an additive game is the subgame over the kept
+        // players: exact SV of the restriction equals their values.
+        let game = AdditiveGame {
+            values: vec![3.0, -1.0, 5.0, 2.0, 7.0],
+        };
+        let restricted = RestrictedGame::new(&game, vec![0, 2, 4]);
+        let sv = crate::native::exact_shapley(&restricted);
+        for (got, want) in sv.iter().zip([3.0, 5.0, 7.0]) {
+            assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn restricted_game_rejects_unsorted_players() {
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0],
+        };
+        let _ = RestrictedGame::new(&game, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restricted_game_rejects_out_of_range_player() {
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0],
+        };
+        let _ = RestrictedGame::new(&game, vec![0, 5]);
     }
 
     #[test]

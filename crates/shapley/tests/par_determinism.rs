@@ -20,7 +20,7 @@ use shapley::group::{group_shapley, shapley_over_group_models, GroupSvConfig};
 use shapley::monte_carlo::{monte_carlo_shapley, McConfig};
 use shapley::native::exact_shapley;
 use shapley::stratified::{stratified_shapley, StratifiedConfig};
-use shapley::utility::{model_utility_fn, utility_fn};
+use shapley::utility::{model_utility_fn, utility_fn, RestrictedGame};
 
 static THREAD_CAP: Mutex<()> = Mutex::new(());
 
@@ -215,6 +215,250 @@ proptest! {
                 "player {i}: exact {e} vs stratified {s}"
             );
         }
+    }
+}
+
+#[test]
+fn restricted_game_is_schedule_invariant() {
+    // The survivor-restriction wrapper the contract evaluates dropout
+    // rounds through must uphold the same contract as every engine.
+    let game = nonlinear_game(12);
+    let survivors = vec![0usize, 3, 4, 7, 9, 11];
+    assert_schedule_invariant(|| {
+        let restricted = RestrictedGame::new(&game, survivors.clone());
+        Exact.estimate(&restricted)
+    });
+    assert_schedule_invariant(|| {
+        let restricted = RestrictedGame::new(&game, survivors.clone());
+        Stratified {
+            config: StratifiedConfig {
+                samples_per_stratum: 3,
+                seed: 19,
+            },
+        }
+        .estimate(&restricted)
+    });
+}
+
+/// The survivor-only round evaluation, end to end through the FL
+/// contract: real pairwise masks, on-chain key escrow, dropout
+/// declaration, share-verified recovery, survivor-restricted estimation.
+mod survivor_rounds {
+    use fedchain::config::SvMethod;
+    use fedchain::contract_fl::{share_commitment, FlCall, FlContract, FlParams, RoundPhase};
+    use fl_chain::contract::{SmartContract, TxContext};
+    use fl_chain::hash::Hash32;
+    use fl_crypto::dh::{DhGroup, DhKeyPair};
+    use fl_crypto::dropout::escrow_private_key;
+    use fl_crypto::secure_agg::{KeyDirectory, PartyState};
+    use fl_crypto::shamir::Shamir;
+    use fl_crypto::ChaChaPrg;
+    use fl_ml::dataset::SyntheticDigits;
+    use numeric::FixedCodec;
+    use shapley::group::{grouping, permutation};
+
+    const FEATURES: usize = 64;
+    const CLASSES: usize = 10;
+    const DIM: usize = (FEATURES + 1) * CLASSES;
+
+    fn ctx(sender: u32) -> TxContext {
+        TxContext {
+            block_height: 0,
+            view: 0,
+            sender,
+            tx_index: 0,
+        }
+    }
+
+    /// Runs one full dropout round through a fresh contract and returns
+    /// `(per_owner_sv, global_model)`.
+    pub(super) fn run_round(
+        n: usize,
+        m: usize,
+        dropped: &[usize],
+        weights: &[Vec<f64>],
+    ) -> (Vec<f64>, Vec<f64>) {
+        let threshold = n / 2 + 1;
+        let params = FlParams {
+            owners: (0..n as u32).collect(),
+            num_groups: m,
+            sv_method: SvMethod::GroupExact,
+            permutation_seed: 7,
+            total_rounds: 1,
+            model_dim: DIM,
+            num_features: FEATURES,
+            num_classes: CLASSES,
+            frac_bits: 24,
+            escrow_threshold: threshold,
+        };
+        let test_set = SyntheticDigits::small().generate(99);
+        let mut c = FlContract::genesis(params, test_set);
+        let dh = DhGroup::simulation_256();
+        let shamir = Shamir::default();
+        let codec = FixedCodec::new(24);
+
+        let keypairs: Vec<DhKeyPair> = (0..n)
+            .map(|i| dh.keypair_from_seed(&[i as u8 + 1; 32]))
+            .collect();
+        for (i, kp) in keypairs.iter().enumerate() {
+            c.execute(
+                &ctx(i as u32),
+                &FlCall::AdvertiseKey {
+                    public_key: kp.public.to_be_bytes(),
+                },
+            )
+            .unwrap();
+        }
+        let escrowed: Vec<Vec<fl_crypto::shamir::Share>> = keypairs
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| {
+                let mut prg = ChaChaPrg::from_seed(&[i as u8 + 70; 32]);
+                escrow_private_key(&shamir, kp, threshold, n, &mut prg).unwrap()
+            })
+            .collect();
+        for (i, shares) in escrowed.iter().enumerate() {
+            let commitments: Vec<Hash32> = shares
+                .iter()
+                .map(|s| share_commitment(i as u32, s))
+                .collect();
+            c.execute(&ctx(i as u32), &FlCall::EscrowKeyShares { commitments })
+                .unwrap();
+        }
+
+        let groups = grouping(&permutation(7, 0, n), m);
+        let survivors: Vec<usize> = (0..n).filter(|i| !dropped.contains(i)).collect();
+        for &i in &survivors {
+            let group = groups.iter().find(|g| g.contains(&i)).unwrap();
+            let masked = if group.len() == 1 {
+                codec.encode_vec(&weights[i])
+            } else {
+                let mut dir = KeyDirectory::new();
+                for &j in group {
+                    dir.advertise(j as u32, keypairs[j].public).unwrap();
+                }
+                let party = PartyState::derive(&dh, i as u32, &keypairs[i], &dir).unwrap();
+                party.masked_update(&codec, 0, &weights[i])
+            };
+            c.execute(
+                &ctx(i as u32),
+                &FlCall::SubmitMaskedUpdate { round: 0, masked },
+            )
+            .unwrap();
+        }
+
+        c.execute(
+            &ctx(survivors[0] as u32),
+            &FlCall::EvaluateRound { round: 0 },
+        )
+        .unwrap();
+        if !dropped.is_empty() {
+            assert!(matches!(c.phase(), RoundPhase::Recovering { .. }));
+            for &d in dropped {
+                for &provider in survivors.iter().take(threshold) {
+                    let share = &escrowed[d][provider];
+                    c.execute(
+                        &ctx(provider as u32),
+                        &FlCall::SubmitRecoveryShare {
+                            round: 0,
+                            dropped: d as u32,
+                            share_x: share.x,
+                            share_y: share.y.to_be_bytes(),
+                        },
+                    )
+                    .unwrap();
+                }
+            }
+            c.execute(
+                &ctx(survivors[0] as u32),
+                &FlCall::EvaluateRound { round: 0 },
+            )
+            .unwrap();
+        }
+        let record = &c.history()[0];
+        assert_eq!(
+            record.survivors, survivors,
+            "record must carry the true survivor set"
+        );
+        (record.per_owner_sv.clone(), c.global_model().to_vec())
+    }
+
+    /// From-scratch unmasked survivor aggregate: per-group survivor ring
+    /// sums (same order, same fixed-point ring), mean over surviving
+    /// groups.
+    pub(super) fn from_scratch_global(
+        n: usize,
+        m: usize,
+        dropped: &[usize],
+        weights: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let codec = FixedCodec::new(24);
+        let groups = grouping(&permutation(7, 0, n), m);
+        let mut surviving_models: Vec<Vec<f64>> = Vec::new();
+        for g in &groups {
+            let alive: Vec<usize> = g.iter().copied().filter(|i| !dropped.contains(i)).collect();
+            if alive.is_empty() {
+                continue;
+            }
+            let mut acc = vec![0u64; DIM];
+            for &i in &alive {
+                FixedCodec::ring_add_assign(&mut acc, &codec.encode_vec(&weights[i]));
+            }
+            surviving_models.push(
+                acc.iter()
+                    .map(|&r| codec.decode_avg(r, alive.len()))
+                    .collect(),
+            );
+        }
+        numeric::linalg::mean_vectors(&surviving_models)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn prop_survivor_only_evaluation_is_schedule_invariant(
+        n in 3usize..=6,
+        m_raw in 1usize..=3,
+        drop_seed in any::<u64>(),
+    ) {
+        // Random owner set, random dropout set (capped so the survivors
+        // can reach the majority escrow threshold), thread caps 1/2/auto:
+        // the survivor-only round evaluation must be bit-identical across
+        // thread counts AND equal a from-scratch unmasked aggregate of
+        // the survivors.
+        let m = m_raw.min(n);
+        let threshold = n / 2 + 1;
+        let max_drops = n - threshold;
+        let drop_count = (drop_seed as usize) % (max_drops + 1);
+        let mut dropped: Vec<usize> = Vec::new();
+        let mut cursor = drop_seed;
+        while dropped.len() < drop_count {
+            cursor = cursor.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let candidate = (cursor >> 33) as usize % n;
+            if !dropped.contains(&candidate) {
+                dropped.push(candidate);
+            }
+        }
+        dropped.sort_unstable();
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..650)
+                    .map(|d| ((i * 650 + d) as f64 * 0.37).sin() * 0.1)
+                    .collect()
+            })
+            .collect();
+
+        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, &dropped, &weights));
+        let (per_owner_sv, global_model) = survivor_rounds::run_round(n, m, &dropped, &weights);
+        for &d in &dropped {
+            prop_assert_eq!(per_owner_sv[d], 0.0, "dropped owner {} must score 0", d);
+        }
+        let expect = survivor_rounds::from_scratch_global(n, m, &dropped, &weights);
+        prop_assert_eq!(
+            global_model, expect,
+            "mask-stripped survivor aggregate must be bit-identical to the plaintext ring sum"
+        );
     }
 }
 
