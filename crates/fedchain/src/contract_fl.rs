@@ -42,7 +42,7 @@ use fl_crypto::dh::DhGroup;
 use fl_crypto::dropout::{reconstruct_private_key, strip_dropped_set_masks};
 use fl_crypto::shamir::{Shamir, Share};
 use fl_ml::dataset::Dataset;
-use fl_ml::metrics::model_accuracy;
+use fl_ml::metrics::model_accuracy_design;
 use fl_ml::LogisticModel;
 use numeric::{FixedCodec, U256};
 use shapley::estimator::{Exact, MonteCarlo, Stratified, SvEstimate, SvEstimator};
@@ -509,34 +509,41 @@ fn sampling_seed(permutation_seed: u64, round: u64) -> u64 {
 
 /// Test-set-accuracy utility `u(W)` shared by the contract and the
 /// off-chain analysis (Fig. 1/2 ground truth uses the same function).
-pub struct AccuracyUtility<'a> {
-    test_set: &'a Dataset,
+///
+/// The test set is conditioned into a prepared design **once** at
+/// construction; every `of_model` call — GroupSV issues `2^m` of them
+/// per round — then runs one GEMM over the cached design instead of
+/// re-scaling and re-bias-extending the test matrix. The accuracy values
+/// are bit-identical to the uncached pipeline, so state digests and
+/// round records are unaffected.
+pub struct AccuracyUtility {
+    test_design: fl_ml::Design,
     num_features: usize,
     num_classes: usize,
 }
 
-impl<'a> AccuracyUtility<'a> {
+impl AccuracyUtility {
     /// Builds the utility over a held-out test set.
-    pub fn new(test_set: &'a Dataset, num_features: usize, num_classes: usize) -> Self {
+    pub fn new(test_set: &Dataset, num_features: usize, num_classes: usize) -> Self {
         Self {
-            test_set,
+            test_design: fl_ml::Design::new(test_set),
             num_features,
             num_classes,
         }
     }
 }
 
-impl ModelUtility for AccuracyUtility<'_> {
+impl ModelUtility for AccuracyUtility {
     fn of_model(&self, weights: &[f64]) -> f64 {
         let model = LogisticModel::from_flat(weights, self.num_features, self.num_classes);
-        model_accuracy(&model, self.test_set)
+        model_accuracy_design(&model, &self.test_design)
     }
 
     fn of_empty(&self) -> f64 {
         // The zero model: uniform logits, argmax picks class 0 — exactly
         // what an untrained participant would deploy.
         let zero = LogisticModel::zeros(self.num_features, self.num_classes);
-        model_accuracy(&zero, self.test_set)
+        model_accuracy_design(&zero, &self.test_design)
     }
 }
 

@@ -15,17 +15,26 @@
 //!   so only `n` trainings happen (the mechanism that makes GroupSV an
 //!   order of magnitude faster, Sect. IV-B last paragraph).
 
-use fl_ml::dataset::Dataset;
-use fl_ml::logreg::{train_model, LogisticModel, TrainConfig};
-use fl_ml::metrics::model_accuracy;
-use numeric::linalg::mean_vectors;
+use fl_ml::dataset::{Dataset, DatasetView};
+use fl_ml::logreg::{train_model_design, Design, LogisticModel, TrainConfig};
+use fl_ml::metrics::model_accuracy_design;
+use numeric::linalg::axpy_slice;
 use shapley::coalition::Coalition;
 use shapley::utility::CoalitionUtility;
 
 /// Ground-truth utility: retrain on the coalition's pooled data.
+///
+/// Coalition datasets are **zero-copy**: each evaluation assembles a
+/// [`DatasetView`] over the member shards (shard references in coalition
+/// order, no row clones) and conditions it straight into the trainer's
+/// design matrix in one gather pass. The test set is conditioned once at
+/// construction and reused by all `2^n` accuracy evaluations. Both moves
+/// are bit-transparent — the trained weights and accuracies are
+/// identical to pooling with `Dataset::concat` and evaluating from
+/// scratch.
 pub struct RetrainUtility<'a> {
     shards: &'a [Dataset],
-    test: &'a Dataset,
+    test_design: Design,
     train: TrainConfig,
 }
 
@@ -39,14 +48,17 @@ impl<'a> RetrainUtility<'a> {
         assert!(!shards.is_empty(), "need at least one shard");
         Self {
             shards,
-            test,
+            test_design: Design::new(test),
             train,
         }
     }
 
     fn zero_accuracy(&self) -> f64 {
-        let zero = LogisticModel::zeros(self.test.num_features(), self.test.num_classes);
-        model_accuracy(&zero, self.test)
+        let zero = LogisticModel::zeros(
+            self.test_design.num_features(),
+            self.test_design.num_classes(),
+        );
+        model_accuracy_design(&zero, &self.test_design)
     }
 }
 
@@ -60,17 +72,21 @@ impl CoalitionUtility for RetrainUtility<'_> {
             return self.zero_accuracy();
         }
         let parts: Vec<&Dataset> = coalition.members().map(|i| &self.shards[i]).collect();
-        let pooled = Dataset::concat(&parts);
-        let model = train_model(&pooled, &self.train);
-        model_accuracy(&model, self.test)
+        let view = DatasetView::of_parts(parts);
+        let model = train_model_design(&Design::from_view(&view), &self.train);
+        model_accuracy_design(&model, &self.test_design)
     }
 }
 
 /// FL-aggregation utility: coalition model = mean of members' local
 /// updates (train `n` models once, then every coalition is an average).
+///
+/// Like [`RetrainUtility`], the test set is conditioned once, and the
+/// coalition average accumulates member updates in index order without
+/// cloning them (same float operations as `mean_vectors` over clones).
 pub struct AggregateUtility<'a> {
     local_updates: &'a [Vec<f64>],
-    test: &'a Dataset,
+    test_design: Design,
     num_features: usize,
     num_classes: usize,
 }
@@ -96,7 +112,7 @@ impl<'a> AggregateUtility<'a> {
         assert_eq!(dim, (num_features + 1) * num_classes, "dim mismatch");
         Self {
             local_updates,
-            test,
+            test_design: Design::new(test),
             num_features,
             num_classes,
         }
@@ -111,15 +127,19 @@ impl CoalitionUtility for AggregateUtility<'_> {
     fn evaluate(&self, coalition: Coalition) -> f64 {
         if coalition.is_empty() {
             let zero = LogisticModel::zeros(self.num_features, self.num_classes);
-            return model_accuracy(&zero, self.test);
+            return model_accuracy_design(&zero, &self.test_design);
         }
-        let members: Vec<Vec<f64>> = coalition
-            .members()
-            .map(|i| self.local_updates[i].clone())
-            .collect();
-        let avg = mean_vectors(&members);
+        let dim = (self.num_features + 1) * self.num_classes;
+        let mut avg = vec![0.0f64; dim];
+        for i in coalition.members() {
+            axpy_slice(&mut avg, 1.0, &self.local_updates[i]);
+        }
+        let inv = 1.0 / coalition.len() as f64;
+        for a in &mut avg {
+            *a *= inv;
+        }
         let model = LogisticModel::from_flat(&avg, self.num_features, self.num_classes);
-        model_accuracy(&model, self.test)
+        model_accuracy_design(&model, &self.test_design)
     }
 }
 
@@ -128,6 +148,8 @@ mod tests {
     use super::*;
     use crate::config::FlConfig;
     use crate::world::World;
+    use fl_ml::metrics::model_accuracy;
+    use numeric::linalg::mean_vectors;
     use shapley::axioms::check_efficiency;
     use shapley::exact_shapley;
     use shapley::utility::CachedUtility;
@@ -153,6 +175,30 @@ mod tests {
             grand > empty + 0.15,
             "training must help: {empty} -> {grand}"
         );
+    }
+
+    #[test]
+    fn zero_copy_retrain_is_bit_identical_to_materialized_pipeline() {
+        // The seed pipeline: pool the coalition with Dataset::concat,
+        // train from scratch, evaluate accuracy on the raw test set. The
+        // view + prepared-design path must reproduce it bit for bit.
+        use fl_ml::logreg::train_model;
+        let config = tiny_config();
+        let world = World::generate(&config).unwrap();
+        let u = RetrainUtility::new(&world.shards, &world.test, config.train);
+        for coalition in Coalition::powerset(3) {
+            let fast = u.evaluate(coalition);
+            let slow = if coalition.is_empty() {
+                let zero = LogisticModel::zeros(world.test.num_features(), world.test.num_classes);
+                model_accuracy(&zero, &world.test)
+            } else {
+                let parts: Vec<&Dataset> = coalition.members().map(|i| &world.shards[i]).collect();
+                let pooled = Dataset::concat(&parts);
+                let model = train_model(&pooled, &config.train);
+                model_accuracy(&model, &world.test)
+            };
+            assert_eq!(fast, slow, "coalition {coalition:?}");
+        }
     }
 
     #[test]

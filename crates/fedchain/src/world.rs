@@ -52,16 +52,17 @@ impl World {
 
     /// Trains each owner's local model *starting from `global`* — one FL
     /// round's worth of local updates (used by multi-round analyses).
+    ///
+    /// Owners train in parallel on [`numeric::par`]: each update is a
+    /// pure function of the owner index (shard → conditioned design →
+    /// warm-started batched trainer), and the batched kernels are
+    /// themselves bit-identical across thread counts, so the update
+    /// vector is too.
     pub fn local_updates_from(&self, config: &FlConfig, global: &[f64]) -> Vec<Vec<f64>> {
-        self.shards
-            .iter()
-            .map(|shard| {
-                let mut model =
-                    LogisticModel::from_flat(global, config.data.features, config.data.classes);
-                model.train(shard, &config.train);
-                model.to_flat()
-            })
-            .collect()
+        numeric::par::par_map(&self.shards, 1, |_, shard| {
+            let design = fl_ml::Design::new(shard);
+            LogisticModel::train_from(global, &design, &config.train).to_flat()
+        })
     }
 
     /// Accuracy of the zero model on the test set (the `u(∅)` baseline).

@@ -116,6 +116,12 @@ impl Dataset {
         }
     }
 
+    /// A zero-copy view over this whole dataset (a one-part
+    /// [`DatasetView`]).
+    pub fn view(&self) -> DatasetView<'_> {
+        DatasetView::of_parts(vec![self])
+    }
+
     /// Per-class example counts.
     pub fn class_histogram(&self) -> Vec<usize> {
         let mut hist = vec![0usize; self.num_classes];
@@ -123,6 +129,74 @@ impl Dataset {
             hist[l] += 1;
         }
         hist
+    }
+}
+
+/// A zero-copy concatenation view over owner shards.
+///
+/// Coalition retraining (the paper's native-SV ground truth) pools the
+/// member shards for every one of the `2^n` coalitions;
+/// [`Dataset::concat`] clones every row to do so. A `DatasetView` instead
+/// holds shard *references* in coalition order — the row sequence is
+/// identical to `Dataset::concat(&parts)` but no feature row is copied
+/// until the trainer gathers them into its conditioned design matrix
+/// (one fused gather-scale-bias pass in `logreg::Design::from_view`).
+#[derive(Debug, Clone)]
+pub struct DatasetView<'a> {
+    parts: Vec<&'a Dataset>,
+    len: usize,
+}
+
+impl<'a> DatasetView<'a> {
+    /// Builds a view over `parts` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or schemas (feature count, class
+    /// count) mismatch — the same contract as [`Dataset::concat`].
+    pub fn of_parts(parts: Vec<&'a Dataset>) -> Self {
+        assert!(!parts.is_empty(), "cannot view zero datasets");
+        let cols = parts[0].num_features();
+        let classes = parts[0].num_classes;
+        for part in &parts {
+            assert_eq!(part.num_features(), cols, "feature mismatch in view");
+            assert_eq!(part.num_classes, classes, "class mismatch in view");
+        }
+        let len = parts.iter().map(|d| d.len()).sum();
+        Self { parts, len }
+    }
+
+    /// Total number of examples across all parts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when every part is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of features per example.
+    pub fn num_features(&self) -> usize {
+        self.parts[0].num_features()
+    }
+
+    /// Total number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.parts[0].num_classes
+    }
+
+    /// Iterates `(feature_row, label)` pairs in concatenation order.
+    pub fn rows(&self) -> impl Iterator<Item = (&'a [f64], usize)> + '_ {
+        self.parts
+            .iter()
+            .flat_map(|part| (0..part.len()).map(move |r| (part.features.row(r), part.labels[r])))
+    }
+
+    /// Materializes the view into an owned dataset (row-identical to
+    /// [`Dataset::concat`] over the same parts).
+    pub fn materialize(&self) -> Dataset {
+        Dataset::concat(&self.parts)
     }
 }
 
@@ -283,6 +357,46 @@ mod tests {
     #[should_panic(expected = "zero datasets")]
     fn concat_empty_panics() {
         let _ = Dataset::concat(&[]);
+    }
+
+    #[test]
+    fn view_matches_concat_row_for_row() {
+        let ds = SyntheticDigits::small().generate(7);
+        let a = ds.subset(&[0, 3, 5]);
+        let b = ds.subset(&[1, 2]);
+        let view = DatasetView::of_parts(vec![&a, &b]);
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.num_features(), 64);
+        assert_eq!(view.num_classes(), 10);
+        let materialized = view.materialize();
+        assert_eq!(materialized, Dataset::concat(&[&a, &b]));
+        for (i, (row, label)) in view.rows().enumerate() {
+            assert_eq!(row, materialized.features.row(i));
+            assert_eq!(label, materialized.labels[i]);
+        }
+    }
+
+    #[test]
+    fn single_dataset_view_round_trips() {
+        let ds = SyntheticDigits::small().generate(8);
+        let view = ds.view();
+        assert_eq!(view.len(), ds.len());
+        assert!(!view.is_empty());
+        assert_eq!(view.materialize(), ds);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero datasets")]
+    fn empty_view_panics() {
+        let _ = DatasetView::of_parts(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "class mismatch")]
+    fn view_schema_mismatch_panics() {
+        let a = Dataset::new(Matrix::zeros(1, 2), vec![0], 3);
+        let b = Dataset::new(Matrix::zeros(1, 2), vec![0], 4);
+        let _ = DatasetView::of_parts(vec![&a, &b]);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod rng;
 pub mod sgd;
 pub mod split;
 
-pub use dataset::{Dataset, SyntheticDigits};
-pub use logreg::{LogisticModel, TrainConfig};
+pub use dataset::{Dataset, DatasetView, SyntheticDigits};
+pub use logreg::{Design, LogisticModel, TrainConfig};
 pub use rng::Xoshiro256;

@@ -6,11 +6,24 @@
 //! full-batch cross-entropy; `to_flat`/`from_flat` convert between the
 //! matrix form and the flat weight vector that travels through secure
 //! aggregation.
+//!
+//! # Batched execution
+//!
+//! Training and evaluation run over a [`Design`] — the input features
+//! conditioned (fixed 1/16 scale) and bias-extended **once**, in a single
+//! gather pass, instead of per call. The epoch loop is three batched
+//! kernels with no per-row temporaries: one logits GEMM into a reused
+//! buffer ([`Matrix::matmul_into`]), one fused softmax+residual pass in
+//! place, and one gradient GEMM ([`Matrix::t_matmul_into`]). Every kernel
+//! keeps the `numeric::linalg` determinism contract, so trained weights
+//! are bit-identical for any thread count — and bit-identical to the
+//! original unfused loop, whose operation order the fused pass preserves
+//! exactly.
 
 use numeric::stats::argmax;
 use numeric::Matrix;
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetView};
 
 /// Hyper-parameters for local training.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +43,106 @@ impl Default for TrainConfig {
             epochs: 10,
             l2: 1e-4,
         }
+    }
+}
+
+/// A conditioned design matrix: features scaled and bias-extended, with
+/// labels, ready for repeated training or evaluation passes.
+///
+/// Building a `Design` pays the input conditioning (the fixed 1/16 scale
+/// plus the constant bias column) exactly once; every
+/// [`LogisticModel::train_design`] epoch and every
+/// [`LogisticModel::predict_design`] call then runs straight GEMMs over
+/// it. The FL hot paths build one design per dataset — per owner shard,
+/// per coalition, and *once* for the test set an accuracy utility
+/// evaluates `2^m` models against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    x: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Design {
+    /// Conditions a dataset into a design matrix.
+    pub fn new(data: &Dataset) -> Self {
+        Self::from_view(&data.view())
+    }
+
+    /// Conditions a zero-copy coalition view: one fused gather-scale-bias
+    /// pass over the member shards, no intermediate pooled dataset.
+    ///
+    /// Row order matches `Dataset::concat` over the same parts, so the
+    /// trained weights are bit-identical to materializing first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is empty.
+    pub fn from_view(view: &DatasetView<'_>) -> Self {
+        assert!(!view.is_empty(), "cannot train on an empty dataset");
+        let features = view.num_features();
+        let mut x = Matrix::zeros(view.len(), features + 1);
+        let mut labels = Vec::with_capacity(view.len());
+        for (r, (row, label)) in view.rows().enumerate() {
+            let out = x.row_mut(r);
+            for (o, &v) in out[..features].iter_mut().zip(row) {
+                *o = v / 16.0;
+            }
+            out[features] = 1.0;
+            labels.push(label);
+        }
+        Self {
+            x,
+            labels,
+            num_classes: view.num_classes(),
+        }
+    }
+
+    /// Gathers the rows at `indices` into a new design (used by the
+    /// mini-batch trainer: conditioning is inherited, not recomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn gather(&self, indices: &[usize]) -> Design {
+        let cols = self.x.cols();
+        let mut data = Vec::with_capacity(indices.len() * cols);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds ({})", self.len());
+            data.extend_from_slice(self.x.row(i));
+            labels.push(self.labels[i]);
+        }
+        Design {
+            x: Matrix::from_vec(indices.len(), cols, data),
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the design holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of raw input features (bias column excluded).
+    pub fn num_features(&self) -> usize {
+        self.x.cols() - 1
+    }
+
+    /// Total number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Labels in row order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
     }
 }
 
@@ -102,6 +215,10 @@ impl LogisticModel {
     }
 
     /// Class-probability matrix for `features` (one row per example).
+    ///
+    /// Conditions the input on every call; evaluation loops that hit the
+    /// same data repeatedly should build a [`Design`] once and use
+    /// [`LogisticModel::predict_proba_design`].
     pub fn predict_proba(&self, features: &Matrix) -> Matrix {
         assert_eq!(
             features.cols(),
@@ -111,42 +228,91 @@ impl LogisticModel {
             features.cols()
         );
         let x = scaled_with_bias(features);
-        let logits = x.matmul(&self.weights);
-        softmax_rows(&logits)
+        let mut logits = x.matmul(&self.weights);
+        softmax_rows_in_place(&mut logits);
+        logits
+    }
+
+    /// Class-probability matrix over a prepared design (no conditioning
+    /// pass: one GEMM plus the in-place softmax).
+    pub fn predict_proba_design(&self, design: &Design) -> Matrix {
+        assert_eq!(
+            design.num_features(),
+            self.num_features,
+            "feature count mismatch: model {}, design {}",
+            self.num_features,
+            design.num_features()
+        );
+        let mut logits = design.x.matmul(&self.weights);
+        softmax_rows_in_place(&mut logits);
+        logits
     }
 
     /// Hard label predictions.
     pub fn predict(&self, features: &Matrix) -> Vec<usize> {
         let proba = self.predict_proba(features);
-        (0..proba.rows())
-            .map(|r| argmax(proba.row(r)).expect("non-empty probability row"))
-            .collect()
+        argmax_rows(&proba)
+    }
+
+    /// Hard label predictions over a prepared design.
+    pub fn predict_design(&self, design: &Design) -> Vec<usize> {
+        let proba = self.predict_proba_design(design);
+        argmax_rows(&proba)
     }
 
     /// Trains in place on `data` for `config.epochs` full-batch steps.
     pub fn train(&mut self, data: &Dataset, config: &TrainConfig) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(data.num_classes, self.num_classes, "class count mismatch");
-        let x = scaled_with_bias(&data.features);
-        let n = data.len() as f64;
+        let design = Design::new(data);
+        self.train_design(&design, config);
+    }
 
-        // One-hot label matrix.
-        let mut y = Matrix::zeros(data.len(), self.num_classes);
-        for (i, &label) in data.labels.iter().enumerate() {
-            y[(i, label)] = 1.0;
-        }
+    /// Trains in place over a prepared design — the batched epoch loop
+    /// every trainer entry point funnels through.
+    ///
+    /// Per epoch: one logits GEMM into a reused buffer, one fused
+    /// softmax+residual pass in place (`P − Y` without materializing the
+    /// one-hot labels), one gradient GEMM into a reused buffer, then the
+    /// L2 and step AXPYs. No per-row or per-epoch allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty design or class/feature-count mismatch.
+    pub fn train_design(&mut self, design: &Design, config: &TrainConfig) {
+        assert!(!design.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(design.num_classes, self.num_classes, "class count mismatch");
+        assert_eq!(
+            design.num_features(),
+            self.num_features,
+            "feature count mismatch: model {}, design {}",
+            self.num_features,
+            design.num_features()
+        );
+        let x = &design.x;
+        let n = design.len() as f64;
+        let mut logits = Matrix::zeros(design.len(), self.num_classes);
+        let mut grad = Matrix::zeros(self.num_features + 1, self.num_classes);
 
         for _ in 0..config.epochs {
-            let logits = x.matmul(&self.weights);
-            let mut residual = softmax_rows(&logits);
-            residual.axpy(-1.0, &y); // P − Y
-            let mut grad = x.t_matmul(&residual);
+            x.matmul_into(&self.weights, &mut logits);
+            softmax_residual_in_place(&mut logits, &design.labels); // P − Y
+            x.t_matmul_into(&logits, &mut grad);
             grad.scale(1.0 / n);
             if config.l2 > 0.0 {
                 grad.axpy(config.l2, &self.weights);
             }
             self.weights.axpy(-config.learning_rate, &grad);
         }
+    }
+
+    /// Warm start: builds a model from the flat `global` weights and
+    /// trains it on `design` — one FL round's local update without
+    /// re-deriving the conditioned design (the caller keeps it across
+    /// rounds) and without an intermediate zero model.
+    pub fn train_from(global: &[f64], design: &Design, config: &TrainConfig) -> Self {
+        let mut model = Self::from_flat(global, design.num_features(), design.num_classes);
+        model.train_design(design, config);
+        model
     }
 
     /// Cross-entropy loss on `data` (mean negative log-likelihood).
@@ -170,6 +336,13 @@ pub fn train_model(data: &Dataset, config: &TrainConfig) -> LogisticModel {
     model
 }
 
+/// Trains a fresh model over a prepared design.
+pub fn train_model_design(design: &Design, config: &TrainConfig) -> LogisticModel {
+    let mut model = LogisticModel::zeros(design.num_features(), design.num_classes());
+    model.train_design(design, config);
+    model
+}
+
 /// Input conditioning: scale bitmap counts (0–16) towards unit range and
 /// append the bias column. A fixed constant keeps the transformation
 /// identical on every owner without sharing statistics.
@@ -177,19 +350,49 @@ fn scaled_with_bias(features: &Matrix) -> Matrix {
     features.map(|v| v / 16.0).with_bias_column()
 }
 
-/// Row-wise numerically-stable softmax.
-fn softmax_rows(logits: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+/// Row-wise argmax over a probability matrix.
+fn argmax_rows(proba: &Matrix) -> Vec<usize> {
+    (0..proba.rows())
+        .map(|r| argmax(proba.row(r)).expect("non-empty probability row"))
+        .collect()
+}
+
+/// Row-wise numerically-stable softmax, in place, no temporaries.
+///
+/// Operation order per element matches the original out-of-place
+/// version — `(v − max).exp()`, then a division by the row sum — so the
+/// probabilities are bit-identical to the unfused pipeline.
+fn softmax_rows_in_place(logits: &mut Matrix) {
     for r in 0..logits.rows() {
-        let row = logits.row(r);
+        let row = logits.row_mut(r);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exp: Vec<f64> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f64 = exp.iter().sum();
-        let out_row = out.row_mut(r);
-        for (o, e) in out_row.iter_mut().zip(&exp) {
-            *o = e / sum;
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
         }
     }
+}
+
+/// Fused softmax + residual: turns a logits matrix into `P − Y` in one
+/// pass, subtracting the one-hot label directly instead of materializing
+/// `Y` and AXPY-ing it (`p − 1.0` is the identical float operation).
+fn softmax_residual_in_place(logits: &mut Matrix, labels: &[usize]) {
+    debug_assert_eq!(logits.rows(), labels.len());
+    softmax_rows_in_place(logits);
+    for (r, &label) in labels.iter().enumerate() {
+        logits.row_mut(r)[label] -= 1.0;
+    }
+}
+
+/// Row-wise numerically-stable softmax (out of place).
+#[cfg(test)]
+fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    softmax_rows_in_place(&mut out);
     out
 }
 
@@ -315,6 +518,96 @@ mod tests {
             reg.weights().frobenius_norm() < no_reg.weights().frobenius_norm(),
             "L2 must shrink the weight norm"
         );
+    }
+
+    #[test]
+    fn design_training_is_bit_identical_to_dataset_training() {
+        let ds = SyntheticDigits::small().generate(7);
+        let via_dataset = train_model(&ds, &quick_config());
+        let design = Design::new(&ds);
+        let via_design = train_model_design(&design, &quick_config());
+        assert_eq!(via_dataset, via_design);
+        // Prediction paths agree too.
+        assert_eq!(
+            via_dataset.predict(&ds.features),
+            via_design.predict_design(&design)
+        );
+        assert_eq!(
+            via_dataset.predict_proba(&ds.features),
+            via_design.predict_proba_design(&design)
+        );
+    }
+
+    #[test]
+    fn coalition_view_trains_like_materialized_concat() {
+        use crate::dataset::{Dataset, DatasetView};
+        let ds = SyntheticDigits::small().generate(9);
+        let a = ds.subset(&(0..200).collect::<Vec<_>>());
+        let b = ds.subset(&(200..450).collect::<Vec<_>>());
+        let view = DatasetView::of_parts(vec![&a, &b]);
+        let via_view = train_model_design(&Design::from_view(&view), &quick_config());
+        let pooled = Dataset::concat(&[&a, &b]);
+        let via_concat = train_model(&pooled, &quick_config());
+        assert_eq!(via_view, via_concat, "zero-copy view must not change bits");
+    }
+
+    #[test]
+    fn train_from_warm_starts_from_global_weights() {
+        let ds = SyntheticDigits::small().generate(10);
+        let design = Design::new(&ds);
+        let global = train_model_design(
+            &design,
+            &TrainConfig {
+                epochs: 5,
+                ..quick_config()
+            },
+        );
+        let warm = LogisticModel::train_from(
+            &global.to_flat(),
+            &design,
+            &TrainConfig {
+                epochs: 20,
+                ..quick_config()
+            },
+        );
+        // Identical to the long-hand from_flat + train path.
+        let mut long_hand =
+            LogisticModel::from_flat(&global.to_flat(), ds.num_features(), ds.num_classes);
+        long_hand.train(
+            &ds,
+            &TrainConfig {
+                epochs: 20,
+                ..quick_config()
+            },
+        );
+        assert_eq!(warm, long_hand);
+    }
+
+    #[test]
+    fn design_gather_matches_subset_conditioning() {
+        let ds = SyntheticDigits::small().generate(11);
+        let design = Design::new(&ds);
+        let indices = [5usize, 0, 17, 42];
+        let gathered = design.gather(&indices);
+        assert_eq!(gathered, Design::new(&ds.subset(&indices)));
+        assert_eq!(gathered.len(), 4);
+        assert_eq!(gathered.labels()[1], ds.labels[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn design_gather_out_of_bounds_panics() {
+        let ds = SyntheticDigits::small().generate(11);
+        let _ = Design::new(&ds).gather(&[100_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn design_feature_mismatch_panics() {
+        let ds = SyntheticDigits::small().generate(12);
+        let design = Design::new(&ds);
+        let mut model = LogisticModel::zeros(32, 10);
+        model.train_design(&design, &quick_config());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! hinge on which every Shapley value in the system turns.
 
 use crate::dataset::Dataset;
-use crate::logreg::LogisticModel;
+use crate::logreg::{Design, LogisticModel};
 
 /// Fraction of predictions matching the labels.
 ///
@@ -30,6 +30,15 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
 /// Accuracy of `model` on `data` — the paper's `u(·)`.
 pub fn model_accuracy(model: &LogisticModel, data: &Dataset) -> f64 {
     accuracy(&model.predict(&data.features), &data.labels)
+}
+
+/// Accuracy of `model` over a prepared [`Design`] — bit-identical to
+/// [`model_accuracy`] on the underlying dataset, but without re-running
+/// the conditioning pass. The accuracy utilities build the test design
+/// once and evaluate every one of their `2^m` coalition models through
+/// this.
+pub fn model_accuracy_design(model: &LogisticModel, design: &Design) -> f64 {
+    accuracy(&model.predict_design(design), design.labels())
 }
 
 /// Row-normalized confusion matrix counts: `counts[actual][predicted]`.

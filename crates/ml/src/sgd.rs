@@ -60,20 +60,20 @@ pub fn train_sgd(model: &mut LogisticModel, data: &Dataset, config: &SgdConfig) 
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = Xoshiro256::seed_from_u64(config.seed);
 
+    // Condition once; every mini-batch gathers already-conditioned rows
+    // instead of re-scaling and re-appending the bias column per step.
+    let design = crate::logreg::Design::new(data);
+    let step = crate::logreg::TrainConfig {
+        learning_rate: config.learning_rate,
+        epochs: 1,
+        l2: config.l2,
+    };
     for _ in 0..config.epochs {
         rng.shuffle(&mut order);
         for chunk in order.chunks(batch) {
-            let minibatch = data.subset(chunk);
             // One full-batch step *on the mini-batch* re-uses the
             // well-tested gradient path of the base trainer.
-            model.train(
-                &minibatch,
-                &crate::logreg::TrainConfig {
-                    learning_rate: config.learning_rate,
-                    epochs: 1,
-                    l2: config.l2,
-                },
-            );
+            model.train_design(&design.gather(chunk), &step);
         }
     }
 }

@@ -4,9 +4,42 @@
 //! kernels: matrix–matrix product, transpose-product, row-wise softmax
 //! support, AXPY updates and flattening to/from the weight vectors that
 //! travel through secure aggregation. There is no BLAS in the offline
-//! dependency set, and the paper's workload (5620×64 inputs, 64×10 weight
-//! matrices) is tiny, so a cache-friendly but straightforward
-//! implementation is the right tool.
+//! dependency set, so the products are implemented here as cache-blocked
+//! GEMM kernels driven by the deterministic fork-join layer in
+//! [`crate::par`].
+//!
+//! # Determinism contract
+//!
+//! Every coalition retraining is re-executed by miners on arbitrary
+//! hardware, so [`Matrix::matmul`] and [`Matrix::t_matmul`] must be
+//! **bit-identical for any thread count** — and they additionally pin
+//! themselves to the naive reference loop:
+//!
+//! * Output element `(i, j)` accumulates its products `a[i][k]·b[k][j]`
+//!   **strictly in ascending `k` order**: k-tiles are visited in ascending
+//!   order, the register accumulator of each micro-tile is seeded from the
+//!   current output value and written back after the tile, and no kernel
+//!   ever combines partial sums in a tree or uses fused multiply-add. For
+//!   **finite** operands the result is therefore bit-identical to the
+//!   textbook `for i { for k { for j { out[i][j] += a[i][k] * b[k][j] } } }`
+//!   loop (kept verbatim as the oracle in this module's property tests) —
+//!   including that loop's skip of exact-zero lhs entries, which for
+//!   finite rhs values only ever adds `±0.0` terms that cannot change a
+//!   running sum's bits. With `Inf`/`NaN` operands the skip is
+//!   observable (`0.0 * Inf = NaN` is computed here, skipped there);
+//!   nothing in this workspace feeds non-finite values into the kernels.
+//! * Work fans out over contiguous *row panels* of the output via
+//!   [`crate::par::par_fill_rows`]: each output row is a pure function of
+//!   its global row index, so panel boundaries move with the thread count
+//!   but row contents never do.
+//! * [`Matrix::t_matmul`] never materializes the transpose: each reduction
+//!   tile of the left operand is packed into a transposed panel and fed
+//!   through the same micro-kernel, with the reduction index (the left
+//!   operand's row index) still folded in ascending order.
+//!
+//! The property tests in `shapley/tests/par_determinism.rs` pin the
+//! thread-count half of the contract; the proptests at the bottom of this
+//! file pin the naive-reference half.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -24,11 +57,17 @@ pub type Vector = Vec<f64>;
 
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize` (in release builds the
+    /// raw multiplication would wrap silently and leave the element count
+    /// inconsistent with the shape).
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; checked_len(rows, cols)],
         }
     }
 
@@ -36,11 +75,11 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if `data.len() != rows * cols`.
+    /// Panics if `data.len() != rows * cols` or `rows * cols` overflows.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(
             data.len(),
-            rows * cols,
+            checked_len(rows, cols),
             "buffer length {} does not match {rows}x{cols}",
             data.len()
         );
@@ -118,12 +157,30 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs` through the blocked GEMM kernel (see
+    /// the module docs for the determinism contract).
+    ///
+    /// An empty inner dimension is well-defined: the result is the
+    /// `rows × rhs.cols` zero matrix (a sum over zero terms).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Like [`Matrix::matmul`], writing into a caller-owned output matrix
+    /// (overwritten, not accumulated) — the trainer's per-epoch logits
+    /// and gradient buffers are reused through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch or if `out` is not
+    /// `self.rows × rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             rhs.rows,
@@ -131,29 +188,47 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of `rhs` and `out`.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul output shape mismatch: got {:?}, need {:?}",
+            out.shape(),
+            (self.rows, rhs.cols)
+        );
+        gemm::gemm_into(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Product of the transpose of `self` with `rhs`: `selfᵀ * rhs`.
     ///
-    /// Used for the gradient `Xᵀ·(P − Y)` without materializing `Xᵀ`.
+    /// Used for the gradient `Xᵀ·(P − Y)` without materializing `Xᵀ`:
+    /// reduction tiles of `self` are packed into transposed panels and
+    /// driven through the same blocked kernel as [`Matrix::matmul`],
+    /// folding the reduction index in ascending order (module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Like [`Matrix::t_matmul`], writing into a caller-owned output
+    /// matrix (overwritten, not accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch or if `out` is not
+    /// `self.cols × rhs.cols`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows,
             rhs.rows,
@@ -161,21 +236,21 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let left = &self.data[r * self.cols..(r + 1) * self.cols];
-            let right = &rhs.data[r * rhs.cols..(r + 1) * rhs.cols];
-            for (i, &a) in left.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(right) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "t_matmul output shape mismatch: got {:?}, need {:?}",
+            out.shape(),
+            (self.cols, rhs.cols)
+        );
+        gemm::t_gemm_into(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Transposed copy.
@@ -279,6 +354,261 @@ impl fmt::Debug for Matrix {
             writeln!(f, "  …")?;
         }
         write!(f, "]")
+    }
+}
+
+/// `rows * cols` with an overflow check, so a shape can never disagree
+/// with its element count (release-mode wrapping would otherwise produce
+/// a tiny buffer that passes the length assert and mis-indexes later).
+fn checked_len(rows: usize, cols: usize) -> usize {
+    rows.checked_mul(cols)
+        .unwrap_or_else(|| panic!("matrix shape {rows}x{cols} overflows usize"))
+}
+
+/// Cache-blocked GEMM kernels on [`crate::par`].
+///
+/// Layout of the computation (see the module docs for the determinism
+/// contract these loops implement):
+///
+/// * the output fans out over contiguous **row panels**
+///   ([`crate::par::par_fill_rows`]), one worker per panel;
+/// * inside a panel, the reduction dimension is walked in **k-tiles** of
+///   [`KC`] in ascending order; every micro-tile seeds its register
+///   accumulators from the current output values and writes them back
+///   after the tile, so each output element folds its products strictly
+///   in ascending reduction order;
+/// * micro-tiles cover 2 output rows × [`NR`] columns: the rhs row
+///   segment is loaded once and reused for both rows, and the
+///   accumulators live in registers across the whole k-tile.
+mod gemm {
+    use crate::par;
+
+    /// Reduction-tile length: a `KC × NR` rhs slab (16 KiB) stays
+    /// L1-resident across a whole row panel.
+    const KC: usize = 256;
+    /// Micro-kernel width (output columns per register tile).
+    const NR: usize = 8;
+    /// Reduction tile for the transposed product — sized so the packed
+    /// panel of a 64-ish-column operand (`cols × KT × 8` bytes ≈ 25 KiB)
+    /// stays L1-resident while the kernel sweeps it once per rhs column
+    /// tile.
+    const KT: usize = 48;
+    /// Minimum flops worth shipping to another thread: below this a
+    /// panel stays on the calling thread (scoped-thread spawn costs tens
+    /// of microseconds; determinism does not depend on the threshold).
+    const PAR_MIN_FLOPS: usize = 1 << 18;
+
+    /// Rows per thread for an output of `rows` rows costing
+    /// `flops_per_row` each.
+    fn min_rows_per_thread(flops_per_row: usize) -> usize {
+        (PAR_MIN_FLOPS / flops_per_row.max(1)).max(1)
+    }
+
+    /// `out = a(m×k) · b(k×n)`; every output element is fully written
+    /// (the first k-tile seeds the accumulators with zero), so stale
+    /// buffer contents never leak through.
+    pub(super) fn gemm_into(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+        if m == 0 || k == 0 || n == 0 {
+            // An empty reduction is a sum over zero terms.
+            out.fill(0.0);
+            return;
+        }
+        let min_rows = min_rows_per_thread(2 * k * n);
+        par::par_fill_rows(out, n, min_rows, |row0, panel| {
+            let rows = panel.len() / n;
+            let a_panel = &a[row0 * k..(row0 + rows) * k];
+            for kt in (0..k).step_by(KC) {
+                let kc = KC.min(k - kt);
+                block_kernel(a_panel, k, kt, rows, kc, b, n, kt, kt == 0, panel);
+            }
+        });
+    }
+
+    /// `out = aᵀ · b` where `a` is `m×ac` and `b` is `m×n`; `out` is
+    /// `ac×n` and fully written (first reduction tile seeds zero).
+    /// Reduction runs over the `m` rows in ascending order via packed
+    /// transposed panels.
+    pub(super) fn t_gemm_into(
+        m: usize,
+        ac: usize,
+        n: usize,
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        if m == 0 || ac == 0 || n == 0 {
+            // An empty reduction is a sum over zero terms.
+            out.fill(0.0);
+            return;
+        }
+        let min_rows = min_rows_per_thread(2 * m * n);
+        par::par_fill_rows(out, n, min_rows, |c0, panel| {
+            let cs = panel.len() / n;
+            // Packed transposed panel: row `c` holds a[rt..rt+rc][c0+c].
+            let mut packed = vec![0.0f64; cs * KT.min(m)];
+            for rt in (0..m).step_by(KT) {
+                let rc = KT.min(m - rt);
+                for rr in 0..rc {
+                    let a_row = &a[(rt + rr) * ac + c0..(rt + rr) * ac + c0 + cs];
+                    for (c, &v) in a_row.iter().enumerate() {
+                        packed[c * rc + rr] = v;
+                    }
+                }
+                block_kernel(&packed, rc, 0, cs, rc, b, n, rt, rt == 0, panel);
+            }
+        });
+    }
+
+    /// One k-tile over a whole row panel:
+    /// `out[i][j] += Σ_{kk<kc} a[i*lda + a_col0 + kk] · b[(bk0+kk)*n + j]`
+    /// for `i < mi`, accumulated per element in ascending `kk` on top of
+    /// the current output value. On the `first` tile the accumulators
+    /// are seeded with `0.0` instead of loading the output, which lets
+    /// callers skip a zero-fill pass — bit-identical, since the seed
+    /// value is exactly what the fill would have stored.
+    #[allow(clippy::too_many_arguments)]
+    fn block_kernel(
+        a: &[f64],
+        lda: usize,
+        a_col0: usize,
+        mi: usize,
+        kc: usize,
+        b: &[f64],
+        n: usize,
+        bk0: usize,
+        first: bool,
+        out: &mut [f64],
+    ) {
+        let b_tile = &b[bk0 * n..(bk0 + kc) * n];
+        let mut i = 0;
+        while i + 1 < mi {
+            let a0 = &a[i * lda + a_col0..i * lda + a_col0 + kc];
+            let a1 = &a[(i + 1) * lda + a_col0..(i + 1) * lda + a_col0 + kc];
+            let (row0, rest) = out[i * n..].split_at_mut(n);
+            let row1 = &mut rest[..n];
+            let mut j = 0;
+            while n - j >= NR {
+                pair_tile::<NR>(a0, a1, b_tile, n, j, first, row0, row1);
+                j += NR;
+            }
+            dispatch_pair_tail(n - j, a0, a1, b_tile, n, j, first, row0, row1);
+            i += 2;
+        }
+        if i < mi {
+            let a0 = &a[i * lda + a_col0..i * lda + a_col0 + kc];
+            let row0 = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while n - j >= NR {
+                single_tile::<NR>(a0, b_tile, n, j, first, row0);
+                j += NR;
+            }
+            dispatch_single_tail(n - j, a0, b_tile, n, j, first, row0);
+        }
+    }
+
+    /// Two output rows × `W` columns: rhs segments are loaded once per
+    /// reduction step and reused for both rows; accumulators are seeded
+    /// from the output (or `0.0` on the first tile) and written back, so
+    /// the per-element fold stays in ascending reduction order.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn pair_tile<const W: usize>(
+        a0: &[f64],
+        a1: &[f64],
+        b_tile: &[f64],
+        n: usize,
+        j: usize,
+        first: bool,
+        row0: &mut [f64],
+        row1: &mut [f64],
+    ) {
+        let mut acc0 = [0.0f64; W];
+        let mut acc1 = [0.0f64; W];
+        if !first {
+            acc0.copy_from_slice(&row0[j..j + W]);
+            acc1.copy_from_slice(&row1[j..j + W]);
+        }
+        for (seg_row, (&x0, &x1)) in b_tile.chunks_exact(n).zip(a0.iter().zip(a1)) {
+            let seg = &seg_row[j..j + W];
+            for t in 0..W {
+                acc0[t] += x0 * seg[t];
+                acc1[t] += x1 * seg[t];
+            }
+        }
+        row0[j..j + W].copy_from_slice(&acc0);
+        row1[j..j + W].copy_from_slice(&acc1);
+    }
+
+    /// One output row × `W` columns (row-count tail).
+    #[inline(always)]
+    fn single_tile<const W: usize>(
+        a0: &[f64],
+        b_tile: &[f64],
+        n: usize,
+        j: usize,
+        first: bool,
+        row0: &mut [f64],
+    ) {
+        let mut acc = [0.0f64; W];
+        if !first {
+            acc.copy_from_slice(&row0[j..j + W]);
+        }
+        for (seg_row, &x0) in b_tile.chunks_exact(n).zip(a0) {
+            let seg = &seg_row[j..j + W];
+            for t in 0..W {
+                acc[t] += x0 * seg[t];
+            }
+        }
+        row0[j..j + W].copy_from_slice(&acc);
+    }
+
+    /// Column-tail dispatch (`rem < NR`) to monomorphized tile widths.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_pair_tail(
+        rem: usize,
+        a0: &[f64],
+        a1: &[f64],
+        b_tile: &[f64],
+        n: usize,
+        j: usize,
+        first: bool,
+        row0: &mut [f64],
+        row1: &mut [f64],
+    ) {
+        match rem {
+            0 => {}
+            1 => pair_tile::<1>(a0, a1, b_tile, n, j, first, row0, row1),
+            2 => pair_tile::<2>(a0, a1, b_tile, n, j, first, row0, row1),
+            3 => pair_tile::<3>(a0, a1, b_tile, n, j, first, row0, row1),
+            4 => pair_tile::<4>(a0, a1, b_tile, n, j, first, row0, row1),
+            5 => pair_tile::<5>(a0, a1, b_tile, n, j, first, row0, row1),
+            6 => pair_tile::<6>(a0, a1, b_tile, n, j, first, row0, row1),
+            7 => pair_tile::<7>(a0, a1, b_tile, n, j, first, row0, row1),
+            _ => unreachable!("tail width {rem} >= NR"),
+        }
+    }
+
+    /// Column-tail dispatch for the single-row kernel.
+    fn dispatch_single_tail(
+        rem: usize,
+        a0: &[f64],
+        b_tile: &[f64],
+        n: usize,
+        j: usize,
+        first: bool,
+        row0: &mut [f64],
+    ) {
+        match rem {
+            0 => {}
+            1 => single_tile::<1>(a0, b_tile, n, j, first, row0),
+            2 => single_tile::<2>(a0, b_tile, n, j, first, row0),
+            3 => single_tile::<3>(a0, b_tile, n, j, first, row0),
+            4 => single_tile::<4>(a0, b_tile, n, j, first, row0),
+            5 => single_tile::<5>(a0, b_tile, n, j, first, row0),
+            6 => single_tile::<6>(a0, b_tile, n, j, first, row0),
+            7 => single_tile::<7>(a0, b_tile, n, j, first, row0),
+            _ => unreachable!("tail width {rem} >= NR"),
+        }
     }
 }
 
@@ -441,6 +771,155 @@ mod tests {
         assert!(s.len() < 2000, "debug output must stay bounded");
     }
 
+    // ------------------------------------------------------------------
+    // Blocked-GEMM oracle: the naive i-k-j loops the seed implementation
+    // used, kept verbatim as the reference the blocked kernels must match
+    // bit-for-bit (module docs, "Determinism contract").
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "oracle shape mismatch");
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let v = a.data[i * a.cols + k];
+                if v == 0.0 {
+                    continue;
+                }
+                let rhs_row = &b.data[k * b.cols..(k + 1) * b.cols];
+                let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &w) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * w;
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows, "oracle shape mismatch");
+        let mut out = Matrix::zeros(a.cols, b.cols);
+        for r in 0..a.rows {
+            let left = &a.data[r * a.cols..(r + 1) * a.cols];
+            let right = &b.data[r * b.cols..(r + 1) * b.cols];
+            for (i, &v) in left.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &w) in out_row.iter_mut().zip(right) {
+                    *o += v * w;
+                }
+            }
+        }
+        out
+    }
+
+    fn dense_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(salt) as f64 * 1e-9).sin())
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_at_tile_boundaries() {
+        // Shapes straddling the k-tile (KC = 256), the 2-row micro-tile
+        // and the NR = 8 column tile, including every tail width.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (2, 255, 8),
+            (3, 256, 9),
+            (5, 257, 10),
+            (4, 300, 7),
+            (2, 513, 16),
+            (7, 64, 13),
+        ] {
+            let a = dense_matrix(m, k, 11);
+            let b = dense_matrix(k, n, 23);
+            assert_eq!(
+                a.matmul(&b),
+                naive_matmul(&a, &b),
+                "matmul {m}x{k}x{n} must be bit-identical to the naive loop"
+            );
+            let at = dense_matrix(k, m, 31);
+            assert_eq!(
+                at.t_matmul(&b),
+                naive_t_matmul(&at, &b),
+                "t_matmul {k}x{m}ᵀx{n} must be bit-identical to the naive loop"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dimension_products_are_well_defined() {
+        // A zero inner dimension is a sum over zero terms: zeros of the
+        // outer shape, not a panic or a garbage read.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b), Matrix::zeros(3, 4));
+        assert_eq!(a.t_matmul(&Matrix::zeros(3, 2)), Matrix::zeros(0, 2));
+        // Zero outer dimensions give empty results of the right shape.
+        let e = Matrix::zeros(0, 5);
+        assert_eq!(e.matmul(&Matrix::zeros(5, 2)).shape(), (0, 2));
+        assert_eq!(e.t_matmul(&Matrix::zeros(0, 3)).shape(), (5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_inner_dim_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "t_matmul shape mismatch")]
+    fn t_matmul_row_mismatch_panics() {
+        let _ = Matrix::zeros(2, 3).t_matmul(&Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul output shape mismatch")]
+    fn matmul_into_wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_matmul output shape mismatch")]
+    fn t_matmul_into_wrong_output_shape_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        let mut out = Matrix::zeros(4, 3);
+        a.t_matmul_into(&b, &mut out);
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_contents() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+        let mut out = Matrix::from_vec(1, 1, vec![999.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.as_slice(), &[11.0]);
+        let mut tout = Matrix::from_vec(2, 1, vec![7.0, 7.0]);
+        a.t_matmul_into(&Matrix::from_vec(1, 1, vec![2.0]), &mut tout);
+        assert_eq!(tout.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn shape_overflow_is_an_explicit_panic() {
+        // Release-mode wrapping would otherwise size the buffer at
+        // `usize::MAX * 2 mod 2^64` — a tiny allocation whose shape lies.
+        let _ = Matrix::zeros(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn from_vec_shape_overflow_panics() {
+        let _ = Matrix::from_vec(usize::MAX, 2, vec![0.0; 2]);
+    }
+
     fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(-10.0f64..10.0, rows * cols)
             .prop_map(move |data| Matrix::from_vec(rows, cols, data))
@@ -468,6 +947,35 @@ mod tests {
             for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
                 prop_assert!((x - y).abs() < 1e-9);
             }
+        }
+
+        #[test]
+        fn prop_blocked_matmul_equals_naive_reference(
+            m in 1usize..=9,
+            k in 1usize..=300,
+            n in 1usize..=17,
+            seed in any::<u64>(),
+        ) {
+            // The oracle is the seed's naive loop kept verbatim above;
+            // equality is exact (bit-identical), not approximate. `k`
+            // ranges past KC = 256 so the tile fold is exercised.
+            let a = dense_matrix(m, k, seed);
+            let b = dense_matrix(k, n, seed ^ 0xabcd);
+            prop_assert_eq!(a.matmul(&b), naive_matmul(&a, &b));
+        }
+
+        #[test]
+        fn prop_blocked_t_matmul_equals_naive_reference(
+            rows in 1usize..=300,
+            ac in 1usize..=9,
+            n in 1usize..=17,
+            seed in any::<u64>(),
+        ) {
+            // `rows` (the reduction dimension) ranges past KT = 48 so
+            // the packed-panel fold is exercised across several tiles.
+            let a = dense_matrix(rows, ac, seed);
+            let b = dense_matrix(rows, n, seed ^ 0x1234);
+            prop_assert_eq!(a.t_matmul(&b), naive_t_matmul(&a, &b));
         }
 
         #[test]

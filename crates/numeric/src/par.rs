@@ -132,6 +132,65 @@ where
     });
 }
 
+/// Like [`par_fill_with`], but chunk boundaries always land on multiples
+/// of `width`: `out` is treated as a sequence of `out.len() / width`
+/// rows, and `f(first_row, rows)` receives a slice of whole rows whose
+/// first row has global index `first_row`.
+///
+/// This is the fan-out primitive of the blocked-GEMM kernels in
+/// [`crate::linalg`]: each worker owns a contiguous row panel of the
+/// output matrix, and every row is a pure function of its global row
+/// index, so the determinism contract of this module carries over
+/// unchanged — chunk boundaries move with the thread count, row
+/// contents never do.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `out.len()` is not a multiple of `width`.
+pub fn par_fill_rows<T, F>(out: &mut [T], width: usize, min_rows_per_thread: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(width > 0, "row width must be positive");
+    assert_eq!(
+        out.len() % width,
+        0,
+        "buffer length {} is not a multiple of the row width {width}",
+        out.len()
+    );
+    let rows = out.len() / width;
+    let threads = plan_threads(rows, min_rows_per_thread);
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    // Balanced row counts, then scaled to element ranges so every chunk
+    // boundary is a row boundary.
+    let base = rows / threads;
+    let extra = rows % threads;
+    let mut chunks = Vec::with_capacity(threads);
+    let mut rest = out;
+    let mut row_start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        let (head, tail) = rest.split_at_mut(len * width);
+        chunks.push((row_start, head));
+        row_start += len;
+        rest = tail;
+    }
+    let (first_start, first_chunk) = chunks.remove(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        // Spawn workers for all but the first chunk; the calling thread
+        // works instead of idling at the join.
+        for (start, chunk) in chunks {
+            scope.spawn(move || f(start, chunk));
+        }
+        f(first_start, first_chunk);
+    });
+}
+
 /// `(0..n).map(f).collect()`, computed on up to [`max_threads`] threads.
 ///
 /// `f` must be a pure function of the index for the determinism contract
@@ -292,6 +351,41 @@ mod tests {
             assert_eq!(*d, (i as u32 + 1) * 2);
         }
         set_max_threads(0);
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential_for_any_thread_cap() {
+        let (rows, width) = (37, 5);
+        let fill = |start: usize, chunk: &mut [u64]| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let row = start + k / 5;
+                let col = k % 5;
+                *slot = (row as u64) * 100 + col as u64;
+            }
+        };
+        let mut expected = vec![0u64; rows * width];
+        fill(0, &mut expected);
+        for cap in [1usize, 2, 3, 8] {
+            set_max_threads(cap);
+            let mut out = vec![0u64; rows * width];
+            par_fill_rows(&mut out, width, 1, |start, chunk| fill(start, chunk));
+            assert_eq!(out, expected, "cap={cap}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn fill_rows_rejects_ragged_buffer() {
+        let mut out = vec![0u8; 7];
+        par_fill_rows(&mut out, 3, 1, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn fill_rows_rejects_zero_width() {
+        let mut out = vec![0u8; 4];
+        par_fill_rows(&mut out, 0, 1, |_, _| {});
     }
 
     #[test]

@@ -79,20 +79,38 @@ impl<F: Fn(Coalition) -> f64> CoalitionUtility for UtilityFn<F> {
     }
 }
 
+/// Number of lock stripes in [`CachedUtility`]. A power of two so the
+/// stripe index is the top bits of the mixed coalition mask.
+const CACHE_STRIPES: usize = 16;
+const _: () = assert!(CACHE_STRIPES.is_power_of_two());
+
 /// Memoizing wrapper counting unique evaluations — both a performance
 /// device (coalition retraining is expensive) and the measurement hook
 /// for Table I's "number of models trained".
 ///
-/// The cache is behind a [`Mutex`] so a cached utility can be shared by
-/// the parallel Shapley engines (`Sync` when the inner utility is). The
-/// lock is held only for the map lookup/insert, never across an inner
+/// The cache is **lock-striped**: coalitions hash (splitmix64-style
+/// finalizer over the mask) onto one of `CACHE_STRIPES` (16) independent
+/// `Mutex<HashMap>` shards, so the parallel estimators — which evaluate
+/// many different coalitions at once on `numeric::par` — no longer
+/// serialize on a single mutex for every lookup and insert. Each lock is
+/// held only for the map lookup/insert, never across an inner
 /// evaluation, so concurrent misses of *different* coalitions still
 /// evaluate in parallel (a concurrent miss of the same coalition may
 /// evaluate twice; both results are identical, and the enumeration-style
-/// callers visit each coalition exactly once anyway).
+/// callers visit each coalition exactly once anyway). Striping is purely
+/// a storage layout: `evaluate` returns the inner utility's value
+/// verbatim, so the determinism contract of the estimators is untouched.
 pub struct CachedUtility<'a, U: ?Sized> {
     inner: &'a U,
-    cache: Mutex<HashMap<Coalition, f64>>,
+    stripes: Vec<Mutex<HashMap<Coalition, f64>>>,
+}
+
+/// Stripe index for a coalition mask: a 64-bit finalizer (splitmix64's
+/// mixing constant) spreads nearby masks across stripes.
+fn stripe_of(coalition: Coalition) -> usize {
+    let mixed = coalition.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // Take the top bits so the index follows CACHE_STRIPES if retuned.
+    (mixed >> (64 - CACHE_STRIPES.trailing_zeros())) as usize
 }
 
 impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
@@ -100,13 +118,18 @@ impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
     pub fn new(inner: &'a U) -> Self {
         Self {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            stripes: (0..CACHE_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
     /// Number of *unique* coalitions evaluated so far.
     pub fn unique_evaluations(&self) -> usize {
-        self.cache.lock().expect("utility cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("utility cache poisoned").len())
+            .sum()
     }
 }
 
@@ -116,8 +139,8 @@ impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
     }
 
     fn evaluate(&self, coalition: Coalition) -> f64 {
-        if let Some(&v) = self
-            .cache
+        let stripe = &self.stripes[stripe_of(coalition)];
+        if let Some(&v) = stripe
             .lock()
             .expect("utility cache poisoned")
             .get(&coalition)
@@ -125,7 +148,7 @@ impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
             return v;
         }
         let v = self.inner.evaluate(coalition);
-        self.cache
+        stripe
             .lock()
             .expect("utility cache poisoned")
             .insert(coalition, v);
@@ -332,5 +355,25 @@ mod tests {
         assert_eq!(cached.evaluate(c), 1.0);
         assert_eq!(cached.evaluate(Coalition::from_members(&[0, 1])), 3.0);
         assert_eq!(cached.unique_evaluations(), 2);
+    }
+
+    #[test]
+    fn striped_cache_counts_across_all_stripes() {
+        // A full 10-player powerset lands on many stripes; the unique
+        // count must aggregate across all of them and the cached values
+        // must stay correct per coalition.
+        let game = AdditiveGame {
+            values: (0..10).map(|i| i as f64).collect(),
+        };
+        let cached = CachedUtility::new(&game);
+        for c in Coalition::powerset(10) {
+            assert_eq!(cached.evaluate(c), game.evaluate(c));
+        }
+        assert_eq!(cached.unique_evaluations(), 1 << 10);
+        // Re-evaluation hits the cache: count unchanged.
+        for c in Coalition::powerset(10) {
+            assert_eq!(cached.evaluate(c), game.evaluate(c));
+        }
+        assert_eq!(cached.unique_evaluations(), 1 << 10);
     }
 }

@@ -463,6 +463,80 @@ proptest! {
 }
 
 #[test]
+fn blocked_gemm_is_schedule_invariant() {
+    // The training engine's GEMM kernels fan out over output row panels;
+    // panel boundaries move with the thread count, bits must not. Shapes
+    // straddle the k-tile (KC = 256) and the micro-tile tails.
+    use numeric::Matrix;
+    for (m, k, n) in [(5usize, 64usize, 10usize), (33, 300, 13), (2, 257, 8)] {
+        let a = Matrix::from_vec(
+            m,
+            k,
+            (0..m * k).map(|i| ((i as f64) * 0.37).sin()).collect(),
+        );
+        let b = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n).map(|i| ((i as f64) * 0.73).cos()).collect(),
+        );
+        assert_schedule_invariant(|| a.matmul(&b));
+        let at = Matrix::from_vec(
+            k,
+            m,
+            (0..k * m).map(|i| ((i as f64) * 0.11).sin()).collect(),
+        );
+        let bt = Matrix::from_vec(
+            k,
+            n,
+            (0..k * n).map(|i| ((i as f64) * 0.23).cos()).collect(),
+        );
+        assert_schedule_invariant(|| at.t_matmul(&bt));
+    }
+}
+
+#[test]
+fn logreg_training_is_schedule_invariant() {
+    // End-to-end through the batched trainer: conditioned design, logits
+    // GEMM, fused softmax+residual, gradient GEMM — trained weights must
+    // be bit-identical for thread caps 1/2/auto. This is the property
+    // that makes coalition retraining (the native-SV ground truth)
+    // re-executable by miners on arbitrary hardware.
+    use fl_ml::dataset::SyntheticDigits;
+    use fl_ml::logreg::{train_model, TrainConfig};
+    let ds = SyntheticDigits::small().generate(21);
+    let config = TrainConfig {
+        learning_rate: 0.5,
+        epochs: 8,
+        l2: 1e-4,
+    };
+    assert_schedule_invariant(|| {
+        let model = train_model(&ds, &config);
+        (model.to_flat(), model.log_loss(&ds))
+    });
+}
+
+#[test]
+fn coalition_retrain_utility_is_schedule_invariant() {
+    // The zero-copy coalition path: DatasetView over shards → fused
+    // gather-scale-bias design → batched trainer → prepared-design
+    // accuracy. One full powerset of a 3-owner world.
+    use fedchain::config::FlConfig;
+    use fedchain::ground_truth::RetrainUtility;
+    use fedchain::world::World;
+    use shapley::utility::CoalitionUtility;
+    let mut config = FlConfig::quick_demo();
+    config.num_owners = 3;
+    config.train.epochs = 4;
+    let world = World::generate(&config).expect("valid config");
+    assert_schedule_invariant(|| {
+        let utility = RetrainUtility::new(&world.shards, &world.test, config.train);
+        Coalition::powerset(3)
+            .map(|c| utility.evaluate(c))
+            .collect::<Vec<f64>>()
+    });
+}
+
+#[test]
 fn monte_carlo_streams_are_per_permutation() {
     // Prefix property of per-permutation streams: the first k
     // permutations of a longer run contribute exactly the estimate of a
