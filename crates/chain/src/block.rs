@@ -5,7 +5,7 @@
 //! the block's transactions, and verifiers accept only if their own
 //! re-execution lands on the same digest.
 
-use crate::codec::Encode;
+use crate::codec::{Decode, DecodeError, Encode, Reader};
 use crate::hash::Hash32;
 use crate::merkle::MerkleTree;
 use crate::tx::{AccountId, Transaction};
@@ -39,6 +39,19 @@ impl Encode for BlockHeader {
     }
 }
 
+impl Decode for BlockHeader {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            height: u64::decode_from(r)?,
+            parent: Hash32::decode_from(r)?,
+            tx_root: Hash32::decode_from(r)?,
+            state_root: Hash32::decode_from(r)?,
+            proposer: AccountId::decode_from(r)?,
+            view: u64::decode_from(r)?,
+        })
+    }
+}
+
 impl BlockHeader {
     /// Canonical digest of the header ("the block hash").
     pub fn digest(&self) -> Hash32 {
@@ -53,6 +66,22 @@ pub struct Block<C> {
     pub header: BlockHeader,
     /// Transactions in execution order.
     pub txs: Vec<Transaction<C>>,
+}
+
+impl<C: Encode> Encode for Block<C> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.header.encode_to(out);
+        self.txs.encode_to(out);
+    }
+}
+
+impl<C: Decode> Decode for Block<C> {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            header: BlockHeader::decode_from(r)?,
+            txs: Vec::decode_from(r)?,
+        })
+    }
 }
 
 impl<C: Encode> Block<C> {
@@ -179,6 +208,23 @@ mod tests {
         );
         assert_eq!(via_bundle, sample_block());
         assert!(via_bundle.tx_root_consistent());
+    }
+
+    #[test]
+    fn block_decode_roundtrips_and_rejects_corruption() {
+        let b = sample_block();
+        let enc = b.encode();
+        assert_eq!(Block::<u64>::decode(&enc), Ok(b.clone()));
+        // Header alone also round-trips.
+        assert_eq!(BlockHeader::decode(&b.header.encode()), Ok(b.header));
+        // Truncation anywhere is a rejection.
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(Block::<u64>::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is a rejection.
+        let mut padded = enc;
+        padded.push(0);
+        assert!(Block::<u64>::decode(&padded).is_err());
     }
 
     #[test]

@@ -582,7 +582,7 @@ mod tests {
             .collect();
         assert!(roots.windows(2).all(|w| w[0] == w[1]));
         for id in 0..5 {
-            assert!(engine.store_of(id).unwrap().verify_chain());
+            assert_eq!(engine.store_of(id).unwrap().verify_chain(), Ok(()));
             assert_eq!(engine.store_of(id).unwrap().height(), 2);
         }
     }

@@ -4,7 +4,7 @@ use std::fmt;
 
 use fl_crypto::sha256::{sha256, Digest};
 
-use crate::codec::Encode;
+use crate::codec::{Decode, DecodeError, Encode, Reader};
 
 /// A 32-byte SHA-256 digest with value semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,6 +60,13 @@ impl Encode for Hash32 {
     }
 }
 
+impl Decode for Hash32 {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let bytes = r.take(32)?;
+        Ok(Self(bytes.try_into().expect("exact take")))
+    }
+}
+
 impl fmt::Debug for Hash32 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Hash32({}…)", self.short())
@@ -112,5 +119,12 @@ mod tests {
     fn encode_is_raw_32_bytes() {
         let h = Hash32::of_bytes(b"y");
         assert_eq!(h.encode(), h.0.to_vec());
+    }
+
+    #[test]
+    fn decode_roundtrips_and_rejects_short_input() {
+        let h = Hash32::of_bytes(b"z");
+        assert_eq!(Hash32::decode(&h.encode()), Ok(h));
+        assert!(Hash32::decode(&h.encode()[..31]).is_err());
     }
 }

@@ -27,6 +27,11 @@
 //!   applies the proven outcome atomically.
 //! * [`net`] — a discrete-event message network with latency models, for
 //!   the throughput experiments.
+//! * [`log`] / [`durability`] — an append-only segmented record log
+//!   (CRC-framed, torn-tail recovering) and the durable chain store on
+//!   top of it: periodic state snapshots, crash-point injection, and
+//!   verified replay so a chain can be certified from cold bytes on
+//!   disk.
 //!
 //! The engine is deliberately synchronous and deterministic: determinism
 //! is not a simplification here but a *requirement* — verification by
@@ -40,9 +45,11 @@ pub mod block;
 pub mod codec;
 pub mod consensus;
 pub mod contract;
+pub mod durability;
 pub mod gas;
 pub mod hash;
 pub mod light;
+pub mod log;
 pub mod mempool;
 pub mod merkle;
 pub mod net;
@@ -52,6 +59,8 @@ pub mod tx;
 pub use block::{Block, BlockHeader};
 pub use consensus::engine::{ConsensusEngine, EngineConfig, MinerBehavior};
 pub use contract::{ExecutionOutcome, SmartContract, TxContext};
+pub use durability::{CrashPoint, DurabilityError, DurableStore, RecoveryReport};
 pub use hash::Hash32;
+pub use log::{LogConfig, LogError, SegmentedLog};
 pub use mempool::{BatchAdmission, Mempool, MempoolError};
 pub use tx::{BundleError, Transaction, TxBundle};

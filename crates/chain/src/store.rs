@@ -6,11 +6,68 @@
 //! semantic half is verification by re-execution in
 //! [`crate::consensus::engine`]).
 
-use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::block::Block;
 use crate::codec::Encode;
 use crate::hash::Hash32;
+
+/// Why (and where) a chain failed full verification.
+///
+/// [`ChainStore::verify_chain`] reports the *first* divergent block — an
+/// auditor or recovering replica gets an actionable location, not a bare
+/// `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainFault {
+    /// Height of the first block that failed verification.
+    pub height: u64,
+    /// What failed at that height.
+    pub kind: ChainFaultKind,
+}
+
+/// The specific check a block failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainFaultKind {
+    /// The block's parent digest does not match its predecessor's header
+    /// digest.
+    ParentLink {
+        /// Digest of the actual predecessor (or zero at genesis).
+        expected: Hash32,
+        /// Parent digest the block carries.
+        got: Hash32,
+    },
+    /// The block's recorded height disagrees with its chain position.
+    Height {
+        /// The block's position in the chain.
+        expected: u64,
+        /// Height the header carries.
+        got: u64,
+    },
+    /// The header's transaction root does not match the block body.
+    TxRoot,
+}
+
+impl std::fmt::Display for ChainFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ChainFaultKind::ParentLink { expected, got } => write!(
+                f,
+                "block {}: parent link {got:?} does not match predecessor {expected:?}",
+                self.height
+            ),
+            ChainFaultKind::Height { expected, got } => write!(
+                f,
+                "block {}: header height {got} at chain position {expected}",
+                self.height
+            ),
+            ChainFaultKind::TxRoot => {
+                write!(f, "block {}: transaction root mismatch", self.height)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainFault {}
 
 /// Errors from appending to the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,8 +123,18 @@ impl<C: Encode + Clone> ChainStore<C> {
         }
     }
 
+    /// Read access with poison recovery: a writer that panicked mid-call
+    /// never committed a partial mutation (`append` pushes a fully
+    /// validated block or nothing), so the poisoned data is intact and a
+    /// long-lived replica's readers must not be wedged by one dead
+    /// thread.
     fn read(&self) -> RwLockReadGuard<'_, Vec<Block<C>>> {
-        self.inner.read().expect("chain store lock poisoned")
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access with the same poison-recovery rationale as `read`.
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Block<C>>> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of blocks.
@@ -94,7 +161,7 @@ impl<C: Encode + Clone> ChainStore<C> {
 
     /// Validates and appends a block.
     pub fn append(&self, block: Block<C>) -> Result<(), StoreError> {
-        let mut chain = self.inner.write().expect("chain store lock poisoned");
+        let mut chain = self.write();
         Self::check_structure(&chain, &block)?;
         // Root check last: the O(1) structural checks reject cheaply
         // before the O(n) Merkle rebuild runs.
@@ -117,7 +184,7 @@ impl<C: Encode + Clone> ChainStore<C> {
             block.tx_root_consistent(),
             "append_sealed requires a pre-verified tx root"
         );
-        let mut chain = self.inner.write().expect("chain store lock poisoned");
+        let mut chain = self.write();
         Self::check_structure(&chain, &block)?;
         chain.push(block);
         Ok(())
@@ -142,20 +209,40 @@ impl<C: Encode + Clone> ChainStore<C> {
         Ok(())
     }
 
-    /// Verifies the hash chain from genesis to tip.
-    pub fn verify_chain(&self) -> bool {
+    /// Verifies the hash chain from genesis to tip, reporting the first
+    /// divergent block (height and reason) on failure.
+    pub fn verify_chain(&self) -> Result<(), ChainFault> {
         let chain = self.read();
         let mut parent = Hash32::ZERO;
         for (i, block) in chain.iter().enumerate() {
-            if block.header.parent != parent
-                || block.header.height != i as u64
-                || !block.tx_root_consistent()
-            {
-                return false;
+            let height = i as u64;
+            if block.header.parent != parent {
+                return Err(ChainFault {
+                    height,
+                    kind: ChainFaultKind::ParentLink {
+                        expected: parent,
+                        got: block.header.parent,
+                    },
+                });
+            }
+            if block.header.height != height {
+                return Err(ChainFault {
+                    height,
+                    kind: ChainFaultKind::Height {
+                        expected: height,
+                        got: block.header.height,
+                    },
+                });
+            }
+            if !block.tx_root_consistent() {
+                return Err(ChainFault {
+                    height,
+                    kind: ChainFaultKind::TxRoot,
+                });
             }
             parent = block.header.digest();
         }
-        true
+        Ok(())
     }
 
     /// All state roots in order (the audit trail of contract states).
@@ -191,7 +278,7 @@ mod tests {
         store.append(next_block(&store, &[1, 2])).unwrap();
         store.append(next_block(&store, &[3])).unwrap();
         assert_eq!(store.height(), 2);
-        assert!(store.verify_chain());
+        assert_eq!(store.verify_chain(), Ok(()));
         assert_eq!(store.block_at(0).unwrap().txs.len(), 2);
         assert!(store.block_at(5).is_none());
     }
@@ -251,8 +338,114 @@ mod tests {
     #[test]
     fn empty_chain_is_valid() {
         let store: ChainStore<u64> = ChainStore::new();
-        assert!(store.verify_chain());
+        assert_eq!(store.verify_chain(), Ok(()));
         assert_eq!(store.tip_digest(), Hash32::ZERO);
         assert!(store.tip().is_none());
+    }
+
+    #[test]
+    fn verify_chain_reports_first_divergent_height_and_reason() {
+        // Bypass append's validation to plant specific faults.
+        let store: ChainStore<u64> = ChainStore::new();
+        store.append(next_block(&store, &[1])).unwrap();
+        store.append(next_block(&store, &[2])).unwrap();
+
+        // Tamper with block 1's transactions: tx-root fault at height 1.
+        {
+            let mut chain = store.write();
+            chain[1].txs[0].call = 999;
+        }
+        assert_eq!(
+            store.verify_chain(),
+            Err(ChainFault {
+                height: 1,
+                kind: ChainFaultKind::TxRoot
+            })
+        );
+
+        // Break the parent link instead: reported at the same height with
+        // the expected digest named.
+        let expected_parent = store.block_at(0).unwrap().header.digest();
+        {
+            let mut chain = store.write();
+            chain[1] = Block::assemble(
+                1,
+                Hash32::of_bytes(b"bogus"),
+                Hash32::of_bytes(b"state"),
+                0,
+                1,
+                vec![Transaction::new(0, 10, 2u64)],
+            );
+        }
+        match store.verify_chain() {
+            Err(ChainFault {
+                height: 1,
+                kind: ChainFaultKind::ParentLink { expected, got },
+            }) => {
+                assert_eq!(expected, expected_parent);
+                assert_eq!(got, Hash32::of_bytes(b"bogus"));
+            }
+            other => panic!("expected a parent-link fault, got {other:?}"),
+        }
+
+        // Height fault: block 1 claims height 9.
+        {
+            let mut chain = store.write();
+            let parent = chain[0].header.digest();
+            chain[1] = Block::assemble(
+                9,
+                parent,
+                Hash32::of_bytes(b"state"),
+                0,
+                1,
+                vec![Transaction::new(0, 10, 2u64)],
+            );
+        }
+        assert_eq!(
+            store.verify_chain(),
+            Err(ChainFault {
+                height: 1,
+                kind: ChainFaultKind::Height {
+                    expected: 1,
+                    got: 9
+                }
+            })
+        );
+    }
+
+    #[test]
+    fn faults_render_with_height_and_reason() {
+        let fault = ChainFault {
+            height: 3,
+            kind: ChainFaultKind::TxRoot,
+        };
+        assert_eq!(fault.to_string(), "block 3: transaction root mismatch");
+        let fault = ChainFault {
+            height: 0,
+            kind: ChainFaultKind::Height {
+                expected: 0,
+                got: 7,
+            },
+        };
+        assert!(fault.to_string().contains("height 7"));
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_for_later_readers() {
+        // A thread that panics while holding the write lock poisons it;
+        // the store's accessors recover the (intact) data instead of
+        // propagating the poison to every later reader on the replica.
+        let store: ChainStore<u64> = ChainStore::new();
+        store.append(next_block(&store, &[1])).unwrap();
+        let poisoner = store.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write();
+            panic!("simulated writer crash");
+        })
+        .join();
+        assert_eq!(store.height(), 1, "readers must survive the poison");
+        assert_eq!(store.verify_chain(), Ok(()));
+        store.append(next_block(&store, &[2])).unwrap();
+        assert_eq!(store.height(), 2, "writers must survive the poison");
     }
 }

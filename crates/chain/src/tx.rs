@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::codec::Encode;
+use crate::codec::{Decode, DecodeError, Encode, Reader};
 use crate::hash::Hash32;
 use crate::merkle::MerkleTree;
 
@@ -45,6 +45,16 @@ impl<C: Encode> Encode for Transaction<C> {
         self.sender.encode_to(out);
         self.nonce.encode_to(out);
         self.call.encode_to(out);
+    }
+}
+
+impl<C: Decode> Decode for Transaction<C> {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            sender: AccountId::decode_from(r)?,
+            nonce: u64::decode_from(r)?,
+            call: C::decode_from(r)?,
+        })
     }
 }
 
@@ -231,6 +241,15 @@ mod tests {
                 tx_index: 1,
             }
         );
+    }
+
+    #[test]
+    fn transaction_decode_roundtrips() {
+        let tx = Transaction::new(3, 9, vec![1u64, 2, 3]);
+        assert_eq!(Transaction::<Vec<u64>>::decode(&tx.encode()), Ok(tx));
+        // Truncated mid-call: rejected, not panicked.
+        let enc = Transaction::new(3, 9, vec![1u64, 2, 3]).encode();
+        assert!(Transaction::<Vec<u64>>::decode(&enc[..enc.len() - 1]).is_err());
     }
 
     #[test]

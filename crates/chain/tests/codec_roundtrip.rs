@@ -1,0 +1,121 @@
+//! Property tests pinning the codec contract for every chain type:
+//! `decode(encode(x)) == x`, and malformed bytes — truncations, trailing
+//! garbage, hostile length prefixes — return `Err`, never panic.
+
+use fl_chain::block::{Block, BlockHeader};
+use fl_chain::codec::{Decode, Encode};
+use fl_chain::hash::Hash32;
+use fl_chain::tx::Transaction;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_hash(seed: u64) -> Hash32 {
+    Hash32::of_bytes(&seed.to_le_bytes())
+}
+
+fn arb_tx(sender: u32, nonce: u64, call: Vec<u64>) -> Transaction<Vec<u64>> {
+    Transaction::new(sender, nonce, call)
+}
+
+fn arb_header(seeds: [u64; 3], height: u64, proposer: u32, view: u64) -> BlockHeader {
+    BlockHeader {
+        height,
+        parent: arb_hash(seeds[0]),
+        tx_root: arb_hash(seeds[1]),
+        state_root: arb_hash(seeds[2]),
+        proposer,
+        view,
+    }
+}
+
+/// Whole-input roundtrip plus the strict rejection sweep: every strict
+/// prefix of the encoding and every padded extension must `Err`.
+fn assert_codec_contract<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+    let enc = value.encode();
+    assert_eq!(&T::decode(&enc).unwrap(), value, "roundtrip");
+    for cut in 0..enc.len() {
+        assert!(T::decode(&enc[..cut]).is_err(), "prefix of {cut} bytes");
+    }
+    let mut padded = enc;
+    padded.push(0);
+    assert!(T::decode(&padded).is_err(), "trailing byte");
+}
+
+proptest! {
+    #[test]
+    fn prop_primitives_roundtrip(a in any::<u64>(), b in any::<i64>(), c in any::<u32>()) {
+        assert_codec_contract(&a);
+        assert_codec_contract(&b);
+        assert_codec_contract(&c);
+        assert_codec_contract(&(a as usize));
+        assert_codec_contract(&f64::from_bits(a)); // NaN payloads included: bit-exact
+        assert_codec_contract(&(a, b));
+        assert_codec_contract(&(a, b, c));
+        assert_codec_contract(&Some(a));
+        assert_codec_contract(&Option::<u64>::None);
+    }
+
+    #[test]
+    fn prop_collections_roundtrip(xs in vec(any::<u64>(), 0..16), s in vec(any::<u8>(), 0..24)) {
+        assert_codec_contract(&xs);
+        assert_codec_contract(&s);
+        let text: String = s.iter().map(|b| char::from(b % 0x7f)).collect();
+        assert_codec_contract(&text);
+    }
+
+    #[test]
+    fn prop_hash_roundtrips(seed in any::<u64>()) {
+        assert_codec_contract(&arb_hash(seed));
+    }
+
+    #[test]
+    fn prop_transaction_roundtrips(
+        sender in any::<u32>(),
+        nonce in any::<u64>(),
+        call in vec(any::<u64>(), 0..8),
+    ) {
+        assert_codec_contract(&arb_tx(sender, nonce, call));
+    }
+
+    #[test]
+    fn prop_header_roundtrips(
+        s0 in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>(),
+        height in any::<u64>(), proposer in any::<u32>(), view in any::<u64>(),
+    ) {
+        assert_codec_contract(&arb_header([s0, s1, s2], height, proposer, view));
+    }
+
+    #[test]
+    fn prop_block_roundtrips(
+        s0 in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>(),
+        height in any::<u64>(), view in any::<u64>(),
+        calls in vec(any::<u64>(), 0..6),
+    ) {
+        let txs: Vec<Transaction<Vec<u64>>> = calls
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| arb_tx(i as u32, c, vec![c, c ^ 0xff]))
+            .collect();
+        let block = Block {
+            header: arb_header([s0, s1, s2], height, 0, view),
+            txs,
+        };
+        assert_codec_contract(&block);
+    }
+
+    #[test]
+    fn prop_random_bytes_never_panic(bytes in vec(any::<u8>(), 0..64)) {
+        // Hostile input must be rejected or decoded — never a panic, and
+        // never an allocation proportional to a forged length prefix.
+        let _ = u64::decode(&bytes);
+        let _ = f64::decode(&bytes);
+        let _ = bool::decode(&bytes);
+        let _ = String::decode(&bytes);
+        let _ = Vec::<u64>::decode(&bytes);
+        let _ = Option::<u64>::decode(&bytes);
+        let _ = Hash32::decode(&bytes);
+        let _ = Transaction::<Vec<u64>>::decode(&bytes);
+        let _ = BlockHeader::decode(&bytes);
+        let _ = Block::<u64>::decode(&bytes);
+    }
+}

@@ -8,9 +8,22 @@
 //! nothing but committed transactions and checks it against each block's
 //! `state_root`. It is exactly what a regulator, a new miner syncing from
 //! genesis, or a disgruntled data owner would run.
+//!
+//! [`fast_sync`] is the same certification run against **cold bytes on
+//! disk**: it opens a [`fl_chain::durability::DurableStore`] directory
+//! (recovering from any crash state), verifies the hash chain, and
+//! either replays from genesis or — when a valid snapshot is present —
+//! restores the contract from the snapshot blob, *proves* the restored
+//! state against the state root committed at the snapshot height, and
+//! replays only the blocks after it.
 
+use std::path::Path;
+
+use fl_chain::codec::DecodeError;
 use fl_chain::contract::{SmartContract, TxContext};
+use fl_chain::durability::{DurabilityConfig, DurabilityError, DurableStore};
 use fl_chain::hash::Hash32;
+use fl_chain::log::TornTail;
 use fl_chain::store::ChainStore;
 use fl_ml::dataset::Dataset;
 
@@ -45,8 +58,10 @@ pub struct AuditReport {
 /// Errors from replaying a chain.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AuditError {
-    /// The hash chain itself is broken (parent/height/tx-root).
-    BrokenChain,
+    /// The hash chain itself is broken; the fault names the first
+    /// divergent height and the failed check (parent link, height, or
+    /// transaction root).
+    BrokenChain(fl_chain::store::ChainFault),
     /// A committed transaction failed to execute during replay — a chain
     /// this library produced can never contain one, so this indicates a
     /// foreign or tampered chain.
@@ -63,7 +78,9 @@ pub enum AuditError {
 impl std::fmt::Display for AuditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::BrokenChain => write!(f, "hash chain failed structural verification"),
+            Self::BrokenChain(fault) => {
+                write!(f, "hash chain failed structural verification: {fault}")
+            }
             Self::ReplayFailure {
                 height,
                 tx_index,
@@ -87,14 +104,23 @@ pub fn replay_chain(
     params: FlParams,
     test_set: Dataset,
 ) -> Result<AuditReport, AuditError> {
-    if !store.verify_chain() {
-        return Err(AuditError::BrokenChain);
-    }
+    store.verify_chain().map_err(AuditError::BrokenChain)?;
     let mut contract = FlContract::genesis(params, test_set);
+    let (blocks, clean) = replay_blocks(&mut contract, store, 0)?;
+    Ok(report_of(&contract, blocks, clean))
+}
+
+/// Re-executes blocks `from..height` through `contract`, checking each
+/// recomputed state digest against the committed root. The contract must
+/// already hold the state *after* block `from - 1`.
+fn replay_blocks(
+    contract: &mut FlContract,
+    store: &ChainStore<FlCall>,
+    from: u64,
+) -> Result<(Vec<BlockAudit>, bool), AuditError> {
     let mut blocks = Vec::new();
     let mut clean = true;
-
-    for height in 0..store.height() {
+    for height in from..store.height() {
         let block = store.block_at(height).expect("height bounded by store");
         for (tx_index, tx) in block.txs.iter().enumerate() {
             let ctx = TxContext {
@@ -122,16 +148,153 @@ pub fn replay_chain(
             txs: block.txs.len(),
         });
     }
+    Ok((blocks, clean))
+}
 
+fn report_of(contract: &FlContract, blocks: Vec<BlockAudit>, clean: bool) -> AuditReport {
     let final_contributions = contract
         .contributions()
         .iter()
         .map(|(&id, &v)| (id, v))
         .collect();
-    Ok(AuditReport {
+    AuditReport {
         blocks,
         final_contributions,
         clean,
+    }
+}
+
+/// Errors from certifying an on-disk chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastSyncError {
+    /// The durable directory could not be recovered (corrupt log,
+    /// tampered record, I/O failure).
+    Durability(DurabilityError),
+    /// The recovered chain failed the audit (broken hash chain or a
+    /// transaction that no longer replays).
+    Audit(AuditError),
+    /// The snapshot blob did not decode as contract state. Its CRC and
+    /// tip binding were valid, so this is tampering, not a crash.
+    SnapshotUndecodable(DecodeError),
+    /// The state restored from the snapshot does not hash to the state
+    /// root committed at the snapshot height — a well-formed forgery.
+    SnapshotStateMismatch {
+        /// Snapshot height.
+        height: u64,
+        /// Root committed by block `height - 1`.
+        committed: Hash32,
+        /// Digest of the restored state.
+        restored: Hash32,
+    },
+}
+
+impl std::fmt::Display for FastSyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Durability(e) => write!(f, "durable store recovery: {e}"),
+            Self::Audit(e) => write!(f, "{e}"),
+            Self::SnapshotUndecodable(e) => write!(f, "snapshot state undecodable: {e}"),
+            Self::SnapshotStateMismatch {
+                height,
+                committed,
+                restored,
+            } => write!(
+                f,
+                "snapshot at height {height} hashes to {restored:?}, chain committed {committed:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FastSyncError {}
+
+impl From<DurabilityError> for FastSyncError {
+    fn from(e: DurabilityError) -> Self {
+        Self::Durability(e)
+    }
+}
+
+impl From<AuditError> for FastSyncError {
+    fn from(e: AuditError) -> Self {
+        Self::Audit(e)
+    }
+}
+
+/// Outcome of [`fast_sync`]: the audit verdict plus how the chain was
+/// brought up from disk.
+#[derive(Debug, Clone)]
+pub struct FastSyncReport {
+    /// The audit over the replayed range. With a snapshot,
+    /// `audit.blocks` covers only the blocks *after* the snapshot (the
+    /// prefix is certified by the snapshot's digest proof);
+    /// `final_contributions` and `clean` always describe the full chain
+    /// tip.
+    pub audit: AuditReport,
+    /// Height replay started at: 0 for a genesis sync, the snapshot
+    /// height otherwise.
+    pub synced_from: u64,
+    /// Total blocks recovered from the log.
+    pub blocks: u64,
+    /// Digest of the tip header — compare against a live replica to
+    /// confirm the on-disk chain is the same chain.
+    pub tip_digest: Hash32,
+    /// Torn tail record truncated during log recovery, if any.
+    pub truncated: Option<TornTail>,
+    /// Snapshot files present but rejected (torn, corrupt, or unbound).
+    pub snapshots_rejected: usize,
+}
+
+/// Certifies a durable chain directory from cold bytes on disk.
+///
+/// Opens the [`DurableStore`] (running full crash recovery), verifies
+/// the hash chain, then rebuilds the contract state: from the newest
+/// valid snapshot when one exists — restoring the blob and **verifying
+/// its digest against the state root committed at the snapshot height**
+/// before trusting it — or from genesis otherwise. Either way every
+/// block after the sync point is re-executed and checked against its
+/// committed state root, so a clean report certifies the whole chain.
+pub fn fast_sync(
+    dir: &Path,
+    params: FlParams,
+    test_set: Dataset,
+) -> Result<FastSyncReport, FastSyncError> {
+    let (durable, recovery) = DurableStore::<FlCall>::open(dir, DurabilityConfig::default())?;
+    let store = durable.store();
+    store
+        .verify_chain()
+        .map_err(|e| FastSyncError::Audit(AuditError::BrokenChain(e)))?;
+
+    let (mut contract, synced_from) = match &recovery.snapshot {
+        Some(snap) => {
+            let restored = FlContract::restore(params, test_set, &snap.state)
+                .map_err(FastSyncError::SnapshotUndecodable)?;
+            let committed = store
+                .block_at(snap.height - 1)
+                .expect("snapshot height validated during recovery")
+                .header
+                .state_root;
+            let digest = restored.state_digest();
+            if digest != committed {
+                return Err(FastSyncError::SnapshotStateMismatch {
+                    height: snap.height,
+                    committed,
+                    restored: digest,
+                });
+            }
+            (restored, snap.height)
+        }
+        None => (FlContract::genesis(params, test_set), 0),
+    };
+
+    let (blocks, clean) = replay_blocks(&mut contract, store, synced_from)?;
+    let audit = report_of(&contract, blocks, clean);
+    Ok(FastSyncReport {
+        audit,
+        synced_from,
+        blocks: recovery.blocks,
+        tip_digest: store.tip_digest(),
+        truncated: recovery.truncated,
+        snapshots_rejected: recovery.snapshots_rejected,
     })
 }
 

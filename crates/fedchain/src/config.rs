@@ -5,7 +5,7 @@
 //! contribution evaluation parameters (e.g., permutation seed e, group
 //! size m, utility function u) and submit them to the blockchain."
 
-use fl_chain::codec::Encode;
+use fl_chain::codec::{Decode, DecodeError, Encode, Reader};
 use fl_ml::dataset::SyntheticDigits;
 use fl_ml::TrainConfig;
 use shapley::coalition::{MAX_PLAYERS, MAX_SAMPLED_PLAYERS};
@@ -96,6 +96,30 @@ impl Encode for SvMethod {
                 out.push(2);
                 u64::from(*samples_per_stratum).encode_to(out);
             }
+        }
+    }
+}
+
+impl Decode for SvMethod {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let widened = |v: u64| {
+            u32::try_from(v).map_err(|_| DecodeError::BadTag {
+                type_name: "SvMethod sample count",
+                tag: 0xff,
+            })
+        };
+        match r.take_u8()? {
+            0 => Ok(Self::GroupExact),
+            1 => Ok(Self::MonteCarlo {
+                permutations: widened(u64::decode_from(r)?)?,
+            }),
+            2 => Ok(Self::Stratified {
+                samples_per_stratum: widened(u64::decode_from(r)?)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                type_name: "SvMethod",
+                tag,
+            }),
         }
     }
 }

@@ -33,7 +33,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use fl_chain::codec::Encode;
+use fl_chain::codec::{Decode, DecodeError, Encode, Reader};
 use fl_chain::contract::{ExecutionOutcome, SmartContract, TxContext};
 use fl_chain::gas::GasSchedule;
 use fl_chain::hash::Hash32;
@@ -169,6 +169,36 @@ impl Encode for FlCall {
                 share_x.encode_to(out);
                 share_y.encode_to(out);
             }
+        }
+    }
+}
+
+impl Decode for FlCall {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(FlCall::AdvertiseKey {
+                public_key: Vec::decode_from(r)?,
+            }),
+            1 => Ok(FlCall::SubmitMaskedUpdate {
+                round: u64::decode_from(r)?,
+                masked: Vec::decode_from(r)?,
+            }),
+            2 => Ok(FlCall::EvaluateRound {
+                round: u64::decode_from(r)?,
+            }),
+            3 => Ok(FlCall::EscrowKeyShares {
+                commitments: Vec::decode_from(r)?,
+            }),
+            4 => Ok(FlCall::SubmitRecoveryShare {
+                round: u64::decode_from(r)?,
+                dropped: AccountId::decode_from(r)?,
+                share_x: u64::decode_from(r)?,
+                share_y: Vec::decode_from(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                type_name: "FlCall",
+                tag,
+            }),
         }
     }
 }
@@ -430,6 +460,21 @@ impl Encode for RoundPhase {
     }
 }
 
+impl Decode for RoundPhase {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.take_u8()? {
+            0 => Ok(Self::Submitting),
+            1 => Ok(Self::Recovering {
+                dropped: Vec::decode_from(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                type_name: "RoundPhase",
+                tag,
+            }),
+        }
+    }
+}
+
 /// How one dropped owner's key was recovered — the per-dropout entry of
 /// the round's public audit trail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -445,6 +490,15 @@ impl Encode for RecoveryEvidence {
     fn encode_to(&self, out: &mut Vec<u8>) {
         self.dropped.encode_to(out);
         self.providers.encode_to(out);
+    }
+}
+
+impl Decode for RecoveryEvidence {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            dropped: usize::decode_from(r)?,
+            providers: Vec::decode_from(r)?,
+        })
     }
 }
 
@@ -494,6 +548,24 @@ impl Encode for RoundRecord {
         self.global_accuracy.encode_to(out);
         self.utility_evaluations.encode_to(out);
         self.samples.encode_to(out);
+    }
+}
+
+impl Decode for RoundRecord {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            round: u64::decode_from(r)?,
+            sv_method: SvMethod::decode_from(r)?,
+            groups: Vec::decode_from(r)?,
+            survivors: Vec::decode_from(r)?,
+            dropped: Vec::decode_from(r)?,
+            recovery: Vec::decode_from(r)?,
+            per_group_sv: Vec::decode_from(r)?,
+            per_owner_sv: Vec::decode_from(r)?,
+            global_accuracy: f64::decode_from(r)?,
+            utility_evaluations: usize::decode_from(r)?,
+            samples: usize::decode_from(r)?,
+        })
     }
 }
 
@@ -1221,6 +1293,123 @@ impl FlContract {
             }
             .estimate(&CachedUtility::new(game)),
         }
+    }
+}
+
+/// Encodes a map as `len ‖ (key ‖ value)*` — the same shape the state
+/// digest uses, but with an explicit length everywhere so the snapshot
+/// is strictly decodable.
+fn encode_map<K: Encode, V: Encode>(map: &BTreeMap<K, V>, out: &mut Vec<u8>) {
+    (map.len() as u64).encode_to(out);
+    for (k, v) in map {
+        k.encode_to(out);
+        v.encode_to(out);
+    }
+}
+
+/// Strict inverse of [`encode_map`].
+fn decode_map<K: Decode + Ord, V: Decode>(
+    r: &mut Reader<'_>,
+) -> Result<BTreeMap<K, V>, DecodeError> {
+    let len = u64::decode_from(r)?;
+    let mut map = BTreeMap::new();
+    for _ in 0..len {
+        let k = K::decode_from(r)?;
+        let v = V::decode_from(r)?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+impl FlContract {
+    /// Serializes the contract's **dynamic** state — everything that is
+    /// not a genesis artefact — for a durability snapshot
+    /// ([`fl_chain::durability::DurableStore::write_snapshot`]).
+    ///
+    /// The static half (params, test set) is deliberately excluded: both
+    /// are public setup-stage artefacts an auditor already holds (the
+    /// same ones [`crate::audit::replay_chain`] takes), and excluding
+    /// them keeps snapshots proportional to the live state. The blob is
+    /// opaque to the chain layer; [`FlContract::restore`] is its inverse,
+    /// and `fedchain::audit::fast_sync` verifies a restored state against
+    /// the committed state root before trusting it.
+    pub fn snapshot_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.current_round.encode_to(&mut out);
+        self.phase.encode_to(&mut out);
+        encode_map(&self.keys, &mut out);
+        encode_map(&self.escrows, &mut out);
+        encode_map(&self.submissions, &mut out);
+        (self.recovery_shares.len() as u64).encode_to(&mut out);
+        for (dropped, providers) in &self.recovery_shares {
+            dropped.encode_to(&mut out);
+            (providers.len() as u64).encode_to(&mut out);
+            for (provider, share) in providers {
+                provider.encode_to(&mut out);
+                share.x.encode_to(&mut out);
+                share.y.to_be_bytes().encode_to(&mut out);
+            }
+        }
+        encode_map(&self.contributions, &mut out);
+        self.global_model.encode_to(&mut out);
+        self.history.encode_to(&mut out);
+        out
+    }
+
+    /// Rebuilds a contract from the genesis artefacts plus a
+    /// [`FlContract::snapshot_state`] blob.
+    ///
+    /// Decoding is strict (truncated, malformed, or trailing bytes all
+    /// `Err`), but a *well-formed forgery* cannot be detected here: the
+    /// caller must check [`SmartContract::state_digest`] of the result
+    /// against the state root committed at the snapshot height, as
+    /// `fedchain::audit::fast_sync` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`FlContract::genesis`] does: on internally
+    /// inconsistent genesis parameters.
+    pub fn restore(
+        params: FlParams,
+        test_set: Dataset,
+        snapshot: &[u8],
+    ) -> Result<Self, DecodeError> {
+        let mut c = Self::genesis(params, test_set);
+        let mut r = Reader::new(snapshot);
+        c.current_round = u64::decode_from(&mut r)?;
+        c.phase = RoundPhase::decode_from(&mut r)?;
+        c.keys = decode_map(&mut r)?;
+        c.escrows = decode_map(&mut r)?;
+        c.submissions = decode_map(&mut r)?;
+        let dropped_count = u64::decode_from(&mut r)?;
+        c.recovery_shares = BTreeMap::new();
+        for _ in 0..dropped_count {
+            let dropped = AccountId::decode_from(&mut r)?;
+            let provider_count = u64::decode_from(&mut r)?;
+            let mut providers = BTreeMap::new();
+            for _ in 0..provider_count {
+                let provider = AccountId::decode_from(&mut r)?;
+                let x = u64::decode_from(&mut r)?;
+                let y_bytes = <[u8; 32]>::decode_from(&mut r)?;
+                providers.insert(
+                    provider,
+                    Share {
+                        x,
+                        y: U256::from_be_bytes(&y_bytes),
+                    },
+                );
+            }
+            c.recovery_shares.insert(dropped, providers);
+        }
+        c.contributions = decode_map(&mut r)?;
+        c.global_model = Vec::decode_from(&mut r)?;
+        c.history = Vec::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(c)
     }
 }
 
@@ -2095,5 +2284,92 @@ mod tests {
         for w in c.global_model() {
             assert!((w - 0.2).abs() < 1e-6, "got {w}");
         }
+    }
+
+    #[test]
+    fn fl_call_decode_roundtrips_every_variant() {
+        let calls = [
+            FlCall::AdvertiseKey {
+                public_key: vec![7; 32],
+            },
+            FlCall::SubmitMaskedUpdate {
+                round: 3,
+                masked: vec![1, u64::MAX, 0],
+            },
+            FlCall::EvaluateRound { round: 9 },
+            FlCall::EscrowKeyShares {
+                commitments: vec![Hash32::of_bytes(b"a"), Hash32::of_bytes(b"b")],
+            },
+            FlCall::SubmitRecoveryShare {
+                round: 1,
+                dropped: 2,
+                share_x: 3,
+                share_y: vec![0xde, 0xad],
+            },
+        ];
+        for call in &calls {
+            let enc = call.encode();
+            assert_eq!(&FlCall::decode(&enc).unwrap(), call);
+            // Strict: a truncated call must never decode.
+            assert!(FlCall::decode(&enc[..enc.len() - 1]).is_err());
+        }
+        assert!(FlCall::decode(&[0xee]).is_err(), "unknown tag rejected");
+    }
+
+    #[test]
+    fn snapshot_state_restores_to_identical_digest() {
+        // Drive a contract through a full round — keys, escrows, masked
+        // updates, evaluation — then snapshot, restore, and require the
+        // restored contract to be digest-identical AND behaviourally
+        // live (it must accept the next round's traffic).
+        let mut c = contract(3, 2);
+        advertise_all(&mut c, 3);
+        for i in 0..3u32 {
+            let masked = plain_update(&c, 0.5);
+            c.execute(&ctx(i), &FlCall::SubmitMaskedUpdate { round: 0, masked })
+                .unwrap();
+        }
+        c.execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
+        assert_eq!(c.history().len(), 1);
+
+        let blob = c.snapshot_state();
+        let test_set = SyntheticDigits::small().generate(99);
+        let mut restored =
+            FlContract::restore(test_params(3, 2), test_set, &blob).expect("snapshot decodes");
+        assert_eq!(
+            restored.state_digest(),
+            c.state_digest(),
+            "restore must be digest-exact"
+        );
+        assert_eq!(restored.history().len(), 1);
+
+        // The restored contract keeps executing in lockstep.
+        for i in 0..3u32 {
+            let call = FlCall::SubmitMaskedUpdate {
+                round: 1,
+                masked: plain_update(&restored, 0.25),
+            };
+            restored.execute(&ctx(i), &call).unwrap();
+            c.execute(&ctx(i), &call).unwrap();
+        }
+        assert_eq!(restored.state_digest(), c.state_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_malformed_blobs() {
+        let c = contract(3, 2);
+        let blob = c.snapshot_state();
+        let test_set = SyntheticDigits::small().generate(99);
+        // Truncations and trailing garbage must error, never panic.
+        for cut in [0, 1, blob.len() / 2, blob.len() - 1] {
+            assert!(
+                FlContract::restore(test_params(3, 2), test_set.clone(), &blob[..cut]).is_err(),
+                "prefix of {cut} bytes"
+            );
+        }
+        let mut padded = blob;
+        padded.push(0);
+        assert!(FlContract::restore(test_params(3, 2), test_set, &padded).is_err());
     }
 }

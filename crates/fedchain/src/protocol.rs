@@ -32,11 +32,13 @@
 //! their missed rounds) and the final global model `W_G`.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use fl_chain::consensus::engine::{
     CommitReport, ConsensusEngine, EngineConfig, EngineError, MinerBehavior,
 };
 use fl_chain::consensus::leader::LeaderSchedule;
+use fl_chain::durability::{DurabilityConfig, DurabilityError, DurableStore, RecoveryReport};
 use fl_chain::gas::Gas;
 use fl_chain::hash::Hash32;
 use fl_chain::mempool::Mempool;
@@ -69,6 +71,10 @@ pub enum ProtocolError {
     /// for the round, so this signals a bug — never commit a truncated
     /// round block silently).
     Admission(fl_chain::mempool::MempoolError),
+    /// The attached durable store failed (log I/O, corrupt directory, or
+    /// an injected crash). The in-memory run is intact; persistence is
+    /// not.
+    Durability(DurabilityError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -79,6 +85,7 @@ impl std::fmt::Display for ProtocolError {
             Self::SecureAgg(e) => write!(f, "secure aggregation: {e}"),
             Self::Dropout(e) => write!(f, "dropout recovery: {e}"),
             Self::Admission(e) => write!(f, "batch admission: {e}"),
+            Self::Durability(e) => write!(f, "durable store: {e}"),
         }
     }
 }
@@ -106,6 +113,12 @@ impl From<fl_crypto::secure_agg::SecureAggError> for ProtocolError {
 impl From<fl_crypto::dropout::DropoutError> for ProtocolError {
     fn from(e: fl_crypto::dropout::DropoutError) -> Self {
         Self::Dropout(e)
+    }
+}
+
+impl From<DurabilityError> for ProtocolError {
+    fn from(e: DurabilityError) -> Self {
+        Self::Durability(e)
     }
 }
 
@@ -140,6 +153,9 @@ pub struct FlProtocol {
     /// on-chain). In deployment each owner holds only its own column;
     /// the driver plays every owner, so it holds the whole matrix.
     escrows: Vec<Vec<Share>>,
+    /// Optional on-disk tail of the honest replica's chain (see
+    /// [`FlProtocol::persist_to`]); `None` keeps the run memory-only.
+    durable: Option<DurableStore<FlCall>>,
 }
 
 impl FlProtocol {
@@ -228,7 +244,58 @@ impl FlProtocol {
             test_set: world.test,
             pool,
             escrows,
+            durable: None,
         })
+    }
+
+    /// Attaches a durable store at `dir`: from now on, every committed
+    /// block is write-ahead logged to disk (and snapshotted at the
+    /// configured cadence) as it lands on the honest replica — blocks
+    /// already committed are logged immediately, so attaching mid-run is
+    /// sound. Reopening the directory later (or handing it to
+    /// [`crate::audit::fast_sync`]) reproduces the chain bit-identically.
+    ///
+    /// If `dir` already holds a prefix of this run's chain (a resumed
+    /// run), logging continues after it; a directory holding a
+    /// *different* chain fails with
+    /// [`DurabilityError::Rejected`] at the first divergent block.
+    pub fn persist_to(
+        &mut self,
+        dir: impl Into<PathBuf>,
+        config: DurabilityConfig,
+    ) -> Result<RecoveryReport, ProtocolError> {
+        let (durable, report) = DurableStore::open(dir, config)?;
+        self.durable = Some(durable);
+        self.sync_durable()?;
+        Ok(report)
+    }
+
+    /// The attached durable store, if any.
+    pub fn durable_store(&self) -> Option<&DurableStore<FlCall>> {
+        self.durable.as_ref()
+    }
+
+    /// Tails the honest replica's chain into the durable store: appends
+    /// every block beyond the durable height, then snapshots the
+    /// contract state if the cadence says so.
+    fn sync_durable(&mut self) -> Result<(), ProtocolError> {
+        let Some(durable) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let live = self
+            .engine
+            .store_of(0)
+            .expect("miner 0 always exists")
+            .clone();
+        for height in durable.store().height()..live.height() {
+            let block = live.block_at(height).expect("height bounded by store");
+            durable.append(block)?;
+        }
+        if durable.snapshot_due() {
+            let state = self.engine.honest_contract().snapshot_state();
+            durable.write_snapshot(&state)?;
+        }
+        Ok(())
     }
 
     /// Installs an adversarial behaviour on one owner (by position).
@@ -303,7 +370,12 @@ impl FlProtocol {
         }
         let bundle = self.pool.drain_bundle(usize::MAX);
         match self.engine.commit_bundle(&bundle) {
-            Ok(report) => Ok(report),
+            Ok(report) => {
+                // Persist the freshly committed block(s) before reporting
+                // success: a crash after this point replays them from disk.
+                self.sync_durable()?;
+                Ok(report)
+            }
             Err(e) => {
                 // Dropping release()'s evicted orphans is deliberate:
                 // the rollback makes any still-queued transactions above
@@ -849,7 +921,7 @@ mod tests {
         p.run().unwrap();
         for id in 0..4u32 {
             let store = p.engine().store_of(id).unwrap();
-            assert!(store.verify_chain());
+            assert_eq!(store.verify_chain(), Ok(()));
             assert_eq!(store.height(), 2);
         }
         // All replicas ended at the same state root.

@@ -48,7 +48,11 @@ fn main() {
     let engine = protocol.engine();
     for id in 0..4u32 {
         let store = engine.store_of(id).expect("miner exists");
-        assert!(store.verify_chain(), "miner {id}'s chain must verify");
+        assert_eq!(
+            store.verify_chain(),
+            Ok(()),
+            "miner {id}'s chain must verify"
+        );
     }
     println!("\nall 4 miner replicas verified the chain independently ✓");
 }

@@ -1,0 +1,187 @@
+//! Durability end-to-end: a full FL run — dropout lifecycle included —
+//! persisted to a write-ahead log on disk, then certified entirely from
+//! the cold bytes by `fedchain::audit::fast_sync`. The on-disk chain
+//! must reproduce the live chain's tip digest exactly, from genesis and
+//! from a verified snapshot alike.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fedchain::audit::{fast_sync, FastSyncError};
+use fedchain::config::FlConfig;
+use fedchain::protocol::FlProtocol;
+use fl_chain::durability::DurabilityConfig;
+use fl_chain::log::LogConfig;
+
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("transparent-fl-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// quick_demo with a dropout in round 0: setup block + survivor block +
+/// recovery block = 3 blocks, exercising the full dropout lifecycle.
+fn dropout_config() -> FlConfig {
+    let mut config = FlConfig::quick_demo();
+    config.dropout_schedule = vec![(0, vec![1])];
+    config
+}
+
+/// Small segments so the 3-block chain spans several; snapshots at every
+/// block when `snapshot_every` is 1.
+fn durability_config(snapshot_every: u64) -> DurabilityConfig {
+    DurabilityConfig {
+        log: LogConfig {
+            segment_bytes: 16 * 1024,
+        },
+        snapshot_every,
+    }
+}
+
+#[test]
+fn dropout_run_fast_syncs_from_cold_disk_to_identical_tip() {
+    let dir = TestDir::new("genesis-sync");
+    let mut protocol = FlProtocol::new(dropout_config()).expect("valid config");
+    // No snapshot cadence: this sync must replay from genesis.
+    protocol
+        .persist_to(dir.path(), durability_config(u64::MAX))
+        .expect("fresh dir attaches");
+    protocol.run().expect("honest run");
+
+    let live_store = protocol.engine().store_of(0).expect("miner 0");
+    let live_tip = live_store.tip_digest();
+    let params = protocol.contract().params().clone();
+    let test_set = protocol.test_set().clone();
+    drop(protocol); // everything below runs from cold bytes only
+
+    let report = fast_sync(dir.path(), params, test_set).expect("cold chain certifies");
+    assert_eq!(report.synced_from, 0, "no snapshot: genesis replay");
+    assert_eq!(report.blocks, 3, "setup + survivor + recovery blocks");
+    assert!(report.truncated.is_none());
+    assert!(
+        report.audit.clean,
+        "every state root must verify: {:#?}",
+        report.audit.blocks
+    );
+    assert_eq!(
+        report.tip_digest, live_tip,
+        "the on-disk chain is bit-identical to the live chain"
+    );
+}
+
+#[test]
+fn fast_sync_from_snapshot_verifies_and_matches_genesis_replay() {
+    let dir = TestDir::new("snap-sync");
+    let mut protocol = FlProtocol::new(dropout_config()).expect("valid config");
+    // Snapshot after every block: the newest covers all but none or few
+    // trailing blocks, so the sync is a true snapshot-then-verify.
+    protocol
+        .persist_to(dir.path(), durability_config(1))
+        .expect("fresh dir attaches");
+    protocol.run().expect("honest run");
+
+    let live_tip = protocol.engine().store_of(0).expect("miner 0").tip_digest();
+    let params = protocol.contract().params().clone();
+    let test_set = protocol.test_set().clone();
+    let live_contributions: Vec<(u32, f64)> = protocol
+        .contract()
+        .contributions()
+        .iter()
+        .map(|(&id, &v)| (id, v))
+        .collect();
+    drop(protocol);
+
+    let report =
+        fast_sync(dir.path(), params.clone(), test_set.clone()).expect("snapshot sync certifies");
+    assert!(
+        report.synced_from > 0,
+        "a snapshot must have anchored the sync"
+    );
+    assert!(report.audit.clean);
+    assert_eq!(report.tip_digest, live_tip);
+    // The snapshot path reconstructs the exact same final ledger a
+    // genesis replay (and the live contract) holds.
+    assert_eq!(report.audit.final_contributions, live_contributions);
+}
+
+#[test]
+fn fast_sync_rejects_a_forged_snapshot_state() {
+    // A CRC-valid, tip-bound snapshot whose *state* was forged must be
+    // caught by the digest proof against the committed state root.
+    let dir = TestDir::new("forged-snap");
+    let mut protocol = FlProtocol::new(dropout_config()).expect("valid config");
+    protocol
+        .persist_to(dir.path(), durability_config(u64::MAX))
+        .expect("fresh dir attaches");
+    protocol.run().expect("honest run");
+    let params = protocol.contract().params().clone();
+    let test_set = protocol.test_set().clone();
+
+    // Forge: a snapshot of the *genesis* state claiming the tip height.
+    // write_snapshot frames and binds it correctly — only the state blob
+    // lies — so every durability-layer check passes.
+    let genesis_state =
+        fedchain::FlContract::genesis(params.clone(), test_set.clone()).snapshot_state();
+    let (mut durable, _) = fl_chain::durability::DurableStore::<fedchain::FlCall>::open(
+        dir.path(),
+        durability_config(u64::MAX),
+    )
+    .expect("reopen");
+    durable
+        .write_snapshot(&genesis_state)
+        .expect("forged snapshot writes");
+    drop(durable);
+
+    match fast_sync(dir.path(), params, test_set) {
+        Err(FastSyncError::SnapshotStateMismatch { height: 3, .. }) => {}
+        other => panic!("forged snapshot must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn fast_sync_survives_a_torn_tail_and_recertifies_the_prefix() {
+    // Simulate a crash mid-write of the final block record, then certify
+    // what remains: the clean prefix must still audit end-to-end.
+    let dir = TestDir::new("torn-sync");
+    let mut protocol = FlProtocol::new(dropout_config()).expect("valid config");
+    protocol
+        .persist_to(dir.path(), durability_config(u64::MAX))
+        .expect("fresh dir attaches");
+    protocol.run().expect("honest run");
+    let params = protocol.contract().params().clone();
+    let test_set = protocol.test_set().clone();
+    drop(protocol);
+
+    // Tear the tail: chop bytes off the final segment file.
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir.path())
+        .expect("read dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segments.sort();
+    let last = segments.last().expect("segments exist");
+    let bytes = std::fs::read(last).expect("read segment");
+    std::fs::write(last, &bytes[..bytes.len() - 7]).expect("tear tail");
+
+    let report = fast_sync(dir.path(), params, test_set).expect("prefix certifies");
+    assert!(report.truncated.is_some(), "the torn tail must be reported");
+    assert_eq!(report.blocks, 2, "final record lost, prefix recovered");
+    assert!(report.audit.clean, "the surviving prefix still verifies");
+}

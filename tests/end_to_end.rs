@@ -28,7 +28,7 @@ fn whole_pipeline_runs_and_is_auditable() {
         .collect();
     assert!(digests.windows(2).all(|w| w[0] == w[1]));
     for id in 0..4u32 {
-        assert!(engine.store_of(id).expect("miner").verify_chain());
+        assert_eq!(engine.store_of(id).expect("miner").verify_chain(), Ok(()));
     }
 
     // Learning: the federated model beats random guessing decisively.
