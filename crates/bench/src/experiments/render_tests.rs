@@ -91,6 +91,22 @@ fn table1_render_includes_speedups() {
                 blocks: 3,
             },
         ],
+        scaling: vec![
+            table1::OwnersScaling {
+                num_owners: 9,
+                num_cohorts: 1,
+                secs: 1.5,
+                utility_evaluations: 8,
+                blocks: 2,
+            },
+            table1::OwnersScaling {
+                num_owners: 144,
+                num_cohorts: 16,
+                secs: 6.0,
+                utility_evaluations: 500,
+                blocks: 17,
+            },
+        ],
         num_owners: 9,
     };
     let table = table1::render(&result);
@@ -104,6 +120,9 @@ fn table1_render_includes_speedups() {
     // Recovery-cost columns: per-dropout wall-clock + block counts.
     assert!(text.contains("round d=0") && text.contains("round d=3"));
     assert!(text.contains("2 blk") && text.contains("3 blk"));
+    // Owners-scaling columns: sharded round wall-clock + block counts.
+    assert!(text.contains("shard n=9 k=1") && text.contains("shard n=144 k=16"));
+    assert!(text.contains("17 blk") && text.contains("500"));
 }
 
 #[test]
@@ -115,12 +134,17 @@ fn table1_render_without_recovery_measurements() {
         stratified_sv: 0.5,
         stratified_evaluations: 324,
         recovery: vec![],
+        scaling: vec![],
         num_owners: 9,
     };
     let text = table1::render(&result).render();
     assert!(
         !text.contains("round d=0"),
         "no recovery columns when unmeasured"
+    );
+    assert!(
+        !text.contains("shard n=9"),
+        "no scaling columns when unmeasured"
     );
 }
 

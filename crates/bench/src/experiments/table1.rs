@@ -14,6 +14,7 @@
 
 use std::time::Instant;
 
+use fedchain::config::SvMethod;
 use fedchain::contract_fl::AccuracyUtility;
 use fedchain::ground_truth::RetrainUtility;
 use fedchain::protocol::FlProtocol;
@@ -44,6 +45,23 @@ pub struct RecoveryCost {
     pub blocks: u64,
 }
 
+/// One owners-scaling measurement: wall-clock of a full on-chain round
+/// at `num_owners` owners sharded into `num_cohorts` cohorts (1 = the
+/// flat baseline round).
+#[derive(Debug, Clone)]
+pub struct OwnersScaling {
+    /// Owner count n.
+    pub num_owners: usize,
+    /// Cohort count k of the round (1 = flat).
+    pub num_cohorts: usize,
+    /// Wall-clock of the full on-chain round, consensus included.
+    pub secs: f64,
+    /// Utility evaluations across both SV levels, from the round record.
+    pub utility_evaluations: usize,
+    /// Blocks committed (2 flat; 1 + k sharded).
+    pub blocks: u64,
+}
+
 /// Timing results.
 #[derive(Debug, Clone)]
 pub struct Table1Result {
@@ -61,6 +79,9 @@ pub struct Table1Result {
     pub stratified_evaluations: usize,
     /// Recovery cost at 0, 1, and ⌈n/3⌉ dropped owners.
     pub recovery: Vec<RecoveryCost>,
+    /// Owners-scaling column: one on-chain round at n, 4n, and 16n
+    /// owners, the larger settings cohort-sharded.
+    pub scaling: Vec<OwnersScaling>,
     /// Owner count n.
     pub num_owners: usize,
 }
@@ -139,6 +160,34 @@ pub fn run(scale: Scale) -> Table1Result {
         });
     }
 
+    // Owners scaling: the same on-chain round at n, 4n, and 16n owners,
+    // the larger two sharded into 4 and 16 cohorts so the cohort size —
+    // and with it the pairwise-mask and per-cohort SV cost — stays put.
+    // Stratified sampling keeps the second-level cohort game polynomial;
+    // a 4-miner committee keeps consensus fan-out fixed across rows.
+    let mut scaling = Vec::new();
+    for (owners, cohorts) in [(n, 1), (4 * n, 4), (16 * n, 16)] {
+        let mut round_config = scale.config();
+        round_config.sigma = 1.0;
+        round_config.rounds = 1;
+        round_config.num_owners = owners;
+        round_config.num_cohorts = cohorts;
+        round_config.miner_committee = 4.min(owners);
+        round_config.sv_method = SvMethod::Stratified {
+            samples_per_stratum: 2,
+        };
+        let mut protocol = FlProtocol::new(round_config).expect("valid config");
+        let start = Instant::now();
+        let report = protocol.run().expect("honest run");
+        scaling.push(OwnersScaling {
+            num_owners: owners,
+            num_cohorts: cohorts,
+            secs: start.elapsed().as_secs_f64(),
+            utility_evaluations: report.round_records[0].utility_evaluations,
+            blocks: report.blocks,
+        });
+    }
+
     Table1Result {
         group_sv,
         native_sv,
@@ -146,6 +195,7 @@ pub fn run(scale: Scale) -> Table1Result {
         stratified_sv,
         stratified_evaluations: stratified.utility_evaluations,
         recovery,
+        scaling,
         num_owners: n,
     }
 }
@@ -163,10 +213,17 @@ pub fn render(result: &Table1Result) -> Table {
             .iter()
             .map(|r| format!("round d={}", r.dropped)),
     );
+    headers.extend(
+        result
+            .scaling
+            .iter()
+            .map(|s| format!("shard n={} k={}", s.num_owners, s.num_cohorts)),
+    );
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(
         "Table I — time comparison: GroupSV (m=2..n) vs NativeSV vs StratifiedSV; \
-         round d=k = full on-chain round with k dropouts (recovery cost)",
+         round d=k = full on-chain round with k dropouts (recovery cost); \
+         shard n=N k=K = full on-chain round at N owners in K cohorts (owners scaling)",
         &header_refs,
     );
     let mut cells = vec!["time".to_owned()];
@@ -174,6 +231,7 @@ pub fn render(result: &Table1Result) -> Table {
     cells.push(secs(result.native_sv));
     cells.push(secs(result.stratified_sv));
     cells.extend(result.recovery.iter().map(|r| secs(r.secs)));
+    cells.extend(result.scaling.iter().map(|s| secs(s.secs)));
     table.push_row(cells);
 
     let mut speedup = vec!["native/group".to_owned()];
@@ -186,6 +244,7 @@ pub fn render(result: &Table1Result) -> Table {
     speedup.push("1.0x".to_owned());
     speedup.push(format!("{:.1}x", result.native_sv / result.stratified_sv));
     speedup.extend(result.recovery.iter().map(|r| format!("{} blk", r.blocks)));
+    speedup.extend(result.scaling.iter().map(|s| format!("{} blk", s.blocks)));
     table.push_row(speedup);
 
     let mut evals = vec!["utility evals".to_owned()];
@@ -202,6 +261,12 @@ pub fn render(result: &Table1Result) -> Table {
             .recovery
             .iter()
             .map(|r| format!("{}", r.utility_evaluations)),
+    );
+    evals.extend(
+        result
+            .scaling
+            .iter()
+            .map(|s| format!("{}", s.utility_evaluations)),
     );
     table.push_row(evals);
     table

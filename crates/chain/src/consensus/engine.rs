@@ -323,6 +323,30 @@ where
         self.commit_bundle(&TxBundle::seal_unchecked(txs))
     }
 
+    /// Commits a streamed sequence of bundles as consecutive blocks,
+    /// one [`Self::commit_bundle`] round each.
+    ///
+    /// The per-bundle atomic-commit invariant is preserved verbatim:
+    /// on failure at bundle `i` the first `i` blocks stay committed on
+    /// every replica (they reached quorum), bundle `i` has advanced no
+    /// replica, and bundles `i..` are untouched — the caller gets the
+    /// reports for the committed prefix, the failing index, and the
+    /// error, so it can `release` the unfinished suffix back to a
+    /// mempool.
+    pub fn commit_bundles(
+        &mut self,
+        bundles: &[TxBundle<S::Call>],
+    ) -> Result<Vec<CommitReport>, (Vec<CommitReport>, usize, EngineError)> {
+        let mut reports = Vec::with_capacity(bundles.len());
+        for (i, bundle) in bundles.iter().enumerate() {
+            match self.commit_bundle(bundle) {
+                Ok(report) => reports.push(report),
+                Err(e) => return Err((reports, i, e)),
+            }
+        }
+        Ok(reports)
+    }
+
     /// Runs the full protocol to commit a sealed bundle as one block.
     ///
     /// The bundle is borrowed so that on error the caller still holds
@@ -585,6 +609,49 @@ mod tests {
             assert_eq!(engine.store_of(id).unwrap().verify_chain(), Ok(()));
             assert_eq!(engine.store_of(id).unwrap().height(), 2);
         }
+    }
+
+    #[test]
+    fn commit_bundles_streams_consecutive_blocks() {
+        let mut engine = engine_with(4, &[]);
+        let bundles = vec![
+            TxBundle::seal_unchecked(add_txs(&[1, 2])),
+            TxBundle::seal_unchecked(vec![Transaction::new(0, 2, CounterCall::Add(3))]),
+            TxBundle::seal_unchecked(vec![Transaction::new(0, 3, CounterCall::Add(4))]),
+        ];
+        let reports = engine.commit_bundles(&bundles).unwrap();
+        assert_eq!(reports.len(), 3);
+        let heights: Vec<u64> = reports.iter().map(|r| r.height).collect();
+        assert_eq!(heights, vec![0, 1, 2], "one block per bundle, in order");
+        assert_eq!(engine.honest_contract().value, 10);
+        for id in 0..4 {
+            assert_eq!(engine.store_of(id).unwrap().verify_chain(), Ok(()));
+            assert_eq!(engine.store_of(id).unwrap().height(), 3);
+        }
+    }
+
+    #[test]
+    fn commit_bundles_failure_keeps_committed_prefix() {
+        // A Byzantine majority stalls every bundle: the stream fails at
+        // index 0 with nothing committed, and the bundle stream from an
+        // honest engine that later stalls keeps its committed prefix.
+        let mut engine = engine_with(
+            4,
+            &[
+                (1, MinerBehavior::RejectAll),
+                (2, MinerBehavior::RejectAll),
+                (3, MinerBehavior::RejectAll),
+            ],
+        );
+        let bundles = vec![
+            TxBundle::seal_unchecked(add_txs(&[1])),
+            TxBundle::seal_unchecked(vec![Transaction::new(0, 1, CounterCall::Add(2))]),
+        ];
+        let (reports, failed_at, err) = engine.commit_bundles(&bundles).unwrap_err();
+        assert!(reports.is_empty());
+        assert_eq!(failed_at, 0);
+        assert!(matches!(err, EngineError::NoQuorum { .. }));
+        assert_eq!(engine.height(), 0, "nothing committed without quorum");
     }
 
     #[test]

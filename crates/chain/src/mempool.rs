@@ -230,6 +230,17 @@ impl<C: Encode + Clone> Mempool<C> {
         TxBundle::seal_unchecked(txs)
     }
 
+    /// Drains one sealed [`TxBundle`] per entry of `sizes`, in order —
+    /// the streamed multi-bundle round: bundle `i` takes the next
+    /// `sizes[i]` queued transactions (fewer if the pool runs dry).
+    ///
+    /// Each bundle independently satisfies the contiguity invariant
+    /// that [`Mempool::drain_bundle`] seals under, because per-sender
+    /// nonce order is preserved across consecutive drains.
+    pub fn drain_bundles(&mut self, sizes: &[usize]) -> Vec<TxBundle<C>> {
+        sizes.iter().map(|&s| self.drain_bundle(s)).collect()
+    }
+
     /// Returns transactions to the *front* of the pool after a rejected
     /// proposal, preserving their original order.
     ///
@@ -364,6 +375,32 @@ mod tests {
         assert_eq!(pool.len(), 3);
         assert_eq!(pool.drain(100).len(), 3);
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn drain_bundles_streams_sized_bundles_in_order() {
+        let mut pool = Mempool::new(16);
+        for n in 0..3 {
+            pool.submit(tx(0, n)).unwrap();
+        }
+        for n in 0..3 {
+            pool.submit(tx(1, n)).unwrap();
+        }
+        let bundles = pool.drain_bundles(&[2, 3, 4]);
+        assert_eq!(bundles.len(), 3);
+        assert_eq!(bundles[0].txs().len(), 2);
+        assert_eq!(bundles[1].txs().len(), 3);
+        assert_eq!(bundles[2].txs().len(), 1, "pool ran dry");
+        assert!(pool.is_empty());
+        // Per-sender nonce order is preserved across the stream.
+        let mut last: std::collections::BTreeMap<AccountId, u64> = Default::default();
+        for b in &bundles {
+            for t in b.txs() {
+                if let Some(prev) = last.insert(t.sender, t.nonce) {
+                    assert_eq!(t.nonce, prev + 1, "sender {} out of order", t.sender);
+                }
+            }
+        }
     }
 
     #[test]

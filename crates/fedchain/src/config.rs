@@ -9,6 +9,7 @@ use fl_chain::codec::{Decode, DecodeError, Encode, Reader};
 use fl_ml::dataset::SyntheticDigits;
 use fl_ml::TrainConfig;
 use shapley::coalition::{MAX_PLAYERS, MAX_SAMPLED_PLAYERS};
+use shapley::hierarchy::CohortPlan;
 
 /// The contribution-evaluation method for a protocol run — part of the
 /// on-chain agreement, exactly like the permutation seed and group
@@ -156,6 +157,18 @@ pub struct FlConfig {
     /// drives the contract's recovery phase instead; an empty schedule is
     /// the paper's no-churn setting.
     pub dropout_schedule: Vec<(u64, Vec<usize>)>,
+    /// Number of cohorts the owners are sharded into each round
+    /// (`1` = the flat single-cohort round). With `k > 1` every round
+    /// partitions the owners with a deterministic
+    /// [`shapley::hierarchy::CohortPlan`], runs secure aggregation and a
+    /// cohort-local SV pass per cohort, and composes global
+    /// contributions through the second-level cohort game.
+    pub num_cohorts: usize,
+    /// Size of the miner committee that runs consensus (`0` = every
+    /// owner mines, the cross-silo default). At cohort scale a bounded
+    /// committee keeps per-commit re-execution cost independent of the
+    /// owner count.
+    pub miner_committee: usize,
 }
 
 /// Errors from validating a configuration.
@@ -211,6 +224,51 @@ pub enum ConfigError {
         /// Maximum recoverable dropouts (`n - escrow_threshold`).
         max: usize,
     },
+    /// Cohort count outside `1..=num_owners`.
+    BadCohortCount {
+        /// Requested cohorts.
+        cohorts: usize,
+        /// Owner count.
+        owners: usize,
+    },
+    /// The chosen SV method cannot play the second-level game over this
+    /// many cohorts.
+    CohortCountExceedsMethodCap {
+        /// Requested cohorts.
+        cohorts: usize,
+        /// The method's cap.
+        cap: usize,
+        /// Method name.
+        method: &'static str,
+    },
+    /// More within-cohort groups requested than the smallest cohort
+    /// holds under the balanced partition.
+    GroupCountExceedsCohortSize {
+        /// Requested within-cohort groups.
+        groups: usize,
+        /// Smallest cohort size (`num_owners / num_cohorts`).
+        cohort_size: usize,
+    },
+    /// The dropout schedule wipes out an entire cohort of that round's
+    /// plan. The contract tolerates a fully-dropped cohort at runtime
+    /// (the second-level game restricts to survivors), but *scheduling*
+    /// one is almost always a misconfiguration — the cohort's data
+    /// contributes nothing that round — so validation rejects it.
+    CohortFullyDropped {
+        /// The offending round.
+        round: u64,
+        /// Cohort index within that round's plan.
+        cohort: usize,
+        /// The cohort's size.
+        size: usize,
+    },
+    /// Miner committee larger than the owner set.
+    BadMinerCommittee {
+        /// Requested committee size.
+        committee: usize,
+        /// Owner count.
+        owners: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -258,6 +316,41 @@ impl std::fmt::Display for ConfigError {
                     "round {round} drops {dropped} owners; at most {max} are recoverable"
                 )
             }
+            Self::BadCohortCount { cohorts, owners } => {
+                write!(f, "num_cohorts {cohorts} outside 1..={owners}")
+            }
+            Self::CohortCountExceedsMethodCap {
+                cohorts,
+                cap,
+                method,
+            } => {
+                write!(
+                    f,
+                    "SV method {method} supports at most {cap} cohorts in the second-level game, got {cohorts}"
+                )
+            }
+            Self::GroupCountExceedsCohortSize {
+                groups,
+                cohort_size,
+            } => {
+                write!(
+                    f,
+                    "num_groups {groups} exceeds the smallest cohort ({cohort_size} members)"
+                )
+            }
+            Self::CohortFullyDropped {
+                round,
+                cohort,
+                size,
+            } => {
+                write!(
+                    f,
+                    "round {round} drops all {size} members of cohort {cohort}"
+                )
+            }
+            Self::BadMinerCommittee { committee, owners } => {
+                write!(f, "miner committee {committee} exceeds {owners} owners")
+            }
         }
     }
 }
@@ -285,6 +378,8 @@ impl FlConfig {
             world_seed: 20210424, // arXiv v2 date of the paper
             frac_bits: 24,
             dropout_schedule: Vec::new(),
+            num_cohorts: 1,
+            miner_committee: 0,
         }
     }
 
@@ -325,6 +420,34 @@ impl FlConfig {
             return Err(ConfigError::NegativeSigma(self.sigma));
         }
         self.sv_method.validate_groups(self.num_groups)?;
+        if self.num_cohorts == 0 || self.num_cohorts > self.num_owners {
+            return Err(ConfigError::BadCohortCount {
+                cohorts: self.num_cohorts,
+                owners: self.num_owners,
+            });
+        }
+        if self.num_cohorts > 1 {
+            if self.num_cohorts > self.sv_method.max_groups() {
+                return Err(ConfigError::CohortCountExceedsMethodCap {
+                    cohorts: self.num_cohorts,
+                    cap: self.sv_method.max_groups(),
+                    method: self.sv_method.name(),
+                });
+            }
+            let min_cohort = CohortPlan::min_cohort_size(self.num_owners, self.num_cohorts);
+            if self.num_groups > min_cohort {
+                return Err(ConfigError::GroupCountExceedsCohortSize {
+                    groups: self.num_groups,
+                    cohort_size: min_cohort,
+                });
+            }
+        }
+        if self.miner_committee > self.num_owners {
+            return Err(ConfigError::BadMinerCommittee {
+                committee: self.miner_committee,
+                owners: self.num_owners,
+            });
+        }
         let max_dropouts = self.num_owners - self.escrow_threshold();
         for (round, owners) in &self.dropout_schedule {
             if *round >= self.rounds {
@@ -341,13 +464,35 @@ impl FlConfig {
                     });
                 }
             }
-            let dropped = self.dropped_in_round(*round).len();
-            if dropped > max_dropouts {
+            let dropped = self.dropped_in_round(*round);
+            if dropped.len() > max_dropouts {
                 return Err(ConfigError::TooManyDropouts {
                     round: *round,
-                    dropped,
+                    dropped: dropped.len(),
                     max: max_dropouts,
                 });
+            }
+            // Cohort interaction: the partition is round-dependent, so
+            // check each scheduled round's actual plan. Wiping a whole
+            // cohort is rejected here as a planning error; the contract
+            // itself still tolerates one at runtime.
+            if self.num_cohorts > 1 && !dropped.is_empty() {
+                let plan = CohortPlan::new(
+                    self.permutation_seed,
+                    *round,
+                    self.num_owners,
+                    self.num_cohorts,
+                )
+                .expect("cohort count validated above");
+                for (c, cohort) in plan.cohorts().iter().enumerate() {
+                    if cohort.iter().all(|m| dropped.binary_search(m).is_ok()) {
+                        return Err(ConfigError::CohortFullyDropped {
+                            round: *round,
+                            cohort: c,
+                            size: cohort.len(),
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -537,6 +682,120 @@ mod tests {
                 max: 1
             })
         );
+    }
+
+    #[test]
+    fn cohort_knobs_validated() {
+        // quick_demo: 4 owners. Two cohorts of two is a valid sharding.
+        let mut c = FlConfig::quick_demo();
+        c.num_cohorts = 2;
+        c.validate().unwrap();
+
+        let mut c = FlConfig::quick_demo();
+        c.num_cohorts = 0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadCohortCount {
+                cohorts: 0,
+                owners: 4
+            })
+        );
+
+        let mut c = FlConfig::quick_demo();
+        c.num_cohorts = 5;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadCohortCount {
+                cohorts: 5,
+                owners: 4
+            })
+        );
+
+        // GroupExact caps the second-level game at 25 cohorts.
+        let mut c = FlConfig::quick_demo();
+        c.num_owners = 60;
+        c.num_groups = 1;
+        c.num_cohorts = 26;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CohortCountExceedsMethodCap {
+                cohorts: 26,
+                cap: 25,
+                method: "group_exact"
+            })
+        );
+        // A sampling method lifts the cap to the mask width.
+        c.sv_method = SvMethod::Stratified {
+            samples_per_stratum: 4,
+        };
+        c.validate().unwrap();
+        c.num_owners = 70;
+        c.num_cohorts = 65;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CohortCountExceedsMethodCap {
+                cohorts: 65,
+                cap: 64,
+                method: "stratified"
+            })
+        );
+
+        // Groups must fit the smallest cohort: 4 owners in 3 cohorts
+        // leaves a smallest cohort of 1, so 2 groups cannot fit.
+        let mut c = FlConfig::quick_demo();
+        c.num_cohorts = 3;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::GroupCountExceedsCohortSize {
+                groups: 2,
+                cohort_size: 1
+            })
+        );
+    }
+
+    #[test]
+    fn miner_committee_validated() {
+        let mut c = FlConfig::quick_demo();
+        c.miner_committee = 3;
+        c.validate().unwrap();
+        c.miner_committee = 5;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadMinerCommittee {
+                committee: 5,
+                owners: 4
+            })
+        );
+    }
+
+    #[test]
+    fn cohort_dropout_interaction_validated() {
+        // 9 owners, threshold 5 → up to 4 recoverable drops; 3 cohorts of
+        // 3, so wiping one cohort (3 drops) passes the global bound but
+        // must be rejected as a planning error.
+        let mut c = FlConfig::paper_setting();
+        c.num_cohorts = 3;
+        c.validate().unwrap();
+        let plan = CohortPlan::new(c.permutation_seed, 0, 9, 3).unwrap();
+        let victim: Vec<usize> = plan.cohorts()[1].clone();
+        assert_eq!(victim.len(), 3);
+        c.dropout_schedule = vec![(0, victim.clone())];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CohortFullyDropped {
+                round: 0,
+                cohort: 1,
+                size: 3
+            })
+        );
+        // Dropping all but one member of the cohort is recoverable and
+        // allowed — the cohort still has a survivor.
+        c.dropout_schedule = vec![(0, victim[..2].to_vec())];
+        c.validate().unwrap();
+        // The flat path is indifferent to cohort structure.
+        c.num_cohorts = 1;
+        c.dropout_schedule = vec![(0, victim)];
+        c.validate().unwrap();
     }
 
     #[test]

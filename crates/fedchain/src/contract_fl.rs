@@ -47,6 +47,7 @@ use fl_ml::LogisticModel;
 use numeric::{FixedCodec, U256};
 use shapley::estimator::{Exact, MonteCarlo, Stratified, SvEstimate, SvEstimator};
 use shapley::group::{grouping, permutation, GroupModelGame};
+use shapley::hierarchy::{cohort_stream, compose, CohortPlan};
 use shapley::monte_carlo::McConfig;
 use shapley::stratified::StratifiedConfig;
 use shapley::utility::{CachedUtility, ModelUtility, RestrictedGame};
@@ -77,6 +78,12 @@ pub struct FlParams {
     /// Shamir threshold of the key escrow: recovery of a dropped owner's
     /// key needs verified shares from this many surviving owners.
     pub escrow_threshold: usize,
+    /// Number of cohorts `k` each round is sharded into (1 = the flat
+    /// single-cohort round). With `k > 1` every round partitions the
+    /// owners by a [`shapley::hierarchy::CohortPlan`], runs the group
+    /// game *within* each cohort, and prices the cohorts against each
+    /// other in a second-level game over their aggregate models.
+    pub num_cohorts: usize,
 }
 
 impl Encode for FlParams {
@@ -91,6 +98,7 @@ impl Encode for FlParams {
         self.num_classes.encode_to(out);
         (self.frac_bits as u64).encode_to(out);
         self.escrow_threshold.encode_to(out);
+        self.num_cohorts.encode_to(out);
     }
 }
 
@@ -502,6 +510,59 @@ impl Decode for RecoveryEvidence {
     }
 }
 
+/// Per-cohort section of a sharded round's audit trail.
+///
+/// One entry per cohort of the round's
+/// [`shapley::hierarchy::CohortPlan`], bound into the state digest via
+/// [`RoundRecord`]: a tampered cohort assignment, survivor set, or
+/// within-cohort estimator diverges at the first state root exactly like
+/// the flat-round evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortEvidence {
+    /// Owner positions assigned to this cohort (the plan row).
+    pub members: Vec<usize>,
+    /// Members that submitted and were evaluated, ascending.
+    pub survivors: Vec<usize>,
+    /// Members declared dropped, ascending. A fully-dropped cohort lists
+    /// everyone here and leaves the second-level game.
+    pub dropped: Vec<usize>,
+    /// The estimator that ran the within-cohort game.
+    pub sv_method: SvMethod,
+    /// The cohort's second-level Shapley value `V_c` (`0.0` for a
+    /// fully-dropped cohort).
+    pub sv: f64,
+    /// Utility evaluations of the within-cohort pass.
+    pub utility_evaluations: usize,
+    /// Samples drawn by the within-cohort estimator (0 for exact).
+    pub samples: usize,
+}
+
+impl Encode for CohortEvidence {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.members.encode_to(out);
+        self.survivors.encode_to(out);
+        self.dropped.encode_to(out);
+        self.sv_method.encode_to(out);
+        self.sv.encode_to(out);
+        self.utility_evaluations.encode_to(out);
+        self.samples.encode_to(out);
+    }
+}
+
+impl Decode for CohortEvidence {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            members: Vec::decode_from(r)?,
+            survivors: Vec::decode_from(r)?,
+            dropped: Vec::decode_from(r)?,
+            sv_method: SvMethod::decode_from(r)?,
+            sv: f64::decode_from(r)?,
+            utility_evaluations: usize::decode_from(r)?,
+            samples: usize::decode_from(r)?,
+        })
+    }
+}
+
 /// Immutable record of one evaluated round — the public audit trail.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
@@ -533,6 +594,12 @@ pub struct RoundRecord {
     pub utility_evaluations: usize,
     /// Independent samples drawn by a sampling estimator (0 for exact).
     pub samples: usize,
+    /// Per-cohort evidence of a sharded round, one entry per cohort in
+    /// plan order (empty for flat `num_cohorts == 1` rounds). For
+    /// sharded rounds, [`RoundRecord::groups`] and
+    /// [`RoundRecord::per_group_sv`] concatenate the cohorts'
+    /// within-cohort groups/values in the same order.
+    pub cohorts: Vec<CohortEvidence>,
 }
 
 impl Encode for RoundRecord {
@@ -548,6 +615,7 @@ impl Encode for RoundRecord {
         self.global_accuracy.encode_to(out);
         self.utility_evaluations.encode_to(out);
         self.samples.encode_to(out);
+        self.cohorts.encode_to(out);
     }
 }
 
@@ -565,6 +633,7 @@ impl Decode for RoundRecord {
             global_accuracy: f64::decode_from(r)?,
             utility_evaluations: usize::decode_from(r)?,
             samples: usize::decode_from(r)?,
+            cohorts: Vec::decode_from(r)?,
         })
     }
 }
@@ -577,6 +646,49 @@ impl Decode for RoundRecord {
 /// data — any miner or auditor re-derives it.
 fn sampling_seed(permutation_seed: u64, round: u64) -> u64 {
     permutation_seed ^ round.wrapping_mul(0xd1b5_4a32_d192_ed03) ^ 0x5eed_5a3f_0e1e_57a7
+}
+
+/// The deterministic cohort plan and per-cohort group directory of one
+/// sharded round.
+///
+/// For each cohort of the round's [`CohortPlan`] (drawn on the
+/// [`shapley::hierarchy::COHORT_STREAM`]-separated seed), the
+/// within-cohort grouping is drawn on that cohort's
+/// [`cohort_stream`] sub-seed and mapped back to owner positions. The
+/// protocol driver masks within exactly these groups and the contract
+/// aggregates over them — both derive the directory from the same public
+/// `(seed, round, n, k, m)` inputs, all of which are digest-bound.
+///
+/// # Panics
+///
+/// Panics if `num_cohorts` is outside `1..=num_owners` (genesis rejects
+/// such parameters).
+pub fn sharded_round_groups(
+    permutation_seed: u64,
+    round: u64,
+    num_owners: usize,
+    num_cohorts: usize,
+    num_groups: usize,
+) -> (CohortPlan, Vec<Vec<Vec<usize>>>) {
+    let plan = CohortPlan::new(permutation_seed, round, num_owners, num_cohorts)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let groups = plan
+        .cohorts()
+        .iter()
+        .enumerate()
+        .map(|(c, members)| {
+            let pi = permutation(
+                cohort_stream(permutation_seed, c as u64),
+                round,
+                members.len(),
+            );
+            grouping(&pi, num_groups)
+                .into_iter()
+                .map(|g| g.into_iter().map(|i| members[i]).collect())
+                .collect()
+        })
+        .collect();
+    (plan, groups)
 }
 
 /// Test-set-accuracy utility `u(W)` shared by the contract and the
@@ -714,6 +826,24 @@ impl FlContract {
             (1..=params.owners.len()).contains(&params.escrow_threshold),
             "escrow threshold out of range"
         );
+        assert!(
+            (1..=params.owners.len()).contains(&params.num_cohorts),
+            "num_cohorts out of range"
+        );
+        if params.num_cohorts > 1 {
+            // The second-level game enumerates coalitions over the
+            // cohorts; the within game needs every cohort to hold at
+            // least num_groups members.
+            params
+                .sv_method
+                .validate_groups(params.num_cohorts)
+                .expect("SV method must support the cohort count");
+            assert!(
+                params.num_groups
+                    <= CohortPlan::min_cohort_size(params.owners.len(), params.num_cohorts),
+                "num_groups exceeds the smallest cohort"
+            );
+        }
         let global_model = vec![0.0; params.model_dim];
         let contributions = params.owners.iter().map(|&o| (o, 0.0)).collect();
         Self {
@@ -1053,36 +1183,37 @@ impl FlContract {
         }
     }
 
-    /// Completes a round on the survivor set: reconstructs the dropped
-    /// keys (if any), strips residual masks per group, and evaluates the
-    /// group-model game restricted to the surviving groups.
-    ///
-    /// The full-cohort path is the special case `dropped_ids = []`.
+    /// Completes a round on the survivor set, dispatching between the
+    /// flat single-cohort path and the sharded hierarchical path on the
+    /// digest-bound `num_cohorts` parameter.
     fn finish_round(
         &mut self,
         round: u64,
         dropped_ids: &[AccountId],
     ) -> Result<ExecutionOutcome, FlError> {
-        let n = self.params.owners.len();
-        let m = self.params.num_groups;
-        let codec = FixedCodec::new(self.params.frac_bits);
+        if self.params.num_cohorts > 1 {
+            self.finish_round_sharded(round, dropped_ids)
+        } else {
+            self.finish_round_flat(round, dropped_ids)
+        }
+    }
+
+    /// Reconstructs every dropped key from the first threshold-many
+    /// verified shares (providers ascending — a pure function of the
+    /// on-chain share set) and checks it against the advertised public
+    /// key. All fallible work happens before any state mutation, so a
+    /// failed recovery leaves the round intact.
+    #[allow(clippy::type_complexity)]
+    fn recover_dropped_keys(
+        &self,
+        dh: &DhGroup,
+        dropped_pos: &[usize],
+    ) -> Result<(BTreeMap<AccountId, U256>, Vec<RecoveryEvidence>), FlError> {
         let threshold = self.params.escrow_threshold;
-
-        let dropped_set: BTreeSet<AccountId> = dropped_ids.iter().copied().collect();
-        let is_dropped = |idx: usize| dropped_set.contains(&self.params.owners[idx]);
-        let dropped_pos: Vec<usize> = (0..n).filter(|&i| is_dropped(i)).collect();
-        let survivor_pos: Vec<usize> = (0..n).filter(|&i| !is_dropped(i)).collect();
-
-        // Recovery proper: reconstruct every dropped key from the first
-        // threshold-many verified shares (providers ascending — a pure
-        // function of the on-chain share set) and check it against the
-        // advertised public key. All fallible work happens before any
-        // state mutation, so a failed recovery leaves the round intact.
-        let dh = DhGroup::simulation_256();
         let shamir = Shamir::default();
         let mut recovered: BTreeMap<AccountId, U256> = BTreeMap::new();
         let mut evidence: Vec<RecoveryEvidence> = Vec::with_capacity(dropped_pos.len());
-        for &pos in &dropped_pos {
+        for &pos in dropped_pos {
             let id = self.params.owners[pos];
             let provided = self
                 .recovery_shares
@@ -1092,7 +1223,7 @@ impl FlContract {
             let shares: Vec<Share> = providers.iter().map(|p| provided[p].clone()).collect();
             let advertised =
                 U256::from_be_bytes(self.keys.get(&id).expect("dropped owner advertised"));
-            let private = reconstruct_private_key(&shamir, &dh, &shares, threshold, &advertised)
+            let private = reconstruct_private_key(&shamir, dh, &shares, threshold, &advertised)
                 .map_err(|e| FlError::RecoveryFailed {
                     owner: id,
                     reason: e.to_string(),
@@ -1106,19 +1237,27 @@ impl FlContract {
                     .collect(),
             });
         }
+        Ok((recovered, evidence))
+    }
 
-        // Lines 1–2 of Algorithm 1: the public grouping for this round
-        // (over the *full* cohort — the grouping is fixed at round start;
-        // dropping out does not reshuffle anyone).
-        let pi = permutation(self.params.permutation_seed, round, n);
-        let groups = grouping(&pi, m);
-
-        // Line 3, survivor-restricted: each group's aggregate sums its
-        // *surviving* members' masked submissions; survivor-survivor
-        // masks cancel in the sum, and each dropped member's residual
-        // masks are stripped with its reconstructed key. A group whose
-        // members all dropped has no model and leaves the game.
-        let mut group_models: Vec<Vec<f64>> = Vec::with_capacity(m);
+    /// Line 3 of Algorithm 1, survivor-restricted, over one group
+    /// directory: each group's aggregate sums its *surviving* members'
+    /// masked submissions; survivor-survivor masks cancel in the sum,
+    /// and each dropped member's residual masks are stripped with its
+    /// reconstructed key. A group whose members all dropped has no model
+    /// (a zero placeholder keeps indices aligned) and leaves the game.
+    /// Returns the per-group models and the surviving group indices.
+    fn aggregate_group_models(
+        &self,
+        groups: &[Vec<usize>],
+        dropped_set: &BTreeSet<AccountId>,
+        recovered: &BTreeMap<AccountId, U256>,
+        dh: &DhGroup,
+        codec: &FixedCodec,
+        round: u64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let is_dropped = |idx: usize| dropped_set.contains(&self.params.owners[idx]);
+        let mut group_models: Vec<Vec<f64>> = Vec::with_capacity(groups.len());
         let mut surviving_groups: Vec<usize> = Vec::new();
         for (j, g) in groups.iter().enumerate() {
             let alive: Vec<usize> = g.iter().copied().filter(|&i| !is_dropped(i)).collect();
@@ -1157,7 +1296,7 @@ impl FlContract {
                         )
                     })
                     .collect();
-                strip_dropped_set_masks(&dh, &mut acc, &group_dropped, &survivor_keys, round);
+                strip_dropped_set_masks(dh, &mut acc, &group_dropped, &survivor_keys, round);
             }
             group_models.push(
                 acc.iter()
@@ -1165,6 +1304,40 @@ impl FlContract {
                     .collect(),
             );
         }
+        (group_models, surviving_groups)
+    }
+
+    /// Completes a flat round on the survivor set: reconstructs the
+    /// dropped keys (if any), strips residual masks per group, and
+    /// evaluates the group-model game restricted to the surviving
+    /// groups.
+    ///
+    /// The full-cohort path is the special case `dropped_ids = []`.
+    fn finish_round_flat(
+        &mut self,
+        round: u64,
+        dropped_ids: &[AccountId],
+    ) -> Result<ExecutionOutcome, FlError> {
+        let n = self.params.owners.len();
+        let m = self.params.num_groups;
+        let codec = FixedCodec::new(self.params.frac_bits);
+
+        let dropped_set: BTreeSet<AccountId> = dropped_ids.iter().copied().collect();
+        let is_dropped = |idx: usize| dropped_set.contains(&self.params.owners[idx]);
+        let dropped_pos: Vec<usize> = (0..n).filter(|&i| is_dropped(i)).collect();
+        let survivor_pos: Vec<usize> = (0..n).filter(|&i| !is_dropped(i)).collect();
+
+        let dh = DhGroup::simulation_256();
+        let (recovered, evidence) = self.recover_dropped_keys(&dh, &dropped_pos)?;
+
+        // Lines 1–2 of Algorithm 1: the public grouping for this round
+        // (over the *full* cohort — the grouping is fixed at round start;
+        // dropping out does not reshuffle anyone).
+        let pi = permutation(self.params.permutation_seed, round, n);
+        let groups = grouping(&pi, m);
+
+        let (group_models, surviving_groups) =
+            self.aggregate_group_models(&groups, &dropped_set, &recovered, &dh, &codec, round);
 
         // Lines 4–6 (generalized): SV over the group coalition game
         // restricted to the surviving groups, dispatched through the
@@ -1235,6 +1408,7 @@ impl FlContract {
             global_accuracy,
             utility_evaluations,
             samples: diagnostics.samples,
+            cohorts: Vec::new(),
         });
         self.submissions.clear();
         self.recovery_shares.clear();
@@ -1249,6 +1423,247 @@ impl FlContract {
             format!(
                 "evaluate: round {round}, m={m}, method {}, survivors {}/{n}, global acc \
                  {global_accuracy:.4}, group SVs {per_group_sv:?}",
+                method.name(),
+                survivor_pos.len(),
+            ),
+            gas,
+        ))
+    }
+
+    /// Completes a cohort-sharded round: each cohort independently
+    /// aggregates its group models and runs the configured estimator
+    /// under its own seed stream (one `numeric::par` slot per cohort,
+    /// index-pure so the fan-out is bit-identical across thread caps),
+    /// then a second-level coalition game over the cohort aggregate
+    /// models prices the cohorts, and the two levels compose into
+    /// global per-owner contributions
+    /// (see [`shapley::hierarchy::compose`]).
+    ///
+    /// A cohort whose members all dropped keeps a zero-model
+    /// placeholder and leaves the second-level game via
+    /// [`RestrictedGame`]; its members score exactly zero this round.
+    fn finish_round_sharded(
+        &mut self,
+        round: u64,
+        dropped_ids: &[AccountId],
+    ) -> Result<ExecutionOutcome, FlError> {
+        let n = self.params.owners.len();
+        let m = self.params.num_groups;
+        let k = self.params.num_cohorts;
+        let codec = FixedCodec::new(self.params.frac_bits);
+
+        let dropped_set: BTreeSet<AccountId> = dropped_ids.iter().copied().collect();
+        let is_dropped = |idx: usize| dropped_set.contains(&self.params.owners[idx]);
+        let dropped_pos: Vec<usize> = (0..n).filter(|&i| is_dropped(i)).collect();
+        let survivor_pos: Vec<usize> = (0..n).filter(|&i| !is_dropped(i)).collect();
+
+        let dh = DhGroup::simulation_256();
+        let (recovered, evidence) = self.recover_dropped_keys(&dh, &dropped_pos)?;
+
+        // The cohort plan and the per-cohort groupings are pure
+        // functions of the digest-bound round parameters, so every
+        // miner and every auditor derives the identical partition.
+        let (plan, cohort_groups) =
+            sharded_round_groups(self.params.permutation_seed, round, n, k, m);
+
+        let utility = AccuracyUtility::new(
+            &self.test_set,
+            self.params.num_features,
+            self.params.num_classes,
+        );
+        let method = self.params.sv_method;
+        let seed = self.params.permutation_seed;
+
+        struct CohortOutcome {
+            group_models: Vec<Vec<f64>>,
+            surviving_groups: Vec<usize>,
+            per_group_sv: Vec<f64>,
+            utility_evaluations: usize,
+            samples: usize,
+        }
+
+        // First level, fanned out one slot per cohort. Each slot only
+        // reads cohort-indexed inputs, so slot `c` is a pure function
+        // of `c` regardless of the thread cap.
+        let this: &Self = self;
+        let per_cohort: Vec<CohortOutcome> =
+            numeric::par::par_map(cohort_groups.as_slice(), 1, |c, groups_c| {
+                let (group_models, surviving_groups) = this.aggregate_group_models(
+                    groups_c,
+                    &dropped_set,
+                    &recovered,
+                    &dh,
+                    &codec,
+                    round,
+                );
+                if surviving_groups.is_empty() {
+                    return CohortOutcome {
+                        group_models,
+                        surviving_groups,
+                        per_group_sv: vec![0.0; m],
+                        utility_evaluations: 0,
+                        samples: 0,
+                    };
+                }
+                let full_game = GroupModelGame::new(&group_models, &utility);
+                let game = RestrictedGame::new(&full_game, surviving_groups.clone());
+                let estimate = Self::dispatch_estimator(
+                    method,
+                    sampling_seed(cohort_stream(seed, c as u64), round),
+                    &game,
+                );
+                let mut per_group_sv = vec![0.0f64; m];
+                for (gi, &j) in surviving_groups.iter().enumerate() {
+                    per_group_sv[j] = estimate.values[gi];
+                }
+                CohortOutcome {
+                    group_models,
+                    surviving_groups,
+                    per_group_sv,
+                    utility_evaluations: estimate.utility_evaluations,
+                    samples: estimate.diagnostics.samples,
+                }
+            });
+
+        // Cohort aggregate models: the mean of each cohort's surviving
+        // group models; fully-dropped cohorts keep a zero placeholder
+        // and leave the second-level game.
+        let mut cohort_models: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut alive_cohorts: Vec<usize> = Vec::new();
+        for (c, out) in per_cohort.iter().enumerate() {
+            if out.surviving_groups.is_empty() {
+                cohort_models.push(vec![0.0; self.params.model_dim]);
+            } else {
+                let models: Vec<Vec<f64>> = out
+                    .surviving_groups
+                    .iter()
+                    .map(|&j| out.group_models[j].clone())
+                    .collect();
+                cohort_models.push(numeric::linalg::mean_vectors(&models));
+                alive_cohorts.push(c);
+            }
+        }
+
+        // Second level: the coalition game over cohort aggregate
+        // models, restricted to cohorts with at least one survivor,
+        // under the round's own (un-streamed) sampling seed.
+        let full_game2 = GroupModelGame::new(&cohort_models, &utility);
+        let game2 = RestrictedGame::new(&full_game2, alive_cohorts.clone());
+        let estimate2 = Self::dispatch_estimator(method, sampling_seed(seed, round), &game2);
+        let mut per_cohort_sv = vec![0.0f64; k];
+        for (ci, &c) in alive_cohorts.iter().enumerate() {
+            per_cohort_sv[c] = estimate2.values[ci];
+        }
+
+        // Two-level composition: within-cohort survivor values (group
+        // value split uniformly among the group's survivors) scaled by
+        // the cohort's second-level value. Dropped owners are excluded
+        // from the within vectors so even the uniform zero-total
+        // fallback can never pay them; they score exactly zero.
+        let mut within: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut within_owners: Vec<Vec<usize>> = Vec::with_capacity(k);
+        for (c, out) in per_cohort.iter().enumerate() {
+            let mut vals = Vec::new();
+            let mut owners_of = Vec::new();
+            for &j in &out.surviving_groups {
+                let alive: Vec<usize> = cohort_groups[c][j]
+                    .iter()
+                    .copied()
+                    .filter(|&i| !is_dropped(i))
+                    .collect();
+                let share = out.per_group_sv[j] / alive.len() as f64;
+                for idx in alive {
+                    vals.push(share);
+                    owners_of.push(idx);
+                }
+            }
+            within.push(vals);
+            within_owners.push(owners_of);
+        }
+        let composed =
+            compose(&within, &per_cohort_sv).expect("within/cohort lengths match by construction");
+
+        let mut per_owner_sv = vec![0.0f64; n];
+        for (c, vals) in composed.iter().enumerate() {
+            for (vi, &v) in vals.iter().enumerate() {
+                let idx = within_owners[c][vi];
+                per_owner_sv[idx] = v;
+                let owner = self.params.owners[idx];
+                *self
+                    .contributions
+                    .get_mut(&owner)
+                    .expect("initialized at genesis") += v;
+            }
+        }
+
+        // New global model: the average of the surviving cohort models.
+        let alive_models: Vec<Vec<f64>> = alive_cohorts
+            .iter()
+            .map(|&c| cohort_models[c].clone())
+            .collect();
+        self.global_model = numeric::linalg::mean_vectors(&alive_models);
+        let global_accuracy = utility.of_model(&self.global_model);
+
+        // Evidence: the flat `groups`/`per_group_sv` sections
+        // concatenate the cohorts' within-cohort groups and values in
+        // plan order; the per-cohort section binds each cohort's
+        // membership, survivor set, and second-level value into the
+        // state digest.
+        let mut flat_groups: Vec<Vec<usize>> = Vec::with_capacity(k * m);
+        let mut flat_group_sv: Vec<f64> = Vec::with_capacity(k * m);
+        let mut cohort_evidence: Vec<CohortEvidence> = Vec::with_capacity(k);
+        let mut total_evals = estimate2.utility_evaluations;
+        let mut total_samples = estimate2.diagnostics.samples;
+        for (c, out) in per_cohort.iter().enumerate() {
+            flat_groups.extend(cohort_groups[c].iter().cloned());
+            flat_group_sv.extend(out.per_group_sv.iter().copied());
+            total_evals += out.utility_evaluations;
+            total_samples += out.samples;
+            let members = plan.cohorts()[c].clone();
+            let survivors: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| !is_dropped(i))
+                .collect();
+            let dropped: Vec<usize> = members.iter().copied().filter(|&i| is_dropped(i)).collect();
+            cohort_evidence.push(CohortEvidence {
+                members,
+                survivors,
+                dropped,
+                sv_method: method,
+                sv: per_cohort_sv[c],
+                utility_evaluations: out.utility_evaluations,
+                samples: out.samples,
+            });
+        }
+
+        self.history.push(RoundRecord {
+            round,
+            sv_method: method,
+            groups: flat_groups,
+            survivors: survivor_pos.clone(),
+            dropped: dropped_pos.clone(),
+            recovery: evidence,
+            per_group_sv: flat_group_sv,
+            per_owner_sv,
+            global_accuracy,
+            utility_evaluations: total_evals,
+            samples: total_samples,
+            cohorts: cohort_evidence,
+        });
+        self.submissions.clear();
+        self.recovery_shares.clear();
+        self.phase = RoundPhase::Submitting;
+        self.current_round += 1;
+
+        let gas = self.gas.charge(
+            self.params.model_dim,
+            (total_evals + dropped_pos.len() * survivor_pos.len()) * self.params.model_dim,
+        );
+        Ok(ExecutionOutcome::event(
+            format!(
+                "evaluate: round {round}, k={k} cohorts, m={m}, method {}, survivors {}/{n}, \
+                 global acc {global_accuracy:.4}, cohort SVs {per_cohort_sv:?}",
                 method.name(),
                 survivor_pos.len(),
             ),
@@ -1493,6 +1908,7 @@ mod tests {
             num_classes: 10,
             frac_bits: 24,
             escrow_threshold: n / 2 + 1,
+            num_cohorts: 1,
         }
     }
 
@@ -1891,6 +2307,95 @@ mod tests {
         assert_ne!(c.state_digest(), before);
     }
 
+    #[test]
+    fn sharded_round_groups_partition_the_owner_set() {
+        for (n, k, m) in [(10usize, 3usize, 2usize), (9, 9, 1), (32, 4, 3)] {
+            let (plan, groups) = sharded_round_groups(7, 5, n, k, m);
+            assert_eq!(plan.num_cohorts(), k);
+            assert_eq!(groups.len(), k);
+            let mut seen: Vec<usize> = groups.iter().flatten().flatten().copied().collect();
+            assert_eq!(seen.len(), n, "every owner grouped exactly once");
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+            for (c, gs) in groups.iter().enumerate() {
+                assert_eq!(gs.len(), m, "each cohort runs m groups");
+                let mut members: Vec<usize> = gs.iter().flatten().copied().collect();
+                members.sort_unstable();
+                let mut expect = plan.cohorts()[c].clone();
+                expect.sort_unstable();
+                assert_eq!(members, expect, "cohort {c} groups cover its members");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_round_record_has_no_cohort_section() {
+        let mut c = contract(4, 2);
+        run_one_round(&mut c, 4);
+        assert!(c.history()[0].cohorts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "num_cohorts out of range")]
+    fn genesis_rejects_zero_cohorts() {
+        let mut params = test_params(4, 2);
+        params.num_cohorts = 0;
+        FlContract::genesis(params, SyntheticDigits::small().generate(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_cohorts out of range")]
+    fn genesis_rejects_more_cohorts_than_owners() {
+        let mut params = test_params(4, 1);
+        params.num_cohorts = 5;
+        FlContract::genesis(params, SyntheticDigits::small().generate(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "num_groups exceeds the smallest cohort")]
+    fn genesis_rejects_groups_wider_than_smallest_cohort() {
+        let mut params = test_params(4, 3);
+        params.num_cohorts = 2;
+        FlContract::genesis(params, SyntheticDigits::small().generate(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "SV method must support the cohort count")]
+    fn genesis_rejects_method_incapable_of_cohort_count() {
+        let mut params = test_params(26, 1);
+        params.num_cohorts = 26;
+        FlContract::genesis(params, SyntheticDigits::small().generate(99));
+    }
+
+    #[test]
+    fn sharded_history_snapshot_roundtrip() {
+        // CohortEvidence must survive the snapshot/restore cycle and
+        // land on the identical state digest.
+        let (n, m, k) = (8usize, 2usize, 2usize);
+        let mut w = dropout_lifecycle::masked_world_sharded(n, m, k);
+        for i in 0..n {
+            let masked = dropout_lifecycle::masked_submission(&w, i, 0);
+            w.contract
+                .execute(
+                    &ctx(i as u32),
+                    &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                )
+                .unwrap();
+        }
+        w.contract
+            .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+            .unwrap();
+        assert!(!w.contract.history()[0].cohorts.is_empty());
+        let snap = w.contract.snapshot_state();
+        let restored = FlContract::restore(
+            w.contract.params().clone(),
+            SyntheticDigits::small().generate(99),
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(restored.state_digest(), w.contract.state_digest());
+    }
+
     mod dropout_lifecycle {
         //! The round state machine under real pairwise masks: escrow,
         //! dropout declaration, share verification, survivor-only
@@ -1914,7 +2419,23 @@ mod tests {
         /// Builds a contract with real DH keys advertised, escrows
         /// committed, and per-owner plaintext weights prepared.
         pub(super) fn masked_world(n: usize, m: usize) -> MaskedWorld {
-            let contract = super::contract(n, m);
+            masked_world_from(super::contract(n, m))
+        }
+
+        /// Like [`masked_world`] but sharded into `k` cohorts: the
+        /// group directories are the flattened per-cohort groupings of
+        /// the round-0 cohort plan.
+        pub(super) fn masked_world_sharded(n: usize, m: usize, k: usize) -> MaskedWorld {
+            let mut params = test_params(n, m);
+            params.num_cohorts = k;
+            let test_set = SyntheticDigits::small().generate(99);
+            masked_world_from(FlContract::genesis(params, test_set))
+        }
+
+        fn masked_world_from(contract: FlContract) -> MaskedWorld {
+            let n = contract.params().owners.len();
+            let m = contract.params().num_groups;
+            let k = contract.params().num_cohorts;
             let dh = DhGroup::simulation_256();
             let shamir = Shamir::default();
             let threshold = contract.params().escrow_threshold;
@@ -1947,8 +2468,15 @@ mod tests {
                 c.execute(&ctx(i as u32), &FlCall::EscrowKeyShares { commitments })
                     .unwrap();
             }
-            let pi = permutation(c.params().permutation_seed, 0, n);
-            let groups = grouping(&pi, m);
+            let groups: Vec<Vec<usize>> = if k > 1 {
+                sharded_round_groups(c.params().permutation_seed, 0, n, k, m)
+                    .1
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                grouping(&permutation(c.params().permutation_seed, 0, n), m)
+            };
             let dim = c.params().model_dim;
             let weights: Vec<Vec<f64>> =
                 (0..n).map(|i| vec![0.1 * (i as f64 + 1.0); dim]).collect();
@@ -2237,6 +2765,129 @@ mod tests {
             assert_eq!(record.survivors, vec![0, 1, 2, 3]);
             assert!(record.dropped.is_empty());
             assert!(record.recovery.is_empty());
+        }
+
+        #[test]
+        fn sharded_round_emits_cohort_evidence_and_composes() {
+            // 8 owners, 2 cohorts of 4, 2 groups per cohort, nobody
+            // drops: the hierarchical path must bind per-cohort
+            // evidence into the record and compose within-cohort
+            // values with the second-level cohort values.
+            let (n, m, k) = (8usize, 2usize, 2usize);
+            let mut w = masked_world_sharded(n, m, k);
+            for i in 0..n {
+                let masked = masked_submission(&w, i, 0);
+                w.contract
+                    .execute(
+                        &ctx(i as u32),
+                        &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                    )
+                    .unwrap();
+            }
+            let out = w
+                .contract
+                .execute(&ctx(0), &FlCall::EvaluateRound { round: 0 })
+                .unwrap();
+            assert!(out.events[0].contains("k=2 cohorts"), "{:?}", out.events);
+
+            let record = &w.contract.history()[0];
+            assert_eq!(record.cohorts.len(), k);
+            assert_eq!(record.groups.len(), k * m);
+            assert_eq!(record.per_group_sv.len(), k * m);
+
+            // The cohort memberships partition the owner set.
+            let mut all: Vec<usize> = record
+                .cohorts
+                .iter()
+                .flat_map(|c| c.members.clone())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+
+            for (c, ev) in record.cohorts.iter().enumerate() {
+                assert_eq!(ev.survivors, ev.members, "nobody dropped");
+                assert!(ev.dropped.is_empty());
+                assert_eq!(ev.sv_method, SvMethod::GroupExact);
+                // Composition efficiency: each cohort's member values
+                // sum to the cohort's second-level value.
+                let total: f64 = ev.members.iter().map(|&i| record.per_owner_sv[i]).sum();
+                assert!(
+                    (total - ev.sv).abs() < 1e-9,
+                    "cohort {c}: members sum {total}, cohort SV {}",
+                    ev.sv
+                );
+            }
+            // The record totals include the second-level game on top
+            // of the per-cohort passes.
+            let within: usize = record.cohorts.iter().map(|c| c.utility_evaluations).sum();
+            assert!(record.utility_evaluations > within);
+        }
+
+        #[test]
+        fn fully_dropped_cohort_scores_zero_and_survives_evaluation() {
+            // 9 owners, 3 cohorts of 3, one group per cohort. Every
+            // member of one cohort drops after masking; the 6 survivors
+            // (>= threshold 5) recover the keys and the round completes
+            // with the dead cohort out of the second-level game.
+            let (n, m, k) = (9usize, 1usize, 3usize);
+            let mut w = masked_world_sharded(n, m, k);
+            let threshold = w.contract.params().escrow_threshold;
+            let (plan, _) = sharded_round_groups(w.contract.params().permutation_seed, 0, n, k, m);
+            let dead: Vec<usize> = {
+                let mut v = plan.cohorts()[0].clone();
+                v.sort_unstable();
+                v
+            };
+            let survivors: Vec<usize> = (0..n).filter(|i| !dead.contains(i)).collect();
+
+            for &i in &survivors {
+                let masked = masked_submission(&w, i, 0);
+                w.contract
+                    .execute(
+                        &ctx(i as u32),
+                        &FlCall::SubmitMaskedUpdate { round: 0, masked },
+                    )
+                    .unwrap();
+            }
+            w.contract
+                .execute(
+                    &ctx(survivors[0] as u32),
+                    &FlCall::EvaluateRound { round: 0 },
+                )
+                .unwrap();
+            assert!(matches!(w.contract.phase(), RoundPhase::Recovering { .. }));
+            for &d in &dead {
+                for &p in survivors.iter().take(threshold) {
+                    w.contract
+                        .execute(&ctx(p as u32), &recovery_share_call(&w, d, p))
+                        .unwrap();
+                }
+            }
+            w.contract
+                .execute(
+                    &ctx(survivors[0] as u32),
+                    &FlCall::EvaluateRound { round: 0 },
+                )
+                .unwrap();
+
+            let record = &w.contract.history()[0];
+            assert_eq!(record.survivors, survivors);
+            assert_eq!(record.dropped, dead);
+            // The dead cohort stays evidence-complete but worthless.
+            let ev0 = &record.cohorts[0];
+            assert!(ev0.survivors.is_empty());
+            assert_eq!(ev0.sv, 0.0);
+            assert_eq!(ev0.utility_evaluations, 0);
+            for &i in &dead {
+                assert_eq!(record.per_owner_sv[i], 0.0);
+            }
+            // Live cohorts still compose to their second-level values.
+            for ev in &record.cohorts[1..] {
+                let total: f64 = ev.members.iter().map(|&i| record.per_owner_sv[i]).sum();
+                assert!((total - ev.sv).abs() < 1e-9);
+            }
+            assert_eq!(w.contract.current_round(), 1);
+            assert_eq!(w.contract.phase(), &RoundPhase::Submitting);
         }
     }
 

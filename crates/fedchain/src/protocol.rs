@@ -51,7 +51,9 @@ use shapley::group::{grouping, permutation};
 
 use crate::adversary::AdversaryKind;
 use crate::config::{ConfigError, FlConfig};
-use crate::contract_fl::{share_commitment, FlCall, FlContract, FlParams, RoundRecord};
+use crate::contract_fl::{
+    sharded_round_groups, share_commitment, FlCall, FlContract, FlParams, RoundRecord,
+};
 use crate::owner::DataOwner;
 use crate::world::World;
 
@@ -191,21 +193,28 @@ impl FlProtocol {
         // Key escrow (setup stage of the dropout extension): every owner
         // Shamir-shares its DH private key across the cohort, seeded
         // from the world seed so every rebuild derives identical shares.
+        // With no scheduled dropouts the O(n²) share computation (and
+        // the n escrow transactions) is pure overhead, so it is skipped
+        // — at 10³+ owners this dominates setup cost.
         let n = config.num_owners;
         let shamir = Shamir::default();
         let threshold = config.escrow_threshold();
         let escrow_seed = config.sub_seed("key-escrow");
-        let escrows: Vec<Vec<Share>> = owners
-            .iter()
-            .enumerate()
-            .map(|(i, owner)| {
-                let mut seed_bytes = [0u8; 32];
-                seed_bytes[..8].copy_from_slice(&escrow_seed.to_le_bytes());
-                seed_bytes[8..16].copy_from_slice(&(i as u64).to_le_bytes());
-                let mut prg = ChaChaPrg::from_seed(&seed_bytes);
-                owner.escrow_key_shares(&shamir, threshold, n, &mut prg)
-            })
-            .collect::<Result<_, _>>()?;
+        let escrows: Vec<Vec<Share>> = if config.dropout_schedule.is_empty() {
+            Vec::new()
+        } else {
+            owners
+                .iter()
+                .enumerate()
+                .map(|(i, owner)| {
+                    let mut seed_bytes = [0u8; 32];
+                    seed_bytes[..8].copy_from_slice(&escrow_seed.to_le_bytes());
+                    seed_bytes[8..16].copy_from_slice(&(i as u64).to_le_bytes());
+                    let mut prg = ChaChaPrg::from_seed(&seed_bytes);
+                    owner.escrow_key_shares(&shamir, threshold, n, &mut prg)
+                })
+                .collect::<Result<_, _>>()?
+        };
 
         let params = FlParams {
             owners: owner_ids.clone(),
@@ -218,9 +227,23 @@ impl FlProtocol {
             num_classes: config.data.classes,
             frac_bits: config.frac_bits,
             escrow_threshold: threshold,
+            num_cohorts: config.num_cohorts,
         };
         let contract = FlContract::genesis(params, world.test.clone());
-        let schedule = LeaderSchedule::round_robin(owner_ids);
+        // Miner committee: by default every owner mines (the paper's
+        // consortium setting); at scale a prefix committee keeps the
+        // per-block re-execution fan-out constant while owners stay
+        // first-class on the data side.
+        let miner_ids: Vec<AccountId> = if config.miner_committee > 0 {
+            owner_ids
+                .iter()
+                .copied()
+                .take(config.miner_committee)
+                .collect()
+        } else {
+            owner_ids
+        };
+        let schedule = LeaderSchedule::round_robin(miner_ids);
         let engine = ConsensusEngine::new(contract, schedule, behaviors, EngineConfig::default())?;
 
         // Capacity: sized for the largest block any validated schedule
@@ -387,6 +410,53 @@ impl FlProtocol {
         }
     }
 
+    /// Admits `txs` in one batched pass and commits them as a *stream*
+    /// of consecutive blocks, one per entry of `sizes` — the sharded
+    /// round's per-cohort bundles.
+    ///
+    /// The per-bundle atomic-commit invariant carries over from
+    /// [`ConsensusEngine::commit_bundles`]: a consensus failure at
+    /// bundle `i` keeps the committed prefix (those blocks reached
+    /// quorum on every replica) and releases only the unfinished
+    /// suffix back to the pool, rewinding the affected senders'
+    /// nonces for resubmission.
+    fn commit_stream(
+        &mut self,
+        txs: Vec<Transaction<FlCall>>,
+        sizes: &[usize],
+    ) -> Result<Vec<CommitReport>, ProtocolError> {
+        debug_assert_eq!(txs.len(), sizes.iter().sum::<usize>());
+        let admission = self.pool.submit_batch(txs);
+        if !admission.all_admitted() {
+            self.pool.rollback_admitted(admission.admitted);
+            let (_, reason) = admission
+                .rejected
+                .into_iter()
+                .next()
+                .expect("not all_admitted implies a rejection");
+            return Err(ProtocolError::Admission(reason));
+        }
+        let bundles = self.pool.drain_bundles(sizes);
+        match self.engine.commit_bundles(&bundles) {
+            Ok(reports) => {
+                self.sync_durable()?;
+                Ok(reports)
+            }
+            Err((_, failed_at, e)) => {
+                let unfinished: Vec<Transaction<FlCall>> = bundles[failed_at..]
+                    .iter()
+                    .flat_map(|b| b.txs().iter().cloned())
+                    .collect();
+                self.pool.release(&unfinished);
+                // Persist the committed prefix before surfacing the
+                // failure, so a crash-restart replays exactly the
+                // blocks every replica agrees on.
+                self.sync_durable()?;
+                Err(e.into())
+            }
+        }
+    }
+
     /// Commits the setup block (phase 0): every owner advertises its DH
     /// public key and escrows hash commitments to the Shamir shares of
     /// its private key — the on-chain half of the dropout extension.
@@ -405,9 +475,11 @@ impl FlProtocol {
                 },
             ));
         }
-        for i in 0..n {
+        // No escrows were generated when the run schedules no dropouts;
+        // the setup block is then keys-only.
+        for (i, shares) in self.escrows.iter().enumerate() {
             let id = self.owners[i].id();
-            let commitments: Vec<Hash32> = self.escrows[i]
+            let commitments: Vec<Hash32> = shares
                 .iter()
                 .map(|share| share_commitment(id, share))
                 .collect();
@@ -422,12 +494,15 @@ impl FlProtocol {
     }
 
     /// Runs one federated round: local training, masking, submission,
-    /// evaluation. A full round commits one block; a round whose dropout
-    /// schedule withholds owners commits **two** — the survivors' block
-    /// (whose `EvaluateRound` opens recovery on-chain) and the recovery
-    /// block (shares + the closing `EvaluateRound`).
+    /// evaluation. A flat full round commits one block; a round whose
+    /// dropout schedule withholds owners commits one more — the
+    /// recovery block (shares + the closing `EvaluateRound`). A
+    /// cohort-sharded round (`num_cohorts > 1`) streams **one block
+    /// per cohort** through the mempool instead of one mega-block;
+    /// the `EvaluateRound` trigger rides in the last cohort's bundle.
     fn run_round(&mut self, round: u64) -> Result<Vec<CommitReport>, ProtocolError> {
         let n = self.owners.len();
+        let k = self.config.num_cohorts;
         let dropped = self.config.dropped_in_round(round);
         let is_dropped = |idx: usize| dropped.binary_search(&idx).is_ok();
         let contract = self.engine.honest_contract();
@@ -435,9 +510,25 @@ impl FlProtocol {
         let num_features = contract.params().num_features;
         let num_classes = contract.params().num_classes;
 
-        // Public grouping for the round (identical to the contract's).
-        let pi = permutation(self.config.permutation_seed, round, n);
-        let groups = grouping(&pi, self.config.num_groups);
+        // Public grouping for the round (identical to the contract's):
+        // flat rounds are the one-cohort special case, so the secure-agg
+        // directories below are cohort-scoped in both paths.
+        let cohort_groups: Vec<Vec<Vec<usize>>> = if k > 1 {
+            sharded_round_groups(
+                self.config.permutation_seed,
+                round,
+                n,
+                k,
+                self.config.num_groups,
+            )
+            .1
+        } else {
+            vec![grouping(
+                &permutation(self.config.permutation_seed, round, n),
+                self.config.num_groups,
+            )]
+        };
+        let groups: Vec<Vec<usize>> = cohort_groups.iter().flatten().cloned().collect();
 
         // Every owner reads its group's keys from the chain.
         let key_of = |idx: usize, contract: &FlContract| -> U256 {
@@ -480,33 +571,42 @@ impl FlProtocol {
 
         // Transaction assembly stays sequential: nonces and block order
         // are consensus-visible and must not depend on the schedule.
+        // Bundle boundaries follow the cohort plan — one bundle per
+        // cohort, in plan order.
         let mut staged = BTreeMap::new();
         let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
+        let mut bundle_sizes: Vec<usize> = Vec::with_capacity(cohort_groups.len());
         let mut masked_updates: Vec<Option<Vec<u64>>> = masked_updates
             .into_iter()
             .map(|r| r.transpose())
             .collect::<Result<_, _>>()?;
-        for group in &groups {
-            for &idx in group {
-                if is_dropped(idx) {
-                    continue;
+        for cohort in &cohort_groups {
+            let before = txs.len();
+            for group in cohort {
+                for &idx in group {
+                    if is_dropped(idx) {
+                        continue;
+                    }
+                    let masked = masked_updates[idx]
+                        .take()
+                        .expect("each survivor produces exactly one update");
+                    let id = self.owners[idx].id();
+                    let nonce = self.staged_nonce(&mut staged, id);
+                    txs.push(Transaction::new(
+                        id,
+                        nonce,
+                        FlCall::SubmitMaskedUpdate { round, masked },
+                    ));
                 }
-                let masked = masked_updates[idx]
-                    .take()
-                    .expect("each survivor produces exactly one update");
-                let id = self.owners[idx].id();
-                let nonce = self.staged_nonce(&mut staged, id);
-                txs.push(Transaction::new(
-                    id,
-                    nonce,
-                    FlCall::SubmitMaskedUpdate { round, masked },
-                ));
             }
+            bundle_sizes.push(txs.len() - before);
         }
 
         // Anyone alive may trigger evaluation; the first survivor does.
         // With owners missing this transaction opens recovery instead of
         // evaluating — same call, driven by the contract's state machine.
+        // It rides in the final cohort's bundle: every earlier cohort's
+        // submissions are then already-committed blocks.
         let survivors: Vec<usize> = (0..n).filter(|&idx| !is_dropped(idx)).collect();
         let trigger = self.owners[*survivors.first().expect("validated: survivors exist")].id();
         let nonce = self.staged_nonce(&mut staged, trigger);
@@ -515,8 +615,13 @@ impl FlProtocol {
             nonce,
             FlCall::EvaluateRound { round },
         ));
+        *bundle_sizes.last_mut().expect("at least one cohort") += 1;
 
-        let mut commits = vec![self.commit_batch(txs)?];
+        let mut commits = if k > 1 {
+            self.commit_stream(txs, &bundle_sizes)?
+        } else {
+            vec![self.commit_batch(txs)?]
+        };
         if dropped.is_empty() {
             return Ok(commits);
         }
@@ -936,5 +1041,135 @@ mod tests {
         let mut c = quick();
         c.num_owners = 1;
         assert!(matches!(FlProtocol::new(c), Err(ProtocolError::Config(_))));
+    }
+
+    /// 8 owners in 2 cohorts of 4, 2 secure-agg groups per cohort.
+    fn sharded() -> FlConfig {
+        let mut config = quick();
+        config.num_owners = 8;
+        config.num_groups = 2;
+        config.num_cohorts = 2;
+        config
+    }
+
+    #[test]
+    fn sharded_run_streams_one_block_per_cohort() {
+        let mut p = FlProtocol::new(sharded()).unwrap();
+        let report = p.run().unwrap();
+        // 1 key block + 2 cohort blocks (no mega-block).
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.per_owner_sv.len(), 8);
+        assert_eq!(report.failed_views, 0);
+
+        let record = &report.round_records[0];
+        assert_eq!(record.cohorts.len(), 2);
+        assert_eq!(record.groups.len(), 4, "2 cohorts × 2 groups");
+        let mut all: Vec<usize> = record
+            .cohorts
+            .iter()
+            .flat_map(|c| c.members.clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..8).collect::<Vec<_>>(),
+            "evidence partitions owners"
+        );
+        // Each cohort's member payouts compose to its second-level value.
+        for ev in &record.cohorts {
+            let total: f64 = ev.members.iter().map(|&i| record.per_owner_sv[i]).sum();
+            assert!((total - ev.sv).abs() < 1e-9);
+        }
+        // Sharded training still learns (10 classes, random = 0.1).
+        assert!(
+            report.accuracy_history[0] > 0.5,
+            "accuracy {} too low",
+            report.accuracy_history[0]
+        );
+
+        // Every replica audits the streamed chain clean.
+        let params = p.contract().params().clone();
+        let audit = crate::audit::replay_chain(
+            p.engine().store_of(0).unwrap(),
+            params,
+            p.test_set().clone(),
+        )
+        .unwrap();
+        assert!(audit.clean, "per-cohort bundles must replay exactly");
+    }
+
+    #[test]
+    fn sharded_runs_are_deterministic() {
+        let run = || {
+            let mut p = FlProtocol::new(sharded()).unwrap();
+            let report = p.run().unwrap();
+            let tip = p.engine().store_of(0).unwrap().tip_digest();
+            (report.per_owner_sv, tip)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_dropout_round_recovers_and_audits() {
+        // Owner 1 drops in round 0 of a sharded run: 2 cohort blocks,
+        // then the recovery block closes the round; the chain audits.
+        let mut config = sharded();
+        config.dropout_schedule = vec![(0, vec![1])];
+        let mut p = FlProtocol::new(config).unwrap();
+        let report = p.run().unwrap();
+        // 1 key block + 2 cohort blocks + 1 recovery block.
+        assert_eq!(report.blocks, 4);
+        let record = &report.round_records[0];
+        assert_eq!(record.dropped, vec![1]);
+        assert_eq!(record.per_owner_sv[1], 0.0);
+        assert_eq!(record.recovery.len(), 1);
+        let dropped_cohort = record
+            .cohorts
+            .iter()
+            .position(|c| c.dropped.contains(&1))
+            .expect("owner 1 belongs to a cohort");
+        assert!(record.cohorts[dropped_cohort].survivors.len() < 4);
+
+        let params = p.contract().params().clone();
+        let audit = crate::audit::replay_chain(
+            p.engine().store_of(0).unwrap(),
+            params,
+            p.test_set().clone(),
+        )
+        .unwrap();
+        assert!(audit.clean, "sharded recovery must replay exactly");
+    }
+
+    #[test]
+    fn miner_committee_bounds_consensus_fanout() {
+        // A 3-member committee mines for 8 owners: blocks carry committee
+        // votes only, while all 8 owners keep training and earning.
+        let mut config = sharded();
+        config.miner_committee = 3;
+        let mut p = FlProtocol::new(config).unwrap();
+        assert_eq!(p.engine().miner_count(), 3);
+        let report = p.run().unwrap();
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.per_owner_sv.len(), 8);
+        for commit in &report.commits {
+            assert_eq!(commit.votes_total, 3, "only the committee votes");
+        }
+        let paid = report.per_owner_sv.iter().filter(|v| v.abs() > 0.0).count();
+        assert!(paid > 3, "non-miners still earn contributions");
+    }
+
+    #[test]
+    fn escrow_is_skipped_without_a_dropout_schedule() {
+        // No scheduled dropouts → no Shamir shares and a keys-only setup
+        // block, halving setup traffic at scale.
+        let p = FlProtocol::new(quick()).unwrap();
+        assert!(p.escrows.is_empty());
+        let mut p = p;
+        let report = p.run().unwrap();
+        assert_eq!(report.blocks, 2);
+        // The setup block carries n key transactions, no escrows.
+        let store = p.engine().store_of(0).unwrap();
+        let setup = store.block_at(0).unwrap();
+        assert_eq!(setup.txs.len(), 4, "keys only, no escrow txs");
     }
 }

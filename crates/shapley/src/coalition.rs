@@ -20,6 +20,49 @@ pub const MAX_PLAYERS: usize = 25;
 /// for every estimator, including the sampling ones.
 pub const MAX_SAMPLED_PLAYERS: usize = 64;
 
+/// Typed rejection from the validated coalition constructors.
+///
+/// Every player-count check in the crate routes through
+/// [`Coalition::check_player_count`] / [`Coalition::check_player_index`],
+/// so callers building games over *derived* player sets (e.g. one player
+/// per cohort in a hierarchical round) can surface an oversized
+/// configuration as an error instead of a panic. The legacy panicking
+/// constructors render these errors verbatim, so their messages — and the
+/// `should_panic` pins on them — are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalitionError {
+    /// More players than the relevant cap supports.
+    TooManyPlayers {
+        /// Requested player count.
+        n: usize,
+        /// The cap that was exceeded ([`MAX_PLAYERS`] for exact
+        /// enumeration, [`MAX_SAMPLED_PLAYERS`] for the mask itself).
+        max: usize,
+    },
+    /// A player index does not fit in the bitmask.
+    PlayerIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The mask width it must stay below.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CoalitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyPlayers { n, max } => {
+                write!(f, "at most {max} players, got {n}")
+            }
+            Self::PlayerIndexOutOfRange { index, max } => {
+                write!(f, "player index {index} exceeds {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoalitionError {}
+
 /// A set of players encoded as a bitmask (player `i` ⇔ bit `i`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coalition(pub u64);
@@ -28,21 +71,57 @@ impl Coalition {
     /// The empty coalition.
     pub const EMPTY: Self = Self(0);
 
+    /// Validates a player count against a cap — the single entry point
+    /// every constructor (panicking or fallible) goes through.
+    pub fn check_player_count(n: usize, max: usize) -> Result<(), CoalitionError> {
+        if n > max {
+            Err(CoalitionError::TooManyPlayers { n, max })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validates a single player index against the mask width.
+    pub fn check_player_index(index: usize) -> Result<(), CoalitionError> {
+        if index >= MAX_SAMPLED_PLAYERS {
+            Err(CoalitionError::PlayerIndexOutOfRange {
+                index,
+                max: MAX_SAMPLED_PLAYERS,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The grand coalition of `n` players, or a typed error when `n`
+    /// exceeds [`MAX_SAMPLED_PLAYERS`].
+    pub fn try_grand(n: usize) -> Result<Self, CoalitionError> {
+        Self::check_player_count(n, MAX_SAMPLED_PLAYERS)?;
+        Ok(if n == 0 {
+            Self::EMPTY
+        } else {
+            Self(u64::MAX >> (MAX_SAMPLED_PLAYERS - n))
+        })
+    }
+
     /// The grand coalition of `n` players.
     ///
     /// # Panics
     ///
     /// Panics if `n > MAX_SAMPLED_PLAYERS`.
     pub fn grand(n: usize) -> Self {
-        assert!(
-            n <= MAX_SAMPLED_PLAYERS,
-            "at most {MAX_SAMPLED_PLAYERS} players, got {n}"
-        );
-        if n == 0 {
-            Self::EMPTY
-        } else {
-            Self(u64::MAX >> (MAX_SAMPLED_PLAYERS - n))
+        Self::try_grand(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Coalition from a member list, or a typed error when any index
+    /// does not fit in the mask.
+    pub fn try_from_members(members: &[usize]) -> Result<Self, CoalitionError> {
+        let mut mask = 0u64;
+        for &m in members {
+            Self::check_player_index(m)?;
+            mask |= 1 << m;
         }
+        Ok(Self(mask))
     }
 
     /// Coalition from a member list.
@@ -51,15 +130,7 @@ impl Coalition {
     ///
     /// Panics if any member index exceeds [`MAX_SAMPLED_PLAYERS`].
     pub fn from_members(members: &[usize]) -> Self {
-        let mut mask = 0u64;
-        for &m in members {
-            assert!(
-                m < MAX_SAMPLED_PLAYERS,
-                "player index {m} exceeds {MAX_SAMPLED_PLAYERS}"
-            );
-            mask |= 1 << m;
-        }
-        Self(mask)
+        Self::try_from_members(members).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// True if player `i` is a member.
@@ -80,20 +151,14 @@ impl Coalition {
     /// Adds a player.
     #[must_use]
     pub fn with(&self, i: usize) -> Self {
-        assert!(
-            i < MAX_SAMPLED_PLAYERS,
-            "player index {i} exceeds {MAX_SAMPLED_PLAYERS}"
-        );
+        Self::check_player_index(i).unwrap_or_else(|e| panic!("{e}"));
         Self(self.0 | (1 << i))
     }
 
     /// Removes a player.
     #[must_use]
     pub fn without(&self, i: usize) -> Self {
-        assert!(
-            i < MAX_SAMPLED_PLAYERS,
-            "player index {i} exceeds {MAX_SAMPLED_PLAYERS}"
-        );
+        Self::check_player_index(i).unwrap_or_else(|e| panic!("{e}"));
         Self(self.0 & !(1 << i))
     }
 
@@ -111,7 +176,7 @@ impl Coalition {
     /// even though the mask itself holds up to [`MAX_SAMPLED_PLAYERS`]
     /// players.
     pub fn powerset(n: usize) -> impl Iterator<Item = Coalition> {
-        assert!(n <= MAX_PLAYERS, "at most {MAX_PLAYERS} players, got {n}");
+        Self::check_player_count(n, MAX_PLAYERS).unwrap_or_else(|e| panic!("{e}"));
         (0u64..(1u64 << n)).map(Coalition)
     }
 
@@ -264,6 +329,52 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn powerset_beyond_exact_cap_panics() {
         let _ = Coalition::powerset(MAX_PLAYERS + 1);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(
+            Coalition::try_grand(MAX_SAMPLED_PLAYERS + 1),
+            Err(CoalitionError::TooManyPlayers {
+                n: MAX_SAMPLED_PLAYERS + 1,
+                max: MAX_SAMPLED_PLAYERS,
+            })
+        );
+        assert_eq!(
+            Coalition::try_from_members(&[0, MAX_SAMPLED_PLAYERS]),
+            Err(CoalitionError::PlayerIndexOutOfRange {
+                index: MAX_SAMPLED_PLAYERS,
+                max: MAX_SAMPLED_PLAYERS,
+            })
+        );
+        assert_eq!(Coalition::try_grand(3), Ok(Coalition::grand(3)));
+        assert_eq!(
+            Coalition::try_from_members(&[1, 5]),
+            Ok(Coalition::from_members(&[1, 5]))
+        );
+    }
+
+    #[test]
+    fn typed_errors_render_the_legacy_panic_messages() {
+        // The panicking constructors format these errors verbatim, so the
+        // historical `should_panic(expected = ...)` substrings must stay
+        // stable across the validated-constructor refactor.
+        let e = CoalitionError::TooManyPlayers { n: 65, max: 64 };
+        assert_eq!(e.to_string(), "at most 64 players, got 65");
+        let e = CoalitionError::PlayerIndexOutOfRange { index: 64, max: 64 };
+        assert_eq!(e.to_string(), "player index 64 exceeds 64");
+    }
+
+    #[test]
+    fn check_player_count_is_the_single_gate() {
+        assert!(Coalition::check_player_count(MAX_PLAYERS, MAX_PLAYERS).is_ok());
+        assert_eq!(
+            Coalition::check_player_count(MAX_PLAYERS + 1, MAX_PLAYERS),
+            Err(CoalitionError::TooManyPlayers {
+                n: MAX_PLAYERS + 1,
+                max: MAX_PLAYERS,
+            })
+        );
     }
 
     #[test]

@@ -35,14 +35,19 @@ pub mod axioms;
 pub mod coalition;
 pub mod estimator;
 pub mod group;
+pub mod hierarchy;
 pub mod monte_carlo;
 pub mod native;
 mod rng;
 pub mod stratified;
 pub mod utility;
 
+pub use coalition::CoalitionError;
 pub use estimator::{SvDiagnostics, SvEstimate, SvEstimator};
 pub use group::{group_shapley, GroupModelGame, GroupSvConfig, GroupSvResult};
+pub use hierarchy::{
+    compose, hierarchical_shapley, CohortPlan, HierarchyConfig, HierarchyError, HierarchyResult,
+};
 pub use monte_carlo::{monte_carlo_shapley, McConfig};
 pub use native::exact_shapley;
 pub use stratified::{stratified_shapley, StratifiedConfig};

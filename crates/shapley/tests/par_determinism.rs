@@ -245,7 +245,9 @@ fn restricted_game_is_schedule_invariant() {
 /// declaration, share-verified recovery, survivor-restricted estimation.
 mod survivor_rounds {
     use fedchain::config::SvMethod;
-    use fedchain::contract_fl::{share_commitment, FlCall, FlContract, FlParams, RoundPhase};
+    use fedchain::contract_fl::{
+        sharded_round_groups, share_commitment, FlCall, FlContract, FlParams, RoundPhase,
+    };
     use fl_chain::contract::{SmartContract, TxContext};
     use fl_chain::hash::Hash32;
     use fl_crypto::dh::{DhGroup, DhKeyPair};
@@ -270,14 +272,16 @@ mod survivor_rounds {
         }
     }
 
-    /// Runs one full dropout round through a fresh contract and returns
-    /// `(per_owner_sv, global_model)`.
+    /// Runs one full dropout round through a fresh contract (`k > 1`
+    /// takes the cohort-sharded hierarchical path) and returns
+    /// `(per_owner_sv, global_model, state_digest)`.
     pub(super) fn run_round(
         n: usize,
         m: usize,
+        k: usize,
         dropped: &[usize],
         weights: &[Vec<f64>],
-    ) -> (Vec<f64>, Vec<f64>) {
+    ) -> (Vec<f64>, Vec<f64>, Hash32) {
         let threshold = n / 2 + 1;
         let params = FlParams {
             owners: (0..n as u32).collect(),
@@ -290,6 +294,7 @@ mod survivor_rounds {
             num_classes: CLASSES,
             frac_bits: 24,
             escrow_threshold: threshold,
+            num_cohorts: k,
         };
         let test_set = SyntheticDigits::small().generate(99);
         let mut c = FlContract::genesis(params, test_set);
@@ -326,7 +331,15 @@ mod survivor_rounds {
                 .unwrap();
         }
 
-        let groups = grouping(&permutation(7, 0, n), m);
+        let groups: Vec<Vec<usize>> = if k > 1 {
+            sharded_round_groups(7, 0, n, k, m)
+                .1
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            grouping(&permutation(7, 0, n), m)
+        };
         let survivors: Vec<usize> = (0..n).filter(|i| !dropped.contains(i)).collect();
         for &i in &survivors {
             let group = groups.iter().find(|g| g.contains(&i)).unwrap();
@@ -380,7 +393,11 @@ mod survivor_rounds {
             record.survivors, survivors,
             "record must carry the true survivor set"
         );
-        (record.per_owner_sv.clone(), c.global_model().to_vec())
+        (
+            record.per_owner_sv.clone(),
+            c.global_model().to_vec(),
+            c.state_digest(),
+        )
     }
 
     /// From-scratch unmasked survivor aggregate: per-group survivor ring
@@ -411,6 +428,43 @@ mod survivor_rounds {
             );
         }
         numeric::linalg::mean_vectors(&surviving_models)
+    }
+
+    /// Two-level from-scratch aggregate: per-cohort mean of surviving
+    /// group ring sums, then the mean over surviving cohorts.
+    pub(super) fn from_scratch_global_sharded(
+        n: usize,
+        m: usize,
+        k: usize,
+        dropped: &[usize],
+        weights: &[Vec<f64>],
+    ) -> Vec<f64> {
+        let codec = FixedCodec::new(24);
+        let (_, cohort_groups) = sharded_round_groups(7, 0, n, k, m);
+        let mut cohort_models: Vec<Vec<f64>> = Vec::new();
+        for groups in &cohort_groups {
+            let mut surviving_models: Vec<Vec<f64>> = Vec::new();
+            for g in groups {
+                let alive: Vec<usize> =
+                    g.iter().copied().filter(|i| !dropped.contains(i)).collect();
+                if alive.is_empty() {
+                    continue;
+                }
+                let mut acc = vec![0u64; DIM];
+                for &i in &alive {
+                    FixedCodec::ring_add_assign(&mut acc, &codec.encode_vec(&weights[i]));
+                }
+                surviving_models.push(
+                    acc.iter()
+                        .map(|&r| codec.decode_avg(r, alive.len()))
+                        .collect(),
+                );
+            }
+            if !surviving_models.is_empty() {
+                cohort_models.push(numeric::linalg::mean_vectors(&surviving_models));
+            }
+        }
+        numeric::linalg::mean_vectors(&cohort_models)
     }
 }
 
@@ -449,8 +503,9 @@ proptest! {
             })
             .collect();
 
-        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, &dropped, &weights));
-        let (per_owner_sv, global_model) = survivor_rounds::run_round(n, m, &dropped, &weights);
+        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, 1, &dropped, &weights));
+        let (per_owner_sv, global_model, _) =
+            survivor_rounds::run_round(n, m, 1, &dropped, &weights);
         for &d in &dropped {
             prop_assert_eq!(per_owner_sv[d], 0.0, "dropped owner {} must score 0", d);
         }
@@ -458,6 +513,54 @@ proptest! {
         prop_assert_eq!(
             global_model, expect,
             "mask-stripped survivor aggregate must be bit-identical to the plaintext ring sum"
+        );
+    }
+
+    #[test]
+    fn prop_cohort_fan_out_is_schedule_invariant(
+        n in 4usize..=8,
+        k_raw in 2usize..=3,
+        m_raw in 1usize..=2,
+        drop_seed in any::<u64>(),
+    ) {
+        // Random cohort plans (the per-cohort pass runs one numeric::par
+        // slot per cohort) × thread caps 1/2/auto: global per-owner
+        // contributions AND the full contract state digest must be
+        // bit-identical, and the global model must equal the two-level
+        // from-scratch plaintext aggregate.
+        let k = k_raw.min(n / 2);
+        let m = m_raw.min(n / k);
+        let threshold = n / 2 + 1;
+        let max_drops = n - threshold;
+        let drop_count = (drop_seed as usize) % (max_drops + 1);
+        let mut dropped: Vec<usize> = Vec::new();
+        let mut cursor = drop_seed ^ 0x5eed;
+        while dropped.len() < drop_count {
+            cursor = cursor.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let candidate = (cursor >> 33) as usize % n;
+            if !dropped.contains(&candidate) {
+                dropped.push(candidate);
+            }
+        }
+        dropped.sort_unstable();
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..650)
+                    .map(|d| ((i * 650 + d) as f64 * 0.41).cos() * 0.1)
+                    .collect()
+            })
+            .collect();
+
+        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, k, &dropped, &weights));
+        let (per_owner_sv, global_model, _) =
+            survivor_rounds::run_round(n, m, k, &dropped, &weights);
+        for &d in &dropped {
+            prop_assert_eq!(per_owner_sv[d], 0.0, "dropped owner {} must score 0", d);
+        }
+        let expect = survivor_rounds::from_scratch_global_sharded(n, m, k, &dropped, &weights);
+        prop_assert_eq!(
+            global_model, expect,
+            "sharded survivor aggregate must be bit-identical to the two-level plaintext mean"
         );
     }
 }

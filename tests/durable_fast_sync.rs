@@ -86,6 +86,43 @@ fn dropout_run_fast_syncs_from_cold_disk_to_identical_tip() {
     );
 }
 
+/// 8 owners in 2 cohorts: the sharded round streams one block per
+/// cohort through the mempool instead of one mega-block.
+fn sharded_config() -> FlConfig {
+    let mut config = FlConfig::quick_demo();
+    config.num_owners = 8;
+    config.num_groups = 2;
+    config.num_cohorts = 2;
+    config
+}
+
+#[test]
+fn sharded_run_fast_syncs_from_cold_disk_to_identical_tip() {
+    let dir = TestDir::new("cohort-sync");
+    let mut protocol = FlProtocol::new(sharded_config()).expect("valid config");
+    protocol
+        .persist_to(dir.path(), durability_config(u64::MAX))
+        .expect("fresh dir attaches");
+    protocol.run().expect("honest run");
+
+    let live_tip = protocol.engine().store_of(0).expect("miner 0").tip_digest();
+    let params = protocol.contract().params().clone();
+    let test_set = protocol.test_set().clone();
+    drop(protocol); // everything below runs from cold bytes only
+
+    let report = fast_sync(dir.path(), params, test_set).expect("cold sharded chain certifies");
+    assert_eq!(report.blocks, 3, "setup + one block per cohort");
+    assert!(
+        report.audit.clean,
+        "per-cohort evidence must replay exactly: {:#?}",
+        report.audit.blocks
+    );
+    assert_eq!(
+        report.tip_digest, live_tip,
+        "the on-disk sharded chain is bit-identical to the live chain"
+    );
+}
+
 #[test]
 fn fast_sync_from_snapshot_verifies_and_matches_genesis_replay() {
     let dir = TestDir::new("snap-sync");

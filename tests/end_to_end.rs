@@ -40,6 +40,54 @@ fn whole_pipeline_runs_and_is_auditable() {
 }
 
 #[test]
+fn sharded_cohort_run_spans_mempool_consensus_and_audit() {
+    // 64 owners in 4 cohorts of 16, 2 secure-agg groups per cohort, an
+    // 8-owner miner committee: the round streams 4 cohort blocks through
+    // the mempool, every committee replica converges, and a full replay
+    // audit verifies each per-cohort bundle's state root.
+    let mut config = quick();
+    config.num_owners = 64;
+    config.num_groups = 2;
+    config.num_cohorts = 4;
+    config.miner_committee = 8;
+    let mut protocol = FlProtocol::new(config).expect("valid config");
+    let report = protocol.run().expect("honest run");
+
+    // One key block + one block per cohort.
+    assert_eq!(report.blocks, 5);
+    assert_eq!(report.per_owner_sv.len(), 64);
+    let record = &report.round_records[0];
+    assert_eq!(record.cohorts.len(), 4);
+    assert_eq!(record.groups.len(), 8);
+    let mut members: Vec<usize> = record
+        .cohorts
+        .iter()
+        .flat_map(|c| c.members.clone())
+        .collect();
+    members.sort_unstable();
+    assert_eq!(members, (0..64).collect::<Vec<_>>());
+
+    let engine = protocol.engine();
+    assert_eq!(engine.miner_count(), 8);
+    let digests: Vec<_> = (0..8u32)
+        .map(|id| engine.contract_of(id).expect("miner").state_digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    for id in 0..8u32 {
+        assert_eq!(engine.store_of(id).expect("miner").verify_chain(), Ok(()));
+    }
+
+    let params = protocol.contract().params().clone();
+    let audit = fedchain::audit::replay_chain(
+        engine.store_of(0).expect("miner"),
+        params,
+        protocol.test_set().clone(),
+    )
+    .expect("replay");
+    assert!(audit.clean, "per-cohort bundles must replay exactly");
+}
+
+#[test]
 fn masked_updates_on_chain_never_equal_plaintext_encodings() {
     // Privacy audit: walk the committed blocks and check that no
     // submitted masked vector could be trivially decoded into a weight
