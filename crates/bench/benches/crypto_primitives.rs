@@ -4,10 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use fl_crypto::dh::DhGroup;
+use fl_crypto::dh::{DhGroup, DhGroup2048, DhGroupW, DhKeyPairW};
 use fl_crypto::masking::PairwiseMasker;
 use fl_crypto::sha256::sha256;
 use fl_crypto::ChaChaPrg;
+use numeric::uint::Uint;
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -40,8 +41,172 @@ fn bench_dh_exchange(c: &mut Criterion) {
     let alice = group256.keypair_from_seed(&[1u8; 32]);
     let bob = group256.keypair_from_seed(&[2u8; 32]);
     c.bench_function("dh_shared_key_256", |b| {
-        b.iter(|| group256.shared_key(black_box(&alice.private), black_box(&bob.public)))
+        b.iter(|| {
+            group256
+                .shared_key(black_box(&alice.private), black_box(&bob.public))
+                .unwrap()
+        })
     });
+}
+
+/// The seed DH agreement path, kept verbatim as the regression baseline:
+/// the retained naive square-and-multiply ladder
+/// ([`Uint::mod_pow_naive`] — one binary-reduction `mod_mul` per exponent
+/// bit, no Montgomery residency, no windowing) followed by the same HKDF
+/// expansion the library applies. The `dh_agreement/seed/<bits>` vs
+/// `dh_agreement/opt/<bits>` pairs in `BENCH_crypto_primitives.json` are
+/// this function against `DhGroupW::shared_key`.
+fn seed_shared_key<const LIMBS: usize>(
+    p: &Uint<LIMBS>,
+    my_private: &Uint<LIMBS>,
+    other_public: &Uint<LIMBS>,
+) -> [u8; 32] {
+    let element = other_public.mod_pow_naive(my_private, p);
+    let okm = fl_crypto::hkdf::derive(
+        b"transparent-fl/dh-pair-key",
+        &element.to_be_bytes(),
+        b"",
+        32,
+    );
+    okm.try_into().expect("HKDF returned 32 bytes")
+}
+
+/// The seed keypair-generation path: per-attempt byte sampling (the PRG
+/// stream is shared with the optimized path, so the sampled private key
+/// is identical) and the naive ladder for the public derivation.
+fn seed_generate_keypair<const LIMBS: usize>(
+    group: &DhGroupW<LIMBS>,
+    prg: &mut ChaChaPrg,
+) -> DhKeyPairW<LIMBS> {
+    let upper = group
+        .p
+        .checked_sub(&Uint::from_u64(3))
+        .expect("p is a large prime");
+    let private = loop {
+        let mut bytes = vec![0u8; LIMBS * 8];
+        prg.fill_bytes(&mut bytes);
+        let candidate = Uint::<LIMBS>::from_be_bytes(&bytes);
+        if candidate < upper {
+            break candidate.wrapping_add(&Uint::from_u64(2));
+        }
+    };
+    let public = group.g.mod_pow_naive(&private, &group.p);
+    DhKeyPairW { private, public }
+}
+
+fn bench_dh_agreement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dh_agreement");
+    // Naive 2048-bit exponentiations cost ~10^2 ms each; the shim's
+    // calibrated samples keep the group affordable at a smaller count.
+    group.sample_size(10);
+
+    let g256 = DhGroup::simulation_256();
+    let a256 = g256.keypair_from_seed(&[1u8; 32]);
+    let b256 = g256.keypair_from_seed(&[2u8; 32]);
+    assert_eq!(
+        seed_shared_key(&g256.p, &a256.private, &b256.public),
+        g256.shared_key(&a256.private, &b256.public).unwrap(),
+        "opt path must be bit-identical to the seed oracle before sampling"
+    );
+    group.bench_function(BenchmarkId::new("seed", 256), |b| {
+        b.iter(|| seed_shared_key(&g256.p, black_box(&a256.private), black_box(&b256.public)))
+    });
+    group.bench_function(BenchmarkId::new("opt", 256), |b| {
+        b.iter(|| {
+            g256.shared_key(black_box(&a256.private), black_box(&b256.public))
+                .unwrap()
+        })
+    });
+
+    let g2048 = DhGroup2048::modp_2048();
+    let a2048 = g2048.keypair_from_seed(&[3u8; 32]);
+    let b2048 = g2048.keypair_from_seed(&[4u8; 32]);
+    assert_eq!(
+        seed_shared_key(&g2048.p, &a2048.private, &b2048.public),
+        g2048.shared_key(&a2048.private, &b2048.public).unwrap(),
+        "opt path must be bit-identical to the seed oracle before sampling"
+    );
+    group.bench_function(BenchmarkId::new("seed", 2048), |b| {
+        b.iter(|| {
+            seed_shared_key(
+                &g2048.p,
+                black_box(&a2048.private),
+                black_box(&b2048.public),
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("opt", 2048), |b| {
+        b.iter(|| {
+            g2048
+                .shared_key(black_box(&a2048.private), black_box(&b2048.public))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dh_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dh_keygen");
+    group.sample_size(10);
+    let g256 = DhGroup::simulation_256();
+    assert_eq!(
+        seed_generate_keypair(&g256, &mut ChaChaPrg::from_seed(&[9u8; 32])),
+        g256.keypair_from_seed(&[9u8; 32]),
+        "keygen must sample the identical keypair before sampling"
+    );
+    group.bench_function(BenchmarkId::new("seed", 256), |b| {
+        b.iter(|| {
+            let mut prg = ChaChaPrg::from_seed(&[9u8; 32]);
+            seed_generate_keypair(black_box(&g256), &mut prg)
+        })
+    });
+    group.bench_function(BenchmarkId::new("opt", 256), |b| {
+        b.iter(|| g256.keypair_from_seed(black_box(&[9u8; 32])))
+    });
+    group.finish();
+}
+
+fn bench_dh_batch_setup(c: &mut Criterion) {
+    // One owner's full per-round agreement fan-out: n pair keys against n
+    // peer public keys — the n² setup cost driver at cohort scale.
+    let mut group = c.benchmark_group("dh_batch_setup");
+    group.sample_size(10);
+    let g256 = DhGroup::simulation_256();
+    let me = g256.keypair_from_seed(&[42u8; 32]);
+    for n in [8usize, 32, 128] {
+        let peers: Vec<numeric::U256> = (0..n)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[0] = i as u8;
+                seed[1] = 1;
+                g256.keypair_from_seed(&seed).public
+            })
+            .collect();
+        let seed_keys: Vec<[u8; 32]> = peers
+            .iter()
+            .map(|pk| seed_shared_key(&g256.p, &me.private, pk))
+            .collect();
+        assert_eq!(
+            seed_keys,
+            g256.shared_keys_batch(&me.private, &peers).unwrap(),
+            "batched agreements must be bit-identical to the seed oracle"
+        );
+        group.bench_function(BenchmarkId::new("seed", n), |b| {
+            b.iter(|| {
+                peers
+                    .iter()
+                    .map(|pk| seed_shared_key(&g256.p, black_box(&me.private), pk))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function(BenchmarkId::new("opt", n), |b| {
+            b.iter(|| {
+                g256.shared_keys_batch(black_box(&me.private), black_box(&peers))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_mask_round(c: &mut Criterion) {
@@ -97,6 +262,9 @@ criterion_group!(
     bench_sha256,
     bench_chacha_keystream,
     bench_dh_exchange,
+    bench_dh_agreement,
+    bench_dh_keygen,
+    bench_dh_batch_setup,
     bench_mask_round,
     bench_mask_expansion
 );

@@ -12,20 +12,78 @@
 //! * [`DhGroup2048::modp_2048`] — RFC 3526 group 14, the real-world MODP
 //!   group. Exercised by a slower test to show the protocol is agnostic
 //!   to group width, exactly as the paper is agnostic to the blockchain.
+//!
+//! # Montgomery residency
+//!
+//! A group is a *resident engine*, not a pair of numbers: construction
+//! builds the [`MontgomeryCtx`] for `p` once (Newton limb inversion + the
+//! R² derivation) and converts the generator into Montgomery form, so
+//! every subsequent keypair generation and key agreement is pure
+//! allocation-free CIOS arithmetic with fixed-window exponentiation. The
+//! two named constructors memoize the fully-built group in a process-wide
+//! `OnceLock`, making `DhGroup::simulation_256()` free after first use.
+//! Batched agreement ([`DhGroupW::shared_keys_batch`]) fans the per-peer
+//! exponentiations out on [`numeric::par`] — slot `i` is a pure function
+//! of peer `i`, so results are bit-identical for any thread count.
+//!
+//! All fast paths are pinned against the retained naive square-and-
+//! multiply oracle ([`numeric::uint::Uint::mod_pow_naive`]); windowing and
+//! residency are speed choices, never numerical ones.
+
+use std::sync::OnceLock;
 
 use crate::chacha::ChaChaPrg;
 use crate::hkdf;
-use numeric::uint::Uint;
+use numeric::par;
+use numeric::uint::{MontgomeryCtx, MontyElem, Uint};
 use numeric::{U2048, U256};
 
+/// Largest supported group width in bytes (32 limbs = 2048 bits) — the
+/// size of the stack buffer [`DhGroupW::generate_keypair`] samples into.
+const MAX_GROUP_BYTES: usize = 256;
+
+/// Errors from validating a Diffie–Hellman public key.
+///
+/// A public key must be a canonical group element in `[2, p-2]`:
+/// anything `>= p` is a non-canonical encoding, and `{0, 1, p-1}` are the
+/// degenerate elements whose shared secret is predictable (0, 1, or ±1)
+/// regardless of the private key — accepting one would let a malicious
+/// owner force a known pair mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhKeyError {
+    /// The key is `>= p` — not a canonical group element encoding.
+    OutOfRange,
+    /// The key is 0, 1, or p−1 — a degenerate element with a predictable
+    /// shared secret.
+    Degenerate,
+}
+
+impl std::fmt::Display for DhKeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfRange => write!(f, "public key is not a canonical group element (>= p)"),
+            Self::Degenerate => {
+                write!(f, "public key is a degenerate group element (0, 1, or p-1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DhKeyError {}
+
 /// A multiplicative prime group `(p, g)` for Diffie–Hellman, generic over
-/// limb width.
+/// limb width, with a resident Montgomery engine for `p`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DhGroupW<const LIMBS: usize> {
     /// Prime modulus.
     pub p: Uint<LIMBS>,
     /// Group generator.
     pub g: Uint<LIMBS>,
+    /// Montgomery engine for `p`, built once at group construction.
+    ctx: MontgomeryCtx<LIMBS>,
+    /// The generator in Montgomery form — every keypair derivation
+    /// exponentiates this resident element directly.
+    g_monty: MontyElem<LIMBS>,
 }
 
 /// The 256-bit simulation group used throughout the workspace.
@@ -48,28 +106,65 @@ impl DhGroup {
     /// The 256-bit simulation group: secp256k1's field prime, generator 5.
     ///
     /// Correct-by-construction for protocol tests (`g^ab == g^ba` holds in
-    /// any group); not intended to resist cryptanalysis.
+    /// any group); not intended to resist cryptanalysis. The fully-built
+    /// group (Montgomery context included) is memoized process-wide, so
+    /// calling this per round or per owner costs a copy, not a rebuild.
     pub fn simulation_256() -> Self {
-        let p = U256::from_hex("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F")
-            .expect("static prime parses");
-        Self {
-            p,
-            g: U256::from_u64(5),
-        }
+        static GROUP: OnceLock<DhGroup> = OnceLock::new();
+        *GROUP.get_or_init(|| {
+            let p =
+                U256::from_hex("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F")
+                    .expect("static prime parses");
+            Self::new(p, U256::from_u64(5))
+        })
     }
 }
 
 impl DhGroup2048 {
-    /// RFC 3526 group 14 (2048-bit MODP, generator 2).
+    /// RFC 3526 group 14 (2048-bit MODP, generator 2). Memoized like
+    /// [`DhGroup::simulation_256`] — the 2048-bit R² derivation runs once
+    /// per process.
     pub fn modp_2048() -> Self {
-        Self {
-            p: U2048::from_hex(MODP_2048_HEX).expect("static prime parses"),
-            g: U2048::from_u64(2),
-        }
+        static GROUP: OnceLock<DhGroup2048> = OnceLock::new();
+        *GROUP.get_or_init(|| {
+            Self::new(
+                U2048::from_hex(MODP_2048_HEX).expect("static prime parses"),
+                U2048::from_u64(2),
+            )
+        })
     }
 }
 
 impl<const LIMBS: usize> DhGroupW<LIMBS> {
+    /// Builds a group over the odd prime `p` with generator `g`,
+    /// constructing the resident Montgomery engine once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero or even (Montgomery reduction is undefined)
+    /// or wider than `MAX_GROUP_BYTES` (256 bytes = 2048 bits).
+    pub fn new(p: Uint<LIMBS>, g: Uint<LIMBS>) -> Self {
+        assert!(
+            LIMBS * 8 <= MAX_GROUP_BYTES,
+            "group width {} exceeds the supported maximum of {MAX_GROUP_BYTES} bytes",
+            LIMBS * 8
+        );
+        let ctx = MontgomeryCtx::new(&p).expect("DH modulus must be an odd prime");
+        let g_monty = ctx.to_elem(&g);
+        Self { p, g, ctx, g_monty }
+    }
+
+    /// The resident Montgomery engine for `p`.
+    pub fn ctx(&self) -> &MontgomeryCtx<LIMBS> {
+        &self.ctx
+    }
+
+    /// The public key of `private`: `g^private mod p`, via the resident
+    /// Montgomery-form generator.
+    pub fn public_of(&self, private: &Uint<LIMBS>) -> Uint<LIMBS> {
+        self.ctx.retrieve(&self.ctx.pow(&self.g_monty, private))
+    }
+
     /// Samples a private key uniformly in `[2, p-2]` from `prg` and
     /// derives the public key `g^x mod p`.
     pub fn generate_keypair(&self, prg: &mut ChaChaPrg) -> DhKeyPairW<LIMBS> {
@@ -78,15 +173,19 @@ impl<const LIMBS: usize> DhGroupW<LIMBS> {
             .p
             .checked_sub(&Uint::from_u64(3))
             .expect("p is a large prime");
+        // One stack buffer, refilled across rejection attempts. The PRG
+        // byte stream (and hence every sampled key) is identical to the
+        // seed-era per-attempt `vec![0u8; LIMBS * 8]` path.
+        let mut buf = [0u8; MAX_GROUP_BYTES];
+        let bytes = &mut buf[..LIMBS * 8];
         let private = loop {
-            let mut bytes = vec![0u8; LIMBS * 8];
-            prg.fill_bytes(&mut bytes);
-            let candidate = Uint::<LIMBS>::from_be_bytes(&bytes);
+            prg.fill_bytes(bytes);
+            let candidate = Uint::<LIMBS>::from_be_bytes(bytes);
             if candidate < upper {
                 break candidate.wrapping_add(&Uint::from_u64(2));
             }
         };
-        let public = self.g.mod_pow(&private, &self.p);
+        let public = self.public_of(&private);
         DhKeyPairW { private, public }
     }
 
@@ -97,27 +196,103 @@ impl<const LIMBS: usize> DhGroupW<LIMBS> {
         self.generate_keypair(&mut prg)
     }
 
-    /// Computes the raw shared group element `other_pub^my_priv mod p`.
+    /// Checks that `key` is a canonical, non-degenerate group element in
+    /// `[2, p-2]`. See [`DhKeyError`] for the rejection rules.
+    pub fn validate_public_key(&self, key: &Uint<LIMBS>) -> Result<(), DhKeyError> {
+        if key >= &self.p {
+            return Err(DhKeyError::OutOfRange);
+        }
+        let p_minus_1 = self.p.wrapping_sub(&Uint::ONE);
+        if key.is_zero() || key == &Uint::ONE || key == &p_minus_1 {
+            return Err(DhKeyError::Degenerate);
+        }
+        Ok(())
+    }
+
+    /// Computes the raw shared group element `other_pub^my_priv mod p`,
+    /// rejecting degenerate or out-of-range public keys.
     pub fn shared_element(
         &self,
         my_private: &Uint<LIMBS>,
         other_public: &Uint<LIMBS>,
+    ) -> Result<Uint<LIMBS>, DhKeyError> {
+        self.validate_public_key(other_public)?;
+        Ok(self.shared_element_unchecked(my_private, other_public))
+    }
+
+    /// The exponentiation core of [`DhGroupW::shared_element`], after
+    /// validation: peer key to Montgomery form, fixed-window pow, retrieve.
+    fn shared_element_unchecked(
+        &self,
+        my_private: &Uint<LIMBS>,
+        other_public: &Uint<LIMBS>,
     ) -> Uint<LIMBS> {
-        other_public.mod_pow(my_private, &self.p)
+        let peer = self.ctx.to_elem(other_public);
+        self.ctx.retrieve(&self.ctx.pow(&peer, my_private))
     }
 
     /// Derives a uniform 32-byte pair key from the shared group element
-    /// via HKDF (group elements are not uniform bytes).
-    pub fn shared_key(&self, my_private: &Uint<LIMBS>, other_public: &Uint<LIMBS>) -> [u8; 32] {
-        let element = self.shared_element(my_private, other_public);
-        let okm = hkdf::derive(
-            b"transparent-fl/dh-pair-key",
-            &element.to_be_bytes(),
-            b"",
-            32,
-        );
-        okm.try_into().expect("HKDF returned 32 bytes")
+    /// via HKDF (group elements are not uniform bytes), rejecting
+    /// degenerate or out-of-range public keys.
+    pub fn shared_key(
+        &self,
+        my_private: &Uint<LIMBS>,
+        other_public: &Uint<LIMBS>,
+    ) -> Result<[u8; 32], DhKeyError> {
+        self.validate_public_key(other_public)?;
+        Ok(derive_pair_key(
+            &self.shared_element_unchecked(my_private, other_public),
+        ))
     }
+
+    /// Batched key agreement: one owner against `peer_publics`, one
+    /// exponentiation per peer fanned out on [`numeric::par`].
+    ///
+    /// Every peer key is validated up front; slot `i` of the result is the
+    /// pair key against peer `i` — a pure function of the index, so the
+    /// output is bit-identical to the sequential loop for any thread
+    /// count.
+    pub fn shared_keys_batch(
+        &self,
+        my_private: &Uint<LIMBS>,
+        peer_publics: &[Uint<LIMBS>],
+    ) -> Result<Vec<[u8; 32]>, DhKeyError> {
+        for pk in peer_publics {
+            self.validate_public_key(pk)?;
+        }
+        Ok(par::par_map(peer_publics, 1, |_, pk| {
+            derive_pair_key(&self.shared_element_unchecked(my_private, pk))
+        }))
+    }
+
+    /// Batched key agreement over explicit `(private, public)` pairs —
+    /// the recovery-path shape, where each residual mask pairs a
+    /// *different* reconstructed private key with a survivor's public
+    /// key. Same validation and determinism contract as
+    /// [`DhGroupW::shared_keys_batch`].
+    pub fn shared_keys_batch_pairs(
+        &self,
+        pairs: &[(Uint<LIMBS>, Uint<LIMBS>)],
+    ) -> Result<Vec<[u8; 32]>, DhKeyError> {
+        for (_, pk) in pairs {
+            self.validate_public_key(pk)?;
+        }
+        Ok(par::par_map(pairs, 1, |_, (private, public)| {
+            derive_pair_key(&self.shared_element_unchecked(private, public))
+        }))
+    }
+}
+
+/// HKDF expansion of a shared group element into a uniform 32-byte pair
+/// key.
+fn derive_pair_key<const LIMBS: usize>(element: &Uint<LIMBS>) -> [u8; 32] {
+    let okm = hkdf::derive(
+        b"transparent-fl/dh-pair-key",
+        &element.to_be_bytes(),
+        b"",
+        32,
+    );
+    okm.try_into().expect("HKDF returned 32 bytes")
 }
 
 /// A Diffie–Hellman keypair, generic over limb width.
@@ -145,8 +320,8 @@ mod tests {
         let group = DhGroup::simulation_256();
         let alice = group.generate_keypair(&mut prg(1));
         let bob = group.generate_keypair(&mut prg(2));
-        let k_ab = group.shared_key(&alice.private, &bob.public);
-        let k_ba = group.shared_key(&bob.private, &alice.public);
+        let k_ab = group.shared_key(&alice.private, &bob.public).unwrap();
+        let k_ba = group.shared_key(&bob.private, &alice.public).unwrap();
         assert_eq!(k_ab, k_ba, "g^ab must equal g^ba");
     }
 
@@ -156,9 +331,9 @@ mod tests {
         let a = group.generate_keypair(&mut prg(1));
         let b = group.generate_keypair(&mut prg(2));
         let c = group.generate_keypair(&mut prg(3));
-        let k_ab = group.shared_key(&a.private, &b.public);
-        let k_ac = group.shared_key(&a.private, &c.public);
-        let k_bc = group.shared_key(&b.private, &c.public);
+        let k_ab = group.shared_key(&a.private, &b.public).unwrap();
+        let k_ac = group.shared_key(&a.private, &c.public).unwrap();
+        let k_bc = group.shared_key(&b.private, &c.public).unwrap();
         assert_ne!(k_ab, k_ac);
         assert_ne!(k_ab, k_bc);
         assert_ne!(k_ac, k_bc);
@@ -190,6 +365,66 @@ mod tests {
         let kp = group.generate_keypair(&mut prg(9));
         assert!(kp.public < group.p);
         assert!(!kp.public.is_zero());
+        group.validate_public_key(&kp.public).unwrap();
+    }
+
+    #[test]
+    fn resident_engine_matches_naive_oracle() {
+        // The Montgomery-resident agreement path must be bit-identical to
+        // the retained naive square-and-multiply ladder.
+        let group = DhGroup::simulation_256();
+        let a = group.generate_keypair(&mut prg(4));
+        let b = group.generate_keypair(&mut prg(5));
+        let fast = group.shared_element(&a.private, &b.public).unwrap();
+        let naive = b.public.mod_pow_naive(&a.private, &group.p);
+        assert_eq!(fast, naive);
+        assert_eq!(a.public, group.g.mod_pow_naive(&a.private, &group.p));
+    }
+
+    #[test]
+    fn degenerate_and_out_of_range_keys_rejected() {
+        let group = DhGroup::simulation_256();
+        let kp = group.generate_keypair(&mut prg(1));
+        let p_minus_1 = group.p.wrapping_sub(&U256::ONE);
+        for (bad, want) in [
+            (U256::ZERO, DhKeyError::Degenerate),
+            (U256::ONE, DhKeyError::Degenerate),
+            (p_minus_1, DhKeyError::Degenerate),
+            (group.p, DhKeyError::OutOfRange),
+            (U256::MAX, DhKeyError::OutOfRange),
+        ] {
+            assert_eq!(group.validate_public_key(&bad), Err(want), "{bad:?}");
+            assert_eq!(group.shared_element(&kp.private, &bad), Err(want));
+            assert_eq!(group.shared_key(&kp.private, &bad), Err(want));
+            assert_eq!(
+                group.shared_keys_batch(&kp.private, &[kp.public, bad]),
+                Err(want)
+            );
+        }
+        // 2 and p-2 are unremarkable elements and must pass.
+        group.validate_public_key(&U256::from_u64(2)).unwrap();
+        group
+            .validate_public_key(&group.p.wrapping_sub(&U256::from_u64(2)))
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_agreement_matches_sequential() {
+        let group = DhGroup::simulation_256();
+        let me = group.generate_keypair(&mut prg(7));
+        let peers: Vec<DhKeyPairW<4>> = (10..18u8)
+            .map(|t| group.generate_keypair(&mut prg(t)))
+            .collect();
+        let peer_pubs: Vec<U256> = peers.iter().map(|kp| kp.public).collect();
+        let batch = group.shared_keys_batch(&me.private, &peer_pubs).unwrap();
+        for (kp, got) in peers.iter().zip(&batch) {
+            assert_eq!(*got, group.shared_key(&me.private, &kp.public).unwrap());
+            // And symmetric from the peer's side.
+            assert_eq!(*got, group.shared_key(&kp.private, &me.public).unwrap());
+        }
+        // The pair-list variant agrees with the single-owner variant.
+        let pairs: Vec<(U256, U256)> = peer_pubs.iter().map(|pk| (me.private, *pk)).collect();
+        assert_eq!(group.shared_keys_batch_pairs(&pairs).unwrap(), batch);
     }
 
     #[test]
@@ -198,8 +433,8 @@ mod tests {
         let group = DhGroup::simulation_256();
         let a = group.generate_keypair(&mut prg(1));
         let b = group.generate_keypair(&mut prg(2));
-        let element = group.shared_element(&a.private, &b.public);
-        let key = group.shared_key(&a.private, &b.public);
+        let element = group.shared_element(&a.private, &b.public).unwrap();
+        let key = group.shared_key(&a.private, &b.public).unwrap();
         assert_ne!(key.to_vec(), element.to_be_bytes()[..32].to_vec());
     }
 
@@ -210,8 +445,8 @@ mod tests {
         let a = group.generate_keypair(&mut prg(1));
         let b = group.generate_keypair(&mut prg(2));
         assert_eq!(
-            group.shared_key(&a.private, &b.public),
-            group.shared_key(&b.private, &a.public)
+            group.shared_key(&a.private, &b.public).unwrap(),
+            group.shared_key(&b.private, &a.public).unwrap()
         );
     }
 }

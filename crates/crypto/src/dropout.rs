@@ -91,7 +91,7 @@ pub fn reconstruct_private_key(
     advertised_public: &U256,
 ) -> Result<U256, DropoutError> {
     let private = shamir.reconstruct(shares, threshold)?;
-    let public = group.g.mod_pow(&private, &group.p);
+    let public = group.public_of(&private);
     if &public != advertised_public {
         return Err(DropoutError::KeyMismatch);
     }
@@ -153,8 +153,10 @@ pub fn strip_dropped_masks(
 ///
 /// # Panics
 ///
-/// Panics if `dropped` ids are not strictly ascending or a dropped party
-/// also appears among the survivors.
+/// Panics if `dropped` ids are not strictly ascending, a dropped party
+/// also appears among the survivors, or a survivor public key is not a
+/// valid group element (keys reaching this path were validated when
+/// advertised on-chain).
 pub fn strip_dropped_set_masks(
     group: &DhGroup,
     partial_sum: &mut [u64],
@@ -167,22 +169,28 @@ pub fn strip_dropped_set_masks(
         "dropped ids must be strictly ascending"
     );
     // The flat (dropped, survivor) pair list, in the canonical order.
-    let mut pairs: Vec<(PartyId, &U256, PartyId, &U256)> = Vec::new();
+    let mut ids: Vec<(PartyId, PartyId)> = Vec::new();
+    let mut key_pairs: Vec<(U256, U256)> = Vec::new();
     for (d, d_private) in dropped {
         for (s, s_public) in survivors {
             assert_ne!(s, d, "dropped party {d} cannot survive");
-            pairs.push((*d, d_private, *s, s_public));
+            ids.push((*d, *s));
+            key_pairs.push((*d_private, *s_public));
         }
     }
-    // Each pair's mask is an independent DH agreement + ChaCha expansion;
-    // the fold below consumes them in index order regardless of the
-    // schedule, so the corrected sum is schedule-invariant.
+    // One batched agreement over every (dropped, survivor) pair — this is
+    // the recovery hot path the bench's `secure_agg_recovery` rows track.
+    let pair_keys = group
+        .shared_keys_batch_pairs(&key_pairs)
+        .expect("survivor keys were validated when advertised");
+    // Each pair's mask is an independent ChaCha expansion; the fold below
+    // consumes them in index order regardless of the schedule, so the
+    // corrected sum is schedule-invariant.
     let dim = partial_sum.len();
-    let masks = par::par_map(&pairs, 1, |_, (_, d_private, _, s_public)| {
-        let pair_key = group.shared_key(d_private, s_public);
-        PairwiseMasker::new(pair_key).mask_for_round(round, dim)
+    let masks = par::par_map(&pair_keys, 1, |_, pair_key| {
+        PairwiseMasker::new(*pair_key).mask_for_round(round, dim)
     });
-    for ((d, _, s, _), mask) in pairs.iter().zip(&masks) {
+    for ((d, s), mask) in ids.iter().zip(&masks) {
         // Orientation convention (see `masking`): the smaller id *adds*
         // the pair mask. The survivor applied its side; remove it by
         // applying the *dropped* party's side, which cancels it.

@@ -44,7 +44,7 @@ pub mod sha256;
 pub mod shamir;
 
 pub use chacha::ChaChaPrg;
-pub use dh::{DhGroup, DhKeyPair};
+pub use dh::{DhGroup, DhKeyError, DhKeyPair};
 pub use masking::PairwiseMasker;
-pub use secure_agg::{SecureAggError, SecureAggSession};
+pub use secure_agg::{key_epoch, PairSecretCache, SecureAggError, SecureAggSession};
 pub use sha256::Sha256;

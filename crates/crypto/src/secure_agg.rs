@@ -23,6 +23,7 @@ use numeric::{par, FixedCodec};
 
 use crate::dh::{DhGroup, DhKeyPair};
 use crate::masking::{PairwiseMasker, PartyId};
+use crate::sha256::sha256;
 
 /// Minimum ring elements per worker thread when expanding or summing
 /// mask vectors. ChaCha expansion costs a few ns per element, so below
@@ -52,6 +53,9 @@ pub enum SecureAggError {
     MissingSubmissions(Vec<PartyId>),
     /// The same party submitted twice in one round.
     DuplicateSubmission(PartyId),
+    /// A peer advertised a degenerate or out-of-range public key; deriving
+    /// a pair secret against it would yield a predictable mask.
+    InvalidPeerKey(PartyId),
 }
 
 impl fmt::Display for SecureAggError {
@@ -70,6 +74,9 @@ impl fmt::Display for SecureAggError {
             }
             Self::DuplicateSubmission(id) => {
                 write!(f, "party {id} already submitted this round")
+            }
+            Self::InvalidPeerKey(id) => {
+                write!(f, "party {id} advertised an invalid public key")
             }
         }
     }
@@ -113,6 +120,12 @@ impl KeyDirectory {
         self.keys.keys().copied().collect()
     }
 
+    /// All `(party, public key)` entries, ascending by id — the canonical
+    /// input to [`key_epoch`].
+    pub fn entries(&self) -> Vec<(PartyId, numeric::U256)> {
+        self.keys.iter().map(|(&id, &pk)| (id, pk)).collect()
+    }
+
     /// Number of registered parties.
     pub fn len(&self) -> usize {
         self.keys.len()
@@ -121,6 +134,84 @@ impl KeyDirectory {
     /// True if nobody registered yet.
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+}
+
+/// Digest of a full advertised key set, used as the [`PairSecretCache`]
+/// epoch.
+///
+/// Domain-separated SHA-256 over `(party id, public key)` in the given
+/// order; callers pass keys ascending by party id (the canonical on-chain
+/// order), so the epoch is a pure function of *who advertised what* — it
+/// is stable across rounds while keys stand, and rolls the moment any
+/// owner joins, leaves, or rotates a key.
+pub fn key_epoch(keys: &[(PartyId, numeric::U256)]) -> [u8; 32] {
+    let mut bytes = Vec::with_capacity(32 + keys.len() * 36);
+    bytes.extend_from_slice(b"transparent-fl/key-epoch/v1");
+    for (id, public) in keys {
+        bytes.extend_from_slice(&id.to_le_bytes());
+        bytes.extend_from_slice(&public.to_be_bytes());
+    }
+    sha256(&bytes)
+}
+
+/// Per-owner cache of derived pair secrets, bound to a *key epoch*.
+///
+/// Pair keys depend only on `(my private, peer public)`, so while the
+/// advertised key set stands, re-deriving them every round is pure waste —
+/// one modular exponentiation per peer. The cache is keyed twice over:
+///
+/// * the **epoch** (see [`key_epoch`]) — a digest of the full advertised
+///   key set; any change clears the cache wholesale, and
+/// * the **peer public key** stored with each entry — a lookup only hits
+///   when the stored key matches the directory's current key bit-for-bit.
+///
+/// A rotated or tampered key therefore can never serve a stale secret:
+/// rotation rolls the epoch, and even a stale epoch value cannot alias
+/// because the per-entry key comparison fails. Cached pair keys are the
+/// exact bytes the cold path derives, so a warm run's masked submissions
+/// (and every state root downstream) are bit-identical to a cold run's.
+#[derive(Debug, Clone, Default)]
+pub struct PairSecretCache {
+    epoch: Option<[u8; 32]>,
+    entries: BTreeMap<PartyId, (numeric::U256, [u8; 32])>,
+}
+
+impl PairSecretCache {
+    /// Creates an empty (cold) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the cache to `epoch`, clearing all entries if it changed.
+    fn roll_epoch(&mut self, epoch: [u8; 32]) {
+        if self.epoch != Some(epoch) {
+            self.entries.clear();
+            self.epoch = Some(epoch);
+        }
+    }
+
+    /// The cached pair key against `peer`, only if the stored public key
+    /// matches `peer_pub` exactly.
+    fn lookup(&self, peer: PartyId, peer_pub: &numeric::U256) -> Option<[u8; 32]> {
+        match self.entries.get(&peer) {
+            Some((stored_pub, key)) if stored_pub == peer_pub => Some(*key),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, peer: PartyId, peer_pub: numeric::U256, key: [u8; 32]) {
+        self.entries.insert(peer, (peer_pub, key));
+    }
+
+    /// Number of cached pair secrets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pair secret is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -135,12 +226,38 @@ pub struct PartyState {
 
 impl PartyState {
     /// Derives pair keys for `me` against every other party in the
-    /// directory.
+    /// directory, one batched exponentiation fan-out over all peers
+    /// ([`DhGroup::shared_keys_batch`]).
     pub fn derive(
         group: &DhGroup,
         me: PartyId,
         keypair: &DhKeyPair,
         directory: &KeyDirectory,
+    ) -> Result<Self, SecureAggError> {
+        Self::derive_cached(
+            group,
+            me,
+            keypair,
+            directory,
+            [0u8; 32],
+            &mut PairSecretCache::new(),
+        )
+    }
+
+    /// [`PartyState::derive`] through a [`PairSecretCache`]: peers whose
+    /// `(epoch, public key)` entry is warm skip the exponentiation
+    /// entirely; only the misses go through the batched agreement.
+    ///
+    /// `epoch` must come from [`key_epoch`] over the full advertised key
+    /// set. The derived pair keys — warm or cold — are bit-identical, so
+    /// masked submissions and state roots never depend on cache state.
+    pub fn derive_cached(
+        group: &DhGroup,
+        me: PartyId,
+        keypair: &DhKeyPair,
+        directory: &KeyDirectory,
+        epoch: [u8; 32],
+        cache: &mut PairSecretCache,
     ) -> Result<Self, SecureAggError> {
         if directory.len() < 2 {
             return Err(SecureAggError::CohortTooSmall(directory.len()));
@@ -148,23 +265,41 @@ impl PartyState {
         if directory.public_key(me).is_none() {
             return Err(SecureAggError::UnknownParty(me));
         }
+        cache.roll_epoch(epoch);
+        // Split peers into cache hits and misses. Validation happens here,
+        // per peer, so a bad key is attributed to its owner (the batch API
+        // reports the error but not the offender).
+        let mut pair_keys: BTreeMap<PartyId, [u8; 32]> = BTreeMap::new();
+        let mut misses: Vec<(PartyId, numeric::U256)> = Vec::new();
+        for other in directory.parties() {
+            if other == me {
+                continue;
+            }
+            let other_pub = *directory.public_key(other).expect("listed party has a key");
+            if let Some(key) = cache.lookup(other, &other_pub) {
+                pair_keys.insert(other, key);
+            } else {
+                group
+                    .validate_public_key(&other_pub)
+                    .map_err(|_| SecureAggError::InvalidPeerKey(other))?;
+                misses.push((other, other_pub));
+            }
+        }
         // Pairwise key agreement is one modular exponentiation per peer —
         // the dominant setup cost — and each pair key depends only on the
-        // peer's public key, so the derivations fan out across cores.
-        let others: Vec<PartyId> = directory
-            .parties()
+        // peer's public key, so the misses batch out across cores.
+        if !misses.is_empty() {
+            let peer_pubs: Vec<numeric::U256> = misses.iter().map(|&(_, pk)| pk).collect();
+            let fresh = group
+                .shared_keys_batch(&keypair.private, &peer_pubs)
+                .expect("peer keys validated above");
+            for ((other, other_pub), key) in misses.into_iter().zip(fresh) {
+                cache.insert(other, other_pub, key);
+                pair_keys.insert(other, key);
+            }
+        }
+        let maskers = pair_keys
             .into_iter()
-            .filter(|&other| other != me)
-            .collect();
-        let pair_keys = par::par_map(&others, 1, |_, other| {
-            let other_pub = directory
-                .public_key(*other)
-                .expect("listed party has a key");
-            group.shared_key(&keypair.private, other_pub)
-        });
-        let maskers = others
-            .into_iter()
-            .zip(pair_keys)
             .map(|(other, pair_key)| (other, PairwiseMasker::new(pair_key)))
             .collect();
         Ok(Self { id: me, maskers })
@@ -431,6 +566,91 @@ mod tests {
         let r0 = party.masked_update(&codec, 0, &[1.0]);
         let r1 = party.masked_update(&codec, 1, &[1.0]);
         assert_ne!(r0, r1, "round must refresh masks");
+    }
+
+    #[test]
+    fn warm_cache_matches_cold_derive_and_rolls_on_rotation() {
+        let codec = FixedCodec::default();
+        let g = group();
+        let n = 4usize;
+        let kps: Vec<DhKeyPair> = seeds(n).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        for (i, kp) in kps.iter().enumerate() {
+            dir.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let epoch = key_epoch(&dir.entries());
+        let mut cache = PairSecretCache::new();
+        let cold = PartyState::derive(&g, 0, &kps[0], &dir).unwrap();
+        let first = PartyState::derive_cached(&g, 0, &kps[0], &dir, epoch, &mut cache).unwrap();
+        assert_eq!(cache.len(), n - 1);
+        let warm = PartyState::derive_cached(&g, 0, &kps[0], &dir, epoch, &mut cache).unwrap();
+        let w = [0.25, -1.5, 3.0];
+        let want = cold.masked_update(&codec, 3, &w);
+        assert_eq!(want, first.masked_update(&codec, 3, &w));
+        assert_eq!(want, warm.masked_update(&codec, 3, &w));
+
+        // Rotating one key rolls the epoch; the warm cache is cleared and
+        // the fresh derivation reflects the rotated key.
+        let rotated = g.keypair_from_seed(&[99u8; 32]);
+        let mut dir2 = KeyDirectory::new();
+        dir2.advertise(0, kps[0].public).unwrap();
+        dir2.advertise(1, rotated.public).unwrap();
+        for (i, kp) in kps.iter().enumerate().skip(2) {
+            dir2.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let epoch2 = key_epoch(&dir2.entries());
+        assert_ne!(epoch, epoch2, "rotation must roll the epoch");
+        let fresh = PartyState::derive_cached(&g, 0, &kps[0], &dir2, epoch2, &mut cache).unwrap();
+        let expect = PartyState::derive(&g, 0, &kps[0], &dir2).unwrap();
+        assert_eq!(
+            fresh.masked_update(&codec, 3, &w),
+            expect.masked_update(&codec, 3, &w)
+        );
+        assert_ne!(fresh.masked_update(&codec, 3, &w), want);
+    }
+
+    #[test]
+    fn stale_cache_entry_never_served() {
+        // Even if a caller wrongly reuses an old epoch after a peer key
+        // changed, the per-entry public-key comparison forces a fresh
+        // derivation — a stale secret cannot alias.
+        let codec = FixedCodec::default();
+        let g = group();
+        let kps: Vec<DhKeyPair> = seeds(3).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        for (i, kp) in kps.iter().enumerate() {
+            dir.advertise(i as PartyId, kp.public).unwrap();
+        }
+        let epoch = key_epoch(&dir.entries());
+        let mut cache = PairSecretCache::new();
+        PartyState::derive_cached(&g, 0, &kps[0], &dir, epoch, &mut cache).unwrap();
+
+        let rotated = g.keypair_from_seed(&[77u8; 32]);
+        let mut dir2 = KeyDirectory::new();
+        dir2.advertise(0, kps[0].public).unwrap();
+        dir2.advertise(1, rotated.public).unwrap();
+        dir2.advertise(2, kps[2].public).unwrap();
+        // Deliberately reuse the stale epoch.
+        let got = PartyState::derive_cached(&g, 0, &kps[0], &dir2, epoch, &mut cache).unwrap();
+        let expect = PartyState::derive(&g, 0, &kps[0], &dir2).unwrap();
+        let w = [1.0, 2.0];
+        assert_eq!(
+            got.masked_update(&codec, 0, &w),
+            expect.masked_update(&codec, 0, &w)
+        );
+    }
+
+    #[test]
+    fn invalid_peer_key_attributed_to_offender() {
+        let g = group();
+        let kps: Vec<DhKeyPair> = seeds(2).iter().map(|s| g.keypair_from_seed(s)).collect();
+        let mut dir = KeyDirectory::new();
+        dir.advertise(0, kps[0].public).unwrap();
+        dir.advertise(7, numeric::U256::ONE).unwrap();
+        assert_eq!(
+            PartyState::derive(&g, 0, &kps[0], &dir).err(),
+            Some(SecureAggError::InvalidPeerKey(7))
+        );
     }
 
     #[test]

@@ -262,6 +262,15 @@ pub enum FlError {
         /// Received byte length.
         got: usize,
     },
+    /// An advertised public key decoded but is not a usable group element
+    /// (degenerate — 0, 1, p−1 — or non-canonical `>= p`); accepting it
+    /// would let the owner force a predictable pair mask on every peer.
+    InvalidKeyElement {
+        /// The offending owner.
+        owner: AccountId,
+        /// Why the DH layer rejected the key.
+        reason: String,
+    },
     /// A revealed share value was not a full-width field element.
     BadShareEncoding {
         /// Required byte length.
@@ -367,6 +376,12 @@ impl std::fmt::Display for FlError {
             Self::ProtocolFinished => write!(f, "all rounds already evaluated"),
             Self::BadKeyEncoding { expected, got } => {
                 write!(f, "public key must be {expected} bytes, got {got}")
+            }
+            Self::InvalidKeyElement { owner, reason } => {
+                write!(
+                    f,
+                    "owner {owner} advertised an invalid public key: {reason}"
+                )
             }
             Self::BadShareEncoding { expected, got } => {
                 write!(f, "share value must be {expected} bytes, got {got}")
@@ -945,6 +960,18 @@ impl FlContract {
             return Err(FlError::BadKeyEncoding {
                 expected: 32,
                 got: public_key.len(),
+            });
+        }
+        // A length-valid key must also be a *usable* group element. The DH
+        // layer rejects degenerate (0, 1, p−1) and non-canonical (>= p)
+        // keys — a malicious owner could otherwise force a predictable
+        // pair mask — and the contract surfaces that rejection here, at
+        // advertise time, so a round can never wedge at derive time.
+        let element = U256::from_be_bytes(public_key);
+        if let Err(reason) = DhGroup::simulation_256().validate_public_key(&element) {
+            return Err(FlError::InvalidKeyElement {
+                owner: sender,
+                reason: reason.to_string(),
             });
         }
         self.keys.insert(sender, public_key.to_vec());
@@ -1982,6 +2009,28 @@ mod tests {
                 expected: 32,
                 got: 33
             })
+        ));
+        // Length-valid but degenerate or non-canonical group elements are
+        // rejected with the offender named (a degenerate key would force a
+        // predictable pair mask on every peer).
+        for bad in [vec![0u8; 32], {
+            let mut one = vec![0u8; 32];
+            one[31] = 1;
+            one
+        }] {
+            assert!(matches!(
+                c.execute(&ctx(0), &FlCall::AdvertiseKey { public_key: bad }),
+                Err(FlError::InvalidKeyElement { owner: 0, .. })
+            ));
+        }
+        assert!(matches!(
+            c.execute(
+                &ctx(0),
+                &FlCall::AdvertiseKey {
+                    public_key: vec![0xFF; 32] // >= p: not canonical
+                }
+            ),
+            Err(FlError::InvalidKeyElement { owner: 0, .. })
         ));
         c.execute(
             &ctx(0),

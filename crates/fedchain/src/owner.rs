@@ -11,7 +11,7 @@
 use fl_chain::tx::AccountId;
 use fl_crypto::dh::{DhGroup, DhKeyPair};
 use fl_crypto::dropout::{escrow_private_key, DropoutError};
-use fl_crypto::secure_agg::{KeyDirectory, PartyState, SecureAggError};
+use fl_crypto::secure_agg::{KeyDirectory, PairSecretCache, PartyState, SecureAggError};
 use fl_crypto::shamir::{Shamir, Share};
 use fl_crypto::ChaChaPrg;
 use fl_ml::dataset::Dataset;
@@ -31,6 +31,7 @@ pub struct DataOwner {
     codec: FixedCodec,
     adversary: Option<AdversaryKind>,
     adversary_rng: Xoshiro256,
+    pair_cache: PairSecretCache,
 }
 
 impl DataOwner {
@@ -56,6 +57,7 @@ impl DataOwner {
             codec: FixedCodec::new(frac_bits),
             adversary: None,
             adversary_rng: Xoshiro256::seed_from_u64(seed ^ u64::from(id)),
+            pair_cache: PairSecretCache::new(),
         }
     }
 
@@ -136,20 +138,67 @@ impl DataOwner {
         round: u64,
         group_directory: &[(AccountId, U256)],
     ) -> Result<Vec<u64>, SecureAggError> {
+        let Some(directory) = self.build_directory(group_directory)? else {
+            return Ok(self.codec.encode_vec(update));
+        };
+        let party = PartyState::derive(&self.group, self.id, &self.keypair, &directory)?;
+        Ok(party.masked_update(&self.codec, round, update))
+    }
+
+    /// [`DataOwner::mask_update`] through the owner's persistent
+    /// pair-secret cache: group members whose keys are unchanged since the
+    /// last derivation under the same `epoch` skip the DH exponentiation.
+    ///
+    /// `epoch` must be [`fl_crypto::key_epoch`] over the *full* advertised
+    /// key set (not the per-round group directory, which permutes every
+    /// round) — stable while keys stand, rolled on any rotation. Cached
+    /// pair keys are bit-identical to cold-derived ones, so the masked
+    /// submission never depends on cache state.
+    pub fn mask_update_cached(
+        &mut self,
+        update: &[f64],
+        round: u64,
+        group_directory: &[(AccountId, U256)],
+        epoch: [u8; 32],
+    ) -> Result<Vec<u64>, SecureAggError> {
+        let Some(directory) = self.build_directory(group_directory)? else {
+            return Ok(self.codec.encode_vec(update));
+        };
+        let party = PartyState::derive_cached(
+            &self.group,
+            self.id,
+            &self.keypair,
+            &directory,
+            epoch,
+            &mut self.pair_cache,
+        )?;
+        Ok(party.masked_update(&self.codec, round, update))
+    }
+
+    /// Number of pair secrets currently cached (observability for tests).
+    pub fn cached_pair_secrets(&self) -> usize {
+        self.pair_cache.len()
+    }
+
+    /// Validates the group directory and builds the secure-agg
+    /// [`KeyDirectory`]; `None` means a singleton group (submit plain).
+    fn build_directory(
+        &self,
+        group_directory: &[(AccountId, U256)],
+    ) -> Result<Option<KeyDirectory>, SecureAggError> {
         assert!(
             group_directory.iter().any(|(id, _)| *id == self.id),
             "owner {} missing from its own group directory",
             self.id
         );
         if group_directory.len() == 1 {
-            return Ok(self.codec.encode_vec(update));
+            return Ok(None);
         }
         let mut directory = KeyDirectory::new();
         for (id, key) in group_directory {
             directory.advertise(*id, *key)?;
         }
-        let party = PartyState::derive(&self.group, self.id, &self.keypair, &directory)?;
-        Ok(party.masked_update(&self.codec, round, update))
+        Ok(Some(directory))
     }
 }
 
@@ -212,6 +261,30 @@ mod tests {
         for (i, &r) in sum.iter().enumerate() {
             let expect = ua[i] + ub[i];
             assert!((codec.decode(r) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cached_masking_matches_cold_across_rounds() {
+        // The pair-secret cache must never change what goes on the wire:
+        // warm rounds are bit-identical to cold derivations.
+        let mut a = owner(0);
+        let b = owner(1);
+        let c = owner(2);
+        let zeros = vec![0.0; 65 * 10];
+        let ua = a.local_update(&zeros, 64, 10);
+        let dir = vec![
+            (0u32, a.keypair.public),
+            (1u32, b.keypair.public),
+            (2u32, c.keypair.public),
+        ];
+        let epoch = fl_crypto::key_epoch(&dir);
+        assert_eq!(a.cached_pair_secrets(), 0);
+        for round in 0..3u64 {
+            let cold = a.mask_update(&ua, round, &dir).unwrap();
+            let warm = a.mask_update_cached(&ua, round, &dir, epoch).unwrap();
+            assert_eq!(cold, warm, "round {round}");
+            assert_eq!(a.cached_pair_secrets(), 2);
         }
     }
 

@@ -548,6 +548,16 @@ impl FlProtocol {
             );
         }
 
+        // Pair-secret cache epoch: a digest of the *full* advertised key
+        // set (not the per-round group directories, which permute every
+        // round). Keys are advertised once in phase 0, so the epoch is
+        // stable across rounds and each owner's DH agreements run once
+        // per run instead of once per round.
+        let all_keys: Vec<(AccountId, U256)> = (0..n)
+            .map(|idx| (idx as u32, key_of(idx, contract)))
+            .collect();
+        let epoch = fl_crypto::key_epoch(&all_keys);
+
         // Local training + masking, off-chain per owner. In deployment
         // every owner computes on its own machine simultaneously; here the
         // owners fan out across cores. Each owner's update depends only on
@@ -566,7 +576,12 @@ impl FlProtocol {
                     return None;
                 }
                 let update = owner.local_update(&global_model, num_features, num_classes);
-                Some(owner.mask_update(&update, round, &group_directories[group_of[idx]]))
+                Some(owner.mask_update_cached(
+                    &update,
+                    round,
+                    &group_directories[group_of[idx]],
+                    epoch,
+                ))
             });
 
         // Transaction assembly stays sequential: nonces and block order

@@ -16,6 +16,12 @@
 //!   reduction is binary shift-subtract long division. Both are O(w²) in
 //!   the word count — entirely adequate for a 256-bit group and usable for
 //!   occasional 2048-bit operations.
+//! * Hot modular exponentiation goes through the resident
+//!   [`MontgomeryCtx`] engine: allocation-free CIOS multiplication over
+//!   stack arrays plus fixed-window (w = 4) exponentiation, bit-identical
+//!   to the retained [`Uint::mod_pow_naive`] oracle. Build the context
+//!   once per modulus; `Uint::mod_pow` remains as the one-shot
+//!   convenience that pays setup per call.
 //! * Arithmetic is *not* constant time. This is a research simulation of
 //!   the paper's protocol, not a hardened TLS stack; the crate-level docs
 //!   of `fl-crypto` repeat this warning.
@@ -382,11 +388,15 @@ impl<const LIMBS: usize> Uint<LIMBS> {
         reduce_slice(&wide, modulus)
     }
 
-    /// Modular exponentiation: `self^exp mod modulus` by left-to-right
-    /// square and multiply.
+    /// Modular exponentiation: `self^exp mod modulus`.
     ///
     /// Odd moduli (every prime the crate ships) take the Montgomery (CIOS)
-    /// fast path; even moduli fall back to binary reduction.
+    /// fast path with fixed-window exponentiation; even moduli fall back
+    /// to [`Uint::mod_pow_naive`]. Callers that exponentiate repeatedly
+    /// over the same odd modulus should build a [`MontgomeryCtx`] once and
+    /// use [`MontgomeryCtx::mod_pow`] directly — this convenience method
+    /// pays the full context setup (limb inversion + R² derivation) on
+    /// every call.
     pub fn mod_pow(&self, exp: &Self, modulus: &Self) -> Self {
         assert!(!modulus.is_zero(), "division by zero modulus");
         if modulus == &Self::ONE {
@@ -394,6 +404,26 @@ impl<const LIMBS: usize> Uint<LIMBS> {
         }
         if let Some(ctx) = MontgomeryCtx::new(modulus) {
             return ctx.mod_pow(self, exp);
+        }
+        self.mod_pow_naive(exp, modulus)
+    }
+
+    /// Modular exponentiation by plain left-to-right square and multiply
+    /// over binary-reduction [`Uint::mod_mul`] — no Montgomery form, no
+    /// windowing, no precomputation.
+    ///
+    /// This is the seed-era slow path, kept verbatim as the oracle the
+    /// property tests and the `crypto_primitives` seed-vs-opt benches pin
+    /// the Montgomery engine against. Every optimized exponentiation in
+    /// the workspace must return bit-identical results to this ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn mod_pow_naive(&self, exp: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "division by zero modulus");
+        if modulus == &Self::ONE {
+            return Self::ZERO;
         }
         let base = self.reduce(modulus);
         let mut result = Self::ONE;
@@ -407,6 +437,17 @@ impl<const LIMBS: usize> Uint<LIMBS> {
             }
         }
         result
+    }
+
+    /// The 4-bit window of the exponent starting at bit `4 * w`
+    /// (little-endian window order). Window boundaries never straddle a
+    /// limb because 64 is a multiple of 4.
+    fn window4(&self, w: u32) -> usize {
+        let bit = 4 * w;
+        if bit >= Self::BITS {
+            return 0;
+        }
+        ((self.limbs[(bit / 64) as usize] >> (bit % 64)) & 0xf) as usize
     }
 
     /// Modular inverse via Fermat's little theorem (`modulus` must be
@@ -461,18 +502,59 @@ fn reduce_slice<const LIMBS: usize>(value: &[u64], modulus: &Uint<LIMBS>) -> Uin
     rem
 }
 
-/// Montgomery multiplication context for an odd modulus.
+/// A group element held in Montgomery form (`a · R mod m` for the context
+/// that produced it).
+///
+/// Elements are only meaningful relative to the [`MontgomeryCtx`] that
+/// created them: all arithmetic goes through the context's methods
+/// ([`MontgomeryCtx::mul`], [`MontgomeryCtx::pow`]), and
+/// [`MontgomeryCtx::retrieve`] converts back to a plain integer. Keeping
+/// long-lived values (a DH generator, advertised public keys) in this form
+/// skips the to-Montgomery conversion on every exponentiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontyElem<const LIMBS: usize> {
+    hat: Uint<LIMBS>,
+}
+
+impl<const LIMBS: usize> MontyElem<LIMBS> {
+    /// The raw Montgomery-form representation (`a · R mod m`).
+    pub const fn raw(&self) -> &Uint<LIMBS> {
+        &self.hat
+    }
+}
+
+/// Resident Montgomery multiplication engine for an odd modulus.
 ///
 /// Implements the CIOS (coarsely integrated operand scanning) variant of
-/// Montgomery reduction; `mod_pow` over RFC 3526-sized primes is ~100×
-/// faster than binary reduction, which keeps the 2048-bit DH slow path
-/// testable in debug builds.
+/// Montgomery reduction over stack arrays — no heap allocation anywhere on
+/// the multiplication or exponentiation path — plus fixed-window (w = 4)
+/// exponentiation over a 16-entry table of Montgomery-form base powers.
+///
+/// # Residency contract
+///
+/// Context construction is the expensive part: a Newton limb inversion
+/// plus the `R² mod m` derivation (2·BITS modular doublings — 512
+/// `mod_add`s at 4 limbs, 4096 at 32). Build the context **once per
+/// modulus** and reuse it for every multiplication and exponentiation;
+/// `fl-crypto`'s `DhGroupW` does exactly this, holding the context (and
+/// the group generator in Montgomery form) for the lifetime of the group.
+///
+/// # Determinism contract
+///
+/// The fixed-window ladder consumes exponent windows MSB-first and is a
+/// pure function of `(base, exp, modulus)`: its results are bit-identical
+/// to the naive square-and-multiply oracle [`Uint::mod_pow_naive`] for
+/// every input (pinned by property tests at 4 and 32 limbs). Windowing is
+/// a speed choice, never a numerical one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MontgomeryCtx<const LIMBS: usize> {
     modulus: Uint<LIMBS>,
     /// `-modulus^{-1} mod 2^64`.
     n0_inv: u64,
     /// `R^2 mod modulus` where `R = 2^(64·LIMBS)`.
     r2: Uint<LIMBS>,
+    /// `R mod modulus` — the multiplicative identity in Montgomery form.
+    one: Uint<LIMBS>,
 }
 
 impl<const LIMBS: usize> MontgomeryCtx<LIMBS> {
@@ -493,21 +575,36 @@ impl<const LIMBS: usize> MontgomeryCtx<LIMBS> {
         let n0_inv = inv.wrapping_neg();
 
         // R^2 mod m by doubling 1 exactly 2·BITS times.
-        let mut r2 = Uint::<LIMBS>::ONE.reduce(modulus);
+        let one = Uint::<LIMBS>::ONE.reduce(modulus);
+        let mut r2 = one;
         for _ in 0..(2 * Uint::<LIMBS>::BITS) {
             r2 = r2.mod_add(&r2, modulus);
         }
-        Some(Self {
+        let mut ctx = Self {
             modulus: *modulus,
             n0_inv,
             r2,
-        })
+            one,
+        };
+        // 1 in Montgomery form: R mod m = montmul(1, R²).
+        ctx.one = ctx.mont_mul(&Uint::ONE, &ctx.r2);
+        Some(ctx)
+    }
+
+    /// The modulus this context reduces by.
+    pub const fn modulus(&self) -> &Uint<LIMBS> {
+        &self.modulus
     }
 
     /// Montgomery product: `a · b · R^{-1} mod m` (CIOS).
+    ///
+    /// Entirely on the stack: the `LIMBS + 2`-limb CIOS accumulator is a
+    /// `[u64; LIMBS]` array plus two scalar carry limbs (the top limb
+    /// `t[LIMBS]` and the one-bit overflow `t[LIMBS + 1]`).
     fn mont_mul(&self, a: &Uint<LIMBS>, b: &Uint<LIMBS>) -> Uint<LIMBS> {
         let m = &self.modulus.limbs;
-        let mut t = vec![0u64; LIMBS + 2];
+        let mut t = [0u64; LIMBS];
+        let mut t_hi = 0u64; // CIOS t[LIMBS]
         for i in 0..LIMBS {
             // t += a * b[i]
             let bi = b.limbs[i] as u128;
@@ -517,9 +614,10 @@ impl<const LIMBS: usize> MontgomeryCtx<LIMBS> {
                 t[j] = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = t[LIMBS] as u128 + carry;
-            t[LIMBS] = sum as u64;
-            t[LIMBS + 1] = (sum >> 64) as u64;
+            let sum = t_hi as u128 + carry;
+            t_hi = sum as u64;
+            // CIOS t[LIMBS + 1]: always 0 or 1, dead again by iteration end.
+            let t_ex = (sum >> 64) as u64;
 
             // reduce: choose q so the low limb of t + q·m vanishes
             let q = t[0].wrapping_mul(self.n0_inv) as u128;
@@ -529,37 +627,85 @@ impl<const LIMBS: usize> MontgomeryCtx<LIMBS> {
                 t[j - 1] = sum as u64;
                 carry = sum >> 64;
             }
-            let sum = t[LIMBS] as u128 + carry;
+            let sum = t_hi as u128 + carry;
             t[LIMBS - 1] = sum as u64;
-            t[LIMBS] = t[LIMBS + 1].wrapping_add((sum >> 64) as u64);
-            t[LIMBS + 1] = 0;
+            t_hi = t_ex.wrapping_add((sum >> 64) as u64);
         }
-        let mut out = [0u64; LIMBS];
-        out.copy_from_slice(&t[..LIMBS]);
-        let mut result = Uint { limbs: out };
-        if t[LIMBS] != 0 || result >= self.modulus {
+        let mut result = Uint { limbs: t };
+        if t_hi != 0 || result >= self.modulus {
             result = result.wrapping_sub(&self.modulus);
         }
         result
     }
 
-    /// `base^exp mod modulus` in Montgomery form.
-    pub fn mod_pow(&self, base: &Uint<LIMBS>, exp: &Uint<LIMBS>) -> Uint<LIMBS> {
-        let base_red = base.reduce(&self.modulus);
-        // To Montgomery form: â = a·R mod m = montmul(a, R²).
-        let base_hat = self.mont_mul(&base_red, &self.r2);
-        // 1 in Montgomery form: R mod m = montmul(1, R²).
-        let mut acc = self.mont_mul(&Uint::ONE, &self.r2);
-        if let Some(top) = exp.highest_bit() {
-            for i in (0..=top).rev() {
-                acc = self.mont_mul(&acc, &acc);
-                if exp.bit(i) {
-                    acc = self.mont_mul(&acc, &base_hat);
+    /// Converts a plain integer into Montgomery form (reducing first if
+    /// necessary).
+    pub fn to_elem(&self, value: &Uint<LIMBS>) -> MontyElem<LIMBS> {
+        let reduced = if value < &self.modulus {
+            *value
+        } else {
+            value.reduce(&self.modulus)
+        };
+        MontyElem {
+            hat: self.mont_mul(&reduced, &self.r2),
+        }
+    }
+
+    /// Converts a Montgomery-form element back to a plain integer.
+    pub fn retrieve(&self, elem: &MontyElem<LIMBS>) -> Uint<LIMBS> {
+        self.mont_mul(&elem.hat, &Uint::ONE)
+    }
+
+    /// The multiplicative identity in Montgomery form.
+    pub const fn one_elem(&self) -> MontyElem<LIMBS> {
+        MontyElem { hat: self.one }
+    }
+
+    /// Montgomery-form product of two elements.
+    pub fn mul(&self, a: &MontyElem<LIMBS>, b: &MontyElem<LIMBS>) -> MontyElem<LIMBS> {
+        MontyElem {
+            hat: self.mont_mul(&a.hat, &b.hat),
+        }
+    }
+
+    /// Fixed-window (w = 4) exponentiation of a Montgomery-form base.
+    ///
+    /// Precomputes the 16 Montgomery-form powers `base^0 … base^15`, then
+    /// consumes the exponent in 4-bit windows MSB-first: four squarings
+    /// per window (skipped for the leading window, where the accumulator
+    /// is still 1) and one table multiplication per nonzero window. The
+    /// result is bit-identical to bit-at-a-time square-and-multiply.
+    pub fn pow(&self, base: &MontyElem<LIMBS>, exp: &Uint<LIMBS>) -> MontyElem<LIMBS> {
+        let Some(top) = exp.highest_bit() else {
+            return self.one_elem(); // exp == 0
+        };
+        // table[k] = base^k in Montgomery form.
+        let mut table = [self.one; 16];
+        table[1] = base.hat;
+        for k in 2..16 {
+            table[k] = self.mont_mul(&table[k - 1], &base.hat);
+        }
+        let top_window = top / 4;
+        let mut acc = self.one;
+        for w in (0..=top_window).rev() {
+            if w != top_window {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
                 }
             }
+            let idx = exp.window4(w);
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+            }
         }
-        // Out of Montgomery form: a = â·R^{-1} = montmul(â, 1).
-        self.mont_mul(&acc, &Uint::ONE)
+        MontyElem { hat: acc }
+    }
+
+    /// `base^exp mod modulus` over plain integers: convert in, fixed-window
+    /// exponentiate, convert out.
+    pub fn mod_pow(&self, base: &Uint<LIMBS>, exp: &Uint<LIMBS>) -> Uint<LIMBS> {
+        let base_hat = self.to_elem(base);
+        self.retrieve(&self.pow(&base_hat, exp))
     }
 }
 
@@ -785,20 +931,65 @@ mod tests {
         ] {
             let ctx = MontgomeryCtx::new(&u256(m)).unwrap();
             let fast = ctx.mod_pow(&u256(base), &u256(exp));
-            // naive ladder
-            let mut naive = U256::ONE;
-            let b = u256(base).reduce(&u256(m));
-            let e = u256(exp);
-            if let Some(top) = e.highest_bit() {
-                for i in (0..=top).rev() {
-                    naive = naive.mod_mul(&naive, &u256(m));
-                    if e.bit(i) {
-                        naive = naive.mod_mul(&b, &u256(m));
-                    }
-                }
-            }
+            let naive = u256(base).mod_pow_naive(&u256(exp), &u256(m));
             assert_eq!(fast, naive, "base={base} exp={exp} m={m}");
         }
+    }
+
+    #[test]
+    fn montgomery_edge_cases_match_oracle() {
+        let m = u256(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        // exp == 0 => 1 for any base.
+        assert_eq!(ctx.mod_pow(&u256(12345), &U256::ZERO,), U256::ONE);
+        // base >= modulus reduces first.
+        let big_base = U256::MAX;
+        assert_eq!(
+            ctx.mod_pow(&big_base, &u256(77)),
+            big_base.mod_pow_naive(&u256(77), &m)
+        );
+        // modulus == 1: everything collapses to zero.
+        let ctx1 = MontgomeryCtx::new(&U256::ONE).unwrap();
+        assert_eq!(ctx1.mod_pow(&u256(5), &u256(10)), U256::ZERO);
+        assert_eq!(u256(5).mod_pow_naive(&u256(10), &U256::ONE), U256::ZERO);
+        // Maximum exponent: every window of the ladder is exercised.
+        assert_eq!(
+            ctx.mod_pow(&u256(3), &U256::MAX),
+            u256(3).mod_pow_naive(&U256::MAX, &m)
+        );
+    }
+
+    #[test]
+    fn monty_elem_round_trip_and_mul() {
+        let m = u256(1_000_000_007);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = u256(123_456_789);
+        let b = u256(987_654_321);
+        let (ea, eb) = (ctx.to_elem(&a), ctx.to_elem(&b));
+        assert_eq!(ctx.retrieve(&ea), a);
+        assert_eq!(ctx.retrieve(&ctx.mul(&ea, &eb)), a.mod_mul(&b, &m));
+        assert_eq!(ctx.retrieve(&ctx.one_elem()), U256::ONE);
+        // pow over a resident element equals the plain-integer entry point.
+        assert_eq!(
+            ctx.retrieve(&ctx.pow(&ea, &u256(1000))),
+            ctx.mod_pow(&a, &u256(1000))
+        );
+    }
+
+    #[test]
+    fn wide_montgomery_matches_oracle() {
+        // 32-limb spot check against the naive ladder: a dense odd
+        // modulus built from repeating limbs.
+        let mut m_limbs = [0u64; 32];
+        for (i, l) in m_limbs.iter_mut().enumerate() {
+            *l = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1);
+        }
+        m_limbs[0] |= 1; // odd
+        let m = U2048::from_limbs(m_limbs);
+        let base = U2048::from_u64(0xdead_beef);
+        let exp = U2048::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_naive(&exp, &m));
     }
 
     proptest! {
@@ -821,6 +1012,50 @@ mod tests {
                 e >>= 1;
             }
             prop_assert_eq!(fast, u256(r));
+        }
+
+        #[test]
+        fn prop_window_modpow_matches_naive_oracle_4_limbs(
+            base in proptest::collection::vec(any::<u64>(), 4),
+            exp in proptest::collection::vec(any::<u64>(), 4),
+            m in proptest::collection::vec(any::<u64>(), 4),
+        ) {
+            // Full-width random (base, exp, odd modulus) at 4 limbs: the
+            // fixed-window Montgomery ladder must be bit-identical to the
+            // naive square-and-multiply oracle.
+            let mut m_limbs = [0u64; 4];
+            m_limbs.copy_from_slice(&m);
+            m_limbs[0] |= 1; // odd
+            let m = U256::from_limbs(m_limbs);
+            let mut b_limbs = [0u64; 4];
+            b_limbs.copy_from_slice(&base);
+            let base = U256::from_limbs(b_limbs);
+            let mut e_limbs = [0u64; 4];
+            e_limbs.copy_from_slice(&exp);
+            let exp = U256::from_limbs(e_limbs);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            prop_assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_naive(&exp, &m));
+        }
+
+        #[test]
+        fn prop_window_modpow_matches_naive_oracle_32_limbs(
+            base in proptest::collection::vec(any::<u64>(), 32),
+            m in proptest::collection::vec(any::<u64>(), 32),
+            exp in any::<u64>(),
+        ) {
+            // 32-limb width with a short exponent (the naive oracle costs
+            // one 2048-bit binary reduction per exponent bit, so the
+            // property stays testable in debug builds).
+            let mut m_limbs = [0u64; 32];
+            m_limbs.copy_from_slice(&m);
+            m_limbs[0] |= 1; // odd
+            let m = U2048::from_limbs(m_limbs);
+            let mut b_limbs = [0u64; 32];
+            b_limbs.copy_from_slice(&base);
+            let base = U2048::from_limbs(b_limbs);
+            let exp = U2048::from_u64(exp);
+            let ctx = MontgomeryCtx::new(&m).unwrap();
+            prop_assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_naive(&exp, &m));
         }
 
         #[test]

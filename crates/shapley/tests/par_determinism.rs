@@ -252,7 +252,7 @@ mod survivor_rounds {
     use fl_chain::hash::Hash32;
     use fl_crypto::dh::{DhGroup, DhKeyPair};
     use fl_crypto::dropout::escrow_private_key;
-    use fl_crypto::secure_agg::{KeyDirectory, PartyState};
+    use fl_crypto::secure_agg::{key_epoch, KeyDirectory, PairSecretCache, PartyState};
     use fl_crypto::shamir::Shamir;
     use fl_crypto::ChaChaPrg;
     use fl_ml::dataset::SyntheticDigits;
@@ -275,12 +275,18 @@ mod survivor_rounds {
     /// Runs one full dropout round through a fresh contract (`k > 1`
     /// takes the cohort-sharded hierarchical path) and returns
     /// `(per_owner_sv, global_model, state_digest)`.
+    ///
+    /// With `warm_cache` the pair keys come out of a pre-warmed
+    /// [`PairSecretCache`] (every exponentiation skipped on the masking
+    /// derivation) instead of the cold batched path — the returned tuple,
+    /// state digest included, must be identical either way.
     pub(super) fn run_round(
         n: usize,
         m: usize,
         k: usize,
         dropped: &[usize],
         weights: &[Vec<f64>],
+        warm_cache: bool,
     ) -> (Vec<f64>, Vec<f64>, Hash32) {
         let threshold = n / 2 + 1;
         let params = FlParams {
@@ -341,6 +347,11 @@ mod survivor_rounds {
             grouping(&permutation(7, 0, n), m)
         };
         let survivors: Vec<usize> = (0..n).filter(|i| !dropped.contains(i)).collect();
+        let mut full_dir = KeyDirectory::new();
+        for (j, kp) in keypairs.iter().enumerate() {
+            full_dir.advertise(j as u32, kp.public).unwrap();
+        }
+        let epoch = key_epoch(&full_dir.entries());
         for &i in &survivors {
             let group = groups.iter().find(|g| g.contains(&i)).unwrap();
             let masked = if group.len() == 1 {
@@ -350,7 +361,24 @@ mod survivor_rounds {
                 for &j in group {
                     dir.advertise(j as u32, keypairs[j].public).unwrap();
                 }
-                let party = PartyState::derive(&dh, i as u32, &keypairs[i], &dir).unwrap();
+                let party = if warm_cache {
+                    // Warm the cache against the full cohort, then derive
+                    // the group-restricted state entirely from cache hits.
+                    let mut cache = PairSecretCache::new();
+                    PartyState::derive_cached(
+                        &dh,
+                        i as u32,
+                        &keypairs[i],
+                        &full_dir,
+                        epoch,
+                        &mut cache,
+                    )
+                    .unwrap();
+                    PartyState::derive_cached(&dh, i as u32, &keypairs[i], &dir, epoch, &mut cache)
+                        .unwrap()
+                } else {
+                    PartyState::derive(&dh, i as u32, &keypairs[i], &dir).unwrap()
+                };
                 party.masked_update(&codec, 0, &weights[i])
             };
             c.execute(
@@ -503,9 +531,9 @@ proptest! {
             })
             .collect();
 
-        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, 1, &dropped, &weights));
+        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, 1, &dropped, &weights, false));
         let (per_owner_sv, global_model, _) =
-            survivor_rounds::run_round(n, m, 1, &dropped, &weights);
+            survivor_rounds::run_round(n, m, 1, &dropped, &weights, false);
         for &d in &dropped {
             prop_assert_eq!(per_owner_sv[d], 0.0, "dropped owner {} must score 0", d);
         }
@@ -551,9 +579,9 @@ proptest! {
             })
             .collect();
 
-        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, k, &dropped, &weights));
+        assert_schedule_invariant(|| survivor_rounds::run_round(n, m, k, &dropped, &weights, false));
         let (per_owner_sv, global_model, _) =
-            survivor_rounds::run_round(n, m, k, &dropped, &weights);
+            survivor_rounds::run_round(n, m, k, &dropped, &weights, false);
         for &d in &dropped {
             prop_assert_eq!(per_owner_sv[d], 0.0, "dropped owner {} must score 0", d);
         }
@@ -563,6 +591,32 @@ proptest! {
             "sharded survivor aggregate must be bit-identical to the two-level plaintext mean"
         );
     }
+}
+
+#[test]
+fn warm_pair_cache_round_digest_matches_cold() {
+    // Batched DH agreements fan out one numeric::par slot per peer, and
+    // the pair-secret cache replays stored secrets instead of
+    // exponentiating. Neither may be visible in consensus: the full round
+    // outcome — per-owner SV, global model, and the contract state digest
+    // — must be bit-identical across thread caps 1/2/auto AND across
+    // cache cold/warm, including through dropout recovery (whose residual
+    // strip runs the batched pair API).
+    let n = 6usize;
+    let m = 2usize;
+    let dropped = [1usize];
+    let weights: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..650)
+                .map(|d| ((i * 650 + d) as f64 * 0.29).sin() * 0.1)
+                .collect()
+        })
+        .collect();
+    assert_schedule_invariant(|| survivor_rounds::run_round(n, m, 1, &dropped, &weights, false));
+    assert_schedule_invariant(|| survivor_rounds::run_round(n, m, 1, &dropped, &weights, true));
+    let cold = survivor_rounds::run_round(n, m, 1, &dropped, &weights, false);
+    let warm = survivor_rounds::run_round(n, m, 1, &dropped, &weights, true);
+    assert_eq!(cold, warm, "cache state must never reach the state digest");
 }
 
 #[test]
