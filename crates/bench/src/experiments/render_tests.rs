@@ -9,6 +9,7 @@ use super::fig1::Fig1Row;
 use super::fig2::Fig2Point;
 use super::table1::Table1Result;
 use super::{ext_adversary, ext_privacy, ext_rounds, ext_throughput, fig1, fig2, table1};
+use fedchain::protocol::StageTimings;
 
 #[test]
 fn fig1_render_shapes() {
@@ -83,12 +84,19 @@ fn table1_render_includes_speedups() {
                 secs: 1.5,
                 utility_evaluations: 8,
                 blocks: 2,
+                stages: StageTimings::default(),
             },
             table1::RecoveryCost {
                 dropped: 3,
                 secs: 1.9,
                 utility_evaluations: 8,
                 blocks: 3,
+                stages: StageTimings {
+                    train_mask: 0.25,
+                    assemble: 0.05,
+                    commit: 0.0,
+                    evaluate: 1.5,
+                },
             },
         ],
         scaling: vec![
@@ -98,6 +106,7 @@ fn table1_render_includes_speedups() {
                 secs: 1.5,
                 utility_evaluations: 8,
                 blocks: 2,
+                stages: StageTimings::default(),
             },
             table1::OwnersScaling {
                 num_owners: 144,
@@ -105,6 +114,12 @@ fn table1_render_includes_speedups() {
                 secs: 6.0,
                 utility_evaluations: 500,
                 blocks: 17,
+                stages: StageTimings {
+                    train_mask: 2.0,
+                    assemble: 0.5,
+                    commit: 1.0,
+                    evaluate: 2.5,
+                },
             },
         ],
         num_owners: 9,
@@ -123,6 +138,10 @@ fn table1_render_includes_speedups() {
     // Owners-scaling columns: sharded round wall-clock + block counts.
     assert!(text.contains("shard n=9 k=1") && text.contains("shard n=144 k=16"));
     assert!(text.contains("17 blk") && text.contains("500"));
+    // Stage breakdown row: train/assemble/commit/evaluate per on-chain
+    // column; estimator-only columns show "-".
+    assert!(text.contains("stages t/a/c/e"));
+    assert!(text.contains("t2.00s a500.0ms c1.00s e2.50s"));
 }
 
 #[test]

@@ -17,7 +17,7 @@ use std::time::Instant;
 use fedchain::config::SvMethod;
 use fedchain::contract_fl::AccuracyUtility;
 use fedchain::ground_truth::RetrainUtility;
-use fedchain::protocol::FlProtocol;
+use fedchain::protocol::{FlProtocol, StageTimings};
 use fedchain::world::World;
 use shapley::estimator::{Exact, Stratified, SvEstimator};
 use shapley::group::{group_shapley, GroupSvConfig};
@@ -43,6 +43,8 @@ pub struct RecoveryCost {
     pub utility_evaluations: usize,
     /// Blocks committed (2 for a full round, 3 with recovery).
     pub blocks: u64,
+    /// Per-stage wall-clock breakdown from the run report.
+    pub stages: StageTimings,
 }
 
 /// One owners-scaling measurement: wall-clock of a full on-chain round
@@ -60,6 +62,8 @@ pub struct OwnersScaling {
     pub utility_evaluations: usize,
     /// Blocks committed (2 flat; 1 + k sharded).
     pub blocks: u64,
+    /// Per-stage wall-clock breakdown from the run report.
+    pub stages: StageTimings,
 }
 
 /// Timing results.
@@ -157,6 +161,7 @@ pub fn run(scale: Scale) -> Table1Result {
             secs: start.elapsed().as_secs_f64(),
             utility_evaluations: report.round_records[0].utility_evaluations,
             blocks: report.blocks,
+            stages: report.stages,
         });
     }
 
@@ -185,6 +190,7 @@ pub fn run(scale: Scale) -> Table1Result {
             secs: start.elapsed().as_secs_f64(),
             utility_evaluations: report.round_records[0].utility_evaluations,
             blocks: report.blocks,
+            stages: report.stages,
         });
     }
 
@@ -269,5 +275,25 @@ pub fn render(result: &Table1Result) -> Table {
             .map(|s| format!("{}", s.utility_evaluations)),
     );
     table.push_row(evals);
+
+    // Pipeline-stage breakdown (train+mask / assemble / commit /
+    // evaluate) for the columns that drive a full on-chain round; the
+    // standalone-estimator columns have no stages.
+    let stage_cell = |s: &StageTimings| {
+        format!(
+            "t{} a{} c{} e{}",
+            secs(s.train_mask),
+            secs(s.assemble),
+            secs(s.commit),
+            secs(s.evaluate)
+        )
+    };
+    let mut stages = vec!["stages t/a/c/e".to_owned()];
+    stages.extend(result.group_sv.iter().map(|_| "-".to_owned()));
+    stages.push("-".to_owned());
+    stages.push("-".to_owned());
+    stages.extend(result.recovery.iter().map(|r| stage_cell(&r.stages)));
+    stages.extend(result.scaling.iter().map(|s| stage_cell(&s.stages)));
+    table.push_row(stages);
     table
 }

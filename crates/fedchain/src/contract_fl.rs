@@ -1710,6 +1710,12 @@ impl FlContract {
     /// [`CachedUtility`] — each distinct coalition model pays for one
     /// accuracy pass, with bit-identical values. The exact path visits
     /// each coalition exactly once and skips the cache.
+    ///
+    /// The cache's hit/miss counters are copied into the estimate's
+    /// diagnostics afterwards so the streaming-evaluation behaviour is
+    /// auditable; they stay out of [`RoundRecord`] and every consensus
+    /// digest because the counters are scheduling observability, not
+    /// protocol state.
     fn dispatch_estimator(
         method: SvMethod,
         seed: u64,
@@ -1717,23 +1723,37 @@ impl FlContract {
     ) -> SvEstimate {
         match method {
             SvMethod::GroupExact => Exact.estimate(game),
-            SvMethod::MonteCarlo { permutations } => MonteCarlo {
-                config: McConfig {
-                    permutations: permutations as usize,
-                    seed,
-                    truncation_tolerance: None,
-                },
+            SvMethod::MonteCarlo { permutations } => {
+                let cached = CachedUtility::new(game);
+                let mut estimate = MonteCarlo {
+                    config: McConfig {
+                        permutations: permutations as usize,
+                        seed,
+                        truncation_tolerance: None,
+                    },
+                }
+                .estimate(&cached);
+                let stats = cached.stats();
+                estimate.diagnostics.cache_hits = stats.hits;
+                estimate.diagnostics.cache_misses = stats.misses;
+                estimate
             }
-            .estimate(&CachedUtility::new(game)),
             SvMethod::Stratified {
                 samples_per_stratum,
-            } => Stratified {
-                config: StratifiedConfig {
-                    samples_per_stratum: samples_per_stratum as usize,
-                    seed,
-                },
+            } => {
+                let cached = CachedUtility::new(game);
+                let mut estimate = Stratified {
+                    config: StratifiedConfig {
+                        samples_per_stratum: samples_per_stratum as usize,
+                        seed,
+                    },
+                }
+                .estimate(&cached);
+                let stats = cached.stats();
+                estimate.diagnostics.cache_hits = stats.hits;
+                estimate.diagnostics.cache_misses = stats.misses;
+                estimate
             }
-            .estimate(&CachedUtility::new(game)),
         }
     }
 }

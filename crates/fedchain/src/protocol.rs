@@ -30,9 +30,48 @@
 //! After `R` rounds the contract holds each owner's cumulative
 //! contribution `v_i = Σ_r v_i^r` (dropped owners earn exactly zero for
 //! their missed rounds) and the final global model `W_G`.
+//!
+//! # Pipeline contract
+//!
+//! [`FlProtocol::run`] executes the round loop as a two-stage software
+//! pipeline on [`par::par_overlap`]: while round `r`'s on-chain tail
+//! (block commit, SV evaluation, dropout recovery) executes, round
+//! `r+1`'s off-chain half (local training, masking, transaction
+//! assembly) runs concurrently. Overlap cannot change a state root
+//! because every cross-stage input is digest-fixed before the stage
+//! that consumes it starts:
+//!
+//! * **Keys and the pair-secret epoch** are fixed by the phase-0 setup
+//!   block and never change afterwards (`KeyAlreadyAdvertised` rejects
+//!   re-advertising), so the snapshot taken once at run start is
+//!   byte-identical to what any round would read from the live
+//!   contract.
+//! * **The next global model** is fixed at round `r`'s *aggregation*
+//!   point — before SV evaluation even begins. Pairwise masks cancel
+//!   exactly in the u64 ring, so the off-chain stage predicts the
+//!   committed model bit-identically from the plaintext encodings it
+//!   already holds: per group, `decode_avg(Σ_ring encode(update_i))`
+//!   over the group's survivors, then the same surviving-mean
+//!   reductions the contract applies (flat, or per-cohort then across
+//!   alive cohorts when sharded). Round `r+1` trains against that
+//!   prediction; after round `r` commits, the driver compares the
+//!   prediction against the live contract **bit for bit** and fails
+//!   with [`ProtocolError::PipelineDivergence`] on any mismatch. The
+//!   check runs in sequential mode too, so the predictor is pinned by
+//!   every test that drives the protocol.
+//! * **Nonces and block order** are consensus-visible, so they are
+//!   assigned only in the on-chain stage (which owns the mempool); the
+//!   off-chain stage emits nonce-free `(sender, call)` pairs.
+//!
+//! [`FlProtocol::run_sequential`] drives the same two halves strictly
+//! in order — the seed's original loop — and must produce a
+//! bit-identical chain; the `par_determinism` suite pins pipelined ≡
+//! sequential across thread caps, dropout schedules, and cohort
+//! counts.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use fl_chain::consensus::engine::{
     CommitReport, ConsensusEngine, EngineConfig, EngineError, MinerBehavior,
@@ -46,7 +85,7 @@ use fl_chain::tx::{AccountId, Transaction};
 use fl_crypto::shamir::{Shamir, Share};
 use fl_crypto::ChaChaPrg;
 use fl_ml::dataset::Dataset;
-use numeric::{par, U256};
+use numeric::{par, FixedCodec, U256};
 use shapley::group::{grouping, permutation};
 
 use crate::adversary::AdversaryKind;
@@ -77,6 +116,20 @@ pub enum ProtocolError {
     /// an injected crash). The in-memory run is intact; persistence is
     /// not.
     Durability(DurabilityError),
+    /// An owner has no DH public key on-chain: the round machinery ran
+    /// before the phase-0 setup block (a mis-sequenced caller).
+    MissingAdvertisedKey {
+        /// The owner whose key is missing.
+        owner: AccountId,
+    },
+    /// The off-chain stage's predicted global model does not match the
+    /// model the contract committed — the pipeline handoff invariant
+    /// (see the module docs) was violated. This signals a bug in either
+    /// half, never a recoverable runtime condition.
+    PipelineDivergence {
+        /// The round whose committed model diverged from the prediction.
+        round: u64,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -88,6 +141,16 @@ impl std::fmt::Display for ProtocolError {
             Self::Dropout(e) => write!(f, "dropout recovery: {e}"),
             Self::Admission(e) => write!(f, "batch admission: {e}"),
             Self::Durability(e) => write!(f, "durable store: {e}"),
+            Self::MissingAdvertisedKey { owner } => {
+                write!(
+                    f,
+                    "owner {owner} has no advertised key (phase 0 incomplete)"
+                )
+            }
+            Self::PipelineDivergence { round } => write!(
+                f,
+                "round {round}: predicted global model diverged from the committed model"
+            ),
         }
     }
 }
@@ -124,6 +187,43 @@ impl From<DurabilityError> for ProtocolError {
     }
 }
 
+/// Wall-clock seconds spent in each pipeline stage, accumulated over
+/// the whole run.
+///
+/// Observability only — never consensus state. In pipelined mode the
+/// stage sums can exceed the run's wall clock because the off-chain
+/// stage (`train_mask` + `assemble`) overlaps the on-chain stage
+/// (`commit` + `evaluate`); the gap between `Σ stages` and
+/// [`FlRunReport::wall_seconds`] is exactly the overlap won.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Local training plus mask generation (off-chain, per owner).
+    pub train_mask: f64,
+    /// Transaction assembly and next-model prediction (off-chain).
+    pub assemble: f64,
+    /// Committing submission-only cohort bundles (on-chain; zero for
+    /// flat rounds, whose single block lands under `evaluate`).
+    pub commit: f64,
+    /// Committing the `EvaluateRound`-bearing bundle(s): SV evaluation
+    /// plus, on churned rounds, the recovery block.
+    pub evaluate: f64,
+}
+
+impl StageTimings {
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.train_mask += other.train_mask;
+        self.assemble += other.assemble;
+        self.commit += other.commit;
+        self.evaluate += other.evaluate;
+    }
+
+    /// Sum over all stages — what a fully sequential run would cost.
+    pub fn total(&self) -> f64 {
+        self.train_mask + self.assemble + self.commit + self.evaluate
+    }
+}
+
 /// Summary of a full protocol run.
 #[derive(Debug, Clone)]
 pub struct FlRunReport {
@@ -141,6 +241,501 @@ pub struct FlRunReport {
     pub total_gas: Gas,
     /// Commit reports per block, for deeper inspection.
     pub commits: Vec<CommitReport>,
+    /// Per-stage wall-clock breakdown (see [`StageTimings`]).
+    pub stages: StageTimings,
+    /// End-to-end wall clock of the run, including setup.
+    pub wall_seconds: f64,
+}
+
+/// Next nonce for `sender`: the pool's expectation plus however many
+/// transactions the batch under construction already stages for it.
+fn staged_nonce(
+    pool: &Mempool<FlCall>,
+    staged: &mut BTreeMap<AccountId, u64>,
+    sender: AccountId,
+) -> u64 {
+    let count = staged.entry(sender).or_insert(0);
+    let nonce = pool.expected_nonce(sender) + *count;
+    *count += 1;
+    nonce
+}
+
+/// One round's fully prepared off-chain work: everything `commit_round`
+/// needs, with no nonces assigned (nonces are consensus-visible and
+/// belong to the on-chain stage).
+struct PreparedRound {
+    round: u64,
+    /// Round-block calls in assembly order (submissions per cohort,
+    /// then the `EvaluateRound` trigger).
+    calls: Vec<(AccountId, FlCall)>,
+    /// Transactions per cohort bundle; `calls.len()` in total.
+    bundle_sizes: Vec<usize>,
+    /// Recovery-block calls (shares + closing `EvaluateRound`); empty
+    /// when the round schedules no dropouts.
+    recovery_calls: Vec<(AccountId, FlCall)>,
+    /// The global model the contract will hold once this round commits
+    /// — the pipeline handoff (see the module docs).
+    predicted_model: Vec<f64>,
+    /// Wall-clock seconds spent training + masking.
+    train_mask_secs: f64,
+    /// Wall-clock seconds spent assembling calls and predicting.
+    assemble_secs: f64,
+}
+
+/// The off-chain half of the round pipeline: owners, their escrow
+/// shares, and the phase-0 key snapshot. Borrows are disjoint from
+/// `OnChainStage` so the two halves can run concurrently.
+struct OffChainStage<'a> {
+    config: &'a FlConfig,
+    owners: &'a mut Vec<DataOwner>,
+    escrows: &'a [Vec<Share>],
+    /// Advertised DH public keys, indexed by owner position (fixed at
+    /// phase 0).
+    keys: &'a [U256],
+    /// Pair-secret cache epoch: digest of the full advertised key set,
+    /// stable across rounds.
+    epoch: [u8; 32],
+}
+
+impl OffChainStage<'_> {
+    /// Prepares one round entirely off-chain: local training against
+    /// `global_model`, masking, call assembly, and the next-model
+    /// prediction. Touches neither the mempool nor the engine.
+    fn prepare_round(
+        &mut self,
+        round: u64,
+        global_model: &[f64],
+    ) -> Result<PreparedRound, ProtocolError> {
+        let n = self.owners.len();
+        let k = self.config.num_cohorts;
+        let dropped = self.config.dropped_in_round(round);
+        let is_dropped = |idx: usize| dropped.binary_search(&idx).is_ok();
+
+        // Public grouping for the round (identical to the contract's):
+        // flat rounds are the one-cohort special case, so the secure-agg
+        // directories below are cohort-scoped in both paths.
+        let cohort_groups: Vec<Vec<Vec<usize>>> = if k > 1 {
+            sharded_round_groups(
+                self.config.permutation_seed,
+                round,
+                n,
+                k,
+                self.config.num_groups,
+            )
+            .1
+        } else {
+            vec![grouping(
+                &permutation(self.config.permutation_seed, round, n),
+                self.config.num_groups,
+            )]
+        };
+        let groups: Vec<Vec<usize>> = cohort_groups.iter().flatten().cloned().collect();
+
+        // Every owner reads its group's keys from the phase-0 snapshot.
+        let group_directories: Vec<Vec<(AccountId, U256)>> = groups
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|&idx| (idx as u32, self.keys[idx]))
+                    .collect()
+            })
+            .collect();
+
+        let mut group_of = vec![0usize; n];
+        for (j, group) in groups.iter().enumerate() {
+            for &idx in group {
+                group_of[idx] = j;
+            }
+        }
+
+        let codec = FixedCodec::new(self.config.frac_bits);
+        let num_features = self.config.data.features;
+        let num_classes = self.config.data.classes;
+        let epoch = self.epoch;
+
+        // Local training + masking, off-chain per owner. In deployment
+        // every owner computes on its own machine simultaneously; here the
+        // owners fan out across cores. Each owner's update depends only on
+        // its own shard, RNG, and the (shared, read-only) global model, so
+        // the updates are bit-identical to a sequential pass. Owners
+        // scheduled to drop vanish before producing anything visible. The
+        // plaintext ring encoding rides along for the handoff prediction.
+        let train_start = Instant::now();
+        type MaskedAndPlain = (Vec<u64>, Vec<u64>);
+        let outputs: Vec<Option<Result<MaskedAndPlain, fl_crypto::secure_agg::SecureAggError>>> =
+            par::par_map_mut(&mut *self.owners, 1, |idx, owner| {
+                if is_dropped(idx) {
+                    return None;
+                }
+                let update = owner.local_update(global_model, num_features, num_classes);
+                let plain = codec.encode_vec(&update);
+                Some(
+                    owner
+                        .mask_update_cached(
+                            &update,
+                            round,
+                            &group_directories[group_of[idx]],
+                            epoch,
+                        )
+                        .map(|masked| (masked, plain)),
+                )
+            });
+        let train_mask_secs = train_start.elapsed().as_secs_f64();
+
+        let assemble_start = Instant::now();
+        let encoded: Vec<Option<MaskedAndPlain>> = outputs
+            .into_iter()
+            .map(|r| r.transpose())
+            .collect::<Result<_, _>>()?;
+        let mut masked: Vec<Option<Vec<u64>>> = Vec::with_capacity(n);
+        let mut plain: Vec<Option<Vec<u64>>> = Vec::with_capacity(n);
+        for entry in encoded {
+            match entry {
+                Some((m, p)) => {
+                    masked.push(Some(m));
+                    plain.push(Some(p));
+                }
+                None => {
+                    masked.push(None);
+                    plain.push(None);
+                }
+            }
+        }
+
+        // Call assembly order is consensus-visible (it becomes nonce and
+        // block order); bundle boundaries follow the cohort plan — one
+        // bundle per cohort, in plan order.
+        let mut calls: Vec<(AccountId, FlCall)> = Vec::with_capacity(n + 1);
+        let mut bundle_sizes: Vec<usize> = Vec::with_capacity(cohort_groups.len());
+        for cohort in &cohort_groups {
+            let before = calls.len();
+            for group in cohort {
+                for &idx in group {
+                    if is_dropped(idx) {
+                        continue;
+                    }
+                    let m = masked[idx]
+                        .take()
+                        .expect("each survivor produces exactly one update");
+                    calls.push((
+                        self.owners[idx].id(),
+                        FlCall::SubmitMaskedUpdate { round, masked: m },
+                    ));
+                }
+            }
+            bundle_sizes.push(calls.len() - before);
+        }
+
+        // Anyone alive may trigger evaluation; the first survivor does.
+        // With owners missing this transaction opens recovery instead of
+        // evaluating — same call, driven by the contract's state machine.
+        // It rides in the final cohort's bundle: every earlier cohort's
+        // submissions are then already-committed blocks.
+        let survivors: Vec<usize> = (0..n).filter(|&idx| !is_dropped(idx)).collect();
+        let trigger = self.owners[*survivors.first().expect("validated: survivors exist")].id();
+        calls.push((trigger, FlCall::EvaluateRound { round }));
+        *bundle_sizes.last_mut().expect("at least one cohort") += 1;
+
+        // Handoff prediction: mirror the contract's aggregation bit-path
+        // from the plaintext encodings. Masks cancel exactly in the u64
+        // ring, so per group the masked-sum-then-strip the contract runs
+        // equals this plaintext ring sum; the survivor-mean reductions
+        // are then applied in the contract's exact order.
+        let dim = (num_features + 1) * num_classes;
+        let mut group_models: Vec<Option<Vec<f64>>> = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let alive: Vec<usize> = group.iter().copied().filter(|&i| !is_dropped(i)).collect();
+            if alive.is_empty() {
+                group_models.push(None);
+                continue;
+            }
+            let mut acc = vec![0u64; dim];
+            for &i in &alive {
+                FixedCodec::ring_add_assign(&mut acc, plain[i].as_ref().expect("survivor encoded"));
+            }
+            group_models.push(Some(
+                acc.iter()
+                    .map(|&r| codec.decode_avg(r, alive.len()))
+                    .collect(),
+            ));
+        }
+        let predicted_model = if k > 1 {
+            let mut cohort_models: Vec<Vec<f64>> = Vec::new();
+            let mut g = 0usize;
+            for cohort in &cohort_groups {
+                let mut surviving: Vec<Vec<f64>> = Vec::new();
+                for _ in cohort {
+                    if let Some(model) = group_models[g].take() {
+                        surviving.push(model);
+                    }
+                    g += 1;
+                }
+                if !surviving.is_empty() {
+                    cohort_models.push(numeric::linalg::mean_vectors(&surviving));
+                }
+            }
+            numeric::linalg::mean_vectors(&cohort_models)
+        } else {
+            let surviving: Vec<Vec<f64>> = group_models.into_iter().flatten().collect();
+            numeric::linalg::mean_vectors(&surviving)
+        };
+
+        // Recovery block (assembled here, committed only after the main
+        // block): threshold-many survivors reveal their escrowed shares
+        // for every dropped owner, then the closing EvaluateRound
+        // reconstructs the keys, strips the residual masks, and
+        // evaluates on the survivors.
+        let recovery_calls: Vec<(AccountId, FlCall)> = if dropped.is_empty() {
+            Vec::new()
+        } else {
+            let threshold = self.config.escrow_threshold();
+            let mut recovery = Vec::with_capacity(dropped.len() * threshold + 1);
+            for &d in &dropped {
+                let dropped_id = self.owners[d].id();
+                for &provider in survivors.iter().take(threshold) {
+                    let share = &self.escrows[d][provider];
+                    recovery.push((
+                        self.owners[provider].id(),
+                        FlCall::SubmitRecoveryShare {
+                            round,
+                            dropped: dropped_id,
+                            share_x: share.x,
+                            share_y: share.y.to_be_bytes(),
+                        },
+                    ));
+                }
+            }
+            recovery.push((trigger, FlCall::EvaluateRound { round }));
+            recovery
+        };
+        let assemble_secs = assemble_start.elapsed().as_secs_f64();
+
+        Ok(PreparedRound {
+            round,
+            calls,
+            bundle_sizes,
+            recovery_calls,
+            predicted_model,
+            train_mask_secs,
+            assemble_secs,
+        })
+    }
+}
+
+/// The on-chain half of the round pipeline: mempool, consensus engine,
+/// and the optional durable store.
+struct OnChainStage<'a> {
+    engine: &'a mut ConsensusEngine<FlContract>,
+    pool: &'a mut Mempool<FlCall>,
+    durable: &'a mut Option<DurableStore<FlCall>>,
+}
+
+impl OnChainStage<'_> {
+    /// Tails the honest replica's chain into the durable store: appends
+    /// every block beyond the durable height, then snapshots the
+    /// contract state if the cadence says so.
+    fn sync_durable(&mut self) -> Result<(), ProtocolError> {
+        let Some(durable) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let live = self
+            .engine
+            .store_of(0)
+            .expect("miner 0 always exists")
+            .clone();
+        for height in durable.store().height()..live.height() {
+            let block = live.block_at(height).expect("height bounded by store");
+            durable.append(block)?;
+        }
+        if durable.snapshot_due() {
+            let state = self.engine.honest_contract().snapshot_state();
+            durable.write_snapshot(&state)?;
+        }
+        Ok(())
+    }
+
+    /// Admits `txs` in one batched pass, drains *everything pending* as a
+    /// sealed bundle, and commits it. The two error paths scope their
+    /// rollback differently, on purpose: an admission failure un-admits
+    /// only this batch (transactions queued earlier were not part of the
+    /// failure and stay pending), while a consensus failure releases the
+    /// whole bundle — earlier-queued transactions included, because they
+    /// were part of the failed block — so every affected sender's nonce
+    /// counter rewinds and resubmission is possible.
+    fn commit_batch(
+        &mut self,
+        txs: Vec<Transaction<FlCall>>,
+    ) -> Result<CommitReport, ProtocolError> {
+        let admission = self.pool.submit_batch(txs);
+        if !admission.all_admitted() {
+            // Never commit a truncated round block (e.g. one missing an
+            // owner's update or the evaluation trigger): un-admit this
+            // batch — transactions queued before it stay pending — and
+            // surface the first rejection.
+            self.pool.rollback_admitted(admission.admitted);
+            let (_, reason) = admission
+                .rejected
+                .into_iter()
+                .next()
+                .expect("not all_admitted implies a rejection");
+            return Err(ProtocolError::Admission(reason));
+        }
+        let bundle = self.pool.drain_bundle(usize::MAX);
+        match self.engine.commit_bundle(&bundle) {
+            Ok(report) => {
+                // Persist the freshly committed block(s) before reporting
+                // success: a crash after this point replays them from disk.
+                self.sync_durable()?;
+                Ok(report)
+            }
+            Err(e) => {
+                // Dropping release()'s evicted orphans is deliberate:
+                // the rollback makes any still-queued transactions above
+                // the rewind point unexecutable, and their senders
+                // resubmit from the rewound nonce.
+                self.pool.release(bundle.txs());
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Admits `txs` in one batched pass and commits them as a *stream*
+    /// of consecutive blocks, one per entry of `sizes` — the sharded
+    /// round's per-cohort bundles. The submission-only prefix is timed
+    /// under `commit`, the final (`EvaluateRound`-bearing) bundle under
+    /// `evaluate`.
+    ///
+    /// The per-bundle atomic-commit invariant carries over from
+    /// [`ConsensusEngine::commit_bundles`]: a consensus failure at
+    /// bundle `i` keeps the committed prefix (those blocks reached
+    /// quorum on every replica) and releases only the unfinished
+    /// suffix back to the pool, rewinding the affected senders'
+    /// nonces for resubmission.
+    fn commit_stream_timed(
+        &mut self,
+        txs: Vec<Transaction<FlCall>>,
+        sizes: &[usize],
+        timings: &mut StageTimings,
+    ) -> Result<Vec<CommitReport>, ProtocolError> {
+        debug_assert_eq!(txs.len(), sizes.iter().sum::<usize>());
+        let admission = self.pool.submit_batch(txs);
+        if !admission.all_admitted() {
+            self.pool.rollback_admitted(admission.admitted);
+            let (_, reason) = admission
+                .rejected
+                .into_iter()
+                .next()
+                .expect("not all_admitted implies a rejection");
+            return Err(ProtocolError::Admission(reason));
+        }
+        let bundles = self.pool.drain_bundles(sizes);
+        let split = bundles.len() - 1;
+        let release_from = |pool: &mut Mempool<FlCall>, from: usize| {
+            let unfinished: Vec<Transaction<FlCall>> = bundles[from..]
+                .iter()
+                .flat_map(|b| b.txs().iter().cloned())
+                .collect();
+            pool.release(&unfinished);
+        };
+        let commit_start = Instant::now();
+        let mut reports = match self.engine.commit_bundles(&bundles[..split]) {
+            Ok(reports) => reports,
+            Err((_, failed_at, e)) => {
+                release_from(self.pool, failed_at);
+                // Persist the committed prefix before surfacing the
+                // failure, so a crash-restart replays exactly the
+                // blocks every replica agrees on.
+                self.sync_durable()?;
+                return Err(e.into());
+            }
+        };
+        timings.commit += commit_start.elapsed().as_secs_f64();
+        let evaluate_start = Instant::now();
+        match self.engine.commit_bundles(&bundles[split..]) {
+            Ok(mut tail) => {
+                reports.append(&mut tail);
+                self.sync_durable()?;
+                timings.evaluate += evaluate_start.elapsed().as_secs_f64();
+                Ok(reports)
+            }
+            Err((_, _, e)) => {
+                release_from(self.pool, split);
+                self.sync_durable()?;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Commits one prepared round: assigns nonces, streams the cohort
+    /// bundles (flat rounds commit one block), commits the recovery
+    /// block on churned rounds, and verifies the pipeline handoff —
+    /// the committed global model must equal the prediction bit for
+    /// bit.
+    fn commit_round(
+        &mut self,
+        prepared: PreparedRound,
+    ) -> Result<(Vec<CommitReport>, StageTimings), ProtocolError> {
+        let PreparedRound {
+            round,
+            calls,
+            bundle_sizes,
+            recovery_calls,
+            predicted_model,
+            ..
+        } = prepared;
+        let mut timings = StageTimings::default();
+
+        let mut staged = BTreeMap::new();
+        let txs: Vec<Transaction<FlCall>> = calls
+            .into_iter()
+            .map(|(id, call)| {
+                let nonce = staged_nonce(self.pool, &mut staged, id);
+                Transaction::new(id, nonce, call)
+            })
+            .collect();
+
+        let mut commits = if bundle_sizes.len() > 1 {
+            self.commit_stream_timed(txs, &bundle_sizes, &mut timings)?
+        } else {
+            // One flat block carries both the submissions and the
+            // evaluation; SV evaluation dominates it, so it lands under
+            // `evaluate`.
+            let start = Instant::now();
+            let report = self.commit_batch(txs)?;
+            timings.evaluate += start.elapsed().as_secs_f64();
+            vec![report]
+        };
+
+        if !recovery_calls.is_empty() {
+            let mut staged = BTreeMap::new();
+            let txs: Vec<Transaction<FlCall>> = recovery_calls
+                .into_iter()
+                .map(|(id, call)| {
+                    let nonce = staged_nonce(self.pool, &mut staged, id);
+                    Transaction::new(id, nonce, call)
+                })
+                .collect();
+            let start = Instant::now();
+            commits.push(self.commit_batch(txs)?);
+            timings.evaluate += start.elapsed().as_secs_f64();
+        }
+
+        // Pipeline handoff check (module docs): round r+1 may already be
+        // training against `predicted_model` on the other stage, so any
+        // divergence here is a protocol bug that must halt the run, not
+        // skew it silently.
+        let live = self.engine.honest_contract().global_model();
+        let agrees = live.len() == predicted_model.len()
+            && live
+                .iter()
+                .zip(&predicted_model)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !agrees {
+            return Err(ProtocolError::PipelineDivergence { round });
+        }
+        Ok((commits, timings))
+    }
 }
 
 /// The protocol driver.
@@ -271,6 +866,16 @@ impl FlProtocol {
         })
     }
 
+    /// The on-chain half of the pipeline, borrowing the engine, pool,
+    /// and durable store (disjoint from the off-chain borrows).
+    fn on_chain(&mut self) -> OnChainStage<'_> {
+        OnChainStage {
+            engine: &mut self.engine,
+            pool: &mut self.pool,
+            durable: &mut self.durable,
+        }
+    }
+
     /// Attaches a durable store at `dir`: from now on, every committed
     /// block is write-ahead logged to disk (and snapshotted at the
     /// configured cadence) as it lands on the honest replica — blocks
@@ -289,36 +894,13 @@ impl FlProtocol {
     ) -> Result<RecoveryReport, ProtocolError> {
         let (durable, report) = DurableStore::open(dir, config)?;
         self.durable = Some(durable);
-        self.sync_durable()?;
+        self.on_chain().sync_durable()?;
         Ok(report)
     }
 
     /// The attached durable store, if any.
     pub fn durable_store(&self) -> Option<&DurableStore<FlCall>> {
         self.durable.as_ref()
-    }
-
-    /// Tails the honest replica's chain into the durable store: appends
-    /// every block beyond the durable height, then snapshots the
-    /// contract state if the cadence says so.
-    fn sync_durable(&mut self) -> Result<(), ProtocolError> {
-        let Some(durable) = self.durable.as_mut() else {
-            return Ok(());
-        };
-        let live = self
-            .engine
-            .store_of(0)
-            .expect("miner 0 always exists")
-            .clone();
-        for height in durable.store().height()..live.height() {
-            let block = live.block_at(height).expect("height bounded by store");
-            durable.append(block)?;
-        }
-        if durable.snapshot_due() {
-            let state = self.engine.honest_contract().snapshot_state();
-            durable.write_snapshot(&state)?;
-        }
-        Ok(())
     }
 
     /// Installs an adversarial behaviour on one owner (by position).
@@ -356,107 +938,6 @@ impl FlProtocol {
         &self.pool
     }
 
-    /// Next nonce for `sender`: the pool's expectation plus however many
-    /// transactions the batch under construction already stages for it.
-    fn staged_nonce(&self, staged: &mut BTreeMap<AccountId, u64>, sender: AccountId) -> u64 {
-        let count = staged.entry(sender).or_insert(0);
-        let nonce = self.pool.expected_nonce(sender) + *count;
-        *count += 1;
-        nonce
-    }
-
-    /// Admits `txs` in one batched pass, drains *everything pending* as a
-    /// sealed bundle, and commits it. The two error paths scope their
-    /// rollback differently, on purpose: an admission failure un-admits
-    /// only this batch (transactions queued earlier were not part of the
-    /// failure and stay pending), while a consensus failure releases the
-    /// whole bundle — earlier-queued transactions included, because they
-    /// were part of the failed block — so every affected sender's nonce
-    /// counter rewinds and resubmission is possible.
-    fn commit_batch(
-        &mut self,
-        txs: Vec<Transaction<FlCall>>,
-    ) -> Result<CommitReport, ProtocolError> {
-        let admission = self.pool.submit_batch(txs);
-        if !admission.all_admitted() {
-            // Never commit a truncated round block (e.g. one missing an
-            // owner's update or the evaluation trigger): un-admit this
-            // batch — transactions queued before it stay pending — and
-            // surface the first rejection.
-            self.pool.rollback_admitted(admission.admitted);
-            let (_, reason) = admission
-                .rejected
-                .into_iter()
-                .next()
-                .expect("not all_admitted implies a rejection");
-            return Err(ProtocolError::Admission(reason));
-        }
-        let bundle = self.pool.drain_bundle(usize::MAX);
-        match self.engine.commit_bundle(&bundle) {
-            Ok(report) => {
-                // Persist the freshly committed block(s) before reporting
-                // success: a crash after this point replays them from disk.
-                self.sync_durable()?;
-                Ok(report)
-            }
-            Err(e) => {
-                // Dropping release()'s evicted orphans is deliberate:
-                // the rollback makes any still-queued transactions above
-                // the rewind point unexecutable, and their senders
-                // resubmit from the rewound nonce.
-                self.pool.release(bundle.txs());
-                Err(e.into())
-            }
-        }
-    }
-
-    /// Admits `txs` in one batched pass and commits them as a *stream*
-    /// of consecutive blocks, one per entry of `sizes` — the sharded
-    /// round's per-cohort bundles.
-    ///
-    /// The per-bundle atomic-commit invariant carries over from
-    /// [`ConsensusEngine::commit_bundles`]: a consensus failure at
-    /// bundle `i` keeps the committed prefix (those blocks reached
-    /// quorum on every replica) and releases only the unfinished
-    /// suffix back to the pool, rewinding the affected senders'
-    /// nonces for resubmission.
-    fn commit_stream(
-        &mut self,
-        txs: Vec<Transaction<FlCall>>,
-        sizes: &[usize],
-    ) -> Result<Vec<CommitReport>, ProtocolError> {
-        debug_assert_eq!(txs.len(), sizes.iter().sum::<usize>());
-        let admission = self.pool.submit_batch(txs);
-        if !admission.all_admitted() {
-            self.pool.rollback_admitted(admission.admitted);
-            let (_, reason) = admission
-                .rejected
-                .into_iter()
-                .next()
-                .expect("not all_admitted implies a rejection");
-            return Err(ProtocolError::Admission(reason));
-        }
-        let bundles = self.pool.drain_bundles(sizes);
-        match self.engine.commit_bundles(&bundles) {
-            Ok(reports) => {
-                self.sync_durable()?;
-                Ok(reports)
-            }
-            Err((_, failed_at, e)) => {
-                let unfinished: Vec<Transaction<FlCall>> = bundles[failed_at..]
-                    .iter()
-                    .flat_map(|b| b.txs().iter().cloned())
-                    .collect();
-                self.pool.release(&unfinished);
-                // Persist the committed prefix before surfacing the
-                // failure, so a crash-restart replays exactly the
-                // blocks every replica agrees on.
-                self.sync_durable()?;
-                Err(e.into())
-            }
-        }
-    }
-
     /// Commits the setup block (phase 0): every owner advertises its DH
     /// public key and escrows hash commitments to the Shamir shares of
     /// its private key — the on-chain half of the dropout extension.
@@ -466,7 +947,7 @@ impl FlProtocol {
         let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(2 * n);
         for i in 0..n {
             let id = self.owners[i].id();
-            let nonce = self.staged_nonce(&mut staged, id);
+            let nonce = staged_nonce(&self.pool, &mut staged, id);
             txs.push(Transaction::new(
                 id,
                 nonce,
@@ -483,201 +964,57 @@ impl FlProtocol {
                 .iter()
                 .map(|share| share_commitment(id, share))
                 .collect();
-            let nonce = self.staged_nonce(&mut staged, id);
+            let nonce = staged_nonce(&self.pool, &mut staged, id);
             txs.push(Transaction::new(
                 id,
                 nonce,
                 FlCall::EscrowKeyShares { commitments },
             ));
         }
-        self.commit_batch(txs)
+        self.on_chain().commit_batch(txs)
     }
 
-    /// Runs one federated round: local training, masking, submission,
-    /// evaluation. A flat full round commits one block; a round whose
-    /// dropout schedule withholds owners commits one more — the
-    /// recovery block (shares + the closing `EvaluateRound`). A
-    /// cohort-sharded round (`num_cohorts > 1`) streams **one block
-    /// per cohort** through the mempool instead of one mega-block;
-    /// the `EvaluateRound` trigger rides in the last cohort's bundle.
-    fn run_round(&mut self, round: u64) -> Result<Vec<CommitReport>, ProtocolError> {
-        let n = self.owners.len();
-        let k = self.config.num_cohorts;
-        let dropped = self.config.dropped_in_round(round);
-        let is_dropped = |idx: usize| dropped.binary_search(&idx).is_ok();
+    /// Snapshots the phase-0 key directory: every owner's advertised DH
+    /// public key plus the pair-secret epoch digest over the full set.
+    /// Keys never change after phase 0, so the snapshot equals what any
+    /// round would read from the live contract.
+    fn snapshot_keys(&self) -> Result<(Vec<U256>, [u8; 32]), ProtocolError> {
         let contract = self.engine.honest_contract();
-        let global_model = contract.global_model().to_vec();
-        let num_features = contract.params().num_features;
-        let num_classes = contract.params().num_classes;
-
-        // Public grouping for the round (identical to the contract's):
-        // flat rounds are the one-cohort special case, so the secure-agg
-        // directories below are cohort-scoped in both paths.
-        let cohort_groups: Vec<Vec<Vec<usize>>> = if k > 1 {
-            sharded_round_groups(
-                self.config.permutation_seed,
-                round,
-                n,
-                k,
-                self.config.num_groups,
-            )
-            .1
-        } else {
-            vec![grouping(
-                &permutation(self.config.permutation_seed, round, n),
-                self.config.num_groups,
-            )]
-        };
-        let groups: Vec<Vec<usize>> = cohort_groups.iter().flatten().cloned().collect();
-
-        // Every owner reads its group's keys from the chain.
-        let key_of = |idx: usize, contract: &FlContract| -> U256 {
-            let id = idx as u32;
+        let mut keys = Vec::with_capacity(self.owners.len());
+        let mut directory: Vec<(AccountId, U256)> = Vec::with_capacity(self.owners.len());
+        for owner in &self.owners {
+            let id = owner.id();
             let bytes = contract
                 .public_key_of(id)
-                .expect("keys advertised in phase 0");
-            U256::from_be_bytes(bytes)
-        };
-        let mut group_directories: Vec<Vec<(AccountId, U256)>> = Vec::new();
-        for group in &groups {
-            group_directories.push(
-                group
-                    .iter()
-                    .map(|&idx| (idx as u32, key_of(idx, contract)))
-                    .collect(),
-            );
+                .ok_or(ProtocolError::MissingAdvertisedKey { owner: id })?;
+            let key = U256::from_be_bytes(bytes);
+            keys.push(key);
+            directory.push((id, key));
         }
-
-        // Pair-secret cache epoch: a digest of the *full* advertised key
-        // set (not the per-round group directories, which permute every
-        // round). Keys are advertised once in phase 0, so the epoch is
-        // stable across rounds and each owner's DH agreements run once
-        // per run instead of once per round.
-        let all_keys: Vec<(AccountId, U256)> = (0..n)
-            .map(|idx| (idx as u32, key_of(idx, contract)))
-            .collect();
-        let epoch = fl_crypto::key_epoch(&all_keys);
-
-        // Local training + masking, off-chain per owner. In deployment
-        // every owner computes on its own machine simultaneously; here the
-        // owners fan out across cores. Each owner's update depends only on
-        // its own shard, RNG, and the (shared, read-only) global model, so
-        // the updates are bit-identical to a sequential pass. Owners
-        // scheduled to drop vanish before producing anything visible.
-        let mut group_of = vec![0usize; n];
-        for (j, group) in groups.iter().enumerate() {
-            for &idx in group {
-                group_of[idx] = j;
-            }
-        }
-        let masked_updates: Vec<Option<Result<Vec<u64>, fl_crypto::secure_agg::SecureAggError>>> =
-            par::par_map_mut(&mut self.owners, 1, |idx, owner| {
-                if is_dropped(idx) {
-                    return None;
-                }
-                let update = owner.local_update(&global_model, num_features, num_classes);
-                Some(owner.mask_update_cached(
-                    &update,
-                    round,
-                    &group_directories[group_of[idx]],
-                    epoch,
-                ))
-            });
-
-        // Transaction assembly stays sequential: nonces and block order
-        // are consensus-visible and must not depend on the schedule.
-        // Bundle boundaries follow the cohort plan — one bundle per
-        // cohort, in plan order.
-        let mut staged = BTreeMap::new();
-        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(n + 1);
-        let mut bundle_sizes: Vec<usize> = Vec::with_capacity(cohort_groups.len());
-        let mut masked_updates: Vec<Option<Vec<u64>>> = masked_updates
-            .into_iter()
-            .map(|r| r.transpose())
-            .collect::<Result<_, _>>()?;
-        for cohort in &cohort_groups {
-            let before = txs.len();
-            for group in cohort {
-                for &idx in group {
-                    if is_dropped(idx) {
-                        continue;
-                    }
-                    let masked = masked_updates[idx]
-                        .take()
-                        .expect("each survivor produces exactly one update");
-                    let id = self.owners[idx].id();
-                    let nonce = self.staged_nonce(&mut staged, id);
-                    txs.push(Transaction::new(
-                        id,
-                        nonce,
-                        FlCall::SubmitMaskedUpdate { round, masked },
-                    ));
-                }
-            }
-            bundle_sizes.push(txs.len() - before);
-        }
-
-        // Anyone alive may trigger evaluation; the first survivor does.
-        // With owners missing this transaction opens recovery instead of
-        // evaluating — same call, driven by the contract's state machine.
-        // It rides in the final cohort's bundle: every earlier cohort's
-        // submissions are then already-committed blocks.
-        let survivors: Vec<usize> = (0..n).filter(|&idx| !is_dropped(idx)).collect();
-        let trigger = self.owners[*survivors.first().expect("validated: survivors exist")].id();
-        let nonce = self.staged_nonce(&mut staged, trigger);
-        txs.push(Transaction::new(
-            trigger,
-            nonce,
-            FlCall::EvaluateRound { round },
-        ));
-        *bundle_sizes.last_mut().expect("at least one cohort") += 1;
-
-        let mut commits = if k > 1 {
-            self.commit_stream(txs, &bundle_sizes)?
-        } else {
-            vec![self.commit_batch(txs)?]
-        };
-        if dropped.is_empty() {
-            return Ok(commits);
-        }
-
-        // Recovery block: threshold-many survivors reveal their escrowed
-        // shares for every dropped owner, then the closing EvaluateRound
-        // reconstructs the keys, strips the residual masks, and
-        // evaluates on the survivors.
-        let threshold = self.config.escrow_threshold();
-        let mut staged = BTreeMap::new();
-        let mut txs: Vec<Transaction<FlCall>> = Vec::with_capacity(dropped.len() * threshold + 1);
-        for &d in &dropped {
-            let dropped_id = self.owners[d].id();
-            for &provider in survivors.iter().take(threshold) {
-                let share = &self.escrows[d][provider];
-                let id = self.owners[provider].id();
-                let nonce = self.staged_nonce(&mut staged, id);
-                txs.push(Transaction::new(
-                    id,
-                    nonce,
-                    FlCall::SubmitRecoveryShare {
-                        round,
-                        dropped: dropped_id,
-                        share_x: share.x,
-                        share_y: share.y.to_be_bytes(),
-                    },
-                ));
-            }
-        }
-        let nonce = self.staged_nonce(&mut staged, trigger);
-        txs.push(Transaction::new(
-            trigger,
-            nonce,
-            FlCall::EvaluateRound { round },
-        ));
-        commits.push(self.commit_batch(txs)?);
-        Ok(commits)
+        let epoch = fl_crypto::key_epoch(&directory);
+        Ok((keys, epoch))
     }
 
-    /// Runs the complete protocol: key exchange plus all `R` rounds.
+    /// Runs the complete protocol — key exchange plus all `R` rounds —
+    /// as a two-stage pipeline: round `r+1`'s off-chain work overlaps
+    /// round `r`'s on-chain tail (see the module docs' pipeline
+    /// contract). Produces a chain bit-identical to
+    /// [`Self::run_sequential`].
     pub fn run(&mut self) -> Result<FlRunReport, ProtocolError> {
+        self.run_with(true)
+    }
+
+    /// Runs the complete protocol strictly round-sequentially (the
+    /// paper's original loop): each round trains, commits, and
+    /// evaluates before the next starts. The reference for the
+    /// pipelined mode's bit-equality contract — and the baseline the
+    /// `round_pipeline` bench measures against.
+    pub fn run_sequential(&mut self) -> Result<FlRunReport, ProtocolError> {
+        self.run_with(false)
+    }
+
+    fn run_with(&mut self, pipelined: bool) -> Result<FlRunReport, ProtocolError> {
+        let run_start = Instant::now();
         let mut commits = Vec::new();
         // Phase 0, unless keys are already on-chain (re-advertising
         // would fail the block with `KeyAlreadyAdvertised` and wedge the
@@ -685,8 +1022,74 @@ impl FlProtocol {
         if self.contract().public_key_of(self.owners[0].id()).is_none() {
             commits.push(self.advertise_keys()?);
         }
-        for round in 0..self.config.rounds {
-            commits.extend(self.run_round(round)?);
+        let (keys, epoch) = self.snapshot_keys()?;
+        let mut stages = StageTimings::default();
+
+        if self.config.rounds > 0 {
+            // Split borrows: the off-chain stage owns the owners and
+            // escrows, the on-chain stage the engine, pool, and durable
+            // store — disjoint, so the two halves may run concurrently.
+            let Self {
+                config,
+                owners,
+                engine,
+                pool,
+                escrows,
+                durable,
+                test_set: _,
+            } = self;
+            let mut off = OffChainStage {
+                config,
+                owners,
+                escrows,
+                keys: &keys,
+                epoch,
+            };
+            let mut on = OnChainStage {
+                engine,
+                pool,
+                durable,
+            };
+
+            let model0 = on.engine.honest_contract().global_model().to_vec();
+            let mut prepared = off.prepare_round(0, &model0)?;
+            stages.train_mask += prepared.train_mask_secs;
+            stages.assemble += prepared.assemble_secs;
+            for round in 0..config.rounds {
+                if round + 1 < config.rounds {
+                    let next = if pipelined {
+                        // Round r's on-chain tail and round r+1's
+                        // off-chain half overlap; r+1 trains against the
+                        // predicted (digest-fixed) model.
+                        let next_model = prepared.predicted_model.clone();
+                        let (commit_res, prep_res) = par::par_overlap(
+                            || on.commit_round(prepared),
+                            || off.prepare_round(round + 1, &next_model),
+                        );
+                        let (reports, t) = commit_res?;
+                        commits.extend(reports);
+                        stages.accumulate(&t);
+                        prep_res?
+                    } else {
+                        let (reports, t) = on.commit_round(prepared)?;
+                        commits.extend(reports);
+                        stages.accumulate(&t);
+                        // Sequential: train against the live committed
+                        // model (the seed's loop verbatim); commit_round
+                        // just pinned it equal to the prediction.
+                        let live = on.engine.honest_contract().global_model().to_vec();
+                        off.prepare_round(round + 1, &live)?
+                    };
+                    stages.train_mask += next.train_mask_secs;
+                    stages.assemble += next.assemble_secs;
+                    prepared = next;
+                } else {
+                    let (reports, t) = on.commit_round(prepared)?;
+                    commits.extend(reports);
+                    stages.accumulate(&t);
+                    break;
+                }
+            }
         }
 
         let contract = self.engine.honest_contract();
@@ -712,6 +1115,8 @@ impl FlProtocol {
             failed_views: stats.failed_views,
             total_gas: stats.gas,
             commits,
+            stages,
+            wall_seconds: run_start.elapsed().as_secs_f64(),
         })
     }
 }
@@ -766,6 +1171,62 @@ mod tests {
             let sum: f64 = report.round_records.iter().map(|r| r.per_owner_sv[i]).sum();
             assert!((total - sum).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn pipelined_run_matches_sequential_bit_for_bit() {
+        // The tentpole invariant, on both protocol shapes: a flat
+        // multi-round chain and a sharded chain with a churned round.
+        let flat = {
+            let mut c = quick();
+            c.rounds = 3;
+            c
+        };
+        let churned_sharded = {
+            let mut c = sharded();
+            c.rounds = 2;
+            c.dropout_schedule = vec![(0, vec![1])];
+            c
+        };
+        for config in [flat, churned_sharded] {
+            let mut seq = FlProtocol::new(config.clone()).unwrap();
+            let seq_report = seq.run_sequential().unwrap();
+            let mut pipe = FlProtocol::new(config).unwrap();
+            let pipe_report = pipe.run().unwrap();
+            assert_eq!(seq_report.per_owner_sv, pipe_report.per_owner_sv);
+            assert_eq!(seq_report.accuracy_history, pipe_report.accuracy_history);
+            assert_eq!(seq_report.blocks, pipe_report.blocks);
+            assert_eq!(
+                seq.engine().store_of(0).unwrap().tip_digest(),
+                pipe.engine().store_of(0).unwrap().tip_digest(),
+                "pipelined chain must be bit-identical to sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_advertised_key_is_a_typed_error() {
+        // Snapshotting keys before the phase-0 block is the
+        // mis-sequenced-caller case that used to panic.
+        let p = FlProtocol::new(quick()).unwrap();
+        match p.snapshot_keys() {
+            Err(ProtocolError::MissingAdvertisedKey { owner: 0 }) => {}
+            other => panic!("expected MissingAdvertisedKey for owner 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let mut config = quick();
+        config.rounds = 2;
+        let mut p = FlProtocol::new(config).unwrap();
+        let report = p.run().unwrap();
+        assert!(report.stages.train_mask > 0.0, "{:?}", report.stages);
+        assert!(report.stages.evaluate > 0.0, "{:?}", report.stages);
+        // Flat rounds commit a single block, accounted under `evaluate`.
+        assert_eq!(report.stages.commit, 0.0);
+        assert!(report.wall_seconds >= report.stages.evaluate);
+        assert!(report.stages.total() > 0.0);
     }
 
     #[test]

@@ -191,6 +191,50 @@ where
     });
 }
 
+/// Runs two independent pipeline stages, overlapping them on two
+/// threads when the cap allows, and returns `(a(), b())`.
+///
+/// This is the stage-overlap primitive of the streaming round pipeline:
+/// stage `a` is round `r`'s on-chain tail (evaluation + commit), stage
+/// `b` is round `r + 1`'s off-chain work (training, masking, assembly).
+/// The determinism contract of this module extends to it unchanged —
+/// each stage must be a pure function of its *inputs*, and the two
+/// stages must touch disjoint state (the caller hands each closure its
+/// own `&mut` world). Under those conditions the overlapped schedule
+/// produces exactly the values of the sequential `let ra = a(); let rb
+/// = b();` order for any thread count:
+///
+/// * results land in fixed positions — `a`'s in `.0`, `b`'s in `.1` —
+///   never in completion order;
+/// * nothing is reduced across the stages; the caller combines the two
+///   results itself, after both have finished;
+/// * with the thread cap at 1 the stages run sequentially (`a` first)
+///   on the calling thread, and the overlapped schedule is required to
+///   be bit-identical to that order.
+///
+/// Stage `b` runs on the spawned thread and `a` on the caller, so a
+/// panic in either propagates to the caller once both stages have
+/// stopped (scoped threads join before unwinding continues).
+pub fn par_overlap<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+{
+    if max_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("par overlap stage panicked");
+        (ra, rb)
+    })
+}
+
 /// `(0..n).map(f).collect()`, computed on up to [`max_threads`] threads.
 ///
 /// `f` must be a pure function of the index for the determinism contract
@@ -407,5 +451,65 @@ mod tests {
     #[test]
     fn max_threads_resolves_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn overlap_matches_sequential_for_any_thread_cap() {
+        // Two stages over disjoint state: the overlapped schedule must
+        // produce exactly the sequential results, in fixed positions.
+        let expected_a: u64 = (0..1000u64).map(|i| i.wrapping_mul(0x9e37_79b9)).sum();
+        let expected_b: Vec<u64> = (0..64u64).map(|i| i * i).collect();
+        for cap in [1usize, 2, 8] {
+            set_max_threads(cap);
+            let (a, b) = par_overlap(
+                || {
+                    (0..1000u64)
+                        .map(|i| i.wrapping_mul(0x9e37_79b9))
+                        .sum::<u64>()
+                },
+                || (0..64u64).map(|i| i * i).collect::<Vec<u64>>(),
+            );
+            assert_eq!(a, expected_a, "cap={cap}");
+            assert_eq!(b, expected_b, "cap={cap}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn overlap_stage_a_completion_is_visible_to_the_caller_combine() {
+        // Whichever schedule runs, both stages have fully completed by
+        // the time par_overlap returns: the caller's combine step reads
+        // a's side effects through b's result only after the join.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let a_done = Arc::new(AtomicBool::new(false));
+        let fa = a_done.clone();
+        for cap in [1usize, 2] {
+            set_max_threads(cap);
+            fa.store(false, Ordering::SeqCst);
+            let fa2 = fa.clone();
+            let ((), sum) = par_overlap(
+                move || fa2.store(true, Ordering::SeqCst),
+                || (0..100u32).sum::<u32>(),
+            );
+            assert!(a_done.load(Ordering::SeqCst), "cap={cap}");
+            assert_eq!(sum, 4950, "cap={cap}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn overlap_moves_owned_state_into_each_stage() {
+        // FnOnce closures: each stage owns its world — the pattern the
+        // round pipeline relies on (commit owns the chain side, prepare
+        // owns the owners).
+        let chain: Vec<u64> = (0..10).collect();
+        let owners: Vec<u64> = (10..20).collect();
+        let (a, b) = par_overlap(
+            move || chain.iter().sum::<u64>(),
+            move || owners.iter().map(|x| x * 2).collect::<Vec<u64>>(),
+        );
+        assert_eq!(a, 45);
+        assert_eq!(b, (10..20u64).map(|x| x * 2).collect::<Vec<u64>>());
     }
 }

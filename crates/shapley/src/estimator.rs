@@ -46,6 +46,15 @@ pub struct SvDiagnostics {
     pub strata: usize,
     /// Marginals skipped by truncation (TMC Monte-Carlo only).
     pub truncated_marginals: usize,
+    /// Utility evaluations answered from a
+    /// [`CachedUtility`](crate::utility::CachedUtility) memo table; 0
+    /// when the estimate ran against an uncached utility.
+    /// Observability only — cache counters never feed consensus
+    /// digests (see [`crate::utility::CacheStats`]).
+    pub cache_hits: usize,
+    /// Utility evaluations that missed the memo table and ran the
+    /// underlying game; 0 when uncached.
+    pub cache_misses: usize,
 }
 
 /// The uniform output of every estimator.
@@ -70,6 +79,8 @@ impl From<McResult> for SvEstimate {
                 samples,
                 strata: 0,
                 truncated_marginals: r.truncated_marginals,
+                cache_hits: 0,
+                cache_misses: 0,
             },
         }
     }

@@ -96,14 +96,27 @@ pub fn stratified_shapley(
 
     // Stratum t = (player i = t / n, size s = t % n). Each slot is the
     // *sum* of that stratum's k marginals — a pure function of t.
+    //
+    // The work is split into two passes so caching utilities can stream.
+    // Pass 1 runs only the RNG: it enumerates each stratum's k sampled
+    // base coalitions (cheap — no utility evaluation). The full coalition
+    // list is then handed to `CoalitionUtility::prewarm`, which a
+    // [`CachedUtility`](crate::utility::CachedUtility) services by
+    // deduplicating and evaluating each *unique* coalition exactly once,
+    // in parallel, as the list streams in — instead of every stratum
+    // barriering on its own redundant evaluations. Pass 2 re-walks the
+    // strata in the original order and reads the (now warm) utility, so
+    // the combine below sees the exact same values in the exact same
+    // order as the single-pass form: the estimate is bit-identical, warm
+    // or cold, for every thread count.
     let strata = n * n;
-    let stratum_sums = par::par_map_indices(strata, MIN_STRATA_PER_THREAD, |t| {
+    let stratum_bases = par::par_map_indices(strata, MIN_STRATA_PER_THREAD, |t| {
         let i = t / n;
         let s = t % n;
         // The other n−1 players, from which s-subsets are drawn.
         let others_template: Vec<usize> = (0..n).filter(|&p| p != i).collect();
-        let mut sum = 0.0f64;
         let mut others = others_template.clone();
+        let mut bases = Vec::with_capacity(k);
         for sample in 0..k {
             let mut state = stream_state(config.seed, t as u64, sample as u64);
             let mut next = || crate::rng::stream_next(&mut state);
@@ -116,7 +129,25 @@ pub fn stratified_shapley(
                 let r = j + (next() % (others.len() - j) as u64) as usize;
                 others.swap(j, r);
             }
-            let coalition = Coalition::from_members(&others[..s]);
+            bases.push(Coalition::from_members(&others[..s]));
+        }
+        bases
+    });
+
+    let mut wanted = Vec::with_capacity(2 * strata * k);
+    for (t, bases) in stratum_bases.iter().enumerate() {
+        let i = t / n;
+        for &base in bases {
+            wanted.push(base);
+            wanted.push(base.with(i));
+        }
+    }
+    utility.prewarm(&wanted);
+
+    let stratum_sums = par::par_map_indices(strata, MIN_STRATA_PER_THREAD, |t| {
+        let i = t / n;
+        let mut sum = 0.0f64;
+        for &coalition in &stratum_bases[t] {
             let base = utility.evaluate(coalition);
             let with_i = utility.evaluate(coalition.with(i));
             sum += with_i - base;
@@ -139,6 +170,8 @@ pub fn stratified_shapley(
             samples: strata * k,
             strata,
             truncated_marginals: 0,
+            cache_hits: 0,
+            cache_misses: 0,
         },
     }
 }
@@ -245,6 +278,26 @@ mod tests {
             },
         );
         assert_eq!(estimate.values[2], 0.0);
+    }
+
+    #[test]
+    fn cached_estimate_is_bit_identical_and_all_hits_after_prewarm() {
+        use crate::utility::CachedUtility;
+        let game = GloveGame { left: 3, n: 6 };
+        let cfg = StratifiedConfig {
+            samples_per_stratum: 8,
+            seed: 17,
+        };
+        let plain = stratified_shapley(&game, &cfg);
+        let cached = CachedUtility::new(&game);
+        let streamed = stratified_shapley(&cached, &cfg);
+        // Streaming through the cache must not move a single bit.
+        assert_eq!(plain, streamed);
+        // The prewarm pass dedups: every pass-2 read is a hit, and the
+        // miss count equals the number of distinct sampled coalitions.
+        let stats = cached.stats();
+        assert_eq!(stats.misses, cached.unique_evaluations());
+        assert_eq!(stats.hits, 2 * 6 * 6 * 8);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!   for their utility (test-set accuracy in the paper).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::coalition::Coalition;
@@ -23,6 +24,21 @@ pub trait CoalitionUtility {
 
     /// Utility of a coalition (empty coalitions allowed).
     fn evaluate(&self, coalition: Coalition) -> f64;
+
+    /// Hints that every coalition in `coalitions` is about to be
+    /// evaluated, letting memoizing wrappers stream the evaluations
+    /// into their cache ahead of the caller's combine pass.
+    ///
+    /// The default is a no-op, so plain utilities pay nothing.
+    /// [`CachedUtility`] overrides it to fan the *unique* coalitions
+    /// out one [`numeric::par`] slot each, inserting results as they
+    /// complete — later `evaluate` calls are then pure cache hits.
+    /// Because `evaluate` returns identical values with or without the
+    /// hint, prewarming never changes an estimator's output, only its
+    /// schedule.
+    fn prewarm(&self, coalitions: &[Coalition]) {
+        let _ = coalitions;
+    }
 }
 
 /// Utility of a *model*, `u(W)`, plus the value assigned to the empty
@@ -103,6 +119,26 @@ const _: () = assert!(CACHE_STRIPES.is_power_of_two());
 pub struct CachedUtility<'a, U: ?Sized> {
     inner: &'a U,
     stripes: Vec<Mutex<HashMap<Coalition, f64>>>,
+    /// Lookups answered from the cache.
+    hits: AtomicUsize,
+    /// Lookups that fell through to the inner utility.
+    misses: AtomicUsize,
+}
+
+/// Hit/miss counters of a [`CachedUtility`], for auditing the streaming
+/// evaluation path in benches and diagnostics.
+///
+/// Observability only: the counters are **not** schedule-invariant in
+/// general (two threads missing the same coalition concurrently both
+/// count a miss), so they must never feed a consensus-visible value.
+/// Under the streaming prewarm path the unique coalitions are evaluated
+/// exactly once each, so there the counts are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache.
+    pub hits: usize,
+    /// Evaluations that ran the inner utility.
+    pub misses: usize,
 }
 
 /// Stripe index for a coalition mask: a 64-bit finalizer (splitmix64's
@@ -121,6 +157,8 @@ impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
             stripes: (0..CACHE_STRIPES)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
         }
     }
 
@@ -131,9 +169,18 @@ impl<'a, U: CoalitionUtility + ?Sized> CachedUtility<'a, U> {
             .map(|s| s.lock().expect("utility cache poisoned").len())
             .sum()
     }
+
+    /// Hit/miss counters accumulated so far (observability only — see
+    /// [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
-impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
+impl<U: CoalitionUtility + Sync + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
     fn num_players(&self) -> usize {
         self.inner.num_players()
     }
@@ -145,14 +192,34 @@ impl<U: CoalitionUtility + ?Sized> CoalitionUtility for CachedUtility<'_, U> {
             .expect("utility cache poisoned")
             .get(&coalition)
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.evaluate(coalition);
         stripe
             .lock()
             .expect("utility cache poisoned")
             .insert(coalition, v);
         v
+    }
+
+    /// Streams the unique coalitions into the cache, one
+    /// [`numeric::par`] slot per coalition: each slot evaluates the
+    /// inner utility and inserts its stripe as it completes — no
+    /// per-batch barrier on the way in, so a caller combining from the
+    /// cache afterwards sees pure hits. The deduplicated fan-out also
+    /// makes the miss counter deterministic here: exactly one miss per
+    /// distinct uncached coalition.
+    fn prewarm(&self, coalitions: &[Coalition]) {
+        let mut unique: Vec<Coalition> = coalitions.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        // One slot per coalition; inner evaluations are the expensive
+        // unit (a model accuracy pass or a retrain), so granularity 1.
+        numeric::par::par_map_indices(unique.len(), 1, |idx| {
+            self.evaluate(unique[idx]);
+        });
     }
 }
 
@@ -375,5 +442,60 @@ mod tests {
             assert_eq!(cached.evaluate(c), game.evaluate(c));
         }
         assert_eq!(cached.unique_evaluations(), 1 << 10);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0, 4.0],
+        };
+        let cached = CachedUtility::new(&game);
+        assert_eq!(cached.stats(), CacheStats::default());
+        let c = Coalition::from_members(&[0, 2]);
+        cached.evaluate(c);
+        cached.evaluate(c);
+        cached.evaluate(Coalition::from_members(&[1]));
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn prewarm_streams_unique_coalitions_once_then_all_hits() {
+        let game = AdditiveGame {
+            values: (0..8).map(|i| i as f64).collect(),
+        };
+        let cached = CachedUtility::new(&game);
+        // Duplicates in the hint must not evaluate twice.
+        let mut hint: Vec<Coalition> = Coalition::powerset(8).collect();
+        hint.extend(Coalition::powerset(8));
+        cached.prewarm(&hint);
+        assert_eq!(cached.unique_evaluations(), 1 << 8);
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1 << 8
+            }
+        );
+        // Everything after the prewarm is a pure hit with the inner value.
+        for c in Coalition::powerset(8) {
+            assert_eq!(cached.evaluate(c), game.evaluate(c));
+        }
+        assert_eq!(
+            cached.stats(),
+            CacheStats {
+                hits: 1 << 8,
+                misses: 1 << 8
+            }
+        );
+    }
+
+    #[test]
+    fn prewarm_is_a_noop_on_plain_utilities() {
+        // The trait default must not disturb a bare game.
+        let game = AdditiveGame {
+            values: vec![1.0, 2.0],
+        };
+        game.prewarm(&[Coalition::from_members(&[0])]);
+        assert_eq!(game.evaluate(Coalition::from_members(&[0])), 1.0);
     }
 }

@@ -693,6 +693,85 @@ fn coalition_retrain_utility_is_schedule_invariant() {
     });
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn prop_pipelined_run_matches_sequential_chain(
+        cohort_choice in 0usize..2,
+        rounds in 2u64..=3,
+        drop_seed in any::<u64>(),
+    ) {
+        // The round-pipeline contract, end to end through the protocol
+        // driver: the pipelined run (round r+1's off-chain half
+        // overlapping round r's on-chain tail) must produce the same
+        // chain as the strictly sequential loop — same contributions,
+        // same accuracy trace, same block count, same tip digest — for
+        // thread caps 1/2/auto, across random dropout schedules and
+        // cohort counts.
+        use fedchain::config::FlConfig;
+        use fedchain::protocol::FlProtocol;
+
+        let cohorts = [1usize, 4][cohort_choice];
+        let mut config = FlConfig::quick_demo();
+        config.num_owners = 8;
+        config.num_groups = 2;
+        config.num_cohorts = cohorts;
+        config.rounds = rounds;
+        config.train.epochs = 2;
+        // Random per-round dropout sets, capped so the survivors always
+        // reach the escrow threshold and no cohort is fully dropped
+        // (cohorts have 2 members at k = 4, so one drop per round is
+        // always safe there).
+        let max_per_round = if cohorts > 1 { 1 } else { 3 };
+        let mut cursor = drop_seed;
+        let mut next = || {
+            cursor = cursor
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (cursor >> 33) as usize
+        };
+        let mut schedule = Vec::new();
+        for r in 0..rounds {
+            let count = next() % (max_per_round + 1);
+            let mut dropped: Vec<usize> = Vec::new();
+            while dropped.len() < count {
+                let candidate = next() % 8;
+                if !dropped.contains(&candidate) {
+                    dropped.push(candidate);
+                }
+            }
+            if !dropped.is_empty() {
+                dropped.sort_unstable();
+                schedule.push((r, dropped));
+            }
+        }
+        config.dropout_schedule = schedule;
+        config.validate().expect("schedule is constructed valid");
+
+        let run = |pipelined: bool| {
+            let mut p = FlProtocol::new(config.clone()).expect("valid config");
+            let report = if pipelined { p.run() } else { p.run_sequential() }
+                .expect("honest run");
+            let tip = p.engine().store_of(0).expect("miner 0 always exists").tip_digest();
+            (
+                report.per_owner_sv,
+                report.accuracy_history,
+                report.blocks,
+                tip,
+            )
+        };
+        assert_schedule_invariant(|| {
+            let sequential = run(false);
+            let pipelined = run(true);
+            assert_eq!(
+                sequential, pipelined,
+                "pipelined chain must be bit-identical to sequential"
+            );
+            sequential
+        });
+    }
+}
+
 #[test]
 fn monte_carlo_streams_are_per_permutation() {
     // Prefix property of per-permutation streams: the first k
